@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race cover bench figures fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... .
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (see EXPERIMENTS.md).
+figures:
+	$(GO) run ./cmd/figures -fig all
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,428 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls out.
+// Each BenchmarkFigure*/BenchmarkSection*/BenchmarkAppendixA run recomputes
+// the corresponding experiment from scratch and reports the headline number
+// the paper's discussion hangs on as a custom metric, so `go test -bench=.`
+// doubles as a reproduction record (cmd/figures prints the full tables).
+package redundancy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/experiments"
+	"redundancy/internal/lp"
+	"redundancy/internal/sim"
+)
+
+// BenchmarkFigure1 regenerates Figure 1: detection probability vs
+// proportion controlled for Balanced, S_19 (N=1e5) and S_26 (N=1e6), ε=1/2.
+// Reported metric: the Balanced-minus-S_26 detection gap at p = 0.15.
+func BenchmarkFigure1(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.P > 0.149 && r.P < 0.151 {
+				gap = r.Balanced - r.S26
+			}
+		}
+	}
+	b.ReportMetric(gap, "detect-gap@p0.15")
+}
+
+// BenchmarkFigure2 regenerates Figure 2's table (N=1e5, ε=1/2, dims 3..26).
+// Reported metric: S_26's redundancy factor (approaching the 4/3 bound).
+func BenchmarkFigure2(b *testing.B) {
+	var r26 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dim == 26 {
+				r26 = r.Redundancy
+			}
+		}
+	}
+	b.ReportMetric(r26, "S26-redundancy")
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (redundancy factors vs ε).
+// Reported metric: the Balanced-vs-simple crossover ε* ≈ 0.797.
+func BenchmarkFigure3(b *testing.B) {
+	var cross float64
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure3()
+		cross = experiments.CrossoverEpsilon()
+	}
+	b.ReportMetric(cross, "crossover-eps")
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (per-multiplicity assignments,
+// N=1e6, ε=0.75). Reported metric: Balanced's assignment savings vs GS
+// (the paper promises > 50,000).
+func BenchmarkFigure4(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		savings = float64(s.SavingsVsGS)
+	}
+	b.ReportMetric(savings, "savings-vs-GS")
+}
+
+// BenchmarkSection6 regenerates the §6 deployment examples.
+// Reported metric: i_f of the extreme (N=1e7, ε=0.99) configuration.
+func BenchmarkSection6(b *testing.B) {
+	var iF float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Section6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		iF = float64(rows[0].IF)
+	}
+	b.ReportMetric(iF, "i_f@1e7/0.99")
+}
+
+// BenchmarkSection7 regenerates the §7 extension table.
+// Reported metric: the m=2 redundancy factor (paper: 2.259).
+func BenchmarkSection7(b *testing.B) {
+	var m2 float64
+	for i := 0; i < b.N; i++ {
+		m2 = experiments.Section7()[1].Redundancy
+	}
+	b.ReportMetric(m2, "minmult2-redundancy")
+}
+
+// BenchmarkAppendixA regenerates the two-phase collusion experiment.
+// Reported metric: observed/expected overlap ratio at (N=1e4, p=1/sqrt(N)).
+func BenchmarkAppendixA(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AppendixA(60, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.N == 10_000 && r.Expected > 0.99 && r.Expected < 1.01 {
+				ratio = r.ObservedMean / r.Expected
+			}
+		}
+	}
+	b.ReportMetric(ratio, "observed/expected")
+}
+
+// BenchmarkCrossCheck regenerates the Monte-Carlo validation of the closed
+// forms. Reported metric: fraction of (scheme, k, p) cells whose closed
+// form sits inside the empirical confidence interval (should be 1).
+func BenchmarkCrossCheck(b *testing.B) {
+	var agree float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CrossCheck(2, uint64(i)*1000+7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, ok := 0, 0
+		for _, r := range rows {
+			if r.Cheats >= 50 {
+				n++
+				if r.Agree {
+					ok++
+				}
+			}
+		}
+		if n > 0 {
+			agree = float64(ok) / float64(n)
+		}
+	}
+	b.ReportMetric(agree, "agree-fraction")
+}
+
+// BenchmarkProposition2 regenerates the equality-augmented-LP ablation.
+// Reported metric: max per-class proportion gap to the Balanced closed
+// form ("virtually indistinguishable" ⇒ ≈ 0).
+func BenchmarkProposition2(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Proposition2(22)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = res.MaxProportionDelta
+	}
+	b.ReportMetric(delta, "max-prop-delta")
+}
+
+// BenchmarkDetectionLatency regenerates the detection-latency experiment.
+// Reported metric: fraction of the run completed before a Balanced-scheme
+// always-cheat coalition at p=0.15 is first exposed (≈ 0).
+func BenchmarkDetectionLatency(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DetectionLatency(10_000, 500, 3, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme == "balanced" && r.P > 0.1 {
+				frac = r.MeanFractionBefore
+			}
+		}
+	}
+	b.ReportMetric(frac, "run-fraction-before-exposure")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationPivotRule compares the simplex pivot rules on the S_26
+// system (DESIGN.md ablation 1).
+func BenchmarkAblationPivotRule(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		rule lp.PivotRule
+	}{{"Bland", lp.Bland}, {"Dantzig", lp.Dantzig}} {
+		b.Run(bc.name, func(b *testing.B) {
+			prob := dist.BuildSystem(0.5, 26, lp.LE)
+			var pivots int
+			for i := 0; i < b.N; i++ {
+				sol, err := lp.Solve(prob, bc.rule)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots = sol.Pivots
+			}
+			b.ReportMetric(float64(pivots), "pivots")
+		})
+	}
+}
+
+// BenchmarkAblationPolicy compares scheduling policies on the full
+// discrete-event simulator (DESIGN.md ablation 3). Reported metric: mean
+// task certification time (one-outstanding should be ≈ 2 service units vs
+// free's ≈ 1.5 on 2-copy tasks with ample workers).
+func BenchmarkAblationPolicy(b *testing.B) {
+	p, err := PlanFor(Simple(2000), 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		policy Policy
+	}{{"Free", PolicyFree}, {"OneOutstanding", PolicyOneOutstanding}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				rep, err := Simulate(SimConfig{
+					Plan:         p,
+					Policy:       bc.policy,
+					Participants: 20_000,
+					Seed:         uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = rep.MeanTaskTime
+			}
+			b.ReportMetric(mean, "mean-task-time")
+		})
+	}
+}
+
+// BenchmarkAblationAdversary compares the naive always-cheat adversary with
+// the paper's rational adversary against the GS scheme (DESIGN.md
+// ablation 4). Reported metric: undetected cheats per run — the rational
+// adversary concentrates on 1-tuples and escapes far more often per cheat.
+func BenchmarkAblationAdversary(b *testing.B) {
+	gs, err := GolleStubblebineForThreshold(50_000, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := PlanFor(gs, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const prop = 0.1
+	for _, bc := range []struct {
+		name  string
+		strat Strategy
+	}{
+		{"Always", StrategyAlways{}},
+		{"Rational", NewRationalStrategy(gs, prop, 0.55)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var undetectedPerCheat float64
+			for i := 0; i < b.N; i++ {
+				rep, err := SampleThinning(p.Tasks(), prop, bc.strat, uint64(i)+3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cheats, undetected := 0, 0
+				for _, pt := range rep.PerTuple {
+					cheats += pt.Cheated
+					undetected += pt.Undetected
+				}
+				if cheats > 0 {
+					undetectedPerCheat = float64(undetected) / float64(cheats)
+				}
+			}
+			b.ReportMetric(undetectedPerCheat, "escape-rate")
+		})
+	}
+}
+
+// BenchmarkAblationTailHandling quantifies DESIGN.md ablation 2: naive
+// truncation (no tail partition, no ringers) leaves tasks uncovered and a
+// defenseless i_f class; the §6 plan covers everything. Reported metric:
+// tasks a naive truncation fails to assign at N=1e6, ε=0.75.
+func BenchmarkAblationTailHandling(b *testing.B) {
+	var uncovered float64
+	for i := 0; i < b.N; i++ {
+		d, err := Balanced(1_000_000, 0.75)
+		if err != nil {
+			b.Fatal(err)
+		}
+		covered := 0.0
+		for m := 1; m <= d.Dimension(); m++ {
+			if c := d.Count(m); c >= 1 {
+				covered += float64(int(c))
+			}
+		}
+		uncovered = 1_000_000 - covered
+		p, err := PlanFor(d, 0.75)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.TotalTasks() != 1_000_000 {
+			b.Fatal("§6 plan failed to cover all tasks")
+		}
+	}
+	b.ReportMetric(uncovered, "naive-uncovered-tasks")
+}
+
+// --- Core operation micro-benchmarks -------------------------------------
+
+func BenchmarkBalancedConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Balanced(1_000_000, 0.75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectionAt(b *testing.B) {
+	d, err := Balanced(1_000_000, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DetectionAt(d, 2, 0.1)
+	}
+}
+
+func BenchmarkPlanConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPlan(1_000_000, 0.75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThinningTrial(b *testing.B) {
+	p, err := NewPlan(100_000, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := p.Tasks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleThinning(specs, 0.1, StrategyAlways{}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventSimulation(b *testing.B) {
+	p, err := NewPlan(10_000, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Plan:                p,
+			Policy:              PolicyFree,
+			Participants:        500,
+			AdversaryProportion: 0.1,
+			Strategy:            StrategyAlways{},
+			Seed:                uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPSystemByDimension measures simplex cost as the S_m systems
+// grow — the operation behind every Figure-2 row.
+func BenchmarkLPSystemByDimension(b *testing.B) {
+	for _, dim := range []int{8, 16, 26, 40} {
+		b.Run(fmt.Sprintf("dim%d", dim), func(b *testing.B) {
+			prob := dist.BuildSystem(0.5, dim, lp.LE)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lp.Solve(prob, lp.Dantzig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlatformThroughput drives the real TCP platform with four
+// workers over loopback and reports certified assignments per second.
+func BenchmarkPlatformThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := PlanFor(Simple(400), 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup, err := NewSupervisor(SupervisorConfig{Plan: p, WorkKind: "hashchain", Iters: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := sup.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := RunWorker(WorkerConfig{Addr: addr, Name: "bench"}); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		sup.Wait()
+		elapsed := time.Since(start).Seconds()
+		sup.Close()
+		b.ReportMetric(float64(p.TotalAssignments())/elapsed, "assignments/s")
+	}
+}

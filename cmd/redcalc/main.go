@@ -1,0 +1,136 @@
+// Command redcalc analyzes a redundancy scheme: its per-multiplicity class
+// sizes, redundancy factor, detection-probability profile, and the §6
+// deployment plan (rounding, tail partition, ringers).
+//
+// Usage:
+//
+//	redcalc -scheme balanced -n 1000000 -eps 0.75 [-p 0.1]
+//	redcalc -scheme gs -n 1000000 -eps 0.75
+//	redcalc -scheme minassign -n 100000 -eps 0.5 -dim 19
+//	redcalc -scheme minmult -n 100000 -eps 0.5 -m 2
+//	redcalc -scheme simple -n 100000 -eps 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redundancy"
+	"redundancy/internal/report"
+)
+
+func main() {
+	scheme := flag.String("scheme", "balanced", "balanced | gs | simple | single | minassign | minmult")
+	n := flag.Float64("n", 1_000_000, "number of tasks N")
+	eps := flag.Float64("eps", 0.5, "detection threshold ε in (0,1)")
+	dim := flag.Int("dim", 19, "dimension for -scheme minassign")
+	m := flag.Int("m", 2, "minimum multiplicity for -scheme minmult")
+	p := flag.Float64("p", 0, "adversary's proportion of assignments for the detection profile")
+	target := flag.Float64("target", 0, "design mode: pick ε for this effective detection at proportion -p (overrides -eps)")
+	maxK := flag.Int("maxk", 10, "largest tuple size in the detection profile")
+	showPlan := flag.Bool("plan", true, "print the §6 deployment plan")
+	savePlan := flag.String("save", "", "write the deployment plan as JSON to this file")
+	flag.Parse()
+
+	if *target > 0 {
+		designed, err := redundancy.EpsilonForEffectiveDetection(*target, *p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "redcalc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("design: effective detection %.4f at p=%.3f requires ε = %.6f\n\n",
+			*target, *p, designed)
+		*eps = designed
+	}
+
+	d, err := buildScheme(*scheme, *n, *eps, *dim, *m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redcalc:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s\n", d)
+	fmt.Printf("tasks:              %.0f\n", d.N())
+	fmt.Printf("assignments:        %.1f\n", d.TotalAssignments())
+	fmt.Printf("redundancy factor:  %.4f\n", d.RedundancyFactor())
+	fmt.Printf("precompute (tasks): %.1f\n\n", d.Count(d.Dimension()))
+
+	v := redundancy.Validate(d, *n, *eps)
+	if v.Valid() {
+		fmt.Printf("validation: all detection constraints satisfied at ε = %g\n\n", *eps)
+	} else {
+		fmt.Printf("validation: %d violation(s):\n", len(v.Violations))
+		for _, viol := range v.Violations {
+			fmt.Println("  -", viol)
+		}
+		fmt.Println()
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Detection profile (adversary proportion p = %g)", *p),
+		"k (copies held)", "tasks at mult. k", "P(k,p)", "expected k-holdings")
+	odds := redundancy.AdversaryOdds(d, *p, *maxK)
+	for _, o := range odds {
+		t.AddRowStrings(
+			fmt.Sprintf("%d", o.K),
+			fmt.Sprintf("%.1f", d.Count(o.K)),
+			fmt.Sprintf("%.4f", o.PDetect),
+			fmt.Sprintf("%.2f", o.ExpectedKT))
+	}
+	fmt.Println(t.String())
+	minP, argK := redundancy.MinDetection(d, *p)
+	fmt.Printf("effective protection: min_k P(k,p) = %.4f at k = %d\n\n", minP, argK)
+
+	if *showPlan || *savePlan != "" {
+		pl, err := redundancy.PlanFor(d, *eps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "redcalc: plan:", err)
+			os.Exit(1)
+		}
+		fmt.Println(pl.String())
+		if problems := pl.Audit(1e-6); len(problems) > 0 {
+			fmt.Println("plan audit FAILED:")
+			for _, pr := range problems {
+				fmt.Println("  -", pr)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("plan audit: ok (all tasks covered; deployed detection constraints hold)")
+		if *savePlan != "" {
+			f, err := os.Create(*savePlan)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "redcalc:", err)
+				os.Exit(1)
+			}
+			if err := pl.Save(f); err != nil {
+				fmt.Fprintln(os.Stderr, "redcalc: save:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "redcalc: save:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("plan written to %s\n", *savePlan)
+		}
+	}
+}
+
+func buildScheme(scheme string, n, eps float64, dim, m int) (*redundancy.Distribution, error) {
+	switch scheme {
+	case "balanced":
+		return redundancy.Balanced(n, eps)
+	case "gs", "golle-stubblebine":
+		return redundancy.GolleStubblebineForThreshold(n, eps)
+	case "simple":
+		return redundancy.Simple(n), nil
+	case "single":
+		return redundancy.Single(n), nil
+	case "minassign":
+		return redundancy.AssignmentMinimizing(n, eps, dim)
+	case "minmult":
+		return redundancy.MinMultiplicity(n, eps, m)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"redundancy"
+)
+
+func TestBuildSchemeVariants(t *testing.T) {
+	cases := []struct {
+		name       string
+		wantFactor float64
+	}{
+		{"balanced", redundancy.BalancedRedundancyFactor(0.5)},
+		{"gs", redundancy.GolleStubblebineRedundancyFactor(0.5)},
+		{"golle-stubblebine", redundancy.GolleStubblebineRedundancyFactor(0.5)},
+		{"simple", 2},
+		{"single", 1},
+		{"minmult", redundancy.MinMultiplicityRedundancyFactor(0.5, 2)},
+	}
+	for _, c := range cases {
+		d, err := buildScheme(c.name, 100_000, 0.5, 8, 2)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if math.Abs(d.RedundancyFactor()-c.wantFactor) > 1e-6 {
+			t.Errorf("%s: factor %v, want %v", c.name, d.RedundancyFactor(), c.wantFactor)
+		}
+	}
+	if d, err := buildScheme("minassign", 100_000, 0.5, 8, 2); err != nil || d.Dimension() != 8 {
+		t.Errorf("minassign: %v dim=%d", err, d.Dimension())
+	}
+	if _, err := buildScheme("bogus", 1, 0.5, 8, 2); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command redsim runs the discrete-event volunteer-computation simulator:
+// a supervisor distributes a redundancy plan to participants, a coalition
+// controlling part of the pool cheats according to a strategy, and the
+// verifier adjudicates every task. It prints ground-truth detection
+// statistics per tuple size next to the paper's closed-form predictions.
+//
+// Usage:
+//
+//	redsim -scheme balanced -n 50000 -eps 0.5 -participants 1000 -p 0.1 \
+//	       -strategy always -policy free -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redundancy"
+	"redundancy/internal/report"
+)
+
+func main() {
+	scheme := flag.String("scheme", "balanced", "balanced | gs | simple | minmult")
+	n := flag.Float64("n", 50_000, "number of tasks")
+	eps := flag.Float64("eps", 0.5, "detection threshold ε")
+	m := flag.Int("m", 2, "minimum multiplicity for -scheme minmult")
+	participants := flag.Int("participants", 1000, "registered participants")
+	p := flag.Float64("p", 0.1, "fraction of participants the coalition controls")
+	strategy := flag.String("strategy", "always", "always | never | rational | only-k | at-least")
+	k := flag.Int("k", 1, "tuple size for only-k / at-least strategies")
+	tolerance := flag.Float64("tolerance", 0.55, "max acceptable detection probability for the rational strategy")
+	policy := flag.String("policy", "free", "free | one-outstanding | two-phase")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	d, err := buildScheme(*scheme, *n, *eps, *m)
+	if err != nil {
+		fail(err)
+	}
+	pl, err := redundancy.PlanFor(d, *eps)
+	if err != nil {
+		fail(err)
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	strat, err := parseStrategy(*strategy, *k, *tolerance, d, *p)
+	if err != nil {
+		fail(err)
+	}
+
+	rep, err := redundancy.Simulate(redundancy.SimConfig{
+		Plan:                pl,
+		Policy:              pol,
+		Participants:        *participants,
+		AdversaryProportion: *p,
+		Strategy:            strat,
+		Seed:                *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("scheme: %s   plan: %s\n", d, pl)
+	fmt.Printf("participants: %d   coalition: %.1f%% of participants (%.2f%% of assignments landed)\n",
+		*participants, *p*100, rep.ControlledProportion*100)
+	fmt.Printf("strategy: %s   policy: %s\n\n", strat.Name(), pol)
+
+	t := report.NewTable("Per-tuple ground truth vs closed form",
+		"k", "held", "cheated", "detected", "undetected", "empirical P", "closed-form P(k,p)")
+	for _, pt := range rep.PerTuple {
+		emp := "-"
+		if pt.Cheated > 0 {
+			emp = fmt.Sprintf("%.4f", float64(pt.Detected)/float64(pt.Cheated))
+		}
+		t.AddRowStrings(
+			fmt.Sprintf("%d", pt.K), fmt.Sprintf("%d", pt.Held),
+			fmt.Sprintf("%d", pt.Cheated), fmt.Sprintf("%d", pt.Detected),
+			fmt.Sprintf("%d", pt.Undetected), emp,
+			fmt.Sprintf("%.4f", redundancy.DetectionAt(d, pt.K, rep.ControlledProportion)))
+	}
+	fmt.Println(t.String())
+
+	fmt.Printf("tasks adjudicated:    %d\n", rep.Tasks)
+	fmt.Printf("mismatch detections:  %d (ringers: %d)\n", rep.MismatchDetections, rep.RingersCaught)
+	fmt.Printf("wrong results passed: %d\n", rep.WrongAccepted)
+	fmt.Printf("blacklisted members:  %d (honest implicated: %d)\n",
+		rep.BlacklistedMembers, rep.HonestBlacklisted)
+	fmt.Printf("virtual makespan:     %.2f   mean task time: %.2f\n", rep.Makespan, rep.MeanTaskTime)
+}
+
+func buildScheme(scheme string, n, eps float64, m int) (*redundancy.Distribution, error) {
+	switch scheme {
+	case "balanced":
+		return redundancy.Balanced(n, eps)
+	case "gs":
+		return redundancy.GolleStubblebineForThreshold(n, eps)
+	case "simple":
+		return redundancy.Simple(n), nil
+	case "minmult":
+		return redundancy.MinMultiplicity(n, eps, m)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}
+
+func parsePolicy(s string) (redundancy.Policy, error) {
+	switch s {
+	case "free":
+		return redundancy.PolicyFree, nil
+	case "one-outstanding":
+		return redundancy.PolicyOneOutstanding, nil
+	case "two-phase":
+		return redundancy.PolicyTwoPhase, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseStrategy(s string, k int, tol float64, d *redundancy.Distribution, p float64) (redundancy.Strategy, error) {
+	switch s {
+	case "always":
+		return redundancy.StrategyAlways{}, nil
+	case "never":
+		return redundancy.StrategyNever{}, nil
+	case "rational":
+		return redundancy.NewRationalStrategy(d, p, tol), nil
+	case "only-k":
+		return redundancy.StrategyOnlyK{K: k}, nil
+	case "at-least":
+		return redundancy.StrategyAtLeast{MinCopies: k}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "redsim:", err)
+	os.Exit(1)
+}

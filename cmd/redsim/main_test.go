@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"redundancy"
+)
+
+func TestBuildScheme(t *testing.T) {
+	for _, s := range []string{"balanced", "gs", "simple", "minmult"} {
+		d, err := buildScheme(s, 1000, 0.5, 2)
+		if err != nil || d == nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	if _, err := buildScheme("bogus", 1000, 0.5, 2); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if _, err := buildScheme("balanced", -1, 0.5, 2); err == nil {
+		t.Error("negative N accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]redundancy.Policy{
+		"free":            redundancy.PolicyFree,
+		"one-outstanding": redundancy.PolicyOneOutstanding,
+		"two-phase":       redundancy.PolicyTwoPhase,
+	}
+	for s, want := range cases {
+		got, err := parsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("%s: got %v, %v", s, got, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	d := redundancy.Simple(100)
+	for _, s := range []string{"always", "never", "rational", "only-k", "at-least"} {
+		st, err := parseStrategy(s, 2, 0.5, d, 0.1)
+		if err != nil || st == nil {
+			t.Errorf("%s: %v", s, err)
+			continue
+		}
+		if st.Name() == "" {
+			t.Errorf("%s: empty name", s)
+		}
+	}
+	if _, err := parseStrategy("bogus", 1, 0.5, d, 0.1); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	only, _ := parseStrategy("only-k", 3, 0.5, d, 0.1)
+	if only.ShouldCheat(2) || !only.ShouldCheat(3) {
+		t.Error("only-k did not honor -k")
+	}
+}

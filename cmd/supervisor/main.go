@@ -1,0 +1,124 @@
+// Command supervisor runs the trusted coordinator of the mini volunteer
+// platform: it serves a redundancy plan's assignments to workers over TCP,
+// certifies results by redundancy, checks ringers, and prints a final
+// integrity summary once every task is adjudicated.
+//
+// Usage:
+//
+//	supervisor -addr :9090 -n 10000 -eps 0.5 -work primecount -iters 5000
+//
+// Then start any number of workers (see cmd/worker) pointed at the address.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"redundancy"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "TCP listen address")
+	n := flag.Int("n", 10_000, "number of tasks")
+	eps := flag.Float64("eps", 0.5, "detection threshold ε")
+	scheme := flag.String("scheme", "balanced", "balanced | gs | simple")
+	work := flag.String("work", "hashchain", "work kind: hashchain | primecount | collatz | logistic")
+	iters := flag.Int("iters", 2000, "per-assignment work amount")
+	policy := flag.String("policy", "free", "free | one-outstanding")
+	seed := flag.Uint64("seed", 1, "assignment shuffle seed")
+	quiet := flag.Bool("quiet", false, "suppress per-event logging")
+	planFile := flag.String("planfile", "", "load the plan from a JSON file written by redcalc -save (overrides -n/-eps/-scheme)")
+	journal := flag.String("journal", "", "append accepted results to this file and resume from it if it exists")
+	resolve := flag.Bool("resolve", false, "recompute disputed tasks on the supervisor (reactive measure)")
+	digits := flag.Int("digits", 0, "match float64 results to this many significant digits (0 = exact)")
+	flag.Parse()
+
+	var pl *redundancy.Plan
+	if *planFile != "" {
+		f, err := os.Open(*planFile)
+		if err != nil {
+			log.Fatal("supervisor: ", err)
+		}
+		pl, err = redundancy.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			log.Fatal("supervisor: ", err)
+		}
+	} else {
+		var d *redundancy.Distribution
+		var err error
+		switch *scheme {
+		case "balanced":
+			d, err = redundancy.Balanced(float64(*n), *eps)
+		case "gs":
+			d, err = redundancy.GolleStubblebineForThreshold(float64(*n), *eps)
+		case "simple":
+			d = redundancy.Simple(float64(*n))
+		default:
+			err = fmt.Errorf("unknown scheme %q", *scheme)
+		}
+		if err != nil {
+			log.Fatal("supervisor: ", err)
+		}
+		pl, err = redundancy.PlanFor(d, *eps)
+		if err != nil {
+			log.Fatal("supervisor: ", err)
+		}
+	}
+
+	pol := redundancy.PolicyFree
+	if *policy == "one-outstanding" {
+		pol = redundancy.PolicyOneOutstanding
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	cfg := redundancy.SupervisorConfig{
+		Plan:              pl,
+		Policy:            pol,
+		WorkKind:          *work,
+		Iters:             *iters,
+		Seed:              *seed,
+		ResolveMismatches: *resolve,
+		ResultDigits:      *digits,
+		Logf:              logf,
+	}
+	if *journal != "" {
+		if prev, err := os.ReadFile(*journal); err == nil && len(prev) > 0 {
+			cfg.Restore = bytes.NewReader(prev)
+		}
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal("supervisor: ", err)
+		}
+		defer f.Close()
+		cfg.Journal = f
+	}
+	sup, err := redundancy.NewSupervisor(cfg)
+	if err != nil {
+		log.Fatal("supervisor: ", err)
+	}
+	bound, err := sup.Start(*addr)
+	if err != nil {
+		log.Fatal("supervisor: ", err)
+	}
+	fmt.Printf("supervisor: serving %s on %s (%d assignments, factor %.4f, %d ringers)\n",
+		pl, bound, pl.TotalAssignments(), pl.RedundancyFactor(), pl.Ringers)
+
+	sup.Wait()
+	sum := sup.Summary()
+	fmt.Println("\ncomputation complete")
+	fmt.Printf("participants:       %d\n", sum.Participants)
+	fmt.Printf("tasks certified:    %d of %d\n", sum.Verify.Accepted, sum.Verify.Tasks)
+	fmt.Printf("cheats detected:    %d (ringer catches: %d)\n",
+		sum.Verify.MismatchDetected, sum.Verify.RingersCaught)
+	fmt.Printf("wrong results:      %d\n", sum.WrongResults)
+	fmt.Printf("blacklist:          %v\n", sum.Blacklist)
+	if err := sup.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "supervisor: close:", err)
+	}
+}

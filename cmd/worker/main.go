@@ -1,0 +1,50 @@
+// Command worker is a platform participant: it connects to a supervisor,
+// registers, downloads assignments, executes the work function locally,
+// and returns results until the computation completes.
+//
+// Usage:
+//
+//	worker -addr 127.0.0.1:9090 -name alice
+//	worker -addr 127.0.0.1:9090 -name mallory -cheat 1.0 -cheatseed 7
+//
+// Multiple workers started with the same -cheat probability and -cheatseed
+// collude: they return identical incorrect values, modeling the paper's
+// coalition adversary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"redundancy"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "supervisor address")
+	name := flag.String("name", "worker", "participant name")
+	cheat := flag.Float64("cheat", 0, "probability of cheating on each task (0 = honest)")
+	cheatSeed := flag.Uint64("cheatseed", 1, "coalition seed; workers sharing it collude")
+	maxAssign := flag.Int("max", 0, "stop after this many assignments (0 = run to completion)")
+	throttle := flag.Duration("throttle", 0, "fixed extra delay per assignment")
+	flag.Parse()
+
+	cfg := redundancy.WorkerConfig{
+		Addr:           *addr,
+		Name:           *name,
+		MaxAssignments: *maxAssign,
+		Throttle:       *throttle,
+	}
+	if *cheat > 0 {
+		cfg.Cheat = redundancy.NewWorkerCoalition(*cheat, *cheatSeed).CheatFunc()
+	}
+
+	start := time.Now()
+	stats, err := redundancy.RunWorker(cfg)
+	if err != nil {
+		log.Fatalf("worker %s (participant %d): %v", *name, stats.ParticipantID, err)
+	}
+	fmt.Printf("worker %s: participant %d completed %d assignments (%d cheated) in %v\n",
+		*name, stats.ParticipantID, stats.Completed, stats.Cheated, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,107 @@
+package redundancy_test
+
+import (
+	"fmt"
+
+	"redundancy"
+)
+
+// The Balanced distribution guarantees the same detection probability at
+// every tuple size the adversary might control.
+func ExampleBalanced() {
+	d, err := redundancy.Balanced(1_000_000, 0.75)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("redundancy factor: %.4f\n", d.RedundancyFactor())
+	for k := 1; k <= 3; k++ {
+		fmt.Printf("P(detect | %d copies held) = %.2f\n", k, redundancy.Detection(d, k))
+	}
+	// Output:
+	// redundancy factor: 1.8484
+	// P(detect | 1 copies held) = 0.75
+	// P(detect | 2 copies held) = 0.75
+	// P(detect | 3 copies held) = 0.75
+}
+
+// Simple redundancy certifies any pair of matching results — including a
+// coalition's matching lies.
+func ExampleSimple() {
+	d := redundancy.Simple(100_000)
+	fmt.Printf("factor %.0f, P(detect | both copies held) = %.0f\n",
+		d.RedundancyFactor(), redundancy.Detection(d, 2))
+	// Output:
+	// factor 2, P(detect | both copies held) = 0
+}
+
+// NewPlan deploys the Balanced distribution: integer class sizes, a tail
+// partition at multiplicity i_f, and precomputed ringer tasks protecting
+// it (§6 of the paper).
+func ExampleNewPlan() {
+	p, err := redundancy.NewPlan(1_000_000, 0.75)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tasks %d, assignments %d, i_f=%d, tail=%d, ringers=%d\n",
+		p.N, p.TotalAssignments(), p.TailMultiplicity, p.TailTasks, p.Ringers)
+	fmt.Printf("audit problems: %d\n", len(p.Audit(1e-6)))
+	// Output:
+	// tasks 1000000, assignments 1848440, i_f=11, tail=5, ringers=2
+	// audit problems: 0
+}
+
+// DetectionAt quantifies the graceful degradation against an adversary
+// controlling a share of all assignments (Proposition 3: independent of k).
+func ExampleDetectionAt() {
+	d, err := redundancy.Balanced(100_000, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range []float64{0, 0.1, 0.25} {
+		fmt.Printf("p=%.2f: %.4f\n", p, redundancy.DetectionAt(d, 2, p))
+	}
+	// Output:
+	// p=0.00: 0.5000
+	// p=0.10: 0.4641
+	// p=0.25: 0.4054
+}
+
+// MinMultiplicity upgrades a fault-tolerance floor ("every task at least
+// twice") to a guaranteed cheating-detection probability (§7).
+func ExampleMinMultiplicity() {
+	d, err := redundancy.MinMultiplicity(100_000, 0.5, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("factor %.3f (simple redundancy: 2.000)\n", d.RedundancyFactor())
+	fmt.Printf("single-copy tasks: %.0f\n", d.Count(1))
+	// Output:
+	// factor 2.259 (simple redundancy: 2.000)
+	// single-copy tasks: 0
+}
+
+// Simulate runs the full discrete-event model: plan, participants, a
+// colluding coalition, and redundancy verification.
+func ExampleSimulate() {
+	plan, err := redundancy.NewPlan(20_000, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := redundancy.Simulate(redundancy.SimConfig{
+		Plan:                plan,
+		Policy:              redundancy.PolicyFree,
+		Participants:        500,
+		AdversaryProportion: 0.1,
+		Strategy:            redundancy.StrategyAlways{},
+		Seed:                1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tasks adjudicated: %d\n", rep.Tasks)
+	fmt.Printf("ground truth consistent: %v\n",
+		rep.PerTuple[0].Detected+rep.PerTuple[0].Undetected == rep.PerTuple[0].Cheated)
+	// Output:
+	// tasks adjudicated: 20001
+	// ground truth consistent: true
+}

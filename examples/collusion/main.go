@@ -1,0 +1,77 @@
+// Collusion: simulate a colluding coalition against simple redundancy and
+// against the Balanced distribution, showing why matching results are not
+// enough and how the Balanced scheme caps the adversary's odds.
+//
+// This is the motivating scenario of the paper's introduction: a single
+// person registers many identities ("a dedicated individual can obtain
+// hundreds of user names"), receives multiple copies of some tasks, and
+// returns identical wrong results on them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redundancy"
+)
+
+func main() {
+	const (
+		n            = 50_000
+		eps          = 0.5
+		participants = 1_000
+	)
+
+	fmt.Println("Coalition sweep: identical wrong results on every fully-held task")
+	fmt.Println()
+	fmt.Printf("%-22s %-10s %-12s %-12s %-14s\n",
+		"scheme", "coalition", "cheats", "undetected", "min P(k,p)")
+
+	for _, prop := range []float64{0.02, 0.05, 0.10, 0.20} {
+		for _, scheme := range []string{"simple", "balanced"} {
+			var d *redundancy.Distribution
+			var err error
+			if scheme == "simple" {
+				d = redundancy.Simple(n)
+			} else {
+				d, err = redundancy.Balanced(n, eps)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			plan, err := redundancy.PlanFor(d, eps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// The smart coalition cheats only when it holds every copy it
+			// can hope for: both copies under simple redundancy; under
+			// Balanced there is no safe tuple size, so model the
+			// opportunist who attacks any fully-darkened pair or larger.
+			rep, err := redundancy.Simulate(redundancy.SimConfig{
+				Plan:                plan,
+				Policy:              redundancy.PolicyFree,
+				Participants:        participants,
+				AdversaryProportion: prop,
+				Strategy:            redundancy.StrategyAtLeast{MinCopies: 2},
+				Seed:                uint64(prop * 1000),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cheats, undetected := 0, 0
+			for _, pt := range rep.PerTuple {
+				cheats += pt.Cheated
+				undetected += pt.Undetected
+			}
+			minP, _ := redundancy.MinDetection(d, prop)
+			fmt.Printf("%-22s %-10.2f %-12d %-12d %-14.4f\n",
+				d.Name, prop, cheats, undetected, minP)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: under simple redundancy every 2-tuple cheat passes")
+	fmt.Println("(min P = 0 — matching wrong results are certified). The Balanced")
+	fmt.Println("scheme holds the detection probability near ε = 0.5 regardless of")
+	fmt.Println("how many copies of a task the coalition manages to collect.")
+}

@@ -1,0 +1,90 @@
+// Platform: run the complete TCP volunteer-computing platform in one
+// process — a supervisor serving a Balanced plan of real prime-counting
+// tasks, six honest workers, and a two-member colluding coalition that
+// returns identical wrong results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"redundancy"
+)
+
+func main() {
+	const (
+		n   = 400
+		eps = 0.5
+	)
+
+	plan, err := redundancy.NewPlan(n, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup, err := redundancy.NewSupervisor(redundancy.SupervisorConfig{
+		Plan:     plan,
+		WorkKind: "primecount",
+		Iters:    800,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("supervisor on %s: %d tasks, %d assignments, %d ringers\n",
+		addr, plan.N, plan.TotalAssignments(), plan.Ringers)
+
+	// The coalition: two workers sharing one cheat policy, so their wrong
+	// values always match (the paper's collusion model).
+	coalition := redundancy.NewWorkerCoalition(1.0, 7)
+
+	var wg sync.WaitGroup
+	results := make([]redundancy.WorkerStats, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		cfg := redundancy.WorkerConfig{Addr: addr, Name: fmt.Sprintf("honest-%d", w)}
+		if w < 2 {
+			cfg.Name = fmt.Sprintf("colluder-%d", w)
+			cfg.Cheat = coalition.CheatFunc()
+		}
+		go func(w int, cfg redundancy.WorkerConfig) {
+			defer wg.Done()
+			st, err := redundancy.RunWorker(cfg)
+			if err != nil {
+				// Colluders may be convicted by ringer evidence and
+				// refused further work mid-run — that is the platform
+				// working as intended.
+				fmt.Printf("  %s stopped: %v\n", cfg.Name, err)
+			}
+			results[w] = st
+		}(w, cfg)
+	}
+	wg.Wait()
+	sup.Wait()
+
+	for w, st := range results {
+		role := "honest"
+		if w < 2 {
+			role = "colluder"
+		}
+		fmt.Printf("  worker %d (%s): %d assignments completed, %d cheated\n",
+			w, role, st.Completed, st.Cheated)
+	}
+
+	sum := sup.Summary()
+	fmt.Println("\nsupervisor summary")
+	fmt.Printf("  tasks adjudicated:  %d\n", sum.Verify.Tasks)
+	fmt.Printf("  certified results:  %d\n", sum.Verify.Accepted)
+	fmt.Printf("  cheats detected:    %d (ringer catches: %d)\n",
+		sum.Verify.MismatchDetected, sum.Verify.RingersCaught)
+	fmt.Printf("  wrong certified:    %d\n", sum.WrongResults)
+	fmt.Printf("  suspects:           %v (circumstantial; 2-way mismatches implicate both parties)\n", sum.Blacklist)
+	fmt.Printf("  convicted:          %v (conclusive ringer evidence)\n", sum.Convicted)
+	if err := sup.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

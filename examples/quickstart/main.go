@@ -1,0 +1,53 @@
+// Quickstart: build the Balanced distribution, inspect its guarantees,
+// deploy it as an integer plan, and verify the plan end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redundancy"
+)
+
+func main() {
+	const (
+		n   = 1_000_000 // tasks in the computation
+		eps = 0.75      // desired cheating-detection probability
+	)
+
+	// 1. The theoretical scheme: detection probability exactly ε at every
+	// tuple size, for ln(1/(1−ε))/ε assignments per task.
+	d, err := redundancy.Balanced(n, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Balanced distribution for N=%d at ε=%.2f\n", n, eps)
+	fmt.Printf("  redundancy factor: %.4f (simple redundancy: 2.0000)\n", d.RedundancyFactor())
+	fmt.Printf("  saved assignments vs simple redundancy: %.0f\n", 2*n-d.TotalAssignments())
+	for k := 1; k <= 4; k++ {
+		fmt.Printf("  P(detect | adversary holds %d copies) = %.4f\n", k, redundancy.Detection(d, k))
+	}
+
+	// 2. Against an adversary controlling 10% of all assignments the
+	// guarantee degrades gracefully (Proposition 3): 1 − (1−ε)^{1−p}.
+	minP, _ := redundancy.MinDetection(d, 0.10)
+	fmt.Printf("  worst-case detection at p=0.10: %.4f (closed form %.4f)\n",
+		minP, redundancy.BalancedDetection(eps, 0.10))
+
+	// 3. Deploy: round to integers, sweep the sub-one tail into a tail
+	// partition, and precompute ringers to protect it (§6).
+	p, err := redundancy.PlanFor(d, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDeployable plan: %s\n", p)
+	fmt.Printf("  tail partition: %d tasks × %d copies, %d precomputed ringers\n",
+		p.TailTasks, p.TailMultiplicity, p.Ringers)
+
+	// 4. Audit the deployed plan: every task covered, every detection
+	// constraint met including the ringer-protected tail.
+	if problems := p.Audit(1e-6); len(problems) > 0 {
+		log.Fatalf("plan audit failed: %v", problems)
+	}
+	fmt.Println("  audit: ok — all constraints hold in the deployed integer plan")
+}

@@ -1,0 +1,54 @@
+// Sweep: explore the cost/protection trade-off across detection thresholds
+// — the decision a supervisor actually faces. For each ε it compares the
+// Balanced, Golle–Stubblebine, and simple-redundancy costs, shows the
+// theoretical minimum, and locates the ε ≈ 0.797 crossover beyond which
+// guaranteed detection costs more than simple redundancy's blind doubling.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"redundancy"
+)
+
+func main() {
+	const n = 1_000_000
+
+	fmt.Println("Assignments required for an N = 1,000,000-task computation")
+	fmt.Println()
+	fmt.Printf("%-6s %-12s %-12s %-12s %-14s %-10s\n",
+		"ε", "Balanced", "GS", "Simple", "Lower bound", "Bal. saves")
+	for _, eps := range []float64{0.1, 0.25, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95} {
+		bal := n * redundancy.BalancedRedundancyFactor(eps)
+		gs := n * redundancy.GolleStubblebineRedundancyFactor(eps)
+		lb := n * redundancy.LowerBoundRedundancyFactor(eps)
+		fmt.Printf("%-6.2f %-12.0f %-12.0f %-12d %-14.0f %+.0f\n",
+			eps, bal, gs, 2*n, lb, gs-bal)
+	}
+
+	cross := redundancy.CrossoverEpsilon()
+	fmt.Printf("\nBalanced beats simple redundancy below ε* = %.4f\n", cross)
+	fmt.Printf("  at ε = %.4f − 0.05: factor %.4f < 2\n",
+		cross, redundancy.BalancedRedundancyFactor(cross-0.05))
+	fmt.Printf("  at ε = %.4f + 0.05: factor %.4f > 2\n",
+		cross, redundancy.BalancedRedundancyFactor(cross+0.05))
+
+	// How the guarantee erodes as the adversary grows: Proposition 3.
+	fmt.Println("\nEffective detection of the Balanced scheme (ε = 0.75) vs adversary size")
+	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5} {
+		fmt.Printf("  p = %.2f: P(detect) = %.4f\n", p, redundancy.BalancedDetection(0.75, p))
+	}
+
+	// The 1/sqrt(N) rule of thumb for simple redundancy (Appendix A).
+	fmt.Println("\nAppendix A: adversary proportion at which two-phase simple redundancy")
+	fmt.Println("expects to hand the coalition a free cheat (p = 1/sqrt(N)):")
+	for _, size := range []int{10_000, 100_000, 1_000_000} {
+		res, err := redundancy.TwoPhaseExperiment(size, 1/math.Sqrt(float64(size)), 200, 11)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  N = %-9d p = %.4f: observed mean %.2f fully-controlled tasks (expect 1.0), free-cheat rate %.2f\n",
+			size, res.Proportion, res.Observed.Mean(), res.FreeCheatRate)
+	}
+}

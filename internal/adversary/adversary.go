@@ -1,0 +1,216 @@
+// Package adversary models the paper's global intelligent adversary: a
+// coalition of colluding participants (possibly Sybil identities registered
+// by one person, §1) that knows both the computation and the protection
+// scheme, observes which task copies it holds, and returns an identical
+// incorrect result on every held copy of each task it decides to cheat on.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/sched"
+)
+
+// CheatMask is XORed into the honest result to produce the coalition's
+// agreed-upon incorrect value. Every member applies the same mask, so all
+// cheating copies match — the collusion the paper analyzes.
+const CheatMask uint64 = 0xDEADBEEFCAFEBABE
+
+// Strategy decides, per task, whether the coalition cheats given how many
+// copies of the task it holds.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// ShouldCheat reports whether to cheat on a task of which the
+	// coalition holds copiesHeld (>= 1) copies.
+	ShouldCheat(copiesHeld int) bool
+}
+
+// Always cheats on every held task — the naive saboteur.
+type Always struct{}
+
+// Name implements Strategy.
+func (Always) Name() string { return "always" }
+
+// ShouldCheat implements Strategy.
+func (Always) ShouldCheat(int) bool { return true }
+
+// Never cheats — an honest control coalition for experiments.
+type Never struct{}
+
+// Name implements Strategy.
+func (Never) Name() string { return "never" }
+
+// ShouldCheat implements Strategy.
+func (Never) ShouldCheat(int) bool { return false }
+
+// OnlyK cheats exactly on tasks of which the coalition holds K copies.
+// Experiments use it to measure the per-tuple detection probability
+// P_{k,p} in isolation.
+type OnlyK struct{ K int }
+
+// Name implements Strategy.
+func (s OnlyK) Name() string { return fmt.Sprintf("only-%d", s.K) }
+
+// ShouldCheat implements Strategy.
+func (s OnlyK) ShouldCheat(held int) bool { return held == s.K }
+
+// AtLeast cheats when holding at least MinCopies copies — e.g. MinCopies=2
+// against simple redundancy attacks exactly the fully-controlled pairs.
+type AtLeast struct{ MinCopies int }
+
+// Name implements Strategy.
+func (s AtLeast) Name() string { return fmt.Sprintf("at-least-%d", s.MinCopies) }
+
+// ShouldCheat implements Strategy.
+func (s AtLeast) ShouldCheat(held int) bool { return held >= s.MinCopies }
+
+// Rational is the paper's intelligent adversary (§3.1): she knows the
+// distribution scheme and her own proportion p, computes her detection odds
+// P_{k,p} for each tuple size, and cheats only where the odds are at or
+// below her risk tolerance. Against Golle–Stubblebine she therefore attacks
+// only 1-tuples; against Balanced every tuple size offers identical odds.
+type Rational struct {
+	// MaxDetection is the largest detection probability she will accept.
+	MaxDetection float64
+
+	odds []float64 // odds[k-1] = P_{k,p}
+}
+
+// NewRational builds a Rational strategy against scheme d with coalition
+// proportion p, precomputing P_{k,p} up to the scheme's dimension.
+func NewRational(d *dist.Distribution, p, maxDetection float64) *Rational {
+	dim := d.Dimension()
+	r := &Rational{MaxDetection: maxDetection, odds: make([]float64, dim)}
+	for k := 1; k <= dim; k++ {
+		r.odds[k-1] = dist.DetectionAt(d, k, p)
+	}
+	return r
+}
+
+// Name implements Strategy.
+func (r *Rational) Name() string { return fmt.Sprintf("rational(max=%.3f)", r.MaxDetection) }
+
+// ShouldCheat implements Strategy.
+func (r *Rational) ShouldCheat(held int) bool {
+	if held < 1 {
+		return false
+	}
+	if held > len(r.odds) {
+		// Holding more copies than the scheme's dimension: every copy of
+		// the task is hers (it can only be a tail/ringer artifact), but a
+		// rational adversary cannot distinguish ringers, so she treats
+		// unknown classes as maximally risky.
+		return false
+	}
+	return r.odds[held-1] <= r.MaxDetection
+}
+
+// Coalition tracks the adversary's members and holdings for one run of a
+// computation.
+type Coalition struct {
+	strategy Strategy
+	members  map[int]bool
+	// holdings[taskID] = assignments of that task held by members.
+	holdings map[int][]sched.Assignment
+
+	decided map[int]bool // memoized cheat decision per task
+}
+
+// NewCoalition creates an empty coalition driven by the given strategy.
+func NewCoalition(strategy Strategy) *Coalition {
+	if strategy == nil {
+		panic("adversary: nil strategy")
+	}
+	return &Coalition{
+		strategy: strategy,
+		members:  make(map[int]bool),
+		holdings: make(map[int][]sched.Assignment),
+		decided:  make(map[int]bool),
+	}
+}
+
+// Strategy returns the coalition's strategy.
+func (c *Coalition) Strategy() Strategy { return c.strategy }
+
+// AddMember enrolls a participant (a real colluder or a Sybil identity).
+func (c *Coalition) AddMember(participant int) { c.members[participant] = true }
+
+// Controls reports whether the participant is a coalition member.
+func (c *Coalition) Controls(participant int) bool { return c.members[participant] }
+
+// Members returns the member IDs in ascending order.
+func (c *Coalition) Members() []int {
+	out := make([]int, 0, len(c.members))
+	for m := range c.members {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Observe records that a member received assignment a.
+//
+// In the batch model (all assignments distributed before any result is
+// returned, the setting of the paper's analysis) every Observe precedes the
+// first CheatsOn. Under streaming policies such as one-copy-outstanding a
+// copy can arrive after the task's decision was made; the decision is
+// sticky — the coalition already committed to a value on an earlier copy
+// and must stay consistent — so late copies follow the recorded choice.
+func (c *Coalition) Observe(a sched.Assignment) {
+	c.holdings[a.TaskID] = append(c.holdings[a.TaskID], a)
+}
+
+// CopiesHeld returns how many copies of the task the coalition holds.
+func (c *Coalition) CopiesHeld(taskID int) int { return len(c.holdings[taskID]) }
+
+// CheatsOn decides (and memoizes) whether the coalition cheats on taskID.
+// The decision is made once, after all holdings are known, and every member
+// abides by it — returning the identical incorrect value.
+func (c *Coalition) CheatsOn(taskID int) bool {
+	if v, ok := c.decided[taskID]; ok {
+		return v
+	}
+	held := len(c.holdings[taskID])
+	v := held > 0 && c.strategy.ShouldCheat(held)
+	c.decided[taskID] = v
+	return v
+}
+
+// Value returns the result a member submits for assignment a, given the
+// honest value: the agreed incorrect value when cheating, the honest value
+// otherwise.
+func (c *Coalition) Value(a sched.Assignment, honest uint64) uint64 {
+	if c.CheatsOn(a.TaskID) {
+		return honest ^ CheatMask
+	}
+	return honest
+}
+
+// HeldTasks returns the distinct task IDs held, ascending.
+func (c *Coalition) HeldTasks() []int {
+	out := make([]int, 0, len(c.holdings))
+	for t := range c.holdings {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HoldingProfile returns counts[k] = number of tasks of which the coalition
+// holds exactly k+1 copies.
+func (c *Coalition) HoldingProfile() []int {
+	maxHeld := 0
+	for _, hs := range c.holdings {
+		if len(hs) > maxHeld {
+			maxHeld = len(hs)
+		}
+	}
+	prof := make([]int, maxHeld)
+	for _, hs := range c.holdings {
+		prof[len(hs)-1]++
+	}
+	return prof
+}

@@ -1,0 +1,188 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/sched"
+)
+
+func TestBasicStrategies(t *testing.T) {
+	if !(Always{}).ShouldCheat(1) || (Never{}).ShouldCheat(5) {
+		t.Error("Always/Never misbehave")
+	}
+	only2 := OnlyK{K: 2}
+	if only2.ShouldCheat(1) || !only2.ShouldCheat(2) || only2.ShouldCheat(3) {
+		t.Error("OnlyK misbehaves")
+	}
+	al := AtLeast{MinCopies: 2}
+	if al.ShouldCheat(1) || !al.ShouldCheat(2) || !al.ShouldCheat(5) {
+		t.Error("AtLeast misbehaves")
+	}
+	for _, s := range []Strategy{Always{}, Never{}, only2, al} {
+		if s.Name() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+}
+
+func TestRationalAgainstGolleStubblebine(t *testing.T) {
+	// GS detection increases with k, so a rational adversary with
+	// tolerance just above ε attacks only 1-tuples (§3.1).
+	d, err := dist.GolleStubblebineForThreshold(1e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRational(d, 0, 0.51)
+	if !r.ShouldCheat(1) {
+		t.Error("rational adversary should attack GS 1-tuples")
+	}
+	for k := 2; k <= 8; k++ {
+		if r.ShouldCheat(k) {
+			t.Errorf("rational adversary should not attack GS %d-tuples", k)
+		}
+	}
+	if r.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestRationalAgainstBalancedIsIndifferent(t *testing.T) {
+	// Balanced offers the same odds at every k: the tolerance either
+	// admits all tuple sizes or none.
+	d, err := dist.Balanced(1e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	permissive := NewRational(d, 0, 0.51)
+	strict := NewRational(d, 0, 0.49)
+	for k := 1; k <= 10; k++ {
+		if !permissive.ShouldCheat(k) {
+			t.Errorf("permissive adversary declined k=%d", k)
+		}
+		if strict.ShouldCheat(k) {
+			t.Errorf("strict adversary attacked k=%d", k)
+		}
+	}
+}
+
+func TestRationalEdgeCases(t *testing.T) {
+	d := dist.Simple(100)
+	r := NewRational(d, 0, 0.9)
+	if r.ShouldCheat(0) {
+		t.Error("cannot cheat with no copies")
+	}
+	if r.ShouldCheat(99) {
+		t.Error("beyond-dimension holdings should be treated as risky")
+	}
+}
+
+func TestCoalitionMembership(t *testing.T) {
+	c := NewCoalition(Always{})
+	c.AddMember(3)
+	c.AddMember(1)
+	c.AddMember(3)
+	if !c.Controls(3) || !c.Controls(1) || c.Controls(2) {
+		t.Error("membership wrong")
+	}
+	if !reflect.DeepEqual(c.Members(), []int{1, 3}) {
+		t.Errorf("members = %v", c.Members())
+	}
+	if c.Strategy().Name() != "always" {
+		t.Error("strategy accessor wrong")
+	}
+}
+
+func TestNilStrategyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCoalition(nil)
+}
+
+func TestHoldingsAndDecisions(t *testing.T) {
+	c := NewCoalition(OnlyK{K: 2})
+	c.Observe(sched.Assignment{TaskID: 7, Copy: 0})
+	c.Observe(sched.Assignment{TaskID: 7, Copy: 1})
+	c.Observe(sched.Assignment{TaskID: 9, Copy: 0})
+	if c.CopiesHeld(7) != 2 || c.CopiesHeld(9) != 1 || c.CopiesHeld(8) != 0 {
+		t.Error("CopiesHeld wrong")
+	}
+	if !reflect.DeepEqual(c.HeldTasks(), []int{7, 9}) {
+		t.Errorf("HeldTasks = %v", c.HeldTasks())
+	}
+	if !reflect.DeepEqual(c.HoldingProfile(), []int{1, 1}) {
+		t.Errorf("profile = %v", c.HoldingProfile())
+	}
+	if !c.CheatsOn(7) {
+		t.Error("should cheat on the full 2-tuple")
+	}
+	if c.CheatsOn(9) {
+		t.Error("should not cheat holding one copy")
+	}
+	if c.CheatsOn(1000) {
+		t.Error("cannot cheat on unheld task")
+	}
+}
+
+func TestValuesAreConsistentAcrossCopies(t *testing.T) {
+	c := NewCoalition(Always{})
+	a0 := sched.Assignment{TaskID: 5, Copy: 0}
+	a1 := sched.Assignment{TaskID: 5, Copy: 1}
+	c.Observe(a0)
+	c.Observe(a1)
+	const honest = uint64(12345)
+	v0, v1 := c.Value(a0, honest), c.Value(a1, honest)
+	if v0 != v1 {
+		t.Error("coalition returned differing cheat values")
+	}
+	if v0 == honest {
+		t.Error("Always strategy did not cheat")
+	}
+	// An honest coalition returns the honest value.
+	h := NewCoalition(Never{})
+	h.Observe(a0)
+	if h.Value(a0, honest) != honest {
+		t.Error("honest coalition corrupted a result")
+	}
+}
+
+func TestDecisionIsSticky(t *testing.T) {
+	// Under streaming policies a copy can arrive after the coalition has
+	// committed to cheating on an earlier copy; the decision must not
+	// flip, or the coalition's own returns would mismatch.
+	c := NewCoalition(OnlyK{K: 1})
+	a := sched.Assignment{TaskID: 2, Copy: 0}
+	c.Observe(a)
+	if !c.CheatsOn(2) {
+		t.Fatal("should cheat on 1-tuple")
+	}
+	c.Observe(sched.Assignment{TaskID: 2, Copy: 1})
+	if !c.CheatsOn(2) {
+		t.Error("decision flipped after a late copy (held=2 would say no under OnlyK{1})")
+	}
+	if c.CopiesHeld(2) != 2 {
+		t.Error("late copy not recorded")
+	}
+}
+
+func TestCheatMaskChangesValue(t *testing.T) {
+	if CheatMask == 0 {
+		t.Fatal("CheatMask must be nonzero or cheats equal honest values")
+	}
+	for _, v := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 42} {
+		if v^CheatMask == v {
+			t.Errorf("mask fails to alter %d", v)
+		}
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	c := NewCoalition(Always{})
+	if len(c.HoldingProfile()) != 0 || len(c.HeldTasks()) != 0 {
+		t.Error("empty coalition should have empty profile")
+	}
+}

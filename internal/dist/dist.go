@@ -1,0 +1,165 @@
+// Package dist implements the paper's central objects: redundancy-based
+// task-distribution schemes for volunteer computations and their cheating
+// detection probabilities.
+//
+// A scheme for an N-task computation is a vector x = (x1, x2, x3, ...) in
+// which x_i tasks are assigned with multiplicity i (Σ x_i = N). The package
+// provides the Balanced distribution (the paper's contribution, §4), the
+// Golle–Stubblebine geometric distribution (§3.1), simple redundancy, the
+// LP-based assignment-minimizing distributions S_m (§3.2), and the §7
+// minimum-multiplicity extension, together with the asymptotic and
+// non-asymptotic detection-probability formulas of §2.2 and §5.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"redundancy/internal/numeric"
+)
+
+// Distribution is a redundancy-based task-distribution scheme.
+// Counts[i] is the (possibly fractional, in the theoretical setting of the
+// paper) number of tasks assigned with multiplicity i+1; that is, Counts[0]
+// counts the multiplicity-1 tasks.
+type Distribution struct {
+	Name   string
+	Counts []float64
+}
+
+// Count returns the number of tasks assigned with multiplicity mult
+// (zero for multiplicities outside the stored range).
+func (d *Distribution) Count(mult int) float64 {
+	if mult < 1 || mult > len(d.Counts) {
+		return 0
+	}
+	return d.Counts[mult-1]
+}
+
+// SetCount sets the number of tasks with multiplicity mult, growing the
+// vector as needed. mult must be >= 1.
+func (d *Distribution) SetCount(mult int, v float64) {
+	if mult < 1 {
+		panic("dist: multiplicity must be >= 1")
+	}
+	for len(d.Counts) < mult {
+		d.Counts = append(d.Counts, 0)
+	}
+	d.Counts[mult-1] = v
+}
+
+// Dimension returns the largest multiplicity with a nonzero count
+// (0 for an empty distribution).
+func (d *Distribution) Dimension() int {
+	for i := len(d.Counts) - 1; i >= 0; i-- {
+		if d.Counts[i] != 0 {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// N returns the total number of tasks, Σ x_i.
+func (d *Distribution) N() float64 {
+	return numeric.Sum(d.Counts)
+}
+
+// TotalAssignments returns Σ i·x_i, the number of assignments the scheme
+// hands out.
+func (d *Distribution) TotalAssignments() float64 {
+	var s numeric.KahanSum
+	for i, x := range d.Counts {
+		s.Add(float64(i+1) * x)
+	}
+	return s.Value()
+}
+
+// RedundancyFactor returns TotalAssignments / N (§2.1). It is NaN for an
+// empty distribution.
+func (d *Distribution) RedundancyFactor() float64 {
+	return d.TotalAssignments() / d.N()
+}
+
+// Proportions returns the per-multiplicity task proportions x_i / N.
+func (d *Distribution) Proportions() []float64 {
+	n := d.N()
+	out := make([]float64, len(d.Counts))
+	for i, x := range d.Counts {
+		out[i] = x / n
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (d *Distribution) Clone() *Distribution {
+	c := &Distribution{Name: d.Name, Counts: make([]float64, len(d.Counts))}
+	copy(c.Counts, d.Counts)
+	return c
+}
+
+// Scale multiplies every count by f (used to rescale a unit-mass LP
+// solution to an N-task computation).
+func (d *Distribution) Scale(f float64) {
+	for i := range d.Counts {
+		d.Counts[i] *= f
+	}
+}
+
+// Trim removes trailing multiplicities whose counts are negligible relative
+// to N (|x_i| < tol·N), normalizing tiny LP round-off to clean zeros.
+func (d *Distribution) Trim(tol float64) {
+	n := d.N()
+	for i := range d.Counts {
+		if math.Abs(d.Counts[i]) < tol*n {
+			d.Counts[i] = 0
+		}
+	}
+	dim := d.Dimension()
+	d.Counts = d.Counts[:dim]
+}
+
+// String summarizes the scheme.
+func (d *Distribution) String() string {
+	return fmt.Sprintf("%s{N=%.6g, dim=%d, redundancy=%.4f}",
+		d.Name, d.N(), d.Dimension(), d.RedundancyFactor())
+}
+
+// validateParams reports an error for parameters outside the paper's model:
+// N must be positive and ε strictly inside (0, 1).
+func validateParams(n, epsilon float64) error {
+	if !(n > 0) {
+		return fmt.Errorf("dist: N must be positive, got %v", n)
+	}
+	if !(epsilon > 0 && epsilon < 1) {
+		return fmt.Errorf("dist: detection threshold must lie in (0,1), got %v", epsilon)
+	}
+	return nil
+}
+
+// Gamma returns γ = ln(1/(1−ε)), the rate parameter of the zero-truncated
+// Poisson law underlying the Balanced distribution.
+func Gamma(epsilon float64) float64 {
+	return -math.Log1p(-epsilon)
+}
+
+// Simple returns simple redundancy: every one of the n tasks assigned
+// exactly twice. Matching results are accepted, so an adversary holding
+// both copies of a task cheats undetected (P_2 = 0).
+func Simple(n float64) *Distribution {
+	return &Distribution{Name: "simple", Counts: []float64{0, n}}
+}
+
+// Single returns the no-redundancy scheme (every task assigned once).
+func Single(n float64) *Distribution {
+	return &Distribution{Name: "single", Counts: []float64{n}}
+}
+
+// Uniform returns the scheme that assigns every task with multiplicity m.
+func Uniform(n float64, m int) *Distribution {
+	if m < 1 {
+		panic("dist: Uniform multiplicity must be >= 1")
+	}
+	d := &Distribution{Name: fmt.Sprintf("uniform-%d", m)}
+	d.SetCount(m, n)
+	return d
+}

@@ -1,0 +1,315 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"redundancy/internal/numeric"
+)
+
+func TestDistributionAccessors(t *testing.T) {
+	d := &Distribution{Name: "t", Counts: []float64{3, 5, 0, 2}}
+	if d.Count(1) != 3 || d.Count(2) != 5 || d.Count(4) != 2 {
+		t.Error("Count wrong")
+	}
+	if d.Count(0) != 0 || d.Count(5) != 0 || d.Count(-1) != 0 {
+		t.Error("out-of-range Count should be 0")
+	}
+	if d.Dimension() != 4 {
+		t.Errorf("Dimension = %d", d.Dimension())
+	}
+	if d.N() != 10 {
+		t.Errorf("N = %v", d.N())
+	}
+	if d.TotalAssignments() != 3+10+8 {
+		t.Errorf("TotalAssignments = %v", d.TotalAssignments())
+	}
+	if !numeric.AlmostEqual(d.RedundancyFactor(), 2.1, 1e-12) {
+		t.Errorf("RedundancyFactor = %v", d.RedundancyFactor())
+	}
+	props := d.Proportions()
+	if !numeric.AlmostEqual(numeric.Sum(props), 1, 1e-12) {
+		t.Error("proportions must sum to 1")
+	}
+	if !strings.Contains(d.String(), "dim=4") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestSetCountGrowsAndPanics(t *testing.T) {
+	var d Distribution
+	d.SetCount(5, 7)
+	if d.Count(5) != 7 || d.Dimension() != 5 || len(d.Counts) != 5 {
+		t.Error("SetCount failed to grow")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCount(0, ...) should panic")
+		}
+	}()
+	d.SetCount(0, 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := &Distribution{Name: "a", Counts: []float64{1, 2}}
+	c := d.Clone()
+	c.Counts[0] = 99
+	if d.Counts[0] != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestScaleAndTrim(t *testing.T) {
+	d := &Distribution{Counts: []float64{1, 2, 1e-15, 0}}
+	d.Scale(10)
+	if d.Count(1) != 10 || d.Count(2) != 20 {
+		t.Error("Scale wrong")
+	}
+	d.Trim(1e-9)
+	if d.Dimension() != 2 || len(d.Counts) != 2 {
+		t.Errorf("Trim left dim=%d len=%d", d.Dimension(), len(d.Counts))
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	var d Distribution
+	if d.Dimension() != 0 || d.N() != 0 || PrecomputeRequired(&d) != 0 {
+		t.Error("empty distribution accessors wrong")
+	}
+}
+
+func TestSimpleRedundancy(t *testing.T) {
+	d := Simple(1000)
+	if d.N() != 1000 || d.RedundancyFactor() != 2 || d.Dimension() != 2 {
+		t.Error("Simple redundancy shape wrong")
+	}
+	// An adversary holding both copies of a task cheats undetected.
+	if p := Detection(d, 2); p != 0 {
+		t.Errorf("P_2 for simple redundancy = %v, want 0", p)
+	}
+	// Holding a single copy, she is always caught (the other copy is honest).
+	if p := Detection(d, 1); p != 1 {
+		t.Errorf("P_1 for simple redundancy = %v, want 1", p)
+	}
+}
+
+func TestSingleAndUniform(t *testing.T) {
+	s := Single(50)
+	if s.RedundancyFactor() != 1 {
+		t.Error("Single factor wrong")
+	}
+	// With no redundancy at all, a 1-tuple owner cheats undetected.
+	if Detection(s, 1) != 0 {
+		t.Error("P_1 for single-assignment should be 0")
+	}
+	u := Uniform(30, 3)
+	if u.N() != 30 || u.RedundancyFactor() != 3 || u.Dimension() != 3 {
+		t.Error("Uniform shape wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(_, 0) should panic")
+		}
+	}()
+	Uniform(1, 0)
+}
+
+func TestDetectionHandMadeExample(t *testing.T) {
+	// x1=10, x2=20, x3=5.
+	// S_1 = 2·20 + 3·5 = 55;   P_1 = 55/65.
+	// S_2 = C(3,2)·5 = 15;     P_2 = 15/35.
+	// S_3 = 0, x3 = 5;         P_3 = 0.
+	// S_4 = 0, x4 = 0;         P_4 = 1 (vacuous).
+	d := &Distribution{Counts: []float64{10, 20, 5}}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 55.0 / 65.0}, {2, 15.0 / 35.0}, {3, 0}, {4, 1},
+	}
+	for _, c := range cases {
+		if got := Detection(d, c.k); !numeric.AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("P_%d = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestDetectionAtReducesToAsymptotic(t *testing.T) {
+	d := &Distribution{Counts: []float64{10, 20, 5, 3, 1}}
+	for k := 1; k <= 6; k++ {
+		a, b := Detection(d, k), DetectionAt(d, k, 0)
+		if !numeric.AlmostEqual(a, b, 1e-12) {
+			t.Errorf("k=%d: P_k=%v but P_{k,0}=%v", k, a, b)
+		}
+	}
+}
+
+func TestDetectionAtMonotoneInP(t *testing.T) {
+	// More control can only help the adversary: P_{k,p} is non-increasing
+	// in p for every k.
+	d := &Distribution{Counts: []float64{10, 20, 5, 3, 1}}
+	for k := 1; k <= 4; k++ {
+		prev := math.Inf(1)
+		for p := 0.0; p < 0.95; p += 0.05 {
+			cur := DetectionAt(d, k, p)
+			if cur > prev+1e-12 {
+				t.Errorf("P_{%d,p} increased at p=%v: %v > %v", k, p, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestDetectionPanics(t *testing.T) {
+	d := Simple(10)
+	for _, f := range []func(){
+		func() { Detection(d, 0) },
+		func() { DetectionAt(d, 0, 0.1) },
+		func() { DetectionAt(d, 1, -0.1) },
+		func() { DetectionAt(d, 1, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinDetectionAtExcludesVerifiedTop(t *testing.T) {
+	// Simple redundancy: P_2 = 0 but multiplicity-2 is the (verified) top,
+	// so the effective minimum is over k=1 only.
+	d := Simple(100)
+	minP, argK := MinDetectionAt(d, 0, 0)
+	if argK != 1 || minP != 1 {
+		t.Errorf("min = %v at k=%d; want P_1=1", minP, argK)
+	}
+	// Degenerate single-class scheme: only the verified top exists.
+	u := Uniform(10, 3)
+	minP, _ = MinDetectionAt(u, 0.1, 0)
+	if minP != 1 {
+		t.Errorf("degenerate scheme min = %v, want vacuous 1", minP)
+	}
+}
+
+func TestDetectionProfileLength(t *testing.T) {
+	d := Simple(10)
+	prof := DetectionProfile(d, 0.1, 5)
+	if len(prof) != 5 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	if prof[2] != 1 || prof[4] != 1 {
+		t.Error("beyond-dimension entries should be vacuous 1")
+	}
+}
+
+func TestAdversaryOdds(t *testing.T) {
+	d, err := Balanced(10_000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odds := AdversaryOdds(d, 0.1, 6)
+	if len(odds) != 6 {
+		t.Fatalf("len = %d", len(odds))
+	}
+	var totalExpected float64
+	for i, o := range odds {
+		if o.K != i+1 {
+			t.Errorf("K mismatch at %d", i)
+		}
+		if !numeric.AlmostEqual(o.PHoldAll+o.PDetect, 1, 1e-12) {
+			t.Errorf("k=%d: PHoldAll+PDetect = %v", o.K, o.PHoldAll+o.PDetect)
+		}
+		if o.ExpectedKT < 0 {
+			t.Errorf("negative expectation at k=%d", o.K)
+		}
+		totalExpected += o.ExpectedKT
+	}
+	// Expected number of tasks of which she holds >= 1 copy is at most N.
+	if totalExpected > d.N() {
+		t.Errorf("total expected controlled tasks %v > N", totalExpected)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	// Negative count, wrong mass, and a violated C_1.
+	d := &Distribution{Counts: []float64{100, -1, math.NaN()}}
+	r := Validate(d, 50, 0.5, 1e-9)
+	if r.Valid() {
+		t.Fatal("expected violations")
+	}
+	var negative, nonfinite, mass bool
+	for _, v := range r.Violations {
+		switch {
+		case strings.Contains(v, "negative"):
+			negative = true
+		case strings.Contains(v, "non-finite"):
+			nonfinite = true
+		case strings.Contains(v, "task mass"):
+			mass = true
+		}
+	}
+	if !negative || !nonfinite || !mass {
+		t.Errorf("missing violation classes: %v", r.Violations)
+	}
+}
+
+func TestValidateAcceptsBalanced(t *testing.T) {
+	d, err := Balanced(1e6, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Validate(d, 1e6, 0.75, 1e-9)
+	if !r.Valid() {
+		t.Fatalf("Balanced flagged invalid: %v", r.Violations)
+	}
+	if r.Dimension == 0 || r.PrecomputeRequired > 1 {
+		t.Errorf("report: dim=%d precompute=%v", r.Dimension, r.PrecomputeRequired)
+	}
+}
+
+func TestConstructorParameterValidation(t *testing.T) {
+	if _, err := Balanced(0, 0.5); err == nil {
+		t.Error("Balanced(0, ...) should fail")
+	}
+	if _, err := Balanced(10, 0); err == nil {
+		t.Error("Balanced(_, 0) should fail")
+	}
+	if _, err := Balanced(10, 1); err == nil {
+		t.Error("Balanced(_, 1) should fail")
+	}
+	if _, err := MinMultiplicity(10, 0.5, 0); err == nil {
+		t.Error("MinMultiplicity m=0 should fail")
+	}
+	if _, err := MinMultiplicity(10, 2, 2); err == nil {
+		t.Error("MinMultiplicity ε=2 should fail")
+	}
+	if _, err := GolleStubblebine(10, 0); err == nil {
+		t.Error("GS c=0 should fail")
+	}
+	if _, err := GolleStubblebine(10, 1); err == nil {
+		t.Error("GS c=1 should fail")
+	}
+	if _, err := GolleStubblebine(-1, 0.5); err == nil {
+		t.Error("GS N<0 should fail")
+	}
+	if _, err := GolleStubblebineForThreshold(10, 0); err == nil {
+		t.Error("GS threshold ε=0 should fail")
+	}
+	if _, err := AssignmentMinimizing(10, 0.5, 1); err == nil {
+		t.Error("S_1 should fail")
+	}
+	if _, err := AssignmentMinimizing(10, 0, 5); err == nil {
+		t.Error("S with ε=0 should fail")
+	}
+	if _, err := BalancedLP(10, 0.5, 1); err == nil {
+		t.Error("augmented S_1 should fail")
+	}
+	if _, err := BalancedLP(10, -1, 5); err == nil {
+		t.Error("augmented with ε<0 should fail")
+	}
+}

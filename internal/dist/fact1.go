@@ -1,0 +1,55 @@
+package dist
+
+import (
+	"fmt"
+
+	"redundancy/internal/numeric"
+)
+
+// Fact1 reconstructs the closed-form optimal solution to the S_m system
+// that §3.2's Fact 1 states (its printed coefficients are corrupted in the
+// source text, so we re-derive them): for large enough m the optimum puts
+// mass only on multiplicities {1, 2, m}, with constraints C_1 and C_2 tight
+// and the rest slack. Solving
+//
+//	x_1 + x_2 + x_m                   = N        (C_0)
+//	ε·x_1 − (1−ε)·(2·x_2 + m·x_m)     = 0        (C_1 tight)
+//	ε·x_2 − (1−ε)·C(m,2)·x_m          = 0        (C_2 tight)
+//
+// gives, with q = (1−ε)/ε and B = C(m,2):
+//
+//	x_m = N / (1 + q·(m + 2·q·B) + q·B)
+//	x_2 = q·B·x_m
+//	x_1 = q·(2·x_2 + m·x_m)
+//
+// The returned scheme equals the LP optimum whenever the LP's support is
+// exactly {1, 2, m} (true at ε = 1/2 for m >= 6, per Fact 1); the test
+// suite checks the agreement dimension by dimension. ok reports whether
+// the construction yields a valid scheme (all C_j satisfied for j < m).
+func Fact1(n, epsilon float64, m int) (d *Distribution, ok bool, err error) {
+	if err := validateParams(n, epsilon); err != nil {
+		return nil, false, err
+	}
+	if m < 3 {
+		return nil, false, fmt.Errorf("dist: Fact 1 form needs dimension >= 3, got %d", m)
+	}
+	q := (1 - epsilon) / epsilon
+	b := numeric.Binomial(m, 2)
+	xm := n / (1 + q*(float64(m)+2*q*b) + q*b)
+	x2 := q * b * xm
+	x1 := q * (2*x2 + float64(m)*xm)
+
+	d = &Distribution{Name: fmt.Sprintf("fact1(ε=%g,m=%d)", epsilon, m)}
+	d.SetCount(1, x1)
+	d.SetCount(2, x2)
+	d.SetCount(m, xm)
+
+	// Valid iff every intermediate constraint C_j (3 <= j < m) holds:
+	// those reduce to ε·0 <= (1−ε)·C(m,j)·x_m, trivially true, so the only
+	// way the form fails is if the LP prefers a different support; detect
+	// that by checking C_1 and C_2 really are satisfiable simultaneously
+	// with non-negative mass (they are by construction) and deferring the
+	// optimality question to the caller's LP comparison.
+	r := Validate(d, n, epsilon, 1e-9)
+	return d, r.Valid(), nil
+}

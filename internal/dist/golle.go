@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// GolleStubblebine returns the geometric distribution of Golle and
+// Stubblebine (§3.1) with parameter c in (0, 1):
+//
+//	g_i = (1−c)·c^{i−1}·n.
+//
+// Its redundancy factor is 1/(1−c) and its asymptotic detection
+// probabilities P_k = 1 − (1−c)^{k+1} strictly increase with k, which is
+// why the scheme over-protects large tuples and wastes assignments — the
+// observation that motivates the Balanced distribution.
+func GolleStubblebine(n, c float64) (*Distribution, error) {
+	if !(n > 0) {
+		return nil, fmt.Errorf("dist: N must be positive, got %v", n)
+	}
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("dist: Golle-Stubblebine parameter c must lie in (0,1), got %v", c)
+	}
+	d := &Distribution{Name: fmt.Sprintf("golle-stubblebine(c=%g)", c)}
+	g := (1 - c) * n // g_1
+	for i := 1; ; i++ {
+		d.Counts = append(d.Counts, g)
+		g *= c
+		// Cut deep: the detection formulas weight the tail by C(i,k), so
+		// a premature cut corrupts P_k at large k.
+		if g < n*1e-60 {
+			break
+		}
+		if i > 1_000_000 {
+			break
+		}
+	}
+	return d, nil
+}
+
+// GolleStubblebineC returns the smallest parameter c that guarantees
+// detection probability at least epsilon for every tuple size when the
+// adversary controls proportion p of assignments: the binding constraint is
+// k = 1, so 1 − (1 − c(1−p))² >= ε, i.e.
+//
+//	c = (1 − sqrt(1−ε)) / (1−p).
+//
+// p = 0 gives the asymptotic tuning c = 1 − sqrt(1−ε) from §3.1.
+func GolleStubblebineC(epsilon, p float64) float64 {
+	return (1 - math.Sqrt(1-epsilon)) / (1 - p)
+}
+
+// GolleStubblebineForThreshold returns the GS distribution tuned for
+// asymptotic detection threshold epsilon (c = 1 − sqrt(1−ε)).
+func GolleStubblebineForThreshold(n, epsilon float64) (*Distribution, error) {
+	if err := validateParams(n, epsilon); err != nil {
+		return nil, err
+	}
+	return GolleStubblebine(n, GolleStubblebineC(epsilon, 0))
+}
+
+// GolleStubblebineRedundancyFactor returns the asymptotic closed-form
+// redundancy factor 1/sqrt(1−ε) of the threshold-tuned GS distribution.
+func GolleStubblebineRedundancyFactor(epsilon float64) float64 {
+	return 1 / math.Sqrt(1-epsilon)
+}
+
+// GolleStubblebineNonAsymptoticFactor returns the redundancy factor of the
+// GS distribution tuned to guarantee detection threshold epsilon against
+// an adversary controlling proportion p of assignments (§3.1):
+// with c = (1−sqrt(1−ε))/(1−p), the factor 1/(1−c) works out to
+//
+//	(1−p) / (sqrt(1−ε) − p).
+//
+// It requires p < sqrt(1−ε); at or beyond that proportion no GS tuning can
+// deliver the threshold.
+func GolleStubblebineNonAsymptoticFactor(epsilon, p float64) (float64, error) {
+	root := math.Sqrt(1 - epsilon)
+	if p >= root {
+		return 0, fmt.Errorf("dist: GS cannot guarantee ε=%v against proportion p=%v (needs p < %.4f)",
+			epsilon, p, root)
+	}
+	return (1 - p) / (root - p), nil
+}
+
+// GolleStubblebineDetection returns the closed-form asymptotic detection
+// probability P_k = 1 − (1−c)^{k+1} of the GS distribution.
+func GolleStubblebineDetection(c float64, k int) float64 {
+	return 1 - math.Pow(1-c, float64(k+1))
+}
+
+// GolleStubblebineDetectionAt returns the closed-form non-asymptotic
+// detection probability P_{k,p} = 1 − (1 − c(1−p))^{k+1} (§3.1).
+func GolleStubblebineDetectionAt(c float64, k int, p float64) float64 {
+	return 1 - math.Pow(1-c*(1-p), float64(k+1))
+}

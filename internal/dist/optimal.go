@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"fmt"
+
+	"redundancy/internal/lp"
+	"redundancy/internal/numeric"
+)
+
+// AssignmentMinimizing solves the finite-dimensional assignment-minimizing
+// system S_dim of §3.2:
+//
+//	minimize  Σ_{i=1..dim} i·x_i
+//	subject to  Σ x_i = N,  x_i >= 0,
+//	            C_j:  ε·x_j <= (1−ε)·Σ_{i=j+1..dim} C(i,j)·x_i,  j = 1..dim−1.
+//
+// (C_dim cannot be satisfied by any dim-dimensional scheme; the supervisor
+// must verify the multiplicity-dim tasks — their count is the "precomputing
+// required" column of Figure 2.) The LP is solved at unit mass and rescaled
+// to n, which keeps the tableau well conditioned for any n.
+func AssignmentMinimizing(n, epsilon float64, dim int) (*Distribution, error) {
+	if err := validateParams(n, epsilon); err != nil {
+		return nil, err
+	}
+	if dim < 2 {
+		return nil, fmt.Errorf("dist: assignment-minimizing systems need dimension >= 2, got %d", dim)
+	}
+	prob := BuildSystem(epsilon, dim, lp.LE)
+	sol, err := lp.Solve(prob, lp.Dantzig)
+	if err != nil {
+		return nil, fmt.Errorf("dist: S_%d: %w", dim, err)
+	}
+	d := &Distribution{
+		Name:   fmt.Sprintf("min-assign(ε=%g,dim=%d)", epsilon, dim),
+		Counts: sol.X,
+	}
+	d.Scale(n)
+	d.Trim(1e-12)
+	return d, nil
+}
+
+// BalancedLP solves the equality-augmented system of Proposition 2: the
+// cheapest dim-dimensional scheme whose constraints C_1..C_{dim-1} all hold
+// with equality (P_j = ε exactly). The paper observes the result is
+// "virtually indistinguishable from the Balanced distribution"; the
+// Proposition-2 ablation experiment quantifies the distance.
+func BalancedLP(n, epsilon float64, dim int) (*Distribution, error) {
+	if err := validateParams(n, epsilon); err != nil {
+		return nil, err
+	}
+	if dim < 2 {
+		return nil, fmt.Errorf("dist: augmented systems need dimension >= 2, got %d", dim)
+	}
+	prob := BuildSystem(epsilon, dim, lp.EQ)
+	sol, err := lp.Solve(prob, lp.Bland)
+	if err != nil {
+		return nil, fmt.Errorf("dist: augmented S_%d: %w", dim, err)
+	}
+	d := &Distribution{
+		Name:   fmt.Sprintf("balanced-lp(ε=%g,dim=%d)", epsilon, dim),
+		Counts: sol.X,
+	}
+	d.Scale(n)
+	d.Trim(1e-12)
+	return d, nil
+}
+
+// BuildSystem constructs the S_dim linear program at unit task mass.
+// op selects inequality (lp.LE: the S_m systems of §3.2) or equality
+// (lp.EQ: Proposition 2's augmented systems) for the detection
+// constraints. It is exported so the pivot-rule ablation bench can solve
+// the exact system the package itself solves.
+func BuildSystem(epsilon float64, dim int, op lp.Op) lp.Problem {
+	objective := make([]float64, dim)
+	for i := range objective {
+		objective[i] = float64(i + 1) // cost of x_i is its multiplicity
+	}
+	prob := lp.Problem{Objective: objective}
+
+	// C_0: Σ x_i = 1 (unit mass; rescaled to N by the caller).
+	ones := make([]float64, dim)
+	for i := range ones {
+		ones[i] = 1
+	}
+	prob.Constraints = append(prob.Constraints, lp.Constraint{
+		Coeffs: ones, Op: lp.EQ, RHS: 1,
+	})
+
+	// C_j for j = 1..dim-1:  ε·x_j − (1−ε)·Σ_{i>j} C(i,j)·x_i  <= / == 0.
+	// Each row is scaled to unit max-magnitude: the raw coefficients span
+	// from ε to (1−ε)·C(dim, dim/2) ~ 10^7, and that spread degrades the
+	// simplex tolerance tests. Scaling a zero-RHS row changes nothing
+	// mathematically.
+	for j := 1; j < dim; j++ {
+		coeffs := make([]float64, dim)
+		coeffs[j-1] = epsilon
+		maxAbs := epsilon
+		for i := j + 1; i <= dim; i++ {
+			coeffs[i-1] = -(1 - epsilon) * numeric.Binomial(i, j)
+			if a := -coeffs[i-1]; a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for i := range coeffs {
+			coeffs[i] /= maxAbs
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: coeffs, Op: op, RHS: 0,
+		})
+	}
+	return prob
+}
+
+// PrecomputeRequired returns the number of tasks the supervisor must verify
+// itself for a finite-dimensional scheme to meet every detection constraint:
+// the tasks at the scheme's top multiplicity (§2.2). For an effectively
+// infinite-dimensional scheme (Balanced, GS truncated at negligible mass)
+// this is a negligible fraction of N.
+func PrecomputeRequired(d *Distribution) float64 {
+	dim := d.Dimension()
+	if dim == 0 {
+		return 0
+	}
+	return d.Count(dim)
+}

@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"math"
+
+	"redundancy/internal/numeric"
+)
+
+// Detection computes the asymptotic probability P_k that an adversary who
+// controls exactly k copies of the same task — and a vanishing proportion of
+// all assignments — is detected when she cheats on that k-tuple (§2.2):
+//
+//	P_k = S_k / (x_k + S_k),  S_k = Σ_{i>k} C(i,k)·x_i.
+//
+// A k-tuple drawn from a task assigned more than k times always leaves an
+// uncontrolled copy whose honest result exposes the cheat. If the scheme
+// contains no k-tuples at all (x_i = 0 for every i >= k) the probability is
+// vacuously 1: there is nothing to cheat on.
+func Detection(d *Distribution, k int) float64 {
+	if k < 1 {
+		panic("dist: Detection requires k >= 1")
+	}
+	var above numeric.KahanSum
+	for i := k + 1; i <= len(d.Counts); i++ {
+		above.Add(numeric.Binomial(i, k) * d.Count(i))
+	}
+	xk := d.Count(k)
+	s := above.Value()
+	if xk == 0 && s == 0 {
+		return 1
+	}
+	return s / (xk + s)
+}
+
+// DetectionAt computes the non-asymptotic detection probability P_{k,p}
+// when the adversary controls proportion p of all assignments (derived in
+// the proof of Proposition 2):
+//
+//	P_{k,p} = 1 − x_k / Σ_{i>=k} C(i,k)·(1−p)^{i−k}·x_i.
+//
+// Conditioned on holding k copies of a task, the task's true multiplicity n
+// follows the posterior weighted by C(n,k)p^k(1−p)^{n−k}x_n; the cheat
+// escapes only when n = k.
+func DetectionAt(d *Distribution, k int, p float64) float64 {
+	if k < 1 {
+		panic("dist: DetectionAt requires k >= 1")
+	}
+	if p < 0 || p >= 1 {
+		panic("dist: DetectionAt requires 0 <= p < 1")
+	}
+	var denom numeric.KahanSum
+	q := 1 - p
+	for i := k; i <= len(d.Counts); i++ {
+		denom.Add(numeric.Binomial(i, k) * math.Pow(q, float64(i-k)) * d.Count(i))
+	}
+	xk := d.Count(k)
+	dv := denom.Value()
+	if dv == 0 {
+		return 1 // no k-tuples exist
+	}
+	return 1 - xk/dv
+}
+
+// MinDetectionAt returns the adversary's best case: the minimum of P_{k,p}
+// over k = 1..maxK, together with the minimizing k. An intelligent global
+// adversary (§3.1) cheats only at the k with the most favorable odds, so
+// this minimum is the scheme's effective protection level (§5). maxK <= 0
+// means "up to the distribution's dimension".
+func MinDetectionAt(d *Distribution, p float64, maxK int) (minP float64, argK int) {
+	dim := d.Dimension()
+	if maxK <= 0 || maxK > dim {
+		maxK = dim
+	}
+	n := d.N()
+	minP, argK = math.Inf(1), 0
+	tail := 0.0 // Σ_{i>=k} x_i, maintained downward
+	for i := maxK; i <= len(d.Counts); i++ {
+		tail += d.Counts[i-1]
+	}
+	for k := maxK; k >= 1; k-- {
+		switch {
+		case k == dim && d.Count(dim) > 0:
+			// The top multiplicity is supervisor-verified (§2.2): a valid
+			// m-dimensional scheme cannot satisfy C_m otherwise.
+		case tail < 1e-9*n:
+			// Effectively no tasks have k or more copies — the adversary
+			// has no k-tuples to attack, and the theoretical vectors'
+			// deep tails (counts around 10^-60·N, kept only for series
+			// fidelity) are numerically meaningless here.
+		default:
+			if pk := DetectionAt(d, k, p); pk < minP {
+				minP, argK = pk, k
+			}
+		}
+		if k >= 2 {
+			tail += d.Count(k - 1)
+		}
+	}
+	if math.IsInf(minP, 1) {
+		// Degenerate: only the verified top multiplicity exists.
+		return 1, dim
+	}
+	return minP, argK
+}
+
+// DetectionProfile returns P_{k,p} for k = 1..maxK.
+func DetectionProfile(d *Distribution, p float64, maxK int) []float64 {
+	out := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		out[k-1] = DetectionAt(d, k, p)
+	}
+	return out
+}
+
+// TupleOdds describes the adversary's view of one multiplicity class when
+// she controls proportion p of assignments: how likely she is to hold a
+// full k-tuple and how likely cheating on it is to be detected.
+type TupleOdds struct {
+	K          int     // copies controlled
+	PHoldAll   float64 // P(task multiplicity is exactly k | she holds k copies)
+	PDetect    float64 // P_{k,p}
+	ExpectedKT float64 // expected number of tasks of which she holds exactly k copies
+}
+
+// ExpectedDamage returns the expected number of tasks on which an
+// always-cheating adversary controlling proportion p of assignments gets a
+// wrong result certified: a cheat escapes only on tasks she holds in full,
+// and a multiplicity-i task is fully hers with probability p^i, so
+//
+//	E[damage] = Σ_i x_i · p^i.
+//
+// For the Balanced distribution this evaluates in closed form to
+// N·((1−ε)/ε)·(e^{γp} − 1) with γ = ln(1/(1−ε)). Ringer tasks are not part
+// of d's mass, so they need no exclusion here.
+func ExpectedDamage(d *Distribution, p float64) float64 {
+	if p < 0 || p >= 1 {
+		panic("dist: ExpectedDamage requires 0 <= p < 1")
+	}
+	var sum numeric.KahanSum
+	pow := 1.0
+	for i := 1; i <= len(d.Counts); i++ {
+		pow *= p
+		if pow == 0 {
+			break
+		}
+		sum.Add(d.Count(i) * pow)
+	}
+	return sum.Value()
+}
+
+// BalancedExpectedDamage is the closed form of ExpectedDamage for the
+// Balanced distribution: N·((1−ε)/ε)·(e^{γ·p} − 1).
+func BalancedExpectedDamage(n, epsilon, p float64) float64 {
+	return n * (1 - epsilon) / epsilon * math.Expm1(Gamma(epsilon)*p)
+}
+
+// AdversaryOdds tabulates TupleOdds for k = 1..maxK. ExpectedKT uses the
+// binomial thinning model of the proofs: the adversary ends up holding
+// exactly k of the i copies of a multiplicity-i task with probability
+// C(i,k)p^k(1−p)^{i−k}.
+func AdversaryOdds(d *Distribution, p float64, maxK int) []TupleOdds {
+	out := make([]TupleOdds, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		var expect numeric.KahanSum
+		for i := k; i <= len(d.Counts); i++ {
+			expect.Add(numeric.Binomial(i, k) *
+				math.Pow(p, float64(k)) * math.Pow(1-p, float64(i-k)) * d.Count(i))
+		}
+		pd := DetectionAt(d, k, p)
+		out = append(out, TupleOdds{
+			K:          k,
+			PHoldAll:   1 - pd,
+			PDetect:    pd,
+			ExpectedKT: expect.Value(),
+		})
+	}
+	return out
+}

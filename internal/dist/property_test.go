@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"redundancy/internal/numeric"
+	"redundancy/internal/rng"
+)
+
+// randomDistribution builds an arbitrary small scheme from fuzz input.
+func randomDistribution(raw []uint16) *Distribution {
+	d := &Distribution{Name: "fuzz"}
+	for i, v := range raw {
+		if i >= 12 {
+			break
+		}
+		d.SetCount(i+1, float64(v%2000))
+	}
+	if d.N() == 0 {
+		d.SetCount(1, 1)
+	}
+	return d
+}
+
+// TestDetectionScaleInvariance: P_k depends only on the proportions, not
+// the absolute task counts — scaling every class by the same factor leaves
+// every detection probability unchanged.
+func TestDetectionScaleInvariance(t *testing.T) {
+	f := func(raw []uint16, scaleRaw uint8) bool {
+		d := randomDistribution(raw)
+		scaled := d.Clone()
+		scaled.Scale(1 + float64(scaleRaw%97))
+		for k := 1; k <= d.Dimension()+1; k++ {
+			if !numeric.AlmostEqual(Detection(d, k), Detection(scaled, k), 1e-9) {
+				return false
+			}
+			if !numeric.AlmostEqual(DetectionAt(d, k, 0.13), DetectionAt(scaled, k, 0.13), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectionAtReducesToAsymptoticProperty: P_{k,0} = P_k on arbitrary
+// schemes, not just the canonical ones.
+func TestDetectionAtReducesToAsymptoticProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		d := randomDistribution(raw)
+		for k := 1; k <= d.Dimension()+1; k++ {
+			if !numeric.AlmostEqual(Detection(d, k), DetectionAt(d, k, 0), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectionMonotoneInPProperty: on arbitrary schemes, more adversary
+// control never increases her detection risk: P_{k,p} is non-increasing
+// in p.
+func TestDetectionMonotoneInPProperty(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		d := randomDistribution(raw)
+		k := 1 + int(kRaw)%max(1, d.Dimension())
+		prev := math.Inf(1)
+		for p := 0.0; p < 0.9; p += 0.1 {
+			cur := DetectionAt(d, k, p)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectionBoundsProperty: probabilities stay in [0, 1] for arbitrary
+// schemes and parameters.
+func TestDetectionBoundsProperty(t *testing.T) {
+	f := func(raw []uint16, kRaw, pRaw uint8) bool {
+		d := randomDistribution(raw)
+		k := 1 + int(kRaw)%16
+		p := float64(pRaw%99) / 100
+		a, b := Detection(d, k), DetectionAt(d, k, p)
+		return a >= 0 && a <= 1 && b >= 0 && b <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectionMatchesTupleCounting cross-checks the P_k formula against a
+// literal enumeration of k-tuples on small integer schemes: P_k is the
+// fraction of k-tuples that come from tasks assigned more than k times,
+// where a multiplicity-i task contributes C(i,k) k-tuples.
+func TestDetectionMatchesTupleCounting(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		d := &Distribution{}
+		dim := 2 + r.Intn(6)
+		for m := 1; m <= dim; m++ {
+			d.SetCount(m, float64(r.Intn(20)))
+		}
+		if d.N() == 0 {
+			continue
+		}
+		for k := 1; k <= dim; k++ {
+			var fromAbove, total float64
+			for m := k; m <= dim; m++ {
+				tuples := numeric.Binomial(m, k) * d.Count(m)
+				total += tuples
+				if m > k {
+					fromAbove += tuples
+				}
+			}
+			want := 1.0
+			if total > 0 {
+				want = fromAbove / total
+			}
+			if got := Detection(d, k); !numeric.AlmostEqual(got, want, 1e-10) {
+				t.Fatalf("trial %d k=%d: P_k = %v, tuple count gives %v (counts %v)",
+					trial, k, got, want, d.Counts)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

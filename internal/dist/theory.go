@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"redundancy/internal/numeric"
+)
+
+// LowerBoundRedundancyFactor returns the Proposition-1 bound: every valid
+// scheme (finite- or infinite-dimensional) needs strictly more than
+// 2N/(2−ε) assignments, i.e. redundancy factor > 2/(2−ε). At ε = 1/2 the
+// bound is 4/3, the value the S_m optima approach as m grows (§3.2).
+//
+// The bound is the optimum of the relaxation that keeps only C_0 and C_1,
+// achieved by x_1 = 2N(1−ε)/(2−ε), x_2 = Nε/(2−ε) — which violates C_2 and
+// is therefore unattainable by any valid scheme.
+func LowerBoundRedundancyFactor(epsilon float64) float64 {
+	return 2 / (2 - epsilon)
+}
+
+// LowerBoundWitness returns the (invalid) two-point scheme that attains the
+// Proposition-1 bound, used by tests to verify both that it meets C_1 with
+// equality and that it violates C_2.
+func LowerBoundWitness(n, epsilon float64) *Distribution {
+	return &Distribution{
+		Name:   fmt.Sprintf("prop1-witness(ε=%g)", epsilon),
+		Counts: []float64{2 * n * (1 - epsilon) / (2 - epsilon), n * epsilon / (2 - epsilon)},
+	}
+}
+
+// CrossoverEpsilon returns the threshold ε* at which the Balanced
+// distribution's redundancy factor equals simple redundancy's factor of 2
+// (Figure 3): ln(1/(1−ε*))/ε* = 2, ε* ≈ 0.7968. Balanced is cheaper than
+// simple redundancy exactly for ε < ε*.
+func CrossoverEpsilon() float64 {
+	f := func(e float64) float64 { return BalancedRedundancyFactor(e) - 2 }
+	x, err := numeric.Bisect(f, 0.5, 0.99, 1e-12)
+	if err != nil {
+		panic("dist: crossover bisection failed: " + err.Error())
+	}
+	return x
+}
+
+// GSBalancedSavings returns how many assignments the Balanced distribution
+// saves over the threshold-tuned Golle–Stubblebine distribution on an
+// n-task computation at threshold epsilon (positive means Balanced is
+// cheaper; it is for every ε in (0,1)).
+func GSBalancedSavings(n, epsilon float64) float64 {
+	return n * (GolleStubblebineRedundancyFactor(epsilon) - BalancedRedundancyFactor(epsilon))
+}
+
+// EpsilonForEffectiveDetection solves the supervisor's design problem in
+// closed form: choose the Balanced threshold ε so that the *effective*
+// detection probability is still delta when the adversary controls
+// proportion p of assignments. Inverting Proposition 3's
+// 1 − (1−ε)^{1−p} = delta gives
+//
+//	ε = 1 − (1−delta)^{1/(1−p)}.
+//
+// The returned ε exceeds delta (protection must be over-provisioned to
+// survive the adversary's information advantage) and equals delta at p = 0.
+func EpsilonForEffectiveDetection(delta, p float64) (float64, error) {
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("dist: target detection must lie in (0,1), got %v", delta)
+	}
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("dist: adversary proportion must lie in [0,1), got %v", p)
+	}
+	return -math.Expm1(math.Log1p(-delta) / (1 - p)), nil
+}
+
+// SqrtNClaimThreshold returns the Appendix-A collusion threshold for
+// two-phase simple redundancy on an n-task computation: an adversary
+// controlling proportion p >= 1/sqrt(n) of participants expects to control
+// both copies of at least one task (expected count p²·n).
+func SqrtNClaimThreshold(n float64) float64 {
+	return 1 / math.Sqrt(n)
+}
+
+// ExpectedFullyControlled returns the Appendix-A expectation p²·n of tasks
+// whose two copies are both held by a p-proportion adversary under
+// two-phase simple redundancy.
+func ExpectedFullyControlled(n, p float64) float64 {
+	return p * p * n
+}

@@ -1,0 +1,652 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"redundancy/internal/numeric"
+)
+
+// epsGrid is the detection-threshold grid used across the theorem tests.
+var epsGrid = []float64{0.05, 0.1, 0.25, 0.5, 0.6667, 0.75, 0.9, 0.99}
+
+// TestTheorem1MassSumsToN verifies property 1 of Theorem 1: Σ a_i = N.
+func TestTheorem1MassSumsToN(t *testing.T) {
+	for _, eps := range epsGrid {
+		d, err := Balanced(1e6, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(d.N(), 1e6, 1e-9) {
+			t.Errorf("ε=%v: ΣA = %v, want 1e6", eps, d.N())
+		}
+	}
+}
+
+// TestTheorem1DetectionEqualsEpsilon verifies property 2: P_k = ε for every
+// k (up to the numerical truncation of the tail).
+func TestTheorem1DetectionEqualsEpsilon(t *testing.T) {
+	for _, eps := range epsGrid {
+		d, err := Balanced(1e6, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check every k for which the tail above k still carries enough
+		// relative mass for the ratio to be numerically meaningful.
+		maxK := d.Dimension() - 8
+		if maxK > 25 {
+			maxK = 25
+		}
+		for k := 1; k <= maxK; k++ {
+			if pk := Detection(d, k); !numeric.AlmostEqual(pk, eps, 1e-6) {
+				t.Errorf("ε=%v: P_%d = %.9f", eps, k, pk)
+			}
+		}
+	}
+}
+
+// TestTheorem1TotalAssignments verifies property 3: total assignments equal
+// N·ln(1/(1−ε))/ε.
+func TestTheorem1TotalAssignments(t *testing.T) {
+	for _, eps := range epsGrid {
+		d, err := Balanced(1e6, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1e6 * BalancedRedundancyFactor(eps)
+		if !numeric.AlmostEqual(d.TotalAssignments(), want, 1e-9) {
+			t.Errorf("ε=%v: assignments %v, want %v", eps, d.TotalAssignments(), want)
+		}
+	}
+}
+
+// TestProposition3 verifies P_{k,p} = 1 − (1−ε)^{1−p} for the Balanced
+// distribution, independent of k, by comparing the generic non-asymptotic
+// formula against the closed form.
+func TestProposition3(t *testing.T) {
+	for _, eps := range []float64{0.25, 0.5, 0.75} {
+		d, err := Balanced(1e6, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []float64{0, 0.05, 0.1, 0.25, 0.5} {
+			want := BalancedDetectionAt(eps, p)
+			for k := 1; k <= 10; k++ {
+				got := DetectionAt(d, k, p)
+				if !numeric.AlmostEqual(got, want, 1e-6) {
+					t.Errorf("ε=%v p=%v k=%d: %v vs closed form %v", eps, p, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBalancedIsKIndependentProperty is the Proposition-2 efficiency
+// property as a randomized check: for random (ε, p), P_{1,p} = P_{2,p} =
+// P_{3,p} on the Balanced distribution.
+func TestBalancedIsKIndependentProperty(t *testing.T) {
+	f := func(eRaw, pRaw uint16) bool {
+		eps := 0.05 + 0.90*float64(eRaw)/65535.0
+		p := 0.45 * float64(pRaw) / 65535.0
+		d, err := Balanced(1e5, eps)
+		if err != nil {
+			return false
+		}
+		p1 := DetectionAt(d, 1, p)
+		p2 := DetectionAt(d, 2, p)
+		p3 := DetectionAt(d, 3, p)
+		return numeric.AlmostEqual(p1, p2, 1e-6) && numeric.AlmostEqual(p2, p3, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGolleStubblebineClosedForms cross-checks the generic detection
+// formulas against the paper's GS closed forms.
+func TestGolleStubblebineClosedForms(t *testing.T) {
+	for _, c := range []float64{0.2, 0.29289, 0.5, 0.7} {
+		d, err := GolleStubblebine(1e6, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(d.N(), 1e6, 1e-9) {
+			t.Errorf("c=%v: mass %v", c, d.N())
+		}
+		if !numeric.AlmostEqual(d.RedundancyFactor(), 1/(1-c), 1e-9) {
+			t.Errorf("c=%v: factor %v, want %v", c, d.RedundancyFactor(), 1/(1-c))
+		}
+		for k := 1; k <= 12; k++ {
+			want := GolleStubblebineDetection(c, k)
+			if got := Detection(d, k); !numeric.AlmostEqual(got, want, 1e-8) {
+				t.Errorf("c=%v k=%d: P_k = %v, want %v", c, k, got, want)
+			}
+		}
+		for _, p := range []float64{0.05, 0.2} {
+			for k := 1; k <= 8; k++ {
+				want := GolleStubblebineDetectionAt(c, k, p)
+				if got := DetectionAt(d, k, p); !numeric.AlmostEqual(got, want, 1e-8) {
+					t.Errorf("c=%v k=%d p=%v: %v vs %v", c, k, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGSDetectionIncreasesWithK documents the inefficiency the paper
+// exploits: GS detection probabilities strictly increase with k, so the
+// rational adversary always attacks 1-tuples.
+func TestGSDetectionIncreasesWithK(t *testing.T) {
+	d, err := GolleStubblebineForThreshold(1e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for k := 1; k <= 10; k++ {
+		pk := Detection(d, k)
+		if pk <= prev {
+			t.Errorf("P_%d = %v not increasing", k, pk)
+		}
+		prev = pk
+	}
+	minP, argK := MinDetectionAt(d, 0, 10)
+	if argK != 1 {
+		t.Errorf("rational adversary should attack k=1, got %d", argK)
+	}
+	if !numeric.AlmostEqual(minP, 0.5, 1e-8) {
+		t.Errorf("GS effective protection %v, want ε=0.5", minP)
+	}
+}
+
+// TestGSThresholdTuning verifies c = 1 − sqrt(1−ε) makes P_1 = ε and the
+// redundancy factor 1/sqrt(1−ε).
+func TestGSThresholdTuning(t *testing.T) {
+	for _, eps := range epsGrid {
+		c := GolleStubblebineC(eps, 0)
+		if got := GolleStubblebineDetection(c, 1); !numeric.AlmostEqual(got, eps, 1e-12) {
+			t.Errorf("ε=%v: P_1 = %v", eps, got)
+		}
+		if !numeric.AlmostEqual(1/(1-c), GolleStubblebineRedundancyFactor(eps), 1e-12) {
+			t.Errorf("ε=%v: factor mismatch", eps)
+		}
+	}
+	// Non-asymptotic tuning: with adversary proportion p, P_{1,p} = ε.
+	c := GolleStubblebineC(0.5, 0.1)
+	if got := GolleStubblebineDetectionAt(c, 1, 0.1); !numeric.AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("non-asymptotic tuning: P_{1,p} = %v", got)
+	}
+}
+
+// TestBalancedBeatsGSEverywhere verifies the Figure-3 ordering:
+// Balanced factor < GS factor for all ε in (0,1), and Balanced < simple
+// redundancy exactly below the ≈0.797 crossover.
+func TestBalancedBeatsGSEverywhere(t *testing.T) {
+	for e := 0.01; e < 0.995; e += 0.01 {
+		b, g := BalancedRedundancyFactor(e), GolleStubblebineRedundancyFactor(e)
+		if b >= g {
+			t.Errorf("ε=%v: Balanced %v not below GS %v", e, b, g)
+		}
+		lb := LowerBoundRedundancyFactor(e)
+		if b <= lb {
+			t.Errorf("ε=%v: Balanced %v at or below the Prop-1 bound %v", e, b, lb)
+		}
+	}
+	cross := CrossoverEpsilon()
+	if math.Abs(cross-0.7968) > 0.001 {
+		t.Errorf("crossover ε* = %v, want ≈0.7968", cross)
+	}
+	if BalancedRedundancyFactor(cross-0.01) >= 2 || BalancedRedundancyFactor(cross+0.01) <= 2 {
+		t.Error("crossover does not separate the <2 and >2 regions")
+	}
+}
+
+// TestProposition1Witness verifies the relaxation optimum used in the
+// Prop-1 proof: the two-point witness meets C_0 and C_1 with equality,
+// attains redundancy factor 2/(2−ε), and violates C_2 — so the bound is
+// strict for valid schemes.
+func TestProposition1Witness(t *testing.T) {
+	for _, eps := range epsGrid {
+		w := LowerBoundWitness(1000, eps)
+		if !numeric.AlmostEqual(w.N(), 1000, 1e-9) {
+			t.Errorf("ε=%v: witness mass %v", eps, w.N())
+		}
+		if !numeric.AlmostEqual(w.RedundancyFactor(), LowerBoundRedundancyFactor(eps), 1e-12) {
+			t.Errorf("ε=%v: witness factor %v, want %v",
+				eps, w.RedundancyFactor(), LowerBoundRedundancyFactor(eps))
+		}
+		if p1 := Detection(w, 1); !numeric.AlmostEqual(p1, eps, 1e-12) {
+			t.Errorf("ε=%v: witness P_1 = %v, want tight ε", eps, p1)
+		}
+		if p2 := Detection(w, 2); p2 != 0 {
+			t.Errorf("ε=%v: witness P_2 = %v, should violate C_2", eps, p2)
+		}
+	}
+}
+
+// TestAssignmentMinimizingApproachesLowerBound reproduces the §3.2
+// observation: as the dimension grows the S_m redundancy factor decreases
+// toward (but never reaches) 2/(2−ε).
+func TestAssignmentMinimizingApproachesLowerBound(t *testing.T) {
+	const eps = 0.5
+	lb := LowerBoundRedundancyFactor(eps)
+	prevFactor := math.Inf(1)
+	for _, dim := range []int{4, 8, 12, 19, 26} {
+		d, err := AssignmentMinimizing(1e5, eps, dim)
+		if err != nil {
+			t.Fatalf("S_%d: %v", dim, err)
+		}
+		r := Validate(d, 1e5, eps, 1e-6)
+		if !r.Valid() {
+			t.Fatalf("S_%d invalid: %v", dim, r.Violations)
+		}
+		f := d.RedundancyFactor()
+		if f <= lb {
+			t.Errorf("S_%d factor %v at or below the lower bound %v", dim, f, lb)
+		}
+		if f > prevFactor+1e-9 {
+			t.Errorf("S_%d factor %v increased from previous %v", dim, f, prevFactor)
+		}
+		prevFactor = f
+	}
+	if prevFactor > lb*1.02 {
+		t.Errorf("S_26 factor %v not within 2%% of the bound %v", prevFactor, lb)
+	}
+}
+
+// TestAssignmentMinimizingSupportShape verifies the structural claim of
+// Fact 1: optimal S_m solutions concentrate mass on multiplicities
+// {1, 2} plus a small tail at {m−1, m}.
+func TestAssignmentMinimizingSupportShape(t *testing.T) {
+	for _, dim := range []int{6, 10, 15, 20} {
+		d, err := AssignmentMinimizing(1e5, 0.5, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 3; i <= dim-2; i++ {
+			if d.Count(i) > 1e-6*d.N() {
+				t.Errorf("S_%d has interior mass %v at multiplicity %d", dim, d.Count(i), i)
+			}
+		}
+		if d.Count(1) < 0.5*d.N() {
+			t.Errorf("S_%d: expected most mass at multiplicity 1, got %v", dim, d.Count(1))
+		}
+	}
+}
+
+// TestAssignmentMinimizingBeatsBalancedOnCost verifies that the
+// assignment-minimizing schemes are cheaper than Balanced (they sacrifice
+// non-asymptotic robustness and precompute instead, §4).
+func TestAssignmentMinimizingBeatsBalancedOnCost(t *testing.T) {
+	bal := BalancedRedundancyFactor(0.5)
+	d, err := AssignmentMinimizing(1e5, 0.5, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RedundancyFactor() >= bal {
+		t.Errorf("S_19 factor %v not below Balanced %v", d.RedundancyFactor(), bal)
+	}
+}
+
+// TestNonAsymptoticCollapseOfMinimizers reproduces the core §5 comparison:
+// at p = 0.15 the minimizing distributions' worst-case detection collapses
+// far below ε while Balanced stays near its closed form.
+func TestNonAsymptoticCollapseOfMinimizers(t *testing.T) {
+	const eps, p = 0.5, 0.15
+	sm, err := AssignmentMinimizing(1e5, eps, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minS, _ := MinDetectionAt(sm, p, 0)
+	bal, err := Balanced(1e5, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minB, _ := MinDetectionAt(bal, p, 25)
+	wantB := BalancedDetectionAt(eps, p)
+	if !numeric.AlmostEqual(minB, wantB, 1e-4) {
+		t.Errorf("Balanced min detection %v, closed form %v", minB, wantB)
+	}
+	if minS >= minB-0.05 {
+		t.Errorf("S_19 min detection %v should collapse well below Balanced %v", minS, minB)
+	}
+}
+
+// TestBalancedLPMatchesBalanced is the Proposition-2 ablation: the
+// equality-augmented LP optimum is close to the truncated Balanced
+// distribution, proportion by proportion.
+func TestBalancedLPMatchesBalanced(t *testing.T) {
+	const eps = 0.5
+	lpDist, err := BalancedLP(1e5, eps, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := Balanced(1e5, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(lpDist.RedundancyFactor(), bal.RedundancyFactor(), 5e-3) {
+		t.Errorf("augmented-LP factor %v vs Balanced %v",
+			lpDist.RedundancyFactor(), bal.RedundancyFactor())
+	}
+	for i := 1; i <= 8; i++ {
+		a, b := lpDist.Count(i), bal.Count(i)
+		if math.Abs(a-b) > 0.01*bal.N() {
+			t.Errorf("multiplicity %d: LP %v vs Balanced %v", i, a, b)
+		}
+	}
+}
+
+// TestMinMultiplicityProperties verifies the §7 extension: mass sums to N,
+// no mass below m, P_k = ε for k >= m, and the quoted redundancy factors.
+func TestMinMultiplicityProperties(t *testing.T) {
+	// §7 quotes 2.259 and 3.192 explicitly (its remaining two figures are
+	// corrupted in the source text); 4.152 and 5.124 follow from the same
+	// closed form.
+	wantFactors := map[int]float64{2: 2.259, 3: 3.192, 4: 4.152, 5: 5.126}
+	for m := 1; m <= 5; m++ {
+		d, err := MinMultiplicity(1e5, 0.5, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(d.N(), 1e5, 1e-9) {
+			t.Errorf("m=%d: mass %v", m, d.N())
+		}
+		for i := 1; i < m; i++ {
+			if d.Count(i) != 0 {
+				t.Errorf("m=%d: mass %v below the minimum multiplicity", m, d.Count(i))
+			}
+		}
+		for k := m; k <= m+8; k++ {
+			if pk := Detection(d, k); !numeric.AlmostEqual(pk, 0.5, 1e-6) {
+				t.Errorf("m=%d: P_%d = %v", m, k, pk)
+			}
+		}
+		got := d.RedundancyFactor()
+		if !numeric.AlmostEqual(got, MinMultiplicityRedundancyFactor(0.5, m), 1e-9) {
+			t.Errorf("m=%d: factor %v vs closed form %v",
+				m, got, MinMultiplicityRedundancyFactor(0.5, m))
+		}
+		if want, ok := wantFactors[m]; ok && math.Abs(got-want) > 0.005 {
+			t.Errorf("m=%d: factor %v, paper quotes ≈%v", m, got, want)
+		}
+	}
+	// m=1 must recover the plain Balanced distribution.
+	if !numeric.AlmostEqual(MinMultiplicityRedundancyFactor(0.75, 1),
+		BalancedRedundancyFactor(0.75), 1e-12) {
+		t.Error("m=1 does not recover Balanced")
+	}
+}
+
+// TestSection7UpgradeCost verifies the §7 worked example: upgrading simple
+// redundancy on N = 100,000 tasks to a guaranteed ε = 1/2 costs about
+// 25,900 extra assignments (≈13%).
+func TestSection7UpgradeCost(t *testing.T) {
+	const n = 100_000
+	extra := n*MinMultiplicityRedundancyFactor(0.5, 2) - 2*n
+	if math.Abs(extra-25_900) > 150 {
+		t.Errorf("extra assignments = %v, paper quotes ≈25,900", extra)
+	}
+	if pct := extra / (2 * n) * 100; math.Abs(pct-13) > 0.5 {
+		t.Errorf("extra percentage = %v, paper quotes ≈13%%", pct)
+	}
+}
+
+// TestFigure4Savings verifies the §4 worked example: at N = 1,000,000 and
+// ε = 0.75 the Balanced distribution saves more than 50,000 assignments
+// over both GS and simple redundancy.
+func TestFigure4Savings(t *testing.T) {
+	const n, eps = 1e6, 0.75
+	bal := n * BalancedRedundancyFactor(eps)
+	gs := n * GolleStubblebineRedundancyFactor(eps)
+	simple := 2 * n
+	if gs-bal < 50_000 {
+		t.Errorf("savings vs GS = %v, want > 50,000", gs-bal)
+	}
+	if simple-bal < 50_000 {
+		t.Errorf("savings vs simple = %v, want > 50,000", simple-bal)
+	}
+	if s := GSBalancedSavings(n, eps); !numeric.AlmostEqual(s, gs-bal, 1e-9) {
+		t.Errorf("GSBalancedSavings = %v, want %v", s, gs-bal)
+	}
+}
+
+// TestAppendixAClosedForms sanity-checks the Appendix-A helpers.
+func TestAppendixAClosedForms(t *testing.T) {
+	if got := ExpectedFullyControlled(10_000, 0.01); !numeric.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("E = %v, want 1", got)
+	}
+	if got := SqrtNClaimThreshold(10_000); !numeric.AlmostEqual(got, 0.01, 1e-12) {
+		t.Errorf("threshold = %v, want 0.01", got)
+	}
+}
+
+// TestGammaDefinition pins γ = ln(1/(1−ε)).
+func TestGammaDefinition(t *testing.T) {
+	if !numeric.AlmostEqual(Gamma(0.5), math.Ln2, 1e-15) {
+		t.Errorf("γ(1/2) = %v, want ln 2", Gamma(0.5))
+	}
+	if !numeric.AlmostEqual(Gamma(0.75), math.Log(4), 1e-15) {
+		t.Errorf("γ(3/4) = %v, want ln 4", Gamma(0.75))
+	}
+}
+
+// TestFact1MatchesLP verifies our re-derivation of Fact 1: wherever the LP
+// optimum's support is exactly {1, 2, m}, the closed form reproduces it —
+// class sizes, redundancy factor, and tight constraints C_1, C_2.
+func TestFact1MatchesLP(t *testing.T) {
+	const n, eps = 100_000, 0.5
+	for m := 6; m <= 26; m += 2 {
+		lpOpt, err := AssignmentMinimizing(n, eps, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fact 1 applies when the LP's support is {1,2,m}.
+		support12m := true
+		for i := 3; i < m; i++ {
+			if lpOpt.Count(i) > 1e-6*n {
+				support12m = false
+			}
+		}
+		if !support12m {
+			continue
+		}
+		cf, ok, err := Fact1(n, eps, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("m=%d: closed form flagged invalid", m)
+		}
+		for _, i := range []int{1, 2, m} {
+			if !numeric.AlmostEqual(cf.Count(i), lpOpt.Count(i), 1e-5) {
+				t.Errorf("m=%d: class %d closed form %v vs LP %v",
+					m, i, cf.Count(i), lpOpt.Count(i))
+			}
+		}
+		if !numeric.AlmostEqual(cf.RedundancyFactor(), lpOpt.RedundancyFactor(), 1e-7) {
+			t.Errorf("m=%d: factor %v vs LP %v", m, cf.RedundancyFactor(), lpOpt.RedundancyFactor())
+		}
+		// Tightness: C_1 and C_2 hold with equality on the closed form.
+		for _, k := range []int{1, 2} {
+			if !numeric.AlmostEqual(Detection(cf, k), eps, 1e-9) {
+				t.Errorf("m=%d: P_%d = %v not tight", m, k, Detection(cf, k))
+			}
+		}
+	}
+}
+
+// TestFact1ParamValidation covers the error paths.
+func TestFact1ParamValidation(t *testing.T) {
+	if _, _, err := Fact1(100, 0.5, 2); err == nil {
+		t.Error("m=2 accepted")
+	}
+	if _, _, err := Fact1(0, 0.5, 6); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, _, err := Fact1(100, 1.5, 6); err == nil {
+		t.Error("ε=1.5 accepted")
+	}
+}
+
+// TestEpsilonForEffectiveDetection verifies the closed-form inverse of
+// Proposition 3: designing for effective detection delta at proportion p
+// and then evaluating the Balanced closed form at that p returns delta.
+func TestEpsilonForEffectiveDetection(t *testing.T) {
+	for _, delta := range []float64{0.1, 0.5, 0.75, 0.95} {
+		for _, p := range []float64{0, 0.05, 0.2, 0.5} {
+			eps, err := EpsilonForEffectiveDetection(delta, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := BalancedDetectionAt(eps, p); !numeric.AlmostEqual(got, delta, 1e-12) {
+				t.Errorf("delta=%v p=%v: designed ε=%v gives %v", delta, p, eps, got)
+			}
+			if p == 0 && !numeric.AlmostEqual(eps, delta, 1e-12) {
+				t.Errorf("at p=0 the design should be ε=delta, got %v", eps)
+			}
+			if p > 0 && eps <= delta {
+				t.Errorf("delta=%v p=%v: ε=%v should over-provision", delta, p, eps)
+			}
+		}
+	}
+	if _, err := EpsilonForEffectiveDetection(0, 0.1); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := EpsilonForEffectiveDetection(0.5, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := EpsilonForEffectiveDetection(1.5, 0.1); err == nil {
+		t.Error("delta>1 accepted")
+	}
+}
+
+// TestGSNonAsymptoticFactor verifies the §3.1 non-asymptotic factor
+// (1−p)/(sqrt(1−ε)−p): it reduces to 1/sqrt(1−ε) at p=0, the underlying
+// tuning really does deliver P_{1,p} = ε, and it blows up toward the
+// p = sqrt(1−ε) wall.
+func TestGSNonAsymptoticFactor(t *testing.T) {
+	for _, eps := range []float64{0.25, 0.5, 0.75} {
+		at0, err := GolleStubblebineNonAsymptoticFactor(eps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(at0, GolleStubblebineRedundancyFactor(eps), 1e-12) {
+			t.Errorf("ε=%v: p=0 factor %v", eps, at0)
+		}
+		for _, p := range []float64{0.05, 0.2} {
+			f, err := GolleStubblebineNonAsymptoticFactor(eps, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f <= at0 {
+				t.Errorf("ε=%v p=%v: factor %v should exceed the asymptotic %v", eps, p, f, at0)
+			}
+			// Consistency: the tuning c = (1−sqrt(1−ε))/(1−p) gives factor
+			// 1/(1−c) and pins P_{1,p} at ε.
+			c := GolleStubblebineC(eps, p)
+			if !numeric.AlmostEqual(f, 1/(1-c), 1e-12) {
+				t.Errorf("ε=%v p=%v: %v vs 1/(1-c)=%v", eps, p, f, 1/(1-c))
+			}
+			if got := GolleStubblebineDetectionAt(c, 1, p); !numeric.AlmostEqual(got, eps, 1e-12) {
+				t.Errorf("ε=%v p=%v: tuned P_{1,p} = %v", eps, p, got)
+			}
+		}
+		// Beyond the wall: no tuning exists.
+		if _, err := GolleStubblebineNonAsymptoticFactor(eps, math.Sqrt(1-eps)); err == nil {
+			t.Errorf("ε=%v: factor at the wall should fail", eps)
+		}
+	}
+}
+
+// TestExpectedDamageClosedForm checks the Σ x_i p^i damage formula against
+// its Balanced closed form and against simple redundancy's p²N.
+func TestExpectedDamageClosedForm(t *testing.T) {
+	for _, eps := range []float64{0.25, 0.5, 0.75} {
+		d, err := Balanced(1e6, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []float64{0, 0.05, 0.15, 0.4} {
+			got := ExpectedDamage(d, p)
+			want := BalancedExpectedDamage(1e6, eps, p)
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Errorf("ε=%v p=%v: %v vs closed form %v", eps, p, got, want)
+			}
+		}
+	}
+	s := Simple(1e4)
+	if got := ExpectedDamage(s, 0.1); !numeric.AlmostEqual(got, 100, 1e-9) {
+		t.Errorf("simple redundancy damage %v, want p²N=100", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=1 should panic")
+		}
+	}()
+	ExpectedDamage(s, 1)
+}
+
+// TestExpectedDamageOrdering: at equal ε-level tuning, the Balanced scheme
+// concedes slightly more fully-held tasks than GS (its tail is shorter) —
+// but every such concession is priced at exactly 1−ε odds, which is the
+// efficiency trade the paper argues for.
+func TestExpectedDamageFinite(t *testing.T) {
+	d, err := Balanced(1e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.6} {
+		dmg := ExpectedDamage(d, p)
+		if dmg <= prev {
+			t.Errorf("damage not increasing at p=%v", p)
+		}
+		if dmg >= d.N() {
+			t.Errorf("damage %v exceeds task count", dmg)
+		}
+		prev = dmg
+	}
+}
+
+// TestAssignmentMinimizingTrendsGeneralizeAcrossEpsilon verifies §3.2's
+// closing remark — "similar behavior is observed in these systems for all
+// relevant ε values": at ε = 0.25 and ε = 0.75 too, the S_m factors
+// decrease toward 2/(2−ε) while the worst-case non-asymptotic detection
+// collapses with dimension, and Balanced dominates that worst case.
+func TestAssignmentMinimizingTrendsGeneralizeAcrossEpsilon(t *testing.T) {
+	for _, eps := range []float64{0.25, 0.75} {
+		lb := LowerBoundRedundancyFactor(eps)
+		balanced := BalancedDetectionAt(eps, 0.15)
+		prevFactor := math.Inf(1)
+		prevWorst := math.Inf(1)
+		for _, dim := range []int{8, 14, 20, 26} {
+			d, err := AssignmentMinimizing(1e5, eps, dim)
+			if err != nil {
+				t.Fatalf("ε=%v S_%d: %v", eps, dim, err)
+			}
+			if r := Validate(d, 1e5, eps, 1e-6); !r.Valid() {
+				t.Fatalf("ε=%v S_%d invalid: %v", eps, dim, r.Violations)
+			}
+			f := d.RedundancyFactor()
+			if f <= lb || f >= prevFactor+1e-9 {
+				t.Errorf("ε=%v S_%d: factor %v (prev %v, bound %v)", eps, dim, f, prevFactor, lb)
+			}
+			worst, _ := MinDetectionAt(d, 0.15, 0)
+			if worst >= prevWorst+1e-9 {
+				t.Errorf("ε=%v S_%d: worst-case detection rose to %v", eps, dim, worst)
+			}
+			if dim >= 14 && worst >= balanced {
+				t.Errorf("ε=%v S_%d: worst case %v not below Balanced %v",
+					eps, dim, worst, balanced)
+			}
+			prevFactor, prevWorst = f, worst
+		}
+		// Convergence toward the bound is slower at large ε (more tail
+		// mass is needed per unit of protection): 8% headroom covers
+		// ε = 0.75 at dimension 26 while still pinning the trend.
+		if prevFactor > lb*1.08 {
+			t.Errorf("ε=%v: S_26 factor %v not within 8%% of bound %v", eps, prevFactor, lb)
+		}
+	}
+}

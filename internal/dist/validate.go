@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValidationReport is the outcome of checking a scheme against the paper's
+// validity conditions (§2.2).
+type ValidationReport struct {
+	N                  float64   // Σ x_i
+	Dimension          int       // largest multiplicity used
+	RedundancyFactor   float64   // assignments per task
+	Detection          []float64 // P_k for k = 1..Dimension
+	PrecomputeRequired float64   // top-multiplicity tasks that need supervisor verification
+	Violations         []string  // human-readable constraint violations
+}
+
+// Valid reports whether no violations were found.
+func (r *ValidationReport) Valid() bool { return len(r.Violations) == 0 }
+
+// Validate checks that d is a valid scheme for wantN tasks at detection
+// threshold epsilon:
+//
+//   - every count is non-negative and finite;
+//   - Σ x_i = wantN (within tol·wantN);
+//   - P_k >= ε (within tol) for every k = 1..dim−1; the top multiplicity is
+//     exempt because a finite scheme cannot satisfy C_dim — those tasks must
+//     be verified by the supervisor and are reported in PrecomputeRequired.
+//
+// A relative tolerance tol of about 1e-9 suits analytically constructed
+// schemes; LP outputs may need 1e-6.
+func Validate(d *Distribution, wantN, epsilon, tol float64) *ValidationReport {
+	r := &ValidationReport{
+		N:                  d.N(),
+		Dimension:          d.Dimension(),
+		RedundancyFactor:   d.RedundancyFactor(),
+		PrecomputeRequired: PrecomputeRequired(d),
+	}
+	for i, x := range d.Counts {
+		if x < 0 {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("negative count %g at multiplicity %d", x, i+1))
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("non-finite count at multiplicity %d", i+1))
+		}
+	}
+	if !(math.Abs(r.N-wantN) <= tol*wantN) { // NaN-safe comparison
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("task mass %g differs from required N=%g", r.N, wantN))
+	}
+	r.Detection = make([]float64, r.Dimension)
+	for k := 1; k <= r.Dimension; k++ {
+		pk := Detection(d, k)
+		r.Detection[k-1] = pk
+		// A constraint only binds where the multiplicity class actually
+		// holds tasks: theoretical vectors carry astronomically small
+		// counts deep into the tail purely for numerical fidelity, and a
+		// "violated" C_k on a class of 10^-40 tasks is vacuous. The top
+		// multiplicity is exempt regardless (§2.2: it must be verified).
+		binding := d.Count(k) >= tol*wantN && k < r.Dimension
+		if binding && pk < epsilon-tol {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("constraint C_%d violated: P_%d = %.9f < ε = %g", k, k, pk, epsilon))
+		}
+	}
+	return r
+}

@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/numeric"
+)
+
+func TestFigure1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 15 {
+		t.Fatalf("only %d gridpoints", len(rows))
+	}
+	// At p = 0 all three schemes sit at ε = 1/2.
+	first := rows[0]
+	for _, v := range []float64{first.Balanced, first.S19, first.S26} {
+		if math.Abs(v-0.5) > 1e-3 {
+			t.Errorf("p=0 detection %v, want 0.5", v)
+		}
+	}
+	// All series decay with p; the Balanced curve dominates both LP
+	// schemes everywhere beyond small p, and the higher-dimensional S_26
+	// collapses faster than S_19 — the visual content of Figure 1.
+	for i := 1; i < len(rows); i++ {
+		r, prev := rows[i], rows[i-1]
+		if r.Balanced > prev.Balanced+1e-12 || r.S19 > prev.S19+1e-9 || r.S26 > prev.S26+1e-9 {
+			t.Errorf("non-monotone at p=%v", r.P)
+		}
+		if r.P >= 0.05 {
+			if r.Balanced <= r.S19 || r.Balanced <= r.S26 {
+				t.Errorf("p=%v: Balanced %v should dominate S19 %v and S26 %v",
+					r.P, r.Balanced, r.S19, r.S26)
+			}
+			if r.S19 < r.S26 {
+				t.Errorf("p=%v: S_19 (%v) should hold up better than S_26 (%v)",
+					r.P, r.S19, r.S26)
+			}
+		}
+	}
+	// Closed form at the right edge: 1-(1/2)^{1-0.5} ≈ 0.2929.
+	last := rows[len(rows)-1]
+	if math.Abs(last.P-0.5) > 1e-9 || math.Abs(last.Balanced-(1-math.Sqrt(0.5))) > 1e-9 {
+		t.Errorf("p=0.5 Balanced %v, want 1-sqrt(1/2)", last.Balanced)
+	}
+}
+
+func TestFigure2MatchesPaperNumbers(t *testing.T) {
+	rows, err := Figure2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDim := map[int]Fig2Row{}
+	for _, r := range rows {
+		byDim[r.Dim] = r
+	}
+	// §3.2's explicitly quoted exception: precomputing rises from 602
+	// (S_5) to 1923 (S_6) — the garbled source prints "923".
+	if math.Abs(byDim[5].Precompute-602) > 2 {
+		t.Errorf("S_5 precompute = %v, paper quotes 602", byDim[5].Precompute)
+	}
+	if math.Abs(byDim[6].Precompute-1923) > 2 {
+		t.Errorf("S_6 precompute = %v, paper quotes 1923", byDim[6].Precompute)
+	}
+	// §3.2's second exception: the redundancy factor increases from S_3
+	// to S_4.
+	if byDim[4].Redundancy <= byDim[3].Redundancy {
+		t.Errorf("S_3→S_4 factor should increase: %v → %v",
+			byDim[3].Redundancy, byDim[4].Redundancy)
+	}
+	// Global trends: from S_6 onward precompute and redundancy decrease
+	// monotonically while the worst-case p=0.15 detection collapses.
+	for d := 7; d <= 26; d++ {
+		if byDim[d].Precompute >= byDim[d-1].Precompute {
+			t.Errorf("precompute rose at S_%d", d)
+		}
+		if byDim[d].Redundancy >= byDim[d-1].Redundancy+1e-12 {
+			t.Errorf("redundancy rose at S_%d", d)
+		}
+		if byDim[d].MinP015 >= byDim[d-1].MinP015+1e-9 {
+			t.Errorf("p=0.15 detection rose at S_%d", d)
+		}
+	}
+	// The Balanced summary row: factor ln2/0.5 ≈ 1.3863, detection per
+	// Proposition 3, no meaningful precompute.
+	bal := byDim[0]
+	if !numeric.AlmostEqual(bal.Redundancy, dist.BalancedRedundancyFactor(0.5), 1e-6) {
+		t.Errorf("Balanced factor %v", bal.Redundancy)
+	}
+	for _, c := range []struct{ got, p float64 }{
+		{bal.MinP005, 0.05}, {bal.MinP010, 0.10}, {bal.MinP015, 0.15},
+	} {
+		if !numeric.AlmostEqual(c.got, dist.BalancedDetectionAt(0.5, c.p), 1e-4) {
+			t.Errorf("Balanced min detection at p=%v: %v", c.p, c.got)
+		}
+	}
+	// And the §5 punchline: at p=0.15 Balanced's worst case (≈0.445)
+	// towers over every S_m beyond dimension 6 (≤ 0.35).
+	for d := 6; d <= 26; d++ {
+		if byDim[d].MinP015 >= bal.MinP015 {
+			t.Errorf("S_%d worst case %v not below Balanced %v",
+				d, byDim[d].MinP015, bal.MinP015)
+		}
+	}
+}
+
+func TestFigure2CaptionThresholdAtOneMillion(t *testing.T) {
+	// Figure 1's caption: S_26 is the first system at N = 1,000,000 whose
+	// precompute drops below 1000 tasks.
+	prev := math.Inf(1)
+	for dim := 20; dim <= 26; dim++ {
+		d, err := dist.AssignmentMinimizing(1_000_000, 0.5, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := dist.PrecomputeRequired(d)
+		if dim < 26 && pc < 1000 {
+			t.Errorf("S_%d precompute %v already below 1000", dim, pc)
+		}
+		if dim == 26 && pc >= 1000 {
+			t.Errorf("S_26 precompute %v not below 1000", pc)
+		}
+		if pc >= prev {
+			t.Errorf("precompute rose at S_%d", dim)
+		}
+		prev = pc
+	}
+}
+
+func TestFigure3OrderingAndCrossover(t *testing.T) {
+	rows := Figure3()
+	if len(rows) < 40 {
+		t.Fatalf("grid too coarse: %d", len(rows))
+	}
+	for _, r := range rows {
+		if !(r.LowerBound < r.Balanced && r.Balanced < r.GS) {
+			t.Errorf("ε=%v: ordering violated (%v, %v, %v)",
+				r.Epsilon, r.LowerBound, r.Balanced, r.GS)
+		}
+		if r.Simple != 2 {
+			t.Errorf("simple redundancy row wrong")
+		}
+		below := r.Epsilon < CrossoverEpsilon()
+		if below != (r.Balanced < 2) {
+			t.Errorf("ε=%v: crossover misplaced (Balanced=%v)", r.Epsilon, r.Balanced)
+		}
+	}
+	if math.Abs(CrossoverEpsilon()-0.7968) > 0.001 {
+		t.Errorf("crossover = %v", CrossoverEpsilon())
+	}
+}
+
+func TestFigure4MatchesPaperClaims(t *testing.T) {
+	s, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every scheme covers exactly one million tasks (ringers excluded
+	// from the task count in the paper's table footer are included in
+	// ours; allow their tiny surplus).
+	if s.SimpleTasks != 1_000_000 {
+		t.Errorf("simple tasks = %d", s.SimpleTasks)
+	}
+	if s.BalancedTasks < 1_000_000 || s.BalancedTasks > 1_000_050 {
+		t.Errorf("balanced tasks = %d", s.BalancedTasks)
+	}
+	if s.GSTasks < 1_000_000 || s.GSTasks > 1_000_050 {
+		t.Errorf("gs tasks = %d", s.GSTasks)
+	}
+	// §4: Balanced saves more than 50,000 assignments over both.
+	if s.SavingsVsGS <= 50_000 {
+		t.Errorf("savings vs GS = %d, paper promises > 50,000", s.SavingsVsGS)
+	}
+	if s.SavingsVsSimple <= 50_000 {
+		t.Errorf("savings vs simple = %d, paper promises > 50,000", s.SavingsVsSimple)
+	}
+	// Deployed factors stay close to theory: ln4/0.75 ≈ 1.848 and
+	// 1/sqrt(0.25) = 2.
+	if math.Abs(s.BalancedFactor-dist.BalancedRedundancyFactor(0.75)) > 0.001 {
+		t.Errorf("balanced factor %v", s.BalancedFactor)
+	}
+	if math.Abs(s.GSFactor-2) > 0.001 {
+		t.Errorf("gs factor %v", s.GSFactor)
+	}
+	// Class-by-class: Balanced front-loads multiplicity 1-2 less heavily
+	// than GS at multiplicity 1 (geometric vs Poisson shapes).
+	if len(s.Rows) < 10 {
+		t.Fatalf("only %d classes", len(s.Rows))
+	}
+	if s.Rows[0].GS <= s.Rows[0].Balanced {
+		t.Errorf("GS should assign more single-copy tasks (%v vs %v)",
+			s.Rows[0].GS, s.Rows[0].Balanced)
+	}
+	if s.Rows[1].Simple != 1_000_000 || s.Rows[0].Simple != 0 {
+		t.Error("simple redundancy column wrong")
+	}
+}
+
+func TestSection6RowsMatchWorkedExamples(t *testing.T) {
+	rows, err := Section6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	extreme, typical := rows[0], rows[1]
+	if extreme.IF != 20 {
+		t.Errorf("extreme i_f = %d, paper says 20", extreme.IF)
+	}
+	if extreme.TailAssignments < 100 || extreme.TailAssignments > 400 {
+		t.Errorf("extreme tail assignments = %d, paper quotes ≈240", extreme.TailAssignments)
+	}
+	if typical.IF != 11 {
+		t.Errorf("typical i_f = %d, expected 11", typical.IF)
+	}
+	if typical.Ringers > 4 {
+		t.Errorf("typical ringers = %d, paper derives 2", typical.Ringers)
+	}
+	for _, r := range rows {
+		if r.PrecomputeFraction > 1e-4 {
+			t.Errorf("N=%d: precompute fraction %v not negligible", r.N, r.PrecomputeFraction)
+		}
+	}
+}
+
+func TestSection7RowsMatchPaper(t *testing.T) {
+	rows := Section7()
+	want := []float64{dist.BalancedRedundancyFactor(0.5), 2.2589, 3.1924, 4.1520, 5.1256}
+	for i, r := range rows {
+		if math.Abs(r.Redundancy-want[i]) > 0.001 {
+			t.Errorf("m=%d: factor %v, want ≈%v", r.MinMultiplicity, r.Redundancy, want[i])
+		}
+	}
+	// §7's worked example: m=2 on N=100,000 costs ≈25,900 extra
+	// assignments over simple redundancy (≈13%).
+	if math.Abs(rows[1].ExtraVsSimple-25_900) > 150 {
+		t.Errorf("m=2 extra = %v", rows[1].ExtraVsSimple)
+	}
+}
+
+func TestAppendixAValidatesClaim(t *testing.T) {
+	rows, err := AppendixA(120, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The p²N approximation must sit inside (a slightly padded) CI.
+		pad := 0.05*r.Expected + 0.05
+		if r.Expected < r.CILo-pad || r.Expected > r.CIHi+pad {
+			t.Errorf("N=%d p=%v: expected %v outside CI [%v, %v]",
+				r.N, r.P, r.Expected, r.CILo, r.CIHi)
+		}
+		// At and above the 1/sqrt(N) threshold a free cheat is likely.
+		if r.P >= dist.SqrtNClaimThreshold(float64(r.N)) && r.FreeCheatRate < 0.5 {
+			t.Errorf("N=%d p=%v: free-cheat rate %v below 1/2 at threshold",
+				r.N, r.P, r.FreeCheatRate)
+		}
+	}
+	if _, err := AppendixA(1, 1); err == nil {
+		t.Error("trials=1 accepted")
+	}
+}
+
+func TestCrossCheckAgrees(t *testing.T) {
+	rows, err := CrossCheck(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Cheats < 50 {
+			continue // too little data to judge
+		}
+		if !r.Agree {
+			t.Errorf("%s k=%d p=%v: closed form %v outside CI [%v, %v] (n=%d)",
+				r.Scheme, r.K, r.P, r.ClosedForm, r.WilsonLo, r.WilsonHi, r.Cheats)
+		}
+	}
+	if _, err := CrossCheck(0, 1); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestProposition2Ablation(t *testing.T) {
+	res, err := Proposition2(0) // default dimension
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LPFactor-res.BalancedFactor) > 0.005 {
+		t.Errorf("factors differ: LP %v vs Balanced %v", res.LPFactor, res.BalancedFactor)
+	}
+	if res.MaxProportionDelta > 0.01 {
+		t.Errorf("max per-class proportion delta %v too large", res.MaxProportionDelta)
+	}
+	if len(res.Rows) < 10 {
+		t.Errorf("only %d rows", len(res.Rows))
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	type tab interface{ String() string }
+	mk := []func() (tab, error){
+		func() (tab, error) { return Figure1Table() },
+		func() (tab, error) { return Figure2Table([]int{3, 4, 5, 6, 19, 26}) },
+		func() (tab, error) { return Figure3Table(), nil },
+		func() (tab, error) { return Figure4Table() },
+		func() (tab, error) { return Section6Table() },
+		func() (tab, error) { return Section7Table(), nil },
+		func() (tab, error) { return AppendixATable(10, 1) },
+		func() (tab, error) { return CrossCheckTable(1, 1) },
+		func() (tab, error) { return Proposition2Table(0) },
+	}
+	for i, f := range mk {
+		tb, err := f()
+		if err != nil {
+			t.Fatalf("table %d: %v", i, err)
+		}
+		s := tb.String()
+		if len(s) < 50 || !strings.Contains(s, "\n") {
+			t.Errorf("table %d renders suspiciously small: %q", i, s)
+		}
+	}
+}
+
+func TestDetectionLatency(t *testing.T) {
+	rows, err := DetectionLatency(4000, 200, 5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		switch {
+		case r.Scheme == "simple" && r.Strategy == "at-least-2":
+			// The motivating failure: the cautious pair attacker under
+			// simple redundancy is never exposed.
+			if r.DetectionRate != 0 {
+				t.Errorf("pair attacker exposed at rate %v under simple redundancy", r.DetectionRate)
+			}
+		default:
+			// Gamblers and Balanced-scheme attackers are exposed in every
+			// run, very early.
+			if r.DetectionRate != 1 {
+				t.Errorf("%s/%s p=%v: exposure rate %v, want 1",
+					r.Scheme, r.Strategy, r.P, r.DetectionRate)
+			}
+			// Exposure arrives within the first tenth of the run (the
+			// first detectable cheat must fully adjudicate — all copies
+			// returned — which takes a while at small p).
+			if r.MeanFractionBefore > 0.10 {
+				t.Errorf("%s/%s p=%v: %.2f%% of run before exposure — too slow",
+					r.Scheme, r.Strategy, r.P, 100*r.MeanFractionBefore)
+			}
+		}
+	}
+	if _, err := DetectionLatency(100, 10, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestDetectionLatencyTableRenders(t *testing.T) {
+	tb, err := DetectionLatencyTable(2000, 100, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 6 {
+		t.Errorf("table rows = %d", tb.Rows())
+	}
+}
+
+func TestCampaignExperiment(t *testing.T) {
+	rows, err := CampaignExperiment(3000, 150, 10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]CampaignRow{}
+	for _, r := range rows {
+		byKey[r.Scheme+"/"+r.Strategy] = r
+	}
+	// The blatant coalition burns out quickly under Balanced.
+	if r := byKey["balanced/always"]; r.Neutralized == 0 || r.Neutralized > 8 {
+		t.Errorf("balanced/always neutralized at %d", r.Neutralized)
+	}
+	// The cautious pair attacker survives the whole horizon under simple
+	// redundancy and does damage every round.
+	if r := byKey["simple/at-least-2"]; r.Neutralized != 0 || r.TotalWrong == 0 {
+		t.Errorf("simple/at-least-2: neutralized=%d wrong=%d", r.Neutralized, r.TotalWrong)
+	}
+	// Under Balanced the cautious attacker's damage is tiny compared to
+	// what she manages under simple redundancy.
+	bal, simp := byKey["balanced/at-least-2"], byKey["simple/at-least-2"]
+	if bal.TotalWrong*2 >= simp.TotalWrong {
+		t.Errorf("balanced cautious damage %d not well below simple %d",
+			bal.TotalWrong, simp.TotalWrong)
+	}
+}
+
+func TestCampaignTableRenders(t *testing.T) {
+	tb, err := CampaignTable(2000, 100, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 4 || !strings.Contains(tb.String(), "never") {
+		t.Errorf("table:\n%s", tb.String())
+	}
+}

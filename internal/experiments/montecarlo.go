@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+
+	"redundancy/internal/adversary"
+	"redundancy/internal/dist"
+	"redundancy/internal/par"
+	"redundancy/internal/plan"
+	"redundancy/internal/report"
+	"redundancy/internal/sim"
+	"redundancy/internal/stats"
+)
+
+// AppARow is one (N, p) cell of the Appendix-A experiment.
+type AppARow struct {
+	N             int
+	P             float64
+	Expected      float64 // p²·N
+	ObservedMean  float64
+	CILo, CIHi    float64 // 95% CI on the mean
+	FreeCheatRate float64 // fraction of runs with >= 1 fully-controlled task
+}
+
+// AppendixA validates the appendix's claim that under two-phase simple
+// redundancy an adversary controlling proportion p of participants expects
+// p²·N fully-controlled tasks — so p = 1/sqrt(N) suffices for an expected
+// free cheat.
+func AppendixA(trials int, seed uint64) ([]AppARow, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 trials")
+	}
+	var rows []AppARow
+	for _, n := range []int{10_000, 100_000} {
+		ps := []float64{0.002, 0.005, dist.SqrtNClaimThreshold(float64(n)), 0.02, 0.05}
+		for _, p := range ps {
+			res, err := sim.TwoPhaseExperiment(n, p, trials, seed)
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := res.Observed.CI(0.95)
+			rows = append(rows, AppARow{
+				N:             n,
+				P:             p,
+				Expected:      res.Expected,
+				ObservedMean:  res.Observed.Mean(),
+				CILo:          lo,
+				CIHi:          hi,
+				FreeCheatRate: res.FreeCheatRate,
+			})
+			seed++
+		}
+	}
+	return rows, nil
+}
+
+// AppendixATable renders the Appendix-A experiment.
+func AppendixATable(trials int, seed uint64) (*report.Table, error) {
+	rows, err := AppendixA(trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Appendix A: fully-controlled tasks under two-phase simple redundancy (%d trials)", trials),
+		"N", "p", "Expected p²N", "Observed mean", "95% CI", "Free-cheat rate")
+	for _, r := range rows {
+		t.AddRowStrings(
+			fmt.Sprintf("%d", r.N), fmt.Sprintf("%.4f", r.P),
+			fmt.Sprintf("%.2f", r.Expected), fmt.Sprintf("%.2f", r.ObservedMean),
+			fmt.Sprintf("[%.2f, %.2f]", r.CILo, r.CIHi),
+			fmt.Sprintf("%.3f", r.FreeCheatRate))
+	}
+	return t, nil
+}
+
+// CrossRow is one (scheme, k, p) cell of the Monte-Carlo cross-check.
+type CrossRow struct {
+	Scheme     string
+	K          int
+	P          float64
+	ClosedForm float64
+	Empirical  float64
+	Cheats     int // sample size behind the empirical rate
+	WilsonLo   float64
+	WilsonHi   float64
+	Agree      bool // closed form inside the 99.9% Wilson interval
+}
+
+// CrossCheck is the reproduction's own validation experiment: it samples
+// the paper's exact probabilistic model (binomial thinning over deployed
+// plans) and compares the empirical detection rates per tuple size with the
+// closed forms of §3.1 (Golle–Stubblebine) and Proposition 3 (Balanced).
+func CrossCheck(trials int, seed uint64) ([]CrossRow, error) {
+	const n, eps = 100_000, 0.5
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: need at least 1 trial")
+	}
+	balD, err := dist.Balanced(n, eps)
+	if err != nil {
+		return nil, err
+	}
+	gsD, err := dist.GolleStubblebineForThreshold(n, eps)
+	if err != nil {
+		return nil, err
+	}
+	c := dist.GolleStubblebineC(eps, 0)
+
+	type scheme struct {
+		name   string
+		specs  []plan.TaskSpec
+		closed func(k int, p float64) float64
+	}
+	balP, err := planFor(balD, eps)
+	if err != nil {
+		return nil, err
+	}
+	gsP, err := planFor(gsD, eps)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []scheme{
+		{"balanced", balP.Tasks(), func(k int, p float64) float64 {
+			return dist.BalancedDetectionAt(eps, p)
+		}},
+		{"golle-stubblebine", gsP.Tasks(), func(k int, p float64) float64 {
+			return dist.GolleStubblebineDetectionAt(c, k, p)
+		}},
+	}
+
+	var rows []CrossRow
+	for _, sc := range schemes {
+		for _, p := range []float64{0.05, 0.1, 0.2} {
+			// Trials fan out across CPUs; per-trial streams depend only on
+			// the trial index, and the integer tallies are folded in trial
+			// order, so the numbers are identical at any GOMAXPROCS.
+			reps := par.MapSlice(trials, 0, func(t int) *sim.ThinningReport {
+				rep, err := sim.Thinning(sc.specs, p, adversary.Always{}, seed+uint64(t))
+				if err != nil {
+					return nil
+				}
+				return rep
+			})
+			agg := make([]stats.Proportion, 4)
+			for _, rep := range reps {
+				if rep == nil {
+					return nil, fmt.Errorf("experiments: thinning trial failed")
+				}
+				for k := 1; k <= len(agg) && k <= len(rep.PerTuple); k++ {
+					agg[k-1].Successes += rep.PerTuple[k-1].Detected
+					agg[k-1].Trials += rep.PerTuple[k-1].Cheated
+				}
+			}
+			seed += uint64(trials)
+			for k := 1; k <= len(agg); k++ {
+				if agg[k-1].Trials == 0 {
+					continue
+				}
+				cf := sc.closed(k, p)
+				lo, hi := agg[k-1].Wilson(0.999)
+				rows = append(rows, CrossRow{
+					Scheme:     sc.name,
+					K:          k,
+					P:          p,
+					ClosedForm: cf,
+					Empirical:  agg[k-1].Estimate(),
+					Cheats:     agg[k-1].Trials,
+					WilsonLo:   lo,
+					WilsonHi:   hi,
+					Agree:      cf >= lo && cf <= hi,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// CrossCheckTable renders the cross-check experiment.
+func CrossCheckTable(trials int, seed uint64) (*report.Table, error) {
+	rows, err := CrossCheck(trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Cross-check: empirical P(k,p) vs closed forms (N = 100,000, ε = 1/2, %d trials)", trials),
+		"Scheme", "k", "p", "Closed form", "Empirical", "Cheats", "Agree")
+	for _, r := range rows {
+		t.AddRowStrings(r.Scheme, fmt.Sprintf("%d", r.K), fmt.Sprintf("%.2f", r.P),
+			fmt.Sprintf("%.4f", r.ClosedForm), fmt.Sprintf("%.4f", r.Empirical),
+			fmt.Sprintf("%d", r.Cheats), fmt.Sprintf("%v", r.Agree))
+	}
+	return t, nil
+}
+
+// Prop2Row compares one multiplicity class of the equality-augmented LP
+// optimum with the Balanced distribution.
+type Prop2Row struct {
+	Multiplicity int
+	LP           float64 // proportion of tasks, augmented-LP optimum
+	Balanced     float64 // proportion of tasks, Balanced closed form
+}
+
+// Prop2Result is the Proposition-2 ablation outcome.
+type Prop2Result struct {
+	Rows               []Prop2Row
+	LPFactor           float64
+	BalancedFactor     float64
+	MaxProportionDelta float64
+}
+
+// Proposition2 runs the ablation the paper describes in §5: augmenting the
+// S_dim system so every detection constraint holds with equality and
+// checking that the LP optimum is "virtually indistinguishable from the
+// Balanced distribution".
+func Proposition2(dim int) (*Prop2Result, error) {
+	const n, eps = 100_000, 0.5
+	if dim <= 2 {
+		dim = 22
+	}
+	lpD, err := dist.BalancedLP(n, eps, dim)
+	if err != nil {
+		return nil, err
+	}
+	balD, err := dist.Balanced(n, eps)
+	if err != nil {
+		return nil, err
+	}
+	res := &Prop2Result{
+		LPFactor:       lpD.RedundancyFactor(),
+		BalancedFactor: balD.RedundancyFactor(),
+	}
+	for i := 1; i <= 12; i++ {
+		lp := lpD.Count(i) / n
+		bal := balD.Count(i) / n
+		res.Rows = append(res.Rows, Prop2Row{Multiplicity: i, LP: lp, Balanced: bal})
+		if d := abs(lp - bal); d > res.MaxProportionDelta {
+			res.MaxProportionDelta = d
+		}
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Proposition2Table renders the Proposition-2 ablation.
+func Proposition2Table(dim int) (*report.Table, error) {
+	res, err := Proposition2(dim)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Proposition 2 ablation: equality-constrained LP vs Balanced (factors %.4f vs %.4f)",
+			res.LPFactor, res.BalancedFactor),
+		"Multiplicity", "LP proportion", "Balanced proportion")
+	for _, r := range res.Rows {
+		t.AddRowStrings(fmt.Sprintf("%d", r.Multiplicity),
+			fmt.Sprintf("%.6f", r.LP), fmt.Sprintf("%.6f", r.Balanced))
+	}
+	return t, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+	"redundancy/internal/report"
+)
+
+// planFor builds the §6 deployment plan for a theoretical distribution.
+func planFor(d *dist.Distribution, eps float64) (*plan.Plan, error) {
+	return plan.FromDistribution(d, eps)
+}
+
+// Sec6Row summarizes one §6 worked example.
+type Sec6Row struct {
+	N                  int
+	Epsilon            float64
+	IF                 int // i_f, the tail multiplicity
+	TailTasks          int
+	TailAssignments    int
+	Ringers            int
+	RingerAssignments  int
+	TotalAssignments   int
+	PrecomputeFraction float64
+}
+
+// Section6 reproduces the §6 deployment arithmetic for the paper's two
+// worked examples — the extreme (N=10^7, ε=0.99) and the typical (N=10^6,
+// ε=0.75) configuration — plus any extra (n, ε) pairs supplied.
+func Section6(extra ...[2]float64) ([]Sec6Row, error) {
+	cases := [][2]float64{{1e7, 0.99}, {1e6, 0.75}}
+	cases = append(cases, extra...)
+	var rows []Sec6Row
+	for _, c := range cases {
+		p, err := plan.Balanced(int(c[0]), c[1])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Sec6Row{
+			N:                  p.N,
+			Epsilon:            c[1],
+			IF:                 p.TailMultiplicity,
+			TailTasks:          p.TailTasks,
+			TailAssignments:    p.TailTasks * p.TailMultiplicity,
+			Ringers:            p.Ringers,
+			RingerAssignments:  p.PrecomputedAssignments(),
+			TotalAssignments:   p.TotalAssignments(),
+			PrecomputeFraction: float64(p.PrecomputedAssignments()) / float64(p.TotalAssignments()),
+		})
+	}
+	return rows, nil
+}
+
+// Section6Table renders the §6 examples.
+func Section6Table() (*report.Table, error) {
+	rows, err := Section6()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		"Section 6: deployed Balanced plans (rounding, tail partition, ringers)",
+		"N", "ε", "i_f", "Tail tasks", "Tail asg.", "Ringers", "Ringer asg.",
+		"Total asg.", "Precompute frac.")
+	for _, r := range rows {
+		t.AddRowStrings(
+			fmt.Sprintf("%d", r.N), fmt.Sprintf("%.2f", r.Epsilon),
+			fmt.Sprintf("%d", r.IF), fmt.Sprintf("%d", r.TailTasks),
+			fmt.Sprintf("%d", r.TailAssignments), fmt.Sprintf("%d", r.Ringers),
+			fmt.Sprintf("%d", r.RingerAssignments), fmt.Sprintf("%d", r.TotalAssignments),
+			fmt.Sprintf("%.2e", r.PrecomputeFraction))
+	}
+	return t, nil
+}
+
+// Sec7Row is one row of the §7 minimum-multiplicity table.
+type Sec7Row struct {
+	MinMultiplicity int
+	Redundancy      float64
+	// ExtraVsSimple is the extra assignment count over simple redundancy
+	// on an N = 100,000 computation (§7's worked example for m = 2).
+	ExtraVsSimple float64
+}
+
+// Section7 reproduces the §7 extension table at ε = 1/2: redundancy factors
+// of the minimum-multiplicity-m Balanced distributions, m = 1..5.
+func Section7() []Sec7Row {
+	const n, eps = 100_000, 0.5
+	var rows []Sec7Row
+	for m := 1; m <= 5; m++ {
+		f := dist.MinMultiplicityRedundancyFactor(eps, m)
+		rows = append(rows, Sec7Row{
+			MinMultiplicity: m,
+			Redundancy:      f,
+			ExtraVsSimple:   n*f - 2*n,
+		})
+	}
+	return rows
+}
+
+// Section7Table renders the §7 table.
+func Section7Table() *report.Table {
+	t := report.NewTable(
+		"Section 7: minimum-multiplicity extension (ε = 1/2, extra cost on N = 100,000)",
+		"Min multiplicity", "Redundancy factor", "Assignments vs simple redundancy")
+	for _, r := range Section7() {
+		extra := fmt.Sprintf("%+.0f", r.ExtraVsSimple)
+		t.AddRowStrings(fmt.Sprintf("%d", r.MinMultiplicity),
+			fmt.Sprintf("%.4f", r.Redundancy), extra)
+	}
+	return t
+}

@@ -1,0 +1,497 @@
+// Package lp implements a small, dependency-free linear-programming solver:
+// a dense two-phase primal simplex over problems of the form
+//
+//	minimize  c·x
+//	subject to  a_i·x (<=|=|>=) b_i,  x >= 0.
+//
+// The assignment-minimizing systems S_m of Szajda, Lawson and Owen ("an
+// elementary linear programming problem", §3.2) have a few dozen variables
+// and constraints, so a dense tableau is simple, exact enough, and fast.
+// Bland's pivot rule guarantees termination; a Dantzig-rule mode is provided
+// for the pivot-rule ablation benchmark.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // a·x <= b
+	GE           // a·x >= b
+	EQ           // a·x == b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Constraint is a single linear constraint a·x (op) b. Coeffs shorter than
+// the variable count are implicitly zero-padded.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a minimization problem over n = len(Objective) non-negative
+// variables.
+type Problem struct {
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// PivotRule selects the entering-variable heuristic.
+type PivotRule int
+
+// Available pivot rules.
+const (
+	// Bland chooses the lowest-index improving column; it cannot cycle.
+	Bland PivotRule = iota
+	// Dantzig chooses the most-negative reduced cost; usually fewer
+	// iterations, but can cycle on degenerate problems, so the solver
+	// falls back to Bland after a stall.
+	Dantzig
+)
+
+// Status reports how a solve ended.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a successful or failed solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid only when Status == Optimal)
+	Objective float64   // c·X
+	Pivots    int       // total simplex pivots across both phases
+	// Duals holds the dual value (shadow price) of each constraint, in the
+	// caller's orientation: at the optimum, Σ Duals[i]·RHS[i] equals the
+	// objective (strong duality), and a small relaxation of constraint i's
+	// RHS changes the optimum at rate Duals[i]. Entries for constraints
+	// found redundant in phase 1 are unspecified (a redundant row has no
+	// unique shadow price).
+	Duals []float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrIterations = errors.New("lp: iteration limit exceeded")
+)
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex with the given pivot rule and returns the
+// optimal solution. The returned error wraps ErrInfeasible/ErrUnbounded
+// when the problem has no optimum.
+func Solve(p Problem, rule PivotRule) (Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return Solution{}, errors.New("lp: no variables")
+	}
+	t := newTableau(p)
+
+	// Phase 1: minimize the sum of artificial variables.
+	if t.numArtificial > 0 {
+		t.installPhase1Objective()
+		if err := t.iterate(rule); err != nil {
+			return Solution{Status: Infeasible, Pivots: t.pivots}, err
+		}
+		if t.objectiveValue() > 1e-7 {
+			return Solution{Status: Infeasible, Pivots: t.pivots}, ErrInfeasible
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: original objective, artificials barred from entering.
+	t.installPhase2Objective(p.Objective)
+	if err := t.iterate(rule); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			return Solution{Status: Unbounded, Pivots: t.pivots}, err
+		}
+		return Solution{Status: Infeasible, Pivots: t.pivots}, err
+	}
+
+	x := make([]float64, n)
+	for i, bv := range t.basis {
+		if bv < n {
+			x[bv] = t.rhs(i)
+		}
+	}
+	var obj float64
+	for j, c := range p.Objective {
+		obj += c * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj, Pivots: t.pivots, Duals: t.duals()}, nil
+}
+
+// tableau is a dense simplex tableau. Rows 0..m-1 are constraints; row m is
+// the objective (reduced costs). Column layout: structural variables,
+// slack/surplus variables, artificial variables, RHS.
+type tableau struct {
+	rows          [][]float64
+	m             int // constraint rows
+	cols          int // total variable columns (excl. RHS)
+	numStruct     int
+	numArtificial int
+	artStart      int // first artificial column
+	basis         []int
+	pivots        int
+
+	// Dual extraction bookkeeping: for each row, an auxiliary "probe"
+	// column whose original matrix column is probeSign[i]·e_i, and whether
+	// the row's orientation was flipped during RHS normalization.
+	probeCol  []int
+	probeSign []float64
+	flipped   []bool
+}
+
+func newTableau(p Problem) *tableau {
+	n := len(p.Objective)
+	m := len(p.Constraints)
+
+	// Count auxiliary columns. Rows are first normalized to RHS >= 0.
+	type rowPlan struct {
+		coeffs  []float64
+		rhs     float64
+		op      Op
+		flipped bool
+	}
+	plans := make([]rowPlan, m)
+	numSlack := 0
+	numArt := 0
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		rhs, op := c.RHS, c.Op
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		plans[i] = rowPlan{coeffs, rhs, op, op != c.Op || (c.RHS < 0 && c.Op == EQ)}
+		switch op {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+
+	t := &tableau{
+		m:             m,
+		numStruct:     n,
+		numArtificial: numArt,
+		cols:          n + numSlack + numArt,
+	}
+	t.artStart = n + numSlack
+	t.rows = make([][]float64, m+1)
+	for i := range t.rows {
+		t.rows[i] = make([]float64, t.cols+1)
+	}
+	t.basis = make([]int, m)
+	t.probeCol = make([]int, m)
+	t.probeSign = make([]float64, m)
+	t.flipped = make([]bool, m)
+
+	slackCol := n
+	artCol := t.artStart
+	for i, pl := range plans {
+		row := t.rows[i]
+		copy(row, pl.coeffs)
+		row[t.cols] = pl.rhs
+		t.flipped[i] = pl.flipped
+		switch pl.op {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			t.probeCol[i], t.probeSign[i] = slackCol, 1
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			t.probeCol[i], t.probeSign[i] = slackCol, -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.probeCol[i], t.probeSign[i] = artCol, 1
+			artCol++
+		}
+	}
+	return t
+}
+
+// duals reads the dual values off the final objective row: the reduced cost
+// of a zero-cost probe column with matrix column s·e_i is −s·y_i.
+func (t *tableau) duals() []float64 {
+	obj := t.rows[t.m]
+	y := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		v := -t.probeSign[i] * obj[t.probeCol[i]]
+		if t.flipped[i] {
+			v = -v
+		}
+		y[i] = v
+	}
+	return y
+}
+
+func (t *tableau) rhs(i int) float64 { return t.rows[i][t.cols] }
+
+func (t *tableau) objectiveValue() float64 { return -t.rows[t.m][t.cols] }
+
+// installPhase1Objective sets the objective row to minimize the sum of
+// artificial variables, expressed in terms of the current (artificial)
+// basis so reduced costs of basic variables are zero.
+func (t *tableau) installPhase1Objective() {
+	obj := t.rows[t.m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := t.artStart; j < t.cols; j++ {
+		obj[j] = 1
+	}
+	// Price out the basic artificial variables.
+	for i, bv := range t.basis {
+		if bv >= t.artStart {
+			t.subtractRow(t.m, i, 1)
+		}
+	}
+}
+
+// installPhase2Objective sets the real objective and prices out the current
+// basis. Artificial columns get an effectively infinite cost so they can
+// never re-enter.
+func (t *tableau) installPhase2Objective(c []float64) {
+	obj := t.rows[t.m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	copy(obj, c)
+	for i, bv := range t.basis {
+		cost := 0.0
+		if bv < len(c) {
+			cost = c[bv]
+		}
+		if cost != 0 {
+			t.subtractRow(t.m, i, cost)
+		}
+	}
+}
+
+// subtractRow performs rows[dst] -= factor * rows[src].
+func (t *tableau) subtractRow(dst, src int, factor float64) {
+	d, s := t.rows[dst], t.rows[src]
+	for j := range d {
+		d[j] -= factor * s[j]
+	}
+}
+
+// iterate runs simplex pivots until optimality, returning ErrUnbounded if a
+// column with negative reduced cost has no positive entry.
+func (t *tableau) iterate(rule PivotRule) error {
+	// A generous limit: small problems converge in tens of pivots.
+	maxIter := 200 * (t.cols + t.m + 10)
+	stall := 0
+	for iter := 0; iter < maxIter; iter++ {
+		effRule := rule
+		if stall > 2*t.cols {
+			effRule = Bland // anti-cycling fallback
+		}
+		col := t.chooseEntering(effRule)
+		if col < 0 {
+			return nil // optimal
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			return ErrUnbounded
+		}
+		if t.rhs(row) < eps {
+			stall++ // degenerate pivot
+		} else {
+			stall = 0
+		}
+		t.pivot(row, col)
+	}
+	return ErrIterations
+}
+
+func (t *tableau) chooseEntering(rule PivotRule) int {
+	obj := t.rows[t.m]
+	switch rule {
+	case Dantzig:
+		best, bestVal := -1, -eps
+		for j := 0; j < t.cols; j++ {
+			if obj[j] < bestVal && t.enterable(j) {
+				best, bestVal = j, obj[j]
+			}
+		}
+		return best
+	default: // Bland
+		for j := 0; j < t.cols; j++ {
+			if obj[j] < -eps && t.enterable(j) {
+				return j
+			}
+		}
+		return -1
+	}
+}
+
+// enterable reports whether column j may enter the basis. Artificial
+// columns are barred: once driven out after phase 1 they must never
+// re-enter, and in phase 1 they start basic so re-entry is never needed.
+func (t *tableau) enterable(j int) bool {
+	return j < t.artStart
+}
+
+// chooseLeaving runs the minimum-ratio test on column col, breaking ties by
+// the smallest basis index (Bland) to avoid cycling.
+func (t *tableau) chooseLeaving(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][col]
+		if a <= eps {
+			continue
+		}
+		ratio := t.rhs(i) / a
+		if ratio < bestRatio-eps ||
+			(math.Abs(ratio-bestRatio) <= eps && (bestRow < 0 || t.basis[i] < t.basis[bestRow])) {
+			bestRatio = ratio
+			bestRow = i
+		}
+	}
+	return bestRow
+}
+
+// pivot makes (row, col) the new basic entry.
+func (t *tableau) pivot(row, col int) {
+	t.pivots++
+	p := t.rows[row][col]
+	r := t.rows[row]
+	inv := 1 / p
+	for j := range r {
+		r[j] *= inv
+	}
+	r[col] = 1 // exact
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		t.subtractRow(i, row, f)
+		t.rows[i][col] = 0 // exact
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials removes any artificial variable still basic at level
+// zero after phase 1, pivoting on a nonzero structural/slack entry or, if
+// the row is entirely zero, leaving the redundant row in place (it can no
+// longer constrain anything).
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint; zero the row so it is inert.
+			for j := range t.rows[i] {
+				t.rows[i][j] = 0
+			}
+		}
+	}
+}
+
+// Feasible reports whether x satisfies every constraint of p to within tol,
+// including non-negativity. It is used by tests and by callers that want an
+// independent check of solver output.
+func Feasible(p Problem, x []float64, tol float64) bool {
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		var dot float64
+		for j, a := range c.Coeffs {
+			if j >= len(x) {
+				break
+			}
+			dot += a * x[j]
+		}
+		switch c.Op {
+		case LE:
+			if dot > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if dot < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

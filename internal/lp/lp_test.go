@@ -1,0 +1,503 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"redundancy/internal/numeric"
+	"redundancy/internal/rng"
+)
+
+func solveBoth(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sb, errB := Solve(p, Bland)
+	sd, errD := Solve(p, Dantzig)
+	if (errB == nil) != (errD == nil) {
+		t.Fatalf("pivot rules disagree: Bland err=%v, Dantzig err=%v", errB, errD)
+	}
+	if errB != nil {
+		t.Fatalf("solve failed: %v", errB)
+	}
+	if !numeric.AlmostEqual(sb.Objective, sd.Objective, 1e-7) {
+		t.Fatalf("pivot rules disagree on optimum: %v vs %v", sb.Objective, sd.Objective)
+	}
+	if !Feasible(p, sb.X, 1e-7) {
+		t.Fatalf("Bland solution infeasible: %v", sb.X)
+	}
+	if !Feasible(p, sd.X, 1e-7) {
+		t.Fatalf("Dantzig solution infeasible: %v", sd.X)
+	}
+	return sb
+}
+
+func TestSimpleMaximizationAsMinimization(t *testing.T) {
+	// max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18  => optimum 36 at (2,6).
+	p := Problem{
+		Objective: []float64{-3, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Op: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Op: LE, RHS: 18},
+		},
+	}
+	s := solveBoth(t, p)
+	if !numeric.AlmostEqual(s.Objective, -36, 1e-9) {
+		t.Errorf("objective = %v, want -36", s.Objective)
+	}
+	if !numeric.AlmostEqual(s.X[0], 2, 1e-9) || !numeric.AlmostEqual(s.X[1], 6, 1e-9) {
+		t.Errorf("x = %v, want (2,6)", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x >= 3, y >= 2  => (8,2), objective 12.
+	p := Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 10},
+			{Coeffs: []float64{1, 0}, Op: GE, RHS: 3},
+			{Coeffs: []float64{0, 1}, Op: GE, RHS: 2},
+		},
+	}
+	s := solveBoth(t, p)
+	if !numeric.AlmostEqual(s.Objective, 12, 1e-9) {
+		t.Errorf("objective = %v, want 12", s.Objective)
+	}
+	if !numeric.AlmostEqual(s.X[0], 8, 1e-9) || !numeric.AlmostEqual(s.X[1], 2, 1e-9) {
+		t.Errorf("x = %v, want (8,2)", s.X)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. -x <= -5  (i.e. x >= 5).
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Op: LE, RHS: -5},
+		},
+	}
+	s := solveBoth(t, p)
+	if !numeric.AlmostEqual(s.X[0], 5, 1e-9) {
+		t.Errorf("x = %v, want 5", s.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: LE, RHS: 1},
+			{Coeffs: []float64{1, 1}, Op: GE, RHS: 3},
+		},
+	}
+	s, err := Solve(p, Bland)
+	if !errors.Is(err, ErrInfeasible) || s.Status != Infeasible {
+		t.Errorf("want infeasible, got status=%v err=%v", s.Status, err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1: x can grow without bound.
+	p := Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p, Bland)
+	if !errors.Is(err, ErrUnbounded) || s.Status != Unbounded {
+		t.Errorf("want unbounded, got status=%v err=%v", s.Status, err)
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	if _, err := Solve(Problem{}, Bland); err == nil {
+		t.Error("expected error for empty problem")
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Beale's classic cycling example (degenerate); Bland must terminate.
+	p := Problem{
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Op: LE, RHS: 1},
+		},
+	}
+	s := solveBoth(t, p)
+	if !numeric.AlmostEqual(s.Objective, -0.05, 1e-9) {
+		t.Errorf("Beale optimum = %v, want -1/20", s.Objective)
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// x + y = 4 listed twice: phase 1 leaves a redundant artificial basic.
+	p := Problem{
+		Objective: []float64{1, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 4},
+			{Coeffs: []float64{2, 2}, Op: EQ, RHS: 8},
+		},
+	}
+	s := solveBoth(t, p)
+	if !numeric.AlmostEqual(s.Objective, 4, 1e-9) {
+		t.Errorf("objective = %v, want 4 (all mass on x)", s.Objective)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 supplies (10, 20), 2 demands (15, 15), costs [[1 2],[3 1]].
+	// Optimal: ship 10 via (0,0), 5 via (1,0), 15 via (1,1): cost 40.
+	p := Problem{
+		Objective: []float64{1, 2, 3, 1}, // x00 x01 x10 x11
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 0, 0}, Op: EQ, RHS: 10},
+			{Coeffs: []float64{0, 0, 1, 1}, Op: EQ, RHS: 20},
+			{Coeffs: []float64{1, 0, 1, 0}, Op: EQ, RHS: 15},
+			{Coeffs: []float64{0, 1, 0, 1}, Op: EQ, RHS: 15},
+		},
+	}
+	s := solveBoth(t, p)
+	if !numeric.AlmostEqual(s.Objective, 40, 1e-9) {
+		t.Errorf("transport cost = %v, want 40", s.Objective)
+	}
+}
+
+// TestRandomProblemsAgainstBruteForce cross-checks the simplex optimum on
+// random 2-variable problems against a fine grid search over the feasible
+// region, which is a crude but independent oracle.
+func TestRandomProblemsAgainstBruteForce(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 60; trial++ {
+		p := Problem{Objective: []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}}
+		nc := 2 + r.Intn(3)
+		for i := 0; i < nc; i++ {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: []float64{r.Float64() * 2, r.Float64() * 2},
+				Op:     LE,
+				RHS:    1 + r.Float64()*4,
+			})
+		}
+		// Bound the region so the problem is never unbounded.
+		p.Constraints = append(p.Constraints,
+			Constraint{Coeffs: []float64{1, 0}, Op: LE, RHS: 10},
+			Constraint{Coeffs: []float64{0, 1}, Op: LE, RHS: 10},
+		)
+		s, err := Solve(p, Dantzig)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !Feasible(p, s.X, 1e-7) {
+			t.Fatalf("trial %d: infeasible solution", trial)
+		}
+		// Grid search.
+		best := math.Inf(1)
+		const steps = 120
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := []float64{10 * float64(i) / steps, 10 * float64(j) / steps}
+				if Feasible(p, x, 1e-12) {
+					v := p.Objective[0]*x[0] + p.Objective[1]*x[1]
+					if v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if s.Objective > best+1e-6 {
+			t.Errorf("trial %d: simplex %v worse than grid %v", trial, s.Objective, best)
+		}
+	}
+}
+
+func TestFeasibleChecksNonNegativity(t *testing.T) {
+	p := Problem{Objective: []float64{1}}
+	if Feasible(p, []float64{-1}, 1e-9) {
+		t.Error("negative x should be infeasible")
+	}
+	if !Feasible(p, []float64{0}, 1e-9) {
+		t.Error("zero should be feasible with no constraints")
+	}
+}
+
+func TestFeasibleShortCoeffVectors(t *testing.T) {
+	// Constraint coefficient vectors shorter than x are zero-padded.
+	p := Problem{
+		Objective:   []float64{1, 1, 1},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Op: GE, RHS: 2}},
+	}
+	if !Feasible(p, []float64{2, 0, 0}, 1e-9) {
+		t.Error("padded constraint evaluation wrong")
+	}
+	s := solveBoth(t, p)
+	if !numeric.AlmostEqual(s.Objective, 2, 1e-9) {
+		t.Errorf("objective = %v", s.Objective)
+	}
+}
+
+// TestScalingProperty: scaling the RHS of every constraint scales the
+// optimum linearly (the LP is homogeneous). This is the property that lets
+// the dist package solve S_m at N=1 and scale up.
+func TestScalingProperty(t *testing.T) {
+	base := Problem{
+		Objective: []float64{1, 2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1}, Op: EQ, RHS: 1},
+			{Coeffs: []float64{1, -1, 0}, Op: LE, RHS: 0.25},
+			{Coeffs: []float64{0, 1, 2}, Op: GE, RHS: 0.5},
+		},
+	}
+	s1, err := Solve(base, Bland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(scaleRaw uint8) bool {
+		scale := 1 + float64(scaleRaw%100)
+		scaled := Problem{Objective: base.Objective}
+		for _, c := range base.Constraints {
+			scaled.Constraints = append(scaled.Constraints,
+				Constraint{Coeffs: c.Coeffs, Op: c.Op, RHS: c.RHS * scale})
+		}
+		s2, err := Solve(scaled, Bland)
+		if err != nil {
+			return false
+		}
+		return numeric.AlmostEqual(s2.Objective, s1.Objective*scale, 1e-7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(42).String() == "" {
+		t.Error("Status.String misbehaves")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" || Op(9).String() == "" {
+		t.Error("Op.String misbehaves")
+	}
+}
+
+func BenchmarkSolveBland(b *testing.B) {
+	p := benchProblem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Bland); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveDantzig(b *testing.B) {
+	p := benchProblem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Dantzig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchProblem builds a moderately sized random-but-fixed LP.
+func benchProblem() Problem {
+	r := rng.New(7)
+	const n, m = 30, 25
+	p := Problem{Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = r.Float64()
+	}
+	for i := 0; i < m; i++ {
+		c := Constraint{Coeffs: make([]float64, n), Op: LE, RHS: 5 + r.Float64()*10}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = r.Float64()
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	p.Constraints = append(p.Constraints, Constraint{
+		Coeffs: onesVec(n), Op: GE, RHS: 3,
+	})
+	return p
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// dualityGap returns |c·x − y·b| for a solved problem.
+func dualityGap(p Problem, s Solution) float64 {
+	var yb float64
+	for i, c := range p.Constraints {
+		yb += s.Duals[i] * c.RHS
+	}
+	return math.Abs(s.Objective - yb)
+}
+
+func TestStrongDualityOnKnownProblems(t *testing.T) {
+	problems := []Problem{
+		{ // max 3x+5y example (as a min problem)
+			Objective: []float64{-3, -5},
+			Constraints: []Constraint{
+				{Coeffs: []float64{1, 0}, Op: LE, RHS: 4},
+				{Coeffs: []float64{0, 2}, Op: LE, RHS: 12},
+				{Coeffs: []float64{3, 2}, Op: LE, RHS: 18},
+			},
+		},
+		{ // mixed EQ/GE
+			Objective: []float64{1, 2},
+			Constraints: []Constraint{
+				{Coeffs: []float64{1, 1}, Op: EQ, RHS: 10},
+				{Coeffs: []float64{1, 0}, Op: GE, RHS: 3},
+				{Coeffs: []float64{0, 1}, Op: GE, RHS: 2},
+			},
+		},
+		{ // negative RHS (normalization flips the row)
+			Objective: []float64{1},
+			Constraints: []Constraint{
+				{Coeffs: []float64{-1}, Op: LE, RHS: -5},
+			},
+		},
+		benchProblem(),
+	}
+	for i, p := range problems {
+		for _, rule := range []PivotRule{Bland, Dantzig} {
+			s, err := Solve(p, rule)
+			if err != nil {
+				t.Fatalf("problem %d: %v", i, err)
+			}
+			if len(s.Duals) != len(p.Constraints) {
+				t.Fatalf("problem %d: %d duals for %d constraints", i, len(s.Duals), len(p.Constraints))
+			}
+			if gap := dualityGap(p, s); gap > 1e-7*(1+math.Abs(s.Objective)) {
+				t.Errorf("problem %d rule %v: duality gap %v (obj %v, duals %v)",
+					i, rule, gap, s.Objective, s.Duals)
+			}
+		}
+	}
+}
+
+func TestDualSignsAndComplementarySlackness(t *testing.T) {
+	// min x+2y s.t. x+y >= 4 (binding), x <= 10 (slack), y >= 1 (binding).
+	p := Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: GE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 10},
+			{Coeffs: []float64{0, 1}, Op: GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p, Dantzig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: y=1 (forced), x=3, objective 5.
+	if !numeric.AlmostEqual(s.Objective, 5, 1e-9) {
+		t.Fatalf("objective %v", s.Objective)
+	}
+	// Slack constraint (x <= 10 not binding) must have zero dual.
+	if math.Abs(s.Duals[1]) > 1e-9 {
+		t.Errorf("non-binding constraint has dual %v", s.Duals[1])
+	}
+	// Binding GE constraints in a min problem have non-negative duals.
+	if s.Duals[0] < -1e-9 || s.Duals[2] < -1e-9 {
+		t.Errorf("GE duals negative: %v", s.Duals)
+	}
+	if gap := dualityGap(p, s); gap > 1e-9 {
+		t.Errorf("duality gap %v", gap)
+	}
+}
+
+func TestDualsPredictSensitivity(t *testing.T) {
+	// Shadow price check: raising a binding RHS by δ moves the optimum by
+	// ≈ dual·δ.
+	base := Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: GE, RHS: 6},
+			{Coeffs: []float64{1, 3}, Op: GE, RHS: 9},
+		},
+	}
+	s0, err := Solve(base, Bland)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delta = 0.01
+	for i := range base.Constraints {
+		bumped := Problem{Objective: base.Objective}
+		for j, c := range base.Constraints {
+			rhs := c.RHS
+			if j == i {
+				rhs += delta
+			}
+			bumped.Constraints = append(bumped.Constraints, Constraint{Coeffs: c.Coeffs, Op: c.Op, RHS: rhs})
+		}
+		s1, err := Solve(bumped, Bland)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := s0.Objective + s0.Duals[i]*delta
+		if math.Abs(s1.Objective-predicted) > 1e-9 {
+			t.Errorf("constraint %d: bumped objective %v, dual predicts %v", i, s1.Objective, predicted)
+		}
+	}
+}
+
+func TestStrongDualityOnPaperSystems(t *testing.T) {
+	// The S_m systems themselves: homogeneous detection rows (RHS 0) plus
+	// the unit-mass row, so strong duality reduces to optimum == dual of
+	// the mass constraint.
+	for _, dim := range []int{6, 12, 19, 26} {
+		p := buildSystemForTest(0.5, dim)
+		s, err := Solve(p, Dantzig)
+		if err != nil {
+			t.Fatalf("S_%d: %v", dim, err)
+		}
+		if gap := dualityGap(p, s); gap > 1e-7 {
+			t.Errorf("S_%d: duality gap %v", dim, gap)
+		}
+		if !numeric.AlmostEqual(s.Duals[0], s.Objective, 1e-7) {
+			t.Errorf("S_%d: mass-row dual %v should equal the optimum %v (all other RHS are 0)",
+				dim, s.Duals[0], s.Objective)
+		}
+	}
+}
+
+// buildSystemForTest mirrors dist.BuildSystem without the import cycle.
+func buildSystemForTest(eps float64, dim int) Problem {
+	obj := make([]float64, dim)
+	for i := range obj {
+		obj[i] = float64(i + 1)
+	}
+	p := Problem{Objective: obj}
+	ones := make([]float64, dim)
+	for i := range ones {
+		ones[i] = 1
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: ones, Op: EQ, RHS: 1})
+	for j := 1; j < dim; j++ {
+		coeffs := make([]float64, dim)
+		coeffs[j-1] = eps
+		binom := 1.0
+		maxAbs := eps
+		for i := j + 1; i <= dim; i++ {
+			binom = binom * float64(i) / float64(i-j)
+			coeffs[i-1] = -(1 - eps) * binom
+			if a := -coeffs[i-1]; a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for i := range coeffs {
+			coeffs[i] /= maxAbs
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Op: LE, RHS: 0})
+	}
+	return p
+}

@@ -1,0 +1,233 @@
+// Package numeric provides the small numerical substrate used throughout the
+// repository: numerically stable log-domain combinatorics, compensated
+// summation, series helpers for the zero-truncated Poisson distribution, and
+// scalar root finding.
+//
+// The detection-probability formulas of Szajda, Lawson and Owen involve
+// binomial coefficients C(i, k) with i up to several dozen and Poisson-like
+// series in γ = ln(1/(1-ε)). Computing these in the log domain keeps every
+// intermediate quantity representable for the full parameter range used in
+// the paper (N up to 10^7, ε up to 0.99).
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// LogFactorial returns ln(n!) for n >= 0.
+//
+// Values through n = 170 are taken from an exact table computed with
+// compensated summation at package init; larger n fall back to math.Lgamma,
+// which is accurate to close to full precision in that regime.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		panic("numeric: LogFactorial of negative argument")
+	}
+	if n < len(logFactTable) {
+		return logFactTable[n]
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+var logFactTable = func() []float64 {
+	t := make([]float64, 171)
+	var sum KahanSum
+	for n := 2; n < len(t); n++ {
+		sum.Add(math.Log(float64(n)))
+		t[n] = sum.Value()
+	}
+	return t
+}()
+
+// LogBinomial returns ln(C(n, k)). It panics if n < 0. For k < 0 or k > n it
+// returns math.Inf(-1), the log of zero, which lets callers sum series
+// without guarding the edges.
+func LogBinomial(n, k int) float64 {
+	if n < 0 {
+		panic("numeric: LogBinomial with negative n")
+	}
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Binomial returns C(n, k) as a float64. The result overflows to +Inf for
+// very large arguments; callers that need ratios should work in the log
+// domain instead.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	v := math.Exp(LogBinomial(n, k))
+	// Binomial coefficients are integers; snap to the exact value whenever
+	// it is representable, hiding the rounding noise of the log domain.
+	if v < 1<<53 {
+		return math.Round(v)
+	}
+	return v
+}
+
+// BinomialInt64 returns C(n, k) as an exact int64 and reports whether the
+// value fits. It is used by tests to validate LogBinomial.
+func BinomialInt64(n, k int) (v int64, ok bool) {
+	if n < 0 || k < 0 || k > n {
+		return 0, false
+	}
+	if k > n-k {
+		k = n - k
+	}
+	v = 1
+	for i := 1; i <= k; i++ {
+		hi := v * int64(n-k+i)
+		if v != 0 && hi/v != int64(n-k+i) {
+			return 0, false
+		}
+		v = hi / int64(i)
+	}
+	return v, true
+}
+
+// LogSumExp returns ln(Σ exp(xs[i])) computed stably. An empty input yields
+// math.Inf(-1) (the log of an empty sum).
+func LogSumExp(xs ...float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var sum KahanSum
+	for _, x := range xs {
+		sum.Add(math.Exp(x - m))
+	}
+	return m + math.Log(sum.Value())
+}
+
+// KahanSum is a compensated (Kahan–Babuška) floating-point accumulator.
+// The zero value is an empty sum, ready to use.
+type KahanSum struct {
+	sum, c float64
+}
+
+// Add accumulates x into the sum.
+func (k *KahanSum) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated total.
+func (k *KahanSum) Value() float64 { return k.sum + k.c }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var s KahanSum
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Value()
+}
+
+// PoissonTermLog returns ln(γ^i / i!), the log of the unnormalized Poisson
+// weight, valid for γ > 0 and i >= 0.
+func PoissonTermLog(gamma float64, i int) float64 {
+	if gamma <= 0 {
+		panic("numeric: PoissonTermLog requires gamma > 0")
+	}
+	return float64(i)*math.Log(gamma) - LogFactorial(i)
+}
+
+// PoissonTailLog returns ln(Σ_{i>=m} γ^i/i!) = ln(e^γ − Σ_{i<m} γ^i/i!),
+// computed by direct series summation of the tail, which is stable for the
+// moderate γ (≲ 5) used in this repository.
+func PoissonTailLog(gamma float64, m int) float64 {
+	if m <= 0 {
+		return gamma // ln(e^γ)
+	}
+	// Sum the tail directly; terms decay factorially so a few hundred
+	// iterations always suffice at double precision.
+	var sum KahanSum
+	term := math.Exp(PoissonTermLog(gamma, m))
+	i := m
+	for {
+		sum.Add(term)
+		i++
+		term *= gamma / float64(i)
+		if term < sum.Value()*1e-18 && i > m+4 {
+			break
+		}
+		if i > m+10_000 {
+			break
+		}
+	}
+	return math.Log(sum.Value())
+}
+
+// ErrBracket is returned by Bisect when f(a) and f(b) have the same sign.
+var ErrBracket = errors.New("numeric: root not bracketed")
+
+// Bisect finds x in [a, b] with f(x) = 0 to within tol using bisection.
+// f(a) and f(b) must have opposite signs.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrBracket
+	}
+	for i := 0; i < 200 && b-a > tol; i++ {
+		mid := a + (b-a)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fa > 0) {
+			a, fa = mid, fm
+		} else {
+			b = mid
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// AlmostEqual reports whether a and b agree to within the given relative
+// tolerance (or absolute tolerance near zero).
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		return diff <= tol
+	}
+	return diff <= tol*scale
+}

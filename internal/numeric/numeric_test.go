@@ -1,0 +1,208 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogFactorialSmall(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880}
+	for n, w := range want {
+		got := math.Exp(LogFactorial(n))
+		if !AlmostEqual(got, w, 1e-12) {
+			t.Errorf("exp(LogFactorial(%d)) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestLogFactorialLargeMatchesLgamma(t *testing.T) {
+	for _, n := range []int{150, 170, 171, 200, 500, 1000} {
+		lg, _ := math.Lgamma(float64(n) + 1)
+		if !AlmostEqual(LogFactorial(n), lg, 1e-12) {
+			t.Errorf("LogFactorial(%d) = %v, want %v", n, LogFactorial(n), lg)
+		}
+	}
+}
+
+func TestLogFactorialNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative argument")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+func TestLogBinomialAgainstExact(t *testing.T) {
+	for n := 0; n <= 60; n++ {
+		for k := 0; k <= n; k++ {
+			exact, ok := BinomialInt64(n, k)
+			if !ok {
+				continue
+			}
+			got := math.Exp(LogBinomial(n, k))
+			if !AlmostEqual(got, float64(exact), 1e-10) {
+				t.Fatalf("C(%d,%d): got %v want %d", n, k, got, exact)
+			}
+		}
+	}
+}
+
+func TestLogBinomialEdges(t *testing.T) {
+	if !math.IsInf(LogBinomial(5, -1), -1) {
+		t.Error("C(5,-1) should be log-zero")
+	}
+	if !math.IsInf(LogBinomial(5, 6), -1) {
+		t.Error("C(5,6) should be log-zero")
+	}
+	if LogBinomial(7, 0) != 0 || LogBinomial(7, 7) != 0 {
+		t.Error("C(n,0) and C(n,n) should be 1")
+	}
+	if Binomial(10, 3) != 120 {
+		t.Errorf("Binomial(10,3) = %v, want 120", Binomial(10, 3))
+	}
+	if Binomial(10, 11) != 0 {
+		t.Errorf("Binomial(10,11) = %v, want 0", Binomial(10, 11))
+	}
+}
+
+func TestBinomialSymmetryProperty(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		nn := int(n % 100)
+		kk := int(k) % (nn + 1)
+		return AlmostEqual(LogBinomial(nn, kk), LogBinomial(nn, nn-kk), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPascalIdentityProperty(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k), checked in the linear domain.
+	f := func(n uint8, k uint8) bool {
+		nn := 1 + int(n%80)
+		kk := 1 + int(k)%nn
+		lhs := Binomial(nn, kk)
+		rhs := Binomial(nn-1, kk-1) + Binomial(nn-1, kk)
+		return AlmostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp(math.Log(1), math.Log(2), math.Log(3))
+	if !AlmostEqual(got, math.Log(6), 1e-12) {
+		t.Errorf("LogSumExp = %v, want ln 6", got)
+	}
+	if !math.IsInf(LogSumExp(), -1) {
+		t.Error("empty LogSumExp should be -Inf")
+	}
+	// Extreme offsets must not overflow.
+	got = LogSumExp(1000, 1000)
+	if !AlmostEqual(got, 1000+math.Log(2), 1e-12) {
+		t.Errorf("LogSumExp(1000,1000) = %v", got)
+	}
+}
+
+func TestKahanSumHardCase(t *testing.T) {
+	// 1 + 1e-16 added 1e4 times: naive summation loses the small terms.
+	var s KahanSum
+	s.Add(1)
+	for i := 0; i < 10000; i++ {
+		s.Add(1e-16)
+	}
+	want := 1 + 1e-12
+	if !AlmostEqual(s.Value(), want, 1e-12) {
+		t.Errorf("KahanSum = %.18f, want %.18f", s.Value(), want)
+	}
+}
+
+func TestSumMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var want float64
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		want += xs[i]
+	}
+	if !AlmostEqual(Sum(xs), want, 1e-9) {
+		t.Errorf("Sum = %v, want ~%v", Sum(xs), want)
+	}
+}
+
+func TestPoissonTailLog(t *testing.T) {
+	gamma := math.Ln2
+	// Tail from 0 is the whole series: ln(e^γ) = γ.
+	if !AlmostEqual(PoissonTailLog(gamma, 0), gamma, 1e-12) {
+		t.Errorf("tail from 0 = %v, want %v", PoissonTailLog(gamma, 0), gamma)
+	}
+	// Tail from 1 is ln(e^γ - 1) = ln(1) = 0 for γ = ln 2.
+	if !AlmostEqual(math.Exp(PoissonTailLog(gamma, 1)), 1, 1e-12) {
+		t.Errorf("tail from 1 = %v, want 1", math.Exp(PoissonTailLog(gamma, 1)))
+	}
+	// Tail identity: tail(m) = tail(m+1) + γ^m/m!.
+	for m := 1; m < 20; m++ {
+		lhs := math.Exp(PoissonTailLog(gamma, m))
+		rhs := math.Exp(PoissonTailLog(gamma, m+1)) + math.Exp(PoissonTermLog(gamma, m))
+		if !AlmostEqual(lhs, rhs, 1e-10) {
+			t.Errorf("tail identity failed at m=%d: %v vs %v", m, lhs, rhs)
+		}
+	}
+}
+
+func TestPoissonTermLogPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for gamma <= 0")
+		}
+	}()
+	PoissonTermLog(0, 1)
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 1e-9); err != nil || r != 0 {
+		t.Errorf("root at a: got %v, %v", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 1e-9); err != nil || r != 0 {
+		t.Errorf("root at b: got %v, %v", r, err)
+	}
+}
+
+func TestBisectNotBracketed(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-9); err != ErrBracket {
+		t.Errorf("err = %v, want ErrBracket", err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1e300, 1e300*(1+1e-13), 1e-12) {
+		t.Error("relative comparison failed for large values")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-3) {
+		t.Error("1.0 and 1.1 should not be almost equal")
+	}
+	if !AlmostEqual(0, 1e-15, 1e-12) {
+		t.Error("absolute comparison near zero failed")
+	}
+}

@@ -1,0 +1,82 @@
+// Package par is the parallel-execution substrate for the Monte-Carlo
+// harnesses: fixed-size worker pools that fan independent trials out across
+// CPUs while keeping results bit-for-bit deterministic.
+//
+// Determinism is non-negotiable for a reproduction: every experiment must
+// produce the same numbers whether it runs on 1 core or 64. The package
+// guarantees it by (a) deriving each trial's random stream from the trial
+// index alone (callers use rng.Source.Split) and (b) returning results in
+// trial order regardless of completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the worker count to use for n tasks: never more workers
+// than tasks, never more than GOMAXPROCS, and at least one.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if n < w {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of workers. It blocks
+// until all calls return. workers <= 0 selects Workers(n).
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers(n)
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapSlice computes out[i] = fn(i) for i in [0, n) in parallel, returning
+// results in index order (deterministic independent of scheduling).
+func MapSlice[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Reduce runs fn(i) for every trial i in parallel and folds the results
+// into an accumulator with combine, applied in strict index order — so any
+// non-commutative combination (floating-point sums included) is as
+// deterministic as a sequential loop.
+func Reduce[T, A any](n, workers int, fn func(i int) T, acc A, combine func(A, T) A) A {
+	results := MapSlice(n, workers, fn)
+	for _, r := range results {
+		acc = combine(acc, r)
+	}
+	return acc
+}

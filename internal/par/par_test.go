@@ -1,0 +1,77 @@
+package par
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"redundancy/internal/rng"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 1000
+		var counts [n]atomic.Int32
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran with n=0")
+	}
+}
+
+func TestMapSliceOrderIndependentOfWorkers(t *testing.T) {
+	fn := func(i int) uint64 {
+		// Simulate per-trial RNG derivation: stream depends only on i.
+		return rng.New(42).Split(uint64(i)).Uint64()
+	}
+	seq := MapSlice(5000, 1, fn)
+	for _, workers := range []int{2, 4, 32} {
+		got := MapSlice(5000, workers, fn)
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d produced different results than sequential", workers)
+		}
+	}
+}
+
+func TestReduceIsDeterministic(t *testing.T) {
+	// Floating-point accumulation order matters; Reduce must fold in index
+	// order so parallel == sequential exactly.
+	fn := func(i int) float64 {
+		return rng.New(7).Split(uint64(i)).Float64() * 1e6
+	}
+	fold := func(a, v float64) float64 { return a + v }
+	seq := Reduce(20_000, 1, fn, 0.0, fold)
+	for _, workers := range []int{3, 8} {
+		if got := Reduce(20_000, workers, fn, 0.0, fold); got != seq {
+			t.Fatalf("workers=%d: %v != sequential %v (bit-exact required)", workers, got, seq)
+		}
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Error("Workers(0) < 1")
+	}
+	if Workers(1) != 1 {
+		t.Errorf("Workers(1) = %d", Workers(1))
+	}
+	if Workers(1_000_000) < 1 {
+		t.Error("Workers(big) < 1")
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(64, 0, func(int) {})
+	}
+}

@@ -1,0 +1,35 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens plan deserialization: arbitrary bytes must yield a
+// valid, audited plan or an error — never a panic and never an unaudited
+// plan.
+func FuzzLoad(f *testing.F) {
+	// Seed with a genuine plan file.
+	if p, err := Balanced(5000, 0.5); err == nil {
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	f.Add(`{"version":1,"plan":{"Epsilon":0.5,"N":-3}}`)
+	f.Add(`{"version":1,"plan":{"Epsilon":2,"N":1,"Counts":[1]}}`)
+	f.Add(`{"version":1,"plan":{"Counts":[9223372036854775807]}}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must already have passed its audit.
+		if problems := p.Audit(1e-6); len(problems) != 0 {
+			t.Fatalf("Load accepted a plan that fails audit: %v", problems)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON envelope; versioned so future layouts can
+// be detected rather than misparsed.
+type fileFormat struct {
+	Version int   `json:"version"`
+	Plan    *Plan `json:"plan"`
+}
+
+const formatVersion = 1
+
+// Save writes the plan as versioned JSON. Plans are pure data, so a saved
+// plan fully reproduces the deployment (the assignment *order* is chosen by
+// the scheduler's seed, not the plan).
+func (p *Plan) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{Version: formatVersion, Plan: p})
+}
+
+// Load reads a plan written by Save and audits it before returning: a
+// corrupted or hand-edited plan that no longer covers its tasks or meets
+// its detection constraints is rejected.
+func Load(r io.Reader) (*Plan, error) {
+	var f fileFormat
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	if f.Version != formatVersion {
+		return nil, fmt.Errorf("plan: unsupported format version %d", f.Version)
+	}
+	if f.Plan == nil {
+		return nil, fmt.Errorf("plan: file has no plan")
+	}
+	if problems := f.Plan.Audit(1e-6); len(problems) > 0 {
+		return nil, fmt.Errorf("plan: loaded plan fails audit: %v", problems)
+	}
+	return f.Plan, nil
+}

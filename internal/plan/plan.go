@@ -1,0 +1,234 @@
+// Package plan converts the theoretical (real-valued, effectively
+// infinite-dimensional) distributions of package dist into deployable
+// integer assignment plans using the adaptation of §6 of the paper:
+//
+//  1. round each class size a_i down to the nearest integer;
+//  2. find i_f, the first multiplicity whose theoretical class size falls
+//     below one; tasks not yet covered by the rounded classes form the
+//     "tail partition", each assigned with multiplicity i_f;
+//  3. precompute r "ringer" tasks, each distributed i_f+1 times, with
+//     r > x_{i_f}·ε / ((1−ε)(i_f+1)), which restores the detection
+//     guarantee for i_f-tuples that truncation would otherwise destroy.
+//
+// The result is a Plan: an exact integer multiset of assignments that a
+// scheduler can hand to real participants.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"redundancy/internal/dist"
+)
+
+// Plan is a concrete, integer-valued deployment of a distribution scheme.
+type Plan struct {
+	// Epsilon is the detection threshold the plan is built for.
+	Epsilon float64
+	// N is the number of real (non-ringer) tasks.
+	N int
+	// Counts[i] is the integer number of regular tasks assigned with
+	// multiplicity i+1, for multiplicities below the tail.
+	Counts []int
+	// TailMultiplicity is i_f: the multiplicity given to every tail task.
+	TailMultiplicity int
+	// TailTasks is the number of tasks in the tail partition.
+	TailTasks int
+	// Ringers is the number of precomputed ringer tasks, each assigned
+	// RingerMultiplicity times.
+	Ringers int
+	// RingerMultiplicity is i_f + 1.
+	RingerMultiplicity int
+}
+
+// FromDistribution builds the §6 integer plan for a theoretical scheme d at
+// threshold epsilon. The scheme's task mass must be an integer-valued N (to
+// within rounding) of at least 1. The construction targets schemes with a
+// decaying tail (Balanced, Golle–Stubblebine, the §7 extension); schemes
+// that already end in a large top class (simple redundancy, the LP optima)
+// come out with an empty tail and no ringers, since their top class is
+// verified by the supervisor instead (§2.2).
+func FromDistribution(d *dist.Distribution, epsilon float64) (*Plan, error) {
+	if !(epsilon > 0 && epsilon < 1) {
+		return nil, fmt.Errorf("plan: threshold must lie in (0,1), got %v", epsilon)
+	}
+	n := int(math.Round(d.N()))
+	if n < 1 {
+		return nil, fmt.Errorf("plan: distribution has no tasks (N=%v)", d.N())
+	}
+
+	// i_f: one past the last multiplicity with a whole task's worth of
+	// mass. Everything from i_f on is swept into the tail partition.
+	last := 0
+	for i := 1; i <= d.Dimension(); i++ {
+		if d.Count(i) >= 1 {
+			last = i
+		}
+	}
+	if last == 0 {
+		return nil, fmt.Errorf("plan: no multiplicity class holds a whole task (N=%v)", d.N())
+	}
+	iF := last + 1
+
+	p := &Plan{
+		Epsilon:            epsilon,
+		N:                  n,
+		Counts:             make([]int, last),
+		TailMultiplicity:   iF,
+		RingerMultiplicity: iF + 1,
+	}
+	assignedTasks := 0
+	for i := 1; i <= last; i++ {
+		c := int(math.Floor(d.Count(i)))
+		p.Counts[i-1] = c
+		assignedTasks += c
+	}
+	p.TailTasks = n - assignedTasks
+	if p.TailTasks < 0 {
+		return nil, fmt.Errorf("plan: rounded classes exceed N (%d > %d)", assignedTasks, n)
+	}
+
+	// Ringer count: r > x_{i_f}·ε / ((1−ε)(i_f+1)), §6. With an empty tail
+	// no i_f-tuples exist and no ringers are needed.
+	if p.TailTasks > 0 {
+		bound := float64(p.TailTasks) * epsilon / ((1 - epsilon) * float64(iF+1))
+		p.Ringers = int(math.Floor(bound)) + 1
+	}
+	return p, nil
+}
+
+// Balanced builds the deployable plan of the Balanced distribution for n
+// tasks at threshold epsilon — the paper's recommended configuration.
+func Balanced(n int, epsilon float64) (*Plan, error) {
+	d, err := dist.Balanced(float64(n), epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return FromDistribution(d, epsilon)
+}
+
+// TotalTasks returns the number of real tasks covered by the plan
+// (always equal to N by construction).
+func (p *Plan) TotalTasks() int {
+	t := p.TailTasks
+	for _, c := range p.Counts {
+		t += c
+	}
+	return t
+}
+
+// TotalAssignments returns the number of assignments handed out, including
+// tail and ringer copies.
+func (p *Plan) TotalAssignments() int {
+	a := p.TailTasks*p.TailMultiplicity + p.Ringers*p.RingerMultiplicity
+	for i, c := range p.Counts {
+		a += (i + 1) * c
+	}
+	return a
+}
+
+// PrecomputedAssignments returns the number of assignments whose results
+// the supervisor must compute itself (the ringer copies).
+func (p *Plan) PrecomputedAssignments() int {
+	return p.Ringers * p.RingerMultiplicity
+}
+
+// RedundancyFactor returns assignments per real task.
+func (p *Plan) RedundancyFactor() float64 {
+	return float64(p.TotalAssignments()) / float64(p.N)
+}
+
+// Distribution converts the plan back into a dist.Distribution, including
+// the tail partition and ringer tasks, so the detection formulas of package
+// dist apply to the deployed scheme exactly as §6 analyzes it.
+func (p *Plan) Distribution() *dist.Distribution {
+	d := &dist.Distribution{Name: "plan"}
+	for i, c := range p.Counts {
+		if c > 0 {
+			d.SetCount(i+1, float64(c))
+		}
+	}
+	if p.TailTasks > 0 {
+		d.SetCount(p.TailMultiplicity, d.Count(p.TailMultiplicity)+float64(p.TailTasks))
+	}
+	if p.Ringers > 0 {
+		d.SetCount(p.RingerMultiplicity, d.Count(p.RingerMultiplicity)+float64(p.Ringers))
+	}
+	return d
+}
+
+// Audit verifies the deployed plan end to end: integer consistency (every
+// task covered exactly once, non-negative classes) and the detection
+// guarantee P_k >= ε−tol for every k = 1..i_f at which tasks exist. Thanks
+// to the ringers this includes k = i_f, the constraint the truncation alone
+// could not satisfy. The ringer class itself (k = i_f+1) is exempt: ringer
+// results are precomputed, so cheating there is always detected.
+func (p *Plan) Audit(tol float64) []string {
+	var problems []string
+	if p.TotalTasks() != p.N {
+		problems = append(problems,
+			fmt.Sprintf("plan covers %d tasks, want %d", p.TotalTasks(), p.N))
+	}
+	for i, c := range p.Counts {
+		if c < 0 {
+			problems = append(problems, fmt.Sprintf("negative class at multiplicity %d", i+1))
+		}
+	}
+	if p.TailTasks < 0 || p.Ringers < 0 {
+		problems = append(problems, "negative tail or ringer count")
+	}
+	if p.TailTasks > 0 && p.Ringers == 0 {
+		problems = append(problems, "tail partition present but no ringers precomputed")
+	}
+	d := p.Distribution()
+	for k := 1; k <= p.TailMultiplicity; k++ {
+		if d.Count(k) == 0 {
+			continue // vacuous: no k-multiplicity tasks to cheat on
+		}
+		if pk := dist.Detection(d, k); pk < p.Epsilon-tol {
+			problems = append(problems,
+				fmt.Sprintf("deployed P_%d = %.6f < ε = %g", k, pk, p.Epsilon))
+		}
+	}
+	return problems
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	return fmt.Sprintf(
+		"plan{N=%d, ε=%g, classes=%d, i_f=%d, tail=%d, ringers=%d, assignments=%d, factor=%.4f}",
+		p.N, p.Epsilon, len(p.Counts), p.TailMultiplicity, p.TailTasks, p.Ringers,
+		p.TotalAssignments(), p.RedundancyFactor())
+}
+
+// TaskSpec describes one concrete task in a deployable plan.
+type TaskSpec struct {
+	// ID numbers real tasks 0..N-1; ringers continue from N.
+	ID int
+	// Copies is how many assignments of this task are created.
+	Copies int
+	// Ringer marks supervisor-precomputed tasks.
+	Ringer bool
+}
+
+// Tasks expands the plan into one TaskSpec per task (real tasks first, then
+// ringers), the form consumed by the scheduler.
+func (p *Plan) Tasks() []TaskSpec {
+	specs := make([]TaskSpec, 0, p.N+p.Ringers)
+	id := 0
+	for i, c := range p.Counts {
+		for t := 0; t < c; t++ {
+			specs = append(specs, TaskSpec{ID: id, Copies: i + 1})
+			id++
+		}
+	}
+	for t := 0; t < p.TailTasks; t++ {
+		specs = append(specs, TaskSpec{ID: id, Copies: p.TailMultiplicity})
+		id++
+	}
+	for t := 0; t < p.Ringers; t++ {
+		specs = append(specs, TaskSpec{ID: id, Copies: p.RingerMultiplicity, Ringer: true})
+		id++
+	}
+	return specs
+}

@@ -1,0 +1,317 @@
+package plan
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"redundancy/internal/dist"
+)
+
+func TestSection6ExtremeExample(t *testing.T) {
+	// §6 worked example 1: N = 10^7, ε = 0.99 gives i_f = 20, a tail
+	// partition of about a dozen tasks (≈240 assignments), and at least
+	// 57 ringers.
+	p, err := Balanced(10_000_000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TailMultiplicity != 20 {
+		t.Errorf("i_f = %d, paper says 20", p.TailMultiplicity)
+	}
+	if p.TailTasks < 5 || p.TailTasks > 20 {
+		t.Errorf("tail tasks = %d, paper's example has ≈12", p.TailTasks)
+	}
+	tailAssignments := p.TailTasks * p.TailMultiplicity
+	if tailAssignments < 100 || tailAssignments > 400 {
+		t.Errorf("tail assignments = %d, paper quotes ≈240", tailAssignments)
+	}
+	// Ringer bound: with exactly 12 tail tasks the paper derives 57.
+	wantR := int(math.Floor(float64(p.TailTasks)*0.99/(0.01*21))) + 1
+	if p.Ringers != wantR {
+		t.Errorf("ringers = %d, bound gives %d", p.Ringers, wantR)
+	}
+	if p.TailTasks == 12 && p.Ringers != 57 {
+		t.Errorf("with 12 tail tasks the paper derives 57 ringers, got %d", p.Ringers)
+	}
+	// The ringers are a negligible fraction of the computation.
+	if frac := float64(p.PrecomputedAssignments()) / float64(p.TotalAssignments()); frac > 1e-4 {
+		t.Errorf("precompute fraction %v too large", frac)
+	}
+	if problems := p.Audit(1e-6); len(problems) != 0 {
+		t.Errorf("audit: %v", problems)
+	}
+}
+
+func TestSection6TypicalExample(t *testing.T) {
+	// §6 worked example 2: N = 10^6, ε = 0.75 gives i_f = 11, a tail of
+	// about five tasks, and 2 ringers.
+	p, err := Balanced(1_000_000, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TailMultiplicity != 11 {
+		t.Errorf("i_f = %d, expected 11 for these parameters", p.TailMultiplicity)
+	}
+	if p.TailTasks == 5 && p.Ringers != 2 {
+		t.Errorf("with 5 tail tasks the paper derives 2 ringers, got %d", p.Ringers)
+	}
+	if p.Ringers > 4 {
+		t.Errorf("ringers = %d, paper quotes 2 for ≈5 tail tasks", p.Ringers)
+	}
+	if problems := p.Audit(1e-6); len(problems) != 0 {
+		t.Errorf("audit: %v", problems)
+	}
+}
+
+func TestPlanCoversAllTasksProperty(t *testing.T) {
+	f := func(nRaw uint32, eRaw uint16) bool {
+		n := 1000 + int(nRaw%1_000_000)
+		eps := 0.05 + 0.90*float64(eRaw)/65535.0
+		p, err := Balanced(n, eps)
+		if err != nil {
+			return false
+		}
+		return p.TotalTasks() == n && len(p.Audit(1e-6)) == 0
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanCostCloseToTheory(t *testing.T) {
+	// Rounding and the tail change the assignment total only marginally.
+	for _, eps := range []float64{0.25, 0.5, 0.75} {
+		const n = 500_000
+		p, err := Balanced(n, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		theory := dist.BalancedRedundancyFactor(eps)
+		if math.Abs(p.RedundancyFactor()-theory) > 0.001*theory {
+			t.Errorf("ε=%v: plan factor %v vs theory %v", eps, p.RedundancyFactor(), theory)
+		}
+	}
+}
+
+func TestRingersRestoreTailConstraint(t *testing.T) {
+	// Without ringers, C_{i_f} is violated (an adversary holding all i_f
+	// copies of a tail task cheats freely); with them, it holds.
+	p, err := Balanced(200_000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TailTasks == 0 {
+		t.Skip("no tail at these parameters")
+	}
+	withRingers := p.Distribution()
+	if pk := dist.Detection(withRingers, p.TailMultiplicity); pk < 0.5 {
+		t.Errorf("with ringers P_{i_f} = %v < ε", pk)
+	}
+	bare := *p
+	bare.Ringers = 0
+	stripped := bare.Distribution()
+	if pk := dist.Detection(stripped, p.TailMultiplicity); pk != 0 {
+		t.Errorf("without ringers P_{i_f} = %v, want 0", pk)
+	}
+}
+
+func TestGolleStubblebinePlan(t *testing.T) {
+	// §6's machinery applies to the GS distribution too (Figure 4 shows
+	// both with tail and ringers).
+	d, err := dist.GolleStubblebineForThreshold(1_000_000, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromDistribution(d, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := p.Audit(1e-6); len(problems) != 0 {
+		t.Errorf("audit: %v", problems)
+	}
+	if p.TotalTasks() != 1_000_000 {
+		t.Errorf("covered %d tasks", p.TotalTasks())
+	}
+}
+
+func TestSimpleRedundancyPlanHasNoTail(t *testing.T) {
+	p, err := FromDistribution(dist.Simple(1000), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TailTasks != 0 || p.Ringers != 0 {
+		t.Errorf("tail=%d ringers=%d, want none", p.TailTasks, p.Ringers)
+	}
+	if p.TotalAssignments() != 2000 {
+		t.Errorf("assignments = %d", p.TotalAssignments())
+	}
+}
+
+func TestMinMultiplicityPlan(t *testing.T) {
+	d, err := dist.MinMultiplicity(100_000, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromDistribution(d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Counts[0] != 0 {
+		t.Error("min-multiplicity-2 plan assigned tasks once")
+	}
+	if problems := p.Audit(1e-6); len(problems) != 0 {
+		t.Errorf("audit: %v", problems)
+	}
+}
+
+func TestFromDistributionErrors(t *testing.T) {
+	d := dist.Simple(1000)
+	if _, err := FromDistribution(d, 0); err == nil {
+		t.Error("ε=0 should fail")
+	}
+	if _, err := FromDistribution(d, 1); err == nil {
+		t.Error("ε=1 should fail")
+	}
+	var empty dist.Distribution
+	if _, err := FromDistribution(&empty, 0.5); err == nil {
+		t.Error("empty distribution should fail")
+	}
+	frac := &dist.Distribution{Counts: []float64{0.4, 0.3}}
+	if _, err := FromDistribution(frac, 0.5); err == nil {
+		t.Error("all-fractional distribution should fail")
+	}
+	if _, err := Balanced(0, 0.5); err == nil {
+		t.Error("Balanced(0) should fail")
+	}
+}
+
+func TestTasksExpansion(t *testing.T) {
+	p, err := Balanced(50_000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := p.Tasks()
+	if len(specs) != p.N+p.Ringers {
+		t.Fatalf("len(specs) = %d, want %d", len(specs), p.N+p.Ringers)
+	}
+	var assignments, ringers int
+	seen := make(map[int]bool, len(specs))
+	for _, s := range specs {
+		if seen[s.ID] {
+			t.Fatalf("duplicate task ID %d", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Copies < 1 {
+			t.Fatalf("task %d has %d copies", s.ID, s.Copies)
+		}
+		assignments += s.Copies
+		if s.Ringer {
+			ringers++
+			if s.Copies != p.RingerMultiplicity {
+				t.Errorf("ringer %d has %d copies, want %d", s.ID, s.Copies, p.RingerMultiplicity)
+			}
+		}
+	}
+	if assignments != p.TotalAssignments() {
+		t.Errorf("expanded assignments %d, plan says %d", assignments, p.TotalAssignments())
+	}
+	if ringers != p.Ringers {
+		t.Errorf("expanded ringers %d, plan says %d", ringers, p.Ringers)
+	}
+}
+
+func TestAuditCatchesTamperedPlan(t *testing.T) {
+	p, err := Balanced(100_000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *p
+	tampered.Counts = append([]int(nil), p.Counts...)
+	tampered.Counts[0] += 10 // covers too many tasks now
+	if problems := tampered.Audit(1e-6); len(problems) == 0 {
+		t.Error("audit missed task-count mismatch")
+	}
+	tampered2 := *p
+	tampered2.Ringers = 0 // tail guarantee destroyed
+	found := false
+	for _, pr := range tampered2.Audit(1e-6) {
+		if strings.Contains(pr, "no ringers") || strings.Contains(pr, "deployed P_") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("audit missed missing ringers")
+	}
+}
+
+func TestStringHasKeyFields(t *testing.T) {
+	p, err := Balanced(10_000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, frag := range []string{"N=10000", "i_f=", "ringers="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestTailGrowthIsLogarithmic(t *testing.T) {
+	// §6: i_f is O(log((1−ε)N/ε)); doubling N repeatedly should grow i_f
+	// by roughly a constant each time.
+	prev := 0
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		p, err := Balanced(n, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TailMultiplicity <= prev {
+			t.Errorf("i_f did not grow with N: %d after %d", p.TailMultiplicity, prev)
+		}
+		if p.TailMultiplicity > prev+8 {
+			t.Errorf("i_f jumped too fast: %d after %d", p.TailMultiplicity, prev)
+		}
+		prev = p.TailMultiplicity
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, err := Balanced(100_000, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"version": 99, "plan": {"N": 1}}`,
+		"no plan":       `{"version": 1}`,
+		"unknown field": `{"version": 1, "plan": {"N": 1}, "extra": true}`,
+		// Fails audit: claims 10 tasks but covers none.
+		"uncovering": `{"version": 1, "plan": {"Epsilon": 0.5, "N": 10, "Counts": [],
+			"TailMultiplicity": 2, "TailTasks": 0, "Ringers": 0, "RingerMultiplicity": 3}}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

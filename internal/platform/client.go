@@ -1,0 +1,197 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// CheatFunc lets a worker corrupt its results: it receives the task and the
+// honestly computed value and returns what to submit. Nil means honest.
+// Colluding workers share a CheatFunc (and any state behind it) so their
+// incorrect values match.
+type CheatFunc func(taskID int, honest uint64) uint64
+
+// WorkerConfig parameterizes a worker client.
+type WorkerConfig struct {
+	// Addr is the supervisor's TCP address.
+	Addr string
+	// Name identifies the worker in supervisor logs.
+	Name string
+	// Cheat, when non-nil, corrupts results (a coalition member).
+	Cheat CheatFunc
+	// MaxAssignments, when positive, stops after that many completions
+	// (simulates a participant leaving).
+	MaxAssignments int
+	// Throttle adds a fixed delay per assignment (simulates slow hosts,
+	// and exercises the platform's asynchrony in tests).
+	Throttle time.Duration
+}
+
+// WorkerStats reports what one worker did.
+type WorkerStats struct {
+	ParticipantID int
+	Completed     int
+	Cheated       int
+}
+
+// RunWorker connects to the supervisor, registers, and processes
+// assignments until the supervisor reports the computation done (or
+// MaxAssignments is reached). It is the complete participant-side loop:
+// download work, execute the local computation, return the result.
+func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
+	var stats WorkerStats
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return stats, err
+	}
+	defer conn.Close()
+	codec := NewCodec(conn)
+
+	// Register.
+	if err := codec.Send(Message{Type: MsgRegister, Name: cfg.Name}); err != nil {
+		return stats, err
+	}
+	reg, err := codec.Recv()
+	if err != nil {
+		return stats, err
+	}
+	if reg.Type != MsgRegistered {
+		return stats, fmt.Errorf("platform: unexpected registration reply %q: %s", reg.Type, reg.Error)
+	}
+	stats.ParticipantID = reg.ParticipantID
+
+	for {
+		if cfg.MaxAssignments > 0 && stats.Completed >= cfg.MaxAssignments {
+			return stats, nil
+		}
+		if err := codec.Send(Message{Type: MsgRequestWork, ParticipantID: stats.ParticipantID}); err != nil {
+			return stats, err
+		}
+		m, err := codec.Recv()
+		if err != nil {
+			return stats, err
+		}
+		switch m.Type {
+		case MsgDone:
+			return stats, nil
+		case MsgNoWork:
+			time.Sleep(time.Duration(m.Wait * float64(time.Second)))
+			continue
+		case MsgError:
+			return stats, errors.New("platform: supervisor refused work: " + m.Error)
+		case MsgWork:
+			// fall through to execution below
+		default:
+			return stats, fmt.Errorf("platform: unexpected reply %q", m.Type)
+		}
+
+		work, err := Work(m.Kind)
+		if err != nil {
+			return stats, err
+		}
+		if cfg.Throttle > 0 {
+			time.Sleep(cfg.Throttle)
+		}
+		value := work(m.Seed, m.Iters)
+		if cfg.Cheat != nil {
+			if v := cfg.Cheat(m.TaskID, value); v != value {
+				value = v
+				stats.Cheated++
+			}
+		}
+		if err := codec.Send(Message{
+			Type:          MsgResult,
+			ParticipantID: stats.ParticipantID,
+			TaskID:        m.TaskID,
+			Copy:          m.Copy,
+			Value:         value,
+		}); err != nil {
+			return stats, err
+		}
+		ack, err := codec.Recv()
+		if err != nil {
+			return stats, err
+		}
+		if ack.Type != MsgAck {
+			return stats, fmt.Errorf("platform: result rejected: %s", ack.Error)
+		}
+		stats.Completed++
+	}
+}
+
+// Coalition is the client-side analogue of the adversary model: a group of
+// workers that share one cheat policy and return identical wrong values.
+// It decides per task, on first contact, whether that task will be cheated
+// on (with probability CheatProbability), and every member follows the
+// shared decision thereafter.
+type Coalition struct {
+	// CheatProbability is the chance a newly seen task is marked for
+	// cheating. 1 reproduces the paper's always-cheat coalition.
+	CheatProbability float64
+
+	mu       sync.Mutex
+	decision map[int]bool
+	seed     uint64
+}
+
+// NewCoalition builds a coalition with the given per-task cheat
+// probability, deterministic in seed.
+func NewCoalition(cheatProbability float64, seed uint64) *Coalition {
+	return &Coalition{
+		CheatProbability: cheatProbability,
+		decision:         make(map[int]bool),
+		seed:             seed,
+	}
+}
+
+// CheatFunc returns the shared cheat function to install in each member's
+// WorkerConfig.
+func (c *Coalition) CheatFunc() CheatFunc {
+	return func(taskID int, honest uint64) uint64 {
+		if c.cheatsOn(taskID) {
+			return honest ^ 0xDEADBEEFCAFEBABE
+		}
+		return honest
+	}
+}
+
+func (c *Coalition) cheatsOn(taskID int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.decision[taskID]; ok {
+		return d
+	}
+	var d bool
+	switch {
+	case c.CheatProbability >= 1:
+		d = true
+	case c.CheatProbability <= 0:
+		d = false
+	default:
+		// Deterministic per-task coin derived from (seed, taskID).
+		z := c.seed ^ (uint64(taskID)+1)*0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		d = float64(z>>11)/(1<<53) < c.CheatProbability
+	}
+	c.decision[taskID] = d
+	return d
+}
+
+// Decisions returns how many tasks were marked for cheating so far.
+func (c *Coalition) Decisions() (cheat, honest int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.decision {
+		if d {
+			cheat++
+		} else {
+			honest++
+		}
+	}
+	return
+}

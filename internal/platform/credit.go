@@ -1,0 +1,73 @@
+package platform
+
+import "sort"
+
+// CreditLedger implements the supervisor-side credit accounting the paper's
+// introduction motivates: participants are rewarded per certified task, not
+// per claimed completion, so "claiming credit for work not completed" is
+// structurally impossible — credit exists only for results that survived
+// redundancy/ringer verification. Credit earned by a participant later
+// convicted of cheating is revoked in full.
+//
+// The ledger is not safe for concurrent use; the Supervisor serializes
+// access under its own lock.
+type CreditLedger struct {
+	earned  map[int]int
+	revoked map[int]bool
+}
+
+// NewCreditLedger returns an empty ledger.
+func NewCreditLedger() *CreditLedger {
+	return &CreditLedger{earned: make(map[int]int), revoked: make(map[int]bool)}
+}
+
+// Award grants one credit to each contributor of a certified task.
+func (l *CreditLedger) Award(participants []int) {
+	for _, p := range participants {
+		l.earned[p]++
+	}
+}
+
+// Revoke zeroes a participant's standing permanently (conviction).
+func (l *CreditLedger) Revoke(participant int) { l.revoked[participant] = true }
+
+// Credit returns a participant's current standing: 0 if revoked.
+func (l *CreditLedger) Credit(participant int) int {
+	if l.revoked[participant] {
+		return 0
+	}
+	return l.earned[participant]
+}
+
+// CreditEntry is one row of a leaderboard.
+type CreditEntry struct {
+	Participant int
+	Credit      int
+	Revoked     bool
+}
+
+// Leaderboard returns all participants ordered by credit (descending),
+// ties broken by participant ID. Revoked participants appear with zero
+// credit so supervisors can still see them.
+func (l *CreditLedger) Leaderboard() []CreditEntry {
+	out := make([]CreditEntry, 0, len(l.earned))
+	for p := range l.earned {
+		out = append(out, CreditEntry{Participant: p, Credit: l.Credit(p), Revoked: l.revoked[p]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Credit != out[j].Credit {
+			return out[i].Credit > out[j].Credit
+		}
+		return out[i].Participant < out[j].Participant
+	})
+	return out
+}
+
+// Total returns the credit in circulation (excluding revoked standings).
+func (l *CreditLedger) Total() int {
+	t := 0
+	for p := range l.earned {
+		t += l.Credit(p)
+	}
+	return t
+}

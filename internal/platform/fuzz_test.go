@@ -1,0 +1,33 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCodecRecv hardens the wire decoder: arbitrary bytes from a hostile
+// or broken worker must produce an error or a message, never a panic, and
+// decoding must terminate.
+func FuzzCodecRecv(f *testing.F) {
+	f.Add([]byte(`{"type":"register","name":"x"}` + "\n"))
+	f.Add([]byte(`{"type":"result","participant_id":3,"task_id":1,"value":18446744073709551615}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"type":`))
+	f.Add([]byte(`{"type":"work","iters":-1}` + "\n" + `garbage`))
+	f.Add([]byte(strings.Repeat("a", 5000) + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCodec(struct {
+			*strings.Reader
+			discard
+		}{strings.NewReader(string(data)), discard{}})
+		for i := 0; i < 64; i++ { // bounded: Recv must make progress
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

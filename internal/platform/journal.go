@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"redundancy/internal/sched"
+	"redundancy/internal/verify"
+)
+
+// journalRecord is one accepted result, appended to the journal as a JSON
+// line the moment it is recorded. Replaying the journal against the same
+// plan reconstructs the supervisor's verification state exactly, so a
+// restarted supervisor resumes where the previous process stopped instead
+// of re-running days of volunteer work.
+type journalRecord struct {
+	TaskID      int    `json:"task"`
+	Copy        int    `json:"copy"`
+	Ringer      bool   `json:"ringer,omitempty"`
+	Participant int    `json:"participant"`
+	Value       uint64 `json:"value"`
+}
+
+// appendJournal writes one record; callers hold the supervisor lock so
+// records are totally ordered.
+func appendJournal(w io.Writer, rec journalRecord) error {
+	return json.NewEncoder(w).Encode(rec)
+}
+
+// replayJournal feeds every journaled result back through the collector
+// and marks the corresponding assignments completed in the queue. Torn
+// trailing lines (a crash mid-write) are tolerated; corrupt interior
+// records abort with an error. It returns the number of results restored.
+func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue) (restored, maxParticipant int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	maxParticipant = -1
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A bad record followed by more data is real corruption, not
+			// a torn tail.
+			return restored, maxParticipant, pendingErr
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("platform: corrupt journal record: %w", err)
+			continue
+		}
+		a := sched.Assignment{TaskID: rec.TaskID, Copy: rec.Copy, Ringer: rec.Ringer}
+		if !queue.MarkCompleted(a) {
+			pendingErr = fmt.Errorf("platform: journal replays unknown assignment task=%d copy=%d",
+				rec.TaskID, rec.Copy)
+			continue
+		}
+		if _, _, err := collector.Submit(verify.Result{
+			Assignment:  a,
+			Participant: rec.Participant,
+			Value:       rec.Value,
+		}); err != nil {
+			return restored, maxParticipant, fmt.Errorf("platform: journal replay: %w", err)
+		}
+		if rec.Participant > maxParticipant {
+			maxParticipant = rec.Participant
+		}
+		restored++
+	}
+	if err := sc.Err(); err != nil {
+		return restored, maxParticipant, err
+	}
+	return restored, maxParticipant, nil
+}

@@ -1,0 +1,171 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+)
+
+// TestJournalRecoveryEndToEnd runs half a computation, kills the
+// supervisor, restores a fresh one from the journal, and finishes: all
+// tasks certified, nothing recomputed twice.
+func TestJournalRecoveryEndToEnd(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(60), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journal bytes.Buffer
+
+	sup1, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 10, Seed: 5, Journal: &journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1, err := sup1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete exactly half the assignments, then stop the supervisor.
+	st, err := RunWorker(WorkerConfig{Addr: addr1, Name: "early", MaxAssignments: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 60 {
+		t.Fatalf("first phase completed %d", st.Completed)
+	}
+	if err := sup1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the journal.
+	sup2, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 10, Seed: 5,
+		Journal: &journal, Restore: bytes.NewReader(journal.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := sup2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sup2.Close() })
+
+	st2, err := RunWorker(WorkerConfig{Addr: addr2, Name: "late"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup2.Wait()
+
+	sum := sup2.Summary()
+	if sum.Restored != 60 {
+		t.Errorf("restored %d results, want 60", sum.Restored)
+	}
+	if st2.Completed != 60 {
+		t.Errorf("second phase completed %d assignments, want the remaining 60", st2.Completed)
+	}
+	if sum.Verify.Tasks != 60 || sum.Verify.Accepted != 60 {
+		t.Errorf("final state: %+v", sum.Verify)
+	}
+	if sum.WrongResults != 0 || sum.Verify.MismatchDetected != 0 {
+		t.Errorf("recovery corrupted results: %+v", sum.Verify)
+	}
+	// The restored participant's credit survives the restart.
+	if len(sum.Credits) < 2 {
+		t.Fatalf("leaderboard %v", sum.Credits)
+	}
+	total := 0
+	for _, e := range sum.Credits {
+		total += e.Credit
+	}
+	if total != 120 {
+		t.Errorf("total credit %d, want 120 contributions", total)
+	}
+}
+
+// TestJournalRestoreOfCompleteRun yields a supervisor that is already
+// finished: Wait returns immediately and workers get Done.
+func TestJournalRestoreOfCompleteRun(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(10), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journal bytes.Buffer
+	sup1, err := NewSupervisor(SupervisorConfig{Plan: p, Iters: 5, Journal: &journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sup1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWorker(WorkerConfig{Addr: addr, Name: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	sup1.Wait()
+	sup1.Close()
+
+	sup2, err := NewSupervisor(SupervisorConfig{
+		Plan: p, Iters: 5, Restore: bytes.NewReader(journal.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup2.Wait() // must not block
+	addr2, err := sup2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup2.Close()
+	st, err := RunWorker(WorkerConfig{Addr: addr2, Name: "late"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 0 {
+		t.Errorf("late worker completed %d assignments on a finished run", st.Completed)
+	}
+}
+
+func TestJournalReplayTornTailTolerated(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(5), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := `{"task":0,"copy":0,"participant":1,"value":7}` + "\n"
+	torn := good + `{"task":1,"cop` // crash mid-write
+	sup, err := NewSupervisor(SupervisorConfig{
+		Plan: p, Iters: 5, Restore: strings.NewReader(torn),
+	})
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if sup.restored != 1 {
+		t.Errorf("restored %d, want 1", sup.restored)
+	}
+}
+
+func TestJournalReplayInteriorCorruptionRejected(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(5), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "not json\n" + `{"task":0,"copy":0,"participant":1,"value":7}` + "\n"
+	if _, err := NewSupervisor(SupervisorConfig{
+		Plan: p, Iters: 5, Restore: strings.NewReader(bad),
+	}); err == nil {
+		t.Error("interior corruption accepted")
+	}
+	// Unknown assignment (copy out of range) is also corruption when
+	// followed by more records.
+	bogus := `{"task":99,"copy":5,"participant":1,"value":7}` + "\n" +
+		`{"task":0,"copy":0,"participant":1,"value":7}` + "\n"
+	if _, err := NewSupervisor(SupervisorConfig{
+		Plan: p, Iters: 5, Restore: strings.NewReader(bogus),
+	}); err == nil {
+		t.Error("unknown-assignment record accepted")
+	}
+}

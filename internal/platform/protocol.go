@@ -1,0 +1,93 @@
+// Package platform is a runnable miniature volunteer-computing platform in
+// the mold the paper assumes: a supervisor process distributes assignments
+// produced by a redundancy plan to worker processes over TCP, collects
+// results, certifies them by redundancy, checks ringers against
+// precomputed values, and blacklists implicated participants.
+//
+// The wire protocol is newline-delimited JSON — one object per line in each
+// direction — chosen so a worker can be driven by hand with netcat while
+// debugging. The unit of work ("assignment": code + data, §2) is a named
+// work function plus a payload; workers execute the computation for real.
+package platform
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Message is the single envelope type exchanged in both directions; Type
+// selects which fields are meaningful.
+type Message struct {
+	Type string `json:"type"`
+
+	// register / registered
+	Name          string `json:"name,omitempty"`
+	ParticipantID int    `json:"participant_id,omitempty"`
+
+	// work
+	TaskID int     `json:"task_id,omitempty"`
+	Copy   int     `json:"copy,omitempty"`
+	Kind   string  `json:"kind,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	Iters  int     `json:"iters,omitempty"`
+	Ringer bool    `json:"ringer,omitempty"` // never sent to workers; used in tests
+	Value  uint64  `json:"value,omitempty"`
+	Wait   float64 `json:"wait_seconds,omitempty"`
+
+	// error
+	Error string `json:"error,omitempty"`
+}
+
+// Message types, worker → supervisor.
+const (
+	MsgRegister    = "register"
+	MsgRequestWork = "request_work"
+	MsgResult      = "result"
+)
+
+// Message types, supervisor → worker.
+const (
+	MsgRegistered = "registered"
+	MsgWork       = "work"
+	MsgNoWork     = "no_work" // retry after Wait seconds
+	MsgDone       = "done"    // computation finished; disconnect
+	MsgAck        = "ack"
+	MsgError      = "error"
+)
+
+// Codec frames Messages over a byte stream, one JSON object per line.
+type Codec struct {
+	enc *json.Encoder
+	sc  *bufio.Scanner
+}
+
+// NewCodec wraps a bidirectional stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Codec{enc: json.NewEncoder(rw), sc: sc}
+}
+
+// Send writes one message (json.Encoder appends the newline).
+func (c *Codec) Send(m Message) error { return c.enc.Encode(m) }
+
+// Recv reads the next message, returning io.EOF at end of stream.
+func (c *Codec) Recv() (Message, error) {
+	for c.sc.Scan() {
+		line := c.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal(line, &m); err != nil {
+			return Message{}, fmt.Errorf("platform: bad frame: %w", err)
+		}
+		return m, nil
+	}
+	if err := c.sc.Err(); err != nil {
+		return Message{}, err
+	}
+	return Message{}, io.EOF
+}

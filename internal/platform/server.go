@@ -1,0 +1,477 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"redundancy/internal/plan"
+	"redundancy/internal/rng"
+	"redundancy/internal/sched"
+	"redundancy/internal/verify"
+)
+
+// SupervisorConfig parameterizes a supervisor server.
+type SupervisorConfig struct {
+	// Plan is the redundancy plan to execute.
+	Plan *plan.Plan
+	// Policy is the assignment-release discipline (default Free).
+	Policy sched.Policy
+	// WorkKind names the work function (default "hashchain").
+	WorkKind string
+	// Iters is the per-task work amount (default 1000).
+	Iters int
+	// Seed shuffles the assignment order.
+	Seed uint64
+	// Deadline, when positive, bounds how long an assignment may stay out
+	// with one participant before it is reclaimed and re-issued to another
+	// (volunteer hosts stall, sleep, or disappear silently). A participant
+	// submitting after its assignment was reclaimed is rejected.
+	Deadline time.Duration
+	// Journal, when non-nil, receives one JSON line per accepted result;
+	// a supervisor restarted with the same plan and Restore pointed at the
+	// journal resumes without re-running completed work.
+	Journal io.Writer
+	// Restore, when non-nil, is replayed at construction (see Journal).
+	Restore io.Reader
+	// ResultDigits, when positive, matches returned values as float64 bit
+	// patterns quantized to that many significant decimal digits instead of
+	// exactly — for floating-point workloads whose results agree only to a
+	// tolerance across heterogeneous hosts. 0 keeps exact matching.
+	ResultDigits int
+	// ResolveMismatches enables the "reactive measure" the paper alludes
+	// to: when redundancy exposes a mismatch on a regular task, the
+	// supervisor recomputes the task itself on trusted hardware, salvaging
+	// a correct certified value at precompute cost. Off by default — it is
+	// exactly the expensive fallback static redundancy tries to avoid.
+	ResolveMismatches bool
+	// Logf, when set, receives progress lines (e.g. log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Supervisor is the trusted coordinator: it owns the assignment queue and
+// the verification pipeline and serves workers over TCP.
+type Supervisor struct {
+	cfg  SupervisorConfig
+	work WorkFunc
+
+	mu        sync.Mutex
+	queue     *sched.Queue
+	collector *verify.Collector
+	credits   *CreditLedger
+	inflight  map[outstandingKey]inflightInfo
+	nextID    int
+	names     map[int]string
+	resolved  map[int]uint64 // taskID → supervisor-recomputed value
+	restored  int            // results recovered from the journal
+	finished  bool
+
+	done chan struct{} // closed when every task is adjudicated
+	stop chan struct{} // closed by Close; halts the deadline sweeper
+
+	ln     net.Listener
+	connWG sync.WaitGroup
+}
+
+// NewSupervisor validates the configuration and builds the supervisor.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Plan == nil {
+		return nil, errors.New("platform: nil plan")
+	}
+	if cfg.WorkKind == "" {
+		cfg.WorkKind = "hashchain"
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 1000
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	work, err := Work(cfg.WorkKind)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		cfg:      cfg,
+		work:     work,
+		names:    make(map[int]string),
+		resolved: make(map[int]uint64),
+		credits:  NewCreditLedger(),
+		done:     make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	// Ringer truth: the supervisor precomputes the work function itself.
+	s.collector = verify.NewCollector(func(taskID int) uint64 {
+		return work(TaskSeed(taskID), cfg.Iters)
+	})
+	if cfg.ResultDigits > 0 {
+		s.collector.SetComparator(verify.Quantize{Digits: cfg.ResultDigits})
+	}
+	// Credit accounting: awarded only at certification, so claiming credit
+	// for uncompleted or rejected work is structurally impossible; a
+	// conviction revokes a participant's standing entirely.
+	s.collector.OnVerdict(func(v verify.Verdict) {
+		if v.Accepted {
+			s.credits.Award(v.Contributors)
+		}
+		if v.Ringer && v.MismatchDetected {
+			for _, p := range v.Suspects {
+				s.credits.Revoke(p)
+			}
+		}
+	})
+	specs := cfg.Plan.Tasks()
+	for _, sp := range specs {
+		s.collector.Expect(sp.ID, sp.Copies)
+	}
+	s.queue, err = sched.NewQueue(specs, cfg.Policy, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Restore != nil {
+		n, maxP, err := replayJournal(cfg.Restore, s.collector, s.queue)
+		if err != nil {
+			return nil, err
+		}
+		s.restored = n
+		if maxP >= s.nextID {
+			s.nextID = maxP + 1 // never reuse a journaled participant ID
+		}
+		s.cfg.Logf("restored %d results from journal (%d assignments remain)",
+			n, s.queue.Total()-s.queue.Issued())
+		if s.queue.Done() {
+			s.finished = true
+			close(s.done)
+		}
+	}
+	return s, nil
+}
+
+// Start begins listening on addr (e.g. "127.0.0.1:0") and serving workers.
+// It returns the bound address.
+func (s *Supervisor) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	if s.cfg.Deadline > 0 {
+		go s.sweepLoop()
+	}
+	s.cfg.Logf("supervisor listening on %s (%d assignments, %d tasks)",
+		ln.Addr(), s.queue.Total(), s.cfg.Plan.N+s.cfg.Plan.Ringers)
+	return ln.Addr().String(), nil
+}
+
+func (s *Supervisor) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer conn.Close()
+			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.cfg.Logf("connection error: %v", err)
+			}
+		}()
+	}
+}
+
+// connState tracks the assignments a single connection currently holds
+// (keyed by assignment, valued by the participant it was issued to), so
+// work lost to a dropped connection can be re-issued.
+type connState struct {
+	held map[outstandingKey]int
+	// registered holds the participant IDs created over this connection;
+	// work requests and results must name one of them, so a client cannot
+	// impersonate another participant (e.g. by guessing a small ID).
+	registered map[int]bool
+}
+
+// serve handles one worker connection. When the connection ends — cleanly
+// or not — any assignment it still holds is returned to the queue and
+// re-issued to another participant: volunteer hosts leave all the time and
+// the computation must not stall on them.
+func (s *Supervisor) serve(conn io.ReadWriter) error {
+	codec := NewCodec(conn)
+	cs := &connState{held: make(map[outstandingKey]int), registered: make(map[int]bool)}
+	defer s.reclaim(cs)
+	for {
+		m, err := codec.Recv()
+		if err != nil {
+			return err
+		}
+		var reply Message
+		switch m.Type {
+		case MsgRegister:
+			reply = s.register(m)
+			if reply.Type == MsgRegistered {
+				cs.registered[reply.ParticipantID] = true
+			}
+		case MsgRequestWork:
+			if !cs.registered[m.ParticipantID] {
+				reply = Message{Type: MsgError, Error: "participant not registered on this connection"}
+				break
+			}
+			reply = s.assign(m, cs)
+		case MsgResult:
+			if !cs.registered[m.ParticipantID] {
+				reply = Message{Type: MsgError, Error: "participant not registered on this connection"}
+				break
+			}
+			reply = s.result(m, cs)
+		default:
+			reply = Message{Type: MsgError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
+		}
+		if err := codec.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// reclaim re-queues every assignment a dead connection still held. An
+// assignment that the deadline sweeper already reclaimed — and possibly
+// re-issued to another participant under the same key — is left alone:
+// ownership is verified before abandoning.
+func (s *Supervisor) reclaim(cs *connState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, holder := range cs.held {
+		info, ok := s.inflight[key]
+		if !ok || info.participant != holder {
+			continue
+		}
+		delete(s.inflight, key)
+		s.queue.Abandon(info.a)
+		s.cfg.Logf("reclaimed task %d copy %d from departed participant %d",
+			info.a.TaskID, info.a.Copy, info.participant)
+	}
+}
+
+func (s *Supervisor) register(m Message) Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.names[id] = m.Name
+	s.cfg.Logf("registered participant %d (%s)", id, m.Name)
+	return Message{Type: MsgRegistered, ParticipantID: id}
+}
+
+func (s *Supervisor) assign(m Message, cs *connState) Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Only conclusive (ringer) evidence denies further work: a 2-way
+	// mismatch cannot say which party lied, and refusing every suspect
+	// would let an adversary starve the computation by framing honest
+	// participants.
+	if s.collector.Convicted(m.ParticipantID) {
+		return Message{Type: MsgError, Error: "participant is blacklisted"}
+	}
+	if s.finished {
+		return Message{Type: MsgDone}
+	}
+	a, ok := s.queue.Next()
+	if !ok {
+		if s.queue.Done() {
+			return Message{Type: MsgDone}
+		}
+		// Policy is holding copies back; ask the worker to retry.
+		return Message{Type: MsgNoWork, Wait: 0.05}
+	}
+	s.outstanding(m.ParticipantID, a)
+	cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
+	return Message{
+		Type:   MsgWork,
+		TaskID: a.TaskID,
+		Copy:   a.Copy,
+		Kind:   s.cfg.WorkKind,
+		Seed:   TaskSeed(a.TaskID),
+		Iters:  s.cfg.Iters,
+	}
+}
+
+// outstanding records who holds which assignment so results can be matched
+// back. Keyed by (task, copy).
+type outstandingKey struct{ task, copy int }
+
+func (s *Supervisor) outstanding(participant int, a sched.Assignment) {
+	if s.inflight == nil {
+		s.inflight = make(map[outstandingKey]inflightInfo)
+	}
+	s.inflight[outstandingKey{a.TaskID, a.Copy}] = inflightInfo{participant, a, time.Now()}
+}
+
+type inflightInfo struct {
+	participant int
+	a           sched.Assignment
+	issuedAt    time.Time
+}
+
+// sweepLoop periodically reclaims assignments held past the deadline.
+func (s *Supervisor) sweepLoop() {
+	tick := time.NewTicker(s.cfg.Deadline / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.sweepExpired()
+		}
+	}
+}
+
+func (s *Supervisor) sweepExpired() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := time.Now().Add(-s.cfg.Deadline)
+	for key, info := range s.inflight {
+		if info.issuedAt.Before(cutoff) {
+			delete(s.inflight, key)
+			s.queue.Abandon(info.a)
+			s.cfg.Logf("deadline exceeded: reclaimed task %d copy %d from participant %d",
+				info.a.TaskID, info.a.Copy, info.participant)
+		}
+	}
+}
+
+func (s *Supervisor) result(m Message, cs *connState) Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := outstandingKey{m.TaskID, m.Copy}
+	info, ok := s.inflight[key]
+	if !ok {
+		return Message{Type: MsgError, Error: "result for unassigned work"}
+	}
+	if info.participant != m.ParticipantID {
+		return Message{Type: MsgError, Error: "result from wrong participant"}
+	}
+	delete(s.inflight, key)
+	delete(cs.held, key)
+	v, adjudicated, err := s.collector.Submit(verify.Result{
+		Assignment:  info.a,
+		Participant: m.ParticipantID,
+		Value:       m.Value,
+	})
+	if err != nil {
+		return Message{Type: MsgError, Error: err.Error()}
+	}
+	s.queue.Complete(info.a)
+	if s.cfg.Journal != nil {
+		if err := appendJournal(s.cfg.Journal, journalRecord{
+			TaskID:      m.TaskID,
+			Copy:        m.Copy,
+			Ringer:      info.a.Ringer,
+			Participant: m.ParticipantID,
+			Value:       m.Value,
+		}); err != nil {
+			s.cfg.Logf("journal write failed: %v", err)
+		}
+	}
+	if adjudicated && v.MismatchDetected {
+		s.cfg.Logf("CHEAT DETECTED on task %d (suspects %v)", v.TaskID, v.Suspects)
+		if s.cfg.ResolveMismatches && !v.Ringer {
+			// Reactive measure: the supervisor recomputes the disputed
+			// task on trusted hardware.
+			s.resolved[v.TaskID] = s.work(TaskSeed(v.TaskID), s.cfg.Iters)
+			s.cfg.Logf("task %d resolved by supervisor recomputation", v.TaskID)
+		}
+	}
+	if s.queue.Done() && !s.finished {
+		s.finished = true
+		close(s.done)
+	}
+	return Message{Type: MsgAck}
+}
+
+// Wait blocks until every task has been adjudicated.
+func (s *Supervisor) Wait() { <-s.done }
+
+// Close shuts the listener down and waits for connections to finish.
+func (s *Supervisor) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.connWG.Wait()
+	return err
+}
+
+// Summary is a snapshot of the platform's verification state.
+type Summary struct {
+	Participants int
+	Verify       verify.Stats
+	// Blacklist holds every suspect, including participants implicated
+	// only circumstantially (a 2-way mismatch suspects both parties).
+	Blacklist []int
+	// Convicted holds participants caught by conclusive ringer evidence;
+	// only these are refused further work.
+	Convicted    []int
+	WrongResults int // certified values that differ from the true computation
+	// Restored counts results recovered from the journal at startup.
+	Restored int
+	// Resolved counts disputed tasks the supervisor recomputed itself
+	// (only with ResolveMismatches enabled).
+	Resolved int
+	// Credits is the per-participant leaderboard: one credit per
+	// contribution to a certified task, zeroed by conviction.
+	Credits []CreditEntry
+}
+
+// Summary reports current progress; safe to call at any time.
+func (s *Supervisor) Summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := Summary{
+		Participants: s.nextID,
+		Verify:       s.collector.Stats(),
+		Blacklist:    s.collector.Blacklist(),
+		Convicted:    s.collector.ConvictedList(),
+		Credits:      s.credits.Leaderboard(),
+		Resolved:     len(s.resolved),
+		Restored:     s.restored,
+	}
+	var cmp verify.Comparator = verify.Exact{}
+	if s.cfg.ResultDigits > 0 {
+		cmp = verify.Quantize{Digits: s.cfg.ResultDigits}
+	}
+	for _, v := range s.collector.Verdicts() {
+		truth := s.work(TaskSeed(v.TaskID), s.cfg.Iters)
+		if v.Accepted && cmp.Canonical(v.Value) != cmp.Canonical(truth) {
+			sum.WrongResults++
+		}
+	}
+	return sum
+}
+
+// CertifiedValue returns the final value of a task and whether one exists:
+// the redundancy-certified value, or the supervisor's own recomputation for
+// resolved disputes.
+func (s *Supervisor) CertifiedValue(taskID int) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.resolved[taskID]; ok {
+		return v, true
+	}
+	for _, v := range s.collector.Verdicts() {
+		if v.TaskID == taskID && v.Accepted {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}

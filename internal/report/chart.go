@@ -1,0 +1,128 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more y(x) series as an ASCII scatter/line chart —
+// enough to eyeball the shape of Figure 1 or Figure 3 in a terminal
+// without leaving the reproduction harness.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name  string
+	glyph rune
+	xs    []float64
+	ys    []float64
+}
+
+// seriesGlyphs are assigned to series in order.
+var seriesGlyphs = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// NewChart creates an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends a named series; xs and ys must have equal lengths.
+func (c *Chart) AddSeries(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("report: chart series length mismatch")
+	}
+	glyph := seriesGlyphs[len(c.series)%len(seriesGlyphs)]
+	c.series = append(c.series, chartSeries{name: name, glyph: glyph, xs: xs, ys: ys})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	// Data bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.xs {
+			if math.IsNaN(s.xs[i]) || math.IsNaN(s.ys[i]) {
+				continue
+			}
+			points++
+			xmin, xmax = math.Min(xmin, s.xs[i]), math.Max(xmax, s.xs[i])
+			ymin, ymax = math.Min(ymin, s.ys[i]), math.Max(ymax, s.ys[i])
+		}
+	}
+	if points == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	for _, s := range c.series {
+		for i := range s.xs {
+			if math.IsNaN(s.xs[i]) || math.IsNaN(s.ys[i]) {
+				continue
+			}
+			col := int((s.xs[i] - xmin) / (xmax - xmin) * float64(w-1))
+			row := h - 1 - int((s.ys[i]-ymin)/(ymax-ymin)*float64(h-1))
+			grid[row][col] = s.glyph
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yHi := fmt.Sprintf("%.4g", ymax)
+	yLo := fmt.Sprintf("%.4g", ymin)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yHi)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", margin), w-len(fmt.Sprintf("%.4g", xmax)),
+		fmt.Sprintf("%.4g", xmin), fmt.Sprintf("%.4g", xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", margin), s.glyph, s.name)
+	}
+	return b.String()
+}

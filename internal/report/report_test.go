@@ -1,0 +1,122 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 100)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Alignment: "Value" column starts at the same offset in all rows.
+	off := strings.Index(lines[1], "Value")
+	if idx := strings.Index(lines[3], "1.5000"); idx != off {
+		t.Errorf("misaligned value column: %d vs %d\n%s", idx, off, s)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(2.0) // integral float → no decimals
+	tb.AddRow(2.5) // fractional → 4 decimals
+	tb.AddRow(1_000_000.0)
+	s := tb.String()
+	if !strings.Contains(s, "\n2\n") && !strings.Contains(s, "\n2      \n") && !strings.Contains(s, "2      ") {
+		t.Errorf("integral float rendered oddly:\n%s", s)
+	}
+	if !strings.Contains(s, "2.5000") {
+		t.Errorf("fractional float missing:\n%s", s)
+	}
+	if !strings.Contains(s, "1000000") {
+		t.Errorf("large integral float missing:\n%s", s)
+	}
+}
+
+func TestRowsCounterAndStrings(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	if tb.Rows() != 0 {
+		t.Error("fresh table has rows")
+	}
+	tb.AddRowStrings("x", "y")
+	tb.AddRow(1, "z")
+	if tb.Rows() != 2 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRowStrings(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	want := "a,b\n\"with,comma\",\"with\"\"quote\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestEmptyTitleOmitted(t *testing.T) {
+	tb := NewTable("", "h")
+	tb.AddRow("v")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title produced a blank first line")
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart("demo", "p", "P(detect)")
+	xs := []float64{0, 0.25, 0.5}
+	c.AddSeries("balanced", xs, []float64{0.5, 0.4, 0.3})
+	c.AddSeries("lp", xs, []float64{0.5, 0.05, 0.0})
+	s := c.String()
+	for _, frag := range []string{"demo", "*", "+", "balanced", "lp", "x: p", "0.5", "+----"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("chart missing %q:\n%s", frag, s)
+		}
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) < 20 {
+		t.Errorf("chart suspiciously small: %d lines", len(lines))
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	c := NewChart("empty", "", "")
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	// Constant series (zero range) must not divide by zero.
+	c2 := NewChart("flat", "", "")
+	c2.AddSeries("const", []float64{1, 2, 3}, []float64{5, 5, 5})
+	if s := c2.String(); !strings.Contains(s, "*") {
+		t.Errorf("flat series not plotted:\n%s", s)
+	}
+	// NaNs are skipped, not plotted.
+	c3 := NewChart("nan", "", "")
+	c3.AddSeries("n", []float64{1, math.NaN()}, []float64{1, 2})
+	_ = c3.String()
+}
+
+func TestChartSeriesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChart("", "", "").AddSeries("bad", []float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,454 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	a := New(7)
+	first := []uint64{a.Uint64(), a.Uint64(), a.Uint64()}
+	a.Reseed(7)
+	for i, w := range first {
+		if g := a.Uint64(); g != w {
+			t.Fatalf("draw %d after Reseed: got %d want %d", i, g, w)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	parent := New(99)
+	c1, c2 := parent.Split(1), parent.Split(2)
+	c1again := parent.Split(1)
+	for i := 0; i < 100; i++ {
+		v1 := c1.Uint64()
+		if v1 != c1again.Uint64() {
+			t.Fatal("Split is not deterministic for identical ids")
+		}
+		if v1 == c2.Uint64() {
+			t.Fatal("distinct split ids produced identical draws")
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(5), New(5)
+	_ = a.Split(3)
+	if a.Uint64() != b.Uint64() {
+		t.Error("Split advanced the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(17)
+	const buckets, draws = 10, 100_000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(23)
+	for _, n := range []uint64{1, 2, 3, 7, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(6)
+	const n = 100_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	f := func(n uint8) bool {
+		nn := int(n%50) + 1
+		p := r.Perm(nn)
+		seen := make([]bool, nn)
+		for _, v := range p {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	r := New(9)
+	const n, draws = 5, 50_000
+	var firstCount [n]int
+	for d := 0; d < draws; d++ {
+		p := r.Perm(n)
+		firstCount[p[0]]++
+	}
+	want := float64(draws) / n
+	for v, c := range firstCount {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d first %d times, want ~%v", v, c, want)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(31)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{100, 0.02},  // sparse path
+		{50, 0.5},    // symmetric
+		{2000, 0.4},  // dense path
+		{200, 0.95},  // symmetry reflection
+		{1, 0.3},     // tiny n
+		{100, 0.999}, // near-certain
+	}
+	for _, c := range cases {
+		const trials = 20_000
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			v := float64(r.Binomial(c.n, c.p))
+			if v < 0 || v > float64(c.n) {
+				t.Fatalf("Binomial(%d,%v) out of range: %v", c.n, c.p, v)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / trials
+		wantMean := float64(c.n) * c.p
+		variance := sumsq/trials - mean*mean
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		seMean := math.Sqrt(wantVar / trials)
+		if math.Abs(mean-wantMean) > 6*seMean+1e-9 {
+			t.Errorf("Binomial(%d,%v): mean %v want %v", c.n, c.p, mean, wantMean)
+		}
+		if wantVar > 0.5 && math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("Binomial(%d,%v): var %v want %v", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(33)
+	if r.Binomial(0, 0.5) != 0 {
+		t.Error("Binomial(0, .5) != 0")
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Error("Binomial(10, 0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Error("Binomial(10, 1) != 10")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(44)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(100)
+		k := r.Intn(n + 1)
+		s := r.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			t.Fatalf("sample size %d, want %d", len(s), k)
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("invalid sample %v from [0,%d)", s, n)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,n) should appear in a k-subset with probability k/n.
+	r := New(55)
+	const n, k, draws = 10, 3, 60_000
+	var counts [n]int
+	for d := 0; d < draws; d++ {
+		for _, v := range r.SampleWithoutReplacement(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(draws) * k / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d chosen %d times, want ~%v", v, c, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkBinomialSparse(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(10_000, 0.001)
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	r := New(71)
+	cases := []struct{ pop, succ, draws int }{
+		{100, 30, 10},
+		{1000, 500, 100},
+		{50, 5, 40}, // symmetry-reduced branch
+		{20, 20, 7}, // all successes
+		{20, 0, 7},  // no successes
+		{10, 4, 10}, // draw everything
+	}
+	for _, c := range cases {
+		const trials = 20_000
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			v := float64(r.Hypergeometric(c.pop, c.succ, c.draws))
+			if v < 0 || v > float64(c.succ) || v > float64(c.draws) {
+				t.Fatalf("%+v: out of range %v", c, v)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		n, K, N := float64(c.draws), float64(c.succ), float64(c.pop)
+		wantMean := n * K / N
+		mean := sum / trials
+		var wantVar float64
+		if N > 1 {
+			wantVar = n * K / N * (N - K) / N * (N - n) / (N - 1)
+		}
+		se := math.Sqrt(wantVar/trials) + 1e-9
+		if math.Abs(mean-wantMean) > 6*se+1e-9 {
+			t.Errorf("%+v: mean %v want %v", c, mean, wantMean)
+		}
+		variance := sumsq/trials - mean*mean
+		if wantVar > 0.5 && math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("%+v: var %v want %v", c, variance, wantVar)
+		}
+	}
+}
+
+func TestHypergeometricDegenerate(t *testing.T) {
+	r := New(2)
+	if r.Hypergeometric(10, 10, 4) != 4 {
+		t.Error("all-success population must return draws")
+	}
+	if r.Hypergeometric(10, 0, 4) != 0 {
+		t.Error("no-success population must return 0")
+	}
+	if r.Hypergeometric(10, 3, 10) != 3 {
+		t.Error("drawing everything must return all successes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid parameters should panic")
+		}
+	}()
+	r.Hypergeometric(5, 6, 1)
+}
+
+func TestHypergeometricApproachesBinomial(t *testing.T) {
+	// With a huge population the without-replacement correction vanishes:
+	// compare distributions via mean and variance.
+	r := New(3)
+	const pop, succ, draws, trials = 1_000_000, 200_000, 50, 30_000
+	var s Hyp
+	for i := 0; i < trials; i++ {
+		s.add(float64(r.Hypergeometric(pop, succ, draws)))
+	}
+	wantMean := float64(draws) * 0.2
+	wantVar := float64(draws) * 0.2 * 0.8
+	if math.Abs(s.mean()-wantMean) > 0.1 {
+		t.Errorf("mean %v, binomial limit %v", s.mean(), wantMean)
+	}
+	if math.Abs(s.variance()-wantVar) > 0.5 {
+		t.Errorf("variance %v, binomial limit %v", s.variance(), wantVar)
+	}
+}
+
+// Hyp is a minimal moment accumulator local to this test file.
+type Hyp struct {
+	n          int
+	sum, sumsq float64
+}
+
+func (h *Hyp) add(x float64)     { h.n++; h.sum += x; h.sumsq += x * x }
+func (h *Hyp) mean() float64     { return h.sum / float64(h.n) }
+func (h *Hyp) variance() float64 { m := h.mean(); return h.sumsq/float64(h.n) - m*m }
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(81)
+	var s Hyp
+	for i := 0; i < 200_000; i++ {
+		s.add(r.NormFloat64())
+	}
+	if math.Abs(s.mean()) > 0.01 {
+		t.Errorf("normal mean %v", s.mean())
+	}
+	if math.Abs(s.variance()-1) > 0.02 {
+		t.Errorf("normal variance %v", s.variance())
+	}
+}
+
+func TestContinuousDistributionMeans(t *testing.T) {
+	r := New(82)
+	const mean, trials = 3.5, 300_000
+	draws := map[string]func() float64{
+		"exponential": func() float64 { return r.Exponential(mean) },
+		"lognormal":   func() float64 { return r.LogNormal(mean, 1.0) },
+		"pareto":      func() float64 { return r.Pareto(mean, 2.5) },
+	}
+	for name, draw := range draws {
+		var s Hyp
+		for i := 0; i < trials; i++ {
+			v := draw()
+			if v <= 0 {
+				t.Fatalf("%s produced non-positive %v", name, v)
+			}
+			s.add(v)
+		}
+		// Pareto(α=2.5) has finite variance; tolerances are loose to cover
+		// its slow convergence.
+		tol := 0.05 * mean
+		if math.Abs(s.mean()-mean) > tol {
+			t.Errorf("%s: mean %v, want %v", name, s.mean(), mean)
+		}
+	}
+}
+
+func TestContinuousDistributionPanics(t *testing.T) {
+	r := New(83)
+	for _, f := range []func(){
+		func() { r.Exponential(0) },
+		func() { r.LogNormal(0, 1) },
+		func() { r.LogNormal(1, 0) },
+		func() { r.Pareto(1, 1) },
+		func() { r.Pareto(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReseedClearsNormalSpare(t *testing.T) {
+	a, b := New(4), New(4)
+	_ = a.NormFloat64() // leaves a spare cached
+	a.Reseed(4)
+	if a.NormFloat64() != b.NormFloat64() {
+		t.Error("Reseed did not clear the polar-method spare")
+	}
+}
+
+func TestBoolIsFair(t *testing.T) {
+	r := New(91)
+	trues := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if rate := float64(trues) / n; math.Abs(rate-0.5) > 0.01 {
+		t.Errorf("Bool rate %v", rate)
+	}
+}

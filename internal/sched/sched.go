@@ -1,0 +1,214 @@
+// Package sched turns a deployment plan into a concrete stream of
+// assignments and implements the distribution policies discussed in the
+// paper's introduction:
+//
+//   - Free: all copies of all tasks are shuffled together and handed out in
+//     random order (the standard model, and the one the paper's probability
+//     analysis assumes);
+//   - OneOutstanding: at most one copy of any task is in flight at a time
+//     (§1's "obvious variation", which doubles wall-clock time and still
+//     fails against a 1/sqrt(N)-proportion adversary);
+//   - TwoPhase: every task handed out once in phase one, then once more in
+//     phase two (the Appendix-A model for simple redundancy).
+package sched
+
+import (
+	"fmt"
+
+	"redundancy/internal/plan"
+	"redundancy/internal/rng"
+)
+
+// Assignment is one copy of one task, the unit of work given to a
+// participant.
+type Assignment struct {
+	TaskID int
+	// Copy indexes the copies of a task, 0..Copies-1.
+	Copy int
+	// Ringer marks assignments of supervisor-precomputed tasks.
+	Ringer bool
+}
+
+// Policy names an assignment-release discipline.
+type Policy int
+
+// Available policies.
+const (
+	Free Policy = iota
+	OneOutstanding
+	TwoPhase
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Free:
+		return "free"
+	case OneOutstanding:
+		return "one-outstanding"
+	case TwoPhase:
+		return "two-phase"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Queue releases the assignments of a plan according to a Policy. It is not
+// safe for concurrent use; the simulator drives it from a single goroutine
+// (and the network platform serializes access).
+type Queue struct {
+	policy Policy
+
+	// ready assignments, dealt from the front.
+	ready []Assignment
+	// pending[taskID] holds copies not yet released (OneOutstanding and
+	// TwoPhase hold copies back until earlier ones complete / the phase
+	// turns).
+	pending map[int][]Assignment
+	// phase2 buffers the second copies under TwoPhase.
+	phase2 []Assignment
+
+	outstanding int
+	issued      int
+	total       int
+}
+
+// NewQueue builds a queue over the tasks of a plan, shuffled with r.
+// Under TwoPhase every task must have exactly two copies (the Appendix-A
+// setting); other multiplicities cause an error.
+func NewQueue(specs []plan.TaskSpec, policy Policy, r *rng.Source) (*Queue, error) {
+	q := &Queue{policy: policy, pending: make(map[int][]Assignment)}
+	switch policy {
+	case Free:
+		for _, s := range specs {
+			for c := 0; c < s.Copies; c++ {
+				q.ready = append(q.ready, Assignment{TaskID: s.ID, Copy: c, Ringer: s.Ringer})
+			}
+		}
+		shuffle(q.ready, r)
+	case OneOutstanding:
+		for _, s := range specs {
+			q.ready = append(q.ready, Assignment{TaskID: s.ID, Copy: 0, Ringer: s.Ringer})
+			for c := 1; c < s.Copies; c++ {
+				q.pending[s.ID] = append(q.pending[s.ID],
+					Assignment{TaskID: s.ID, Copy: c, Ringer: s.Ringer})
+			}
+		}
+		shuffle(q.ready, r)
+	case TwoPhase:
+		for _, s := range specs {
+			if s.Copies != 2 {
+				return nil, fmt.Errorf("sched: two-phase requires exactly 2 copies per task, task %d has %d", s.ID, s.Copies)
+			}
+			q.ready = append(q.ready, Assignment{TaskID: s.ID, Copy: 0, Ringer: s.Ringer})
+			q.phase2 = append(q.phase2, Assignment{TaskID: s.ID, Copy: 1, Ringer: s.Ringer})
+		}
+		shuffle(q.ready, r)
+		shuffle(q.phase2, r)
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %v", policy)
+	}
+	for _, s := range specs {
+		q.total += s.Copies
+	}
+	return q, nil
+}
+
+func shuffle(a []Assignment, r *rng.Source) {
+	r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+}
+
+// Next returns the next assignment to hand out. ok is false when nothing is
+// currently available — either the computation is finished (Done) or the
+// policy is holding copies back until outstanding work completes.
+func (q *Queue) Next() (a Assignment, ok bool) {
+	if len(q.ready) == 0 && q.policy == TwoPhase && q.outstanding == 0 && len(q.phase2) > 0 {
+		// Phase one fully collected; release phase two.
+		q.ready, q.phase2 = q.phase2, nil
+	}
+	if len(q.ready) == 0 {
+		return Assignment{}, false
+	}
+	a = q.ready[0]
+	q.ready = q.ready[1:]
+	q.outstanding++
+	q.issued++
+	return a, true
+}
+
+// Complete reports that the result for a has been returned, releasing any
+// copies the policy was holding back.
+func (q *Queue) Complete(a Assignment) {
+	if q.outstanding <= 0 {
+		panic("sched: Complete without outstanding assignment")
+	}
+	q.outstanding--
+	if q.policy == OneOutstanding {
+		if rest := q.pending[a.TaskID]; len(rest) > 0 {
+			q.ready = append(q.ready, rest[0])
+			if len(rest) == 1 {
+				delete(q.pending, a.TaskID)
+			} else {
+				q.pending[a.TaskID] = rest[1:]
+			}
+		}
+	}
+}
+
+// Abandon returns an issued-but-uncompleted assignment to the pool — the
+// participant holding it left the computation. The assignment is placed at
+// the back of the ready queue and will be re-issued to another participant.
+func (q *Queue) Abandon(a Assignment) {
+	if q.outstanding <= 0 {
+		panic("sched: Abandon without outstanding assignment")
+	}
+	q.outstanding--
+	q.issued--
+	q.ready = append(q.ready, a)
+}
+
+// MarkCompleted records that assignment a was already issued and completed
+// in a previous run (journal replay during supervisor recovery). It removes
+// the assignment from whichever pool currently holds it and applies the
+// policy's completion logic, releasing held-back copies exactly as a live
+// completion would. It reports whether the assignment was found.
+func (q *Queue) MarkCompleted(a Assignment) bool {
+	if removeAssignment(&q.ready, a) {
+		// fall through to completion accounting
+	} else if rest, ok := q.pending[a.TaskID]; ok && removeAssignment(&rest, a) {
+		if len(rest) == 0 {
+			delete(q.pending, a.TaskID)
+		} else {
+			q.pending[a.TaskID] = rest
+		}
+	} else if !removeAssignment(&q.phase2, a) {
+		return false
+	}
+	q.issued++
+	q.outstanding++
+	q.Complete(a)
+	return true
+}
+
+func removeAssignment(pool *[]Assignment, a Assignment) bool {
+	for i, x := range *pool {
+		if x == a {
+			*pool = append((*pool)[:i], (*pool)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Done reports whether every assignment has been issued and completed.
+func (q *Queue) Done() bool {
+	return q.issued == q.total && q.outstanding == 0
+}
+
+// Issued returns how many assignments have been handed out so far.
+func (q *Queue) Issued() int { return q.issued }
+
+// Total returns the total number of assignments the queue will release.
+func (q *Queue) Total() int { return q.total }
+
+// Outstanding returns the number of assignments in flight.
+func (q *Queue) Outstanding() int { return q.outstanding }

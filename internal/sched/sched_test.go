@@ -1,0 +1,376 @@
+package sched
+
+import (
+	"testing"
+
+	"redundancy/internal/plan"
+	"redundancy/internal/rng"
+)
+
+func specs(copies ...int) []plan.TaskSpec {
+	s := make([]plan.TaskSpec, len(copies))
+	for i, c := range copies {
+		s[i] = plan.TaskSpec{ID: i, Copies: c}
+	}
+	return s
+}
+
+// drain issues and completes everything, returning assignments in issue
+// order.
+func drain(t *testing.T, q *Queue) []Assignment {
+	t.Helper()
+	var out []Assignment
+	for !q.Done() {
+		a, ok := q.Next()
+		if !ok {
+			t.Fatal("queue stalled with work remaining")
+		}
+		out = append(out, a)
+		q.Complete(a)
+	}
+	return out
+}
+
+func TestFreePolicyReleasesEverything(t *testing.T) {
+	q, err := NewQueue(specs(1, 2, 3), Free, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Total() != 6 {
+		t.Fatalf("total = %d", q.Total())
+	}
+	got := drain(t, q)
+	if len(got) != 6 {
+		t.Fatalf("issued %d", len(got))
+	}
+	perTask := map[int]int{}
+	for _, a := range got {
+		perTask[a.TaskID]++
+	}
+	for id, want := range map[int]int{0: 1, 1: 2, 2: 3} {
+		if perTask[id] != want {
+			t.Errorf("task %d issued %d times, want %d", id, perTask[id], want)
+		}
+	}
+	if q.Issued() != 6 || q.Outstanding() != 0 {
+		t.Error("counters wrong after drain")
+	}
+}
+
+func TestFreeShuffleIsSeedDeterministic(t *testing.T) {
+	mk := func(seed uint64) []Assignment {
+		q, err := NewQueue(specs(2, 2, 2, 2), Free, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, q)
+	}
+	a, b, c := mk(5), mk(5), mk(6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different order")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical order (suspicious)")
+	}
+}
+
+func TestOneOutstandingNeverOverlapsCopies(t *testing.T) {
+	q, err := NewQueue(specs(3, 3, 3), OneOutstanding, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFlight := map[int]bool{}
+	var queue []Assignment
+	issued := 0
+	for !q.Done() {
+		// Issue as much as the policy allows, checking the invariant.
+		for {
+			a, ok := q.Next()
+			if !ok {
+				break
+			}
+			if inFlight[a.TaskID] {
+				t.Fatalf("two copies of task %d in flight", a.TaskID)
+			}
+			inFlight[a.TaskID] = true
+			queue = append(queue, a)
+			issued++
+		}
+		if len(queue) == 0 {
+			t.Fatal("stalled")
+		}
+		done := queue[0]
+		queue = queue[1:]
+		inFlight[done.TaskID] = false
+		q.Complete(done)
+	}
+	if issued != 9 {
+		t.Errorf("issued %d, want 9", issued)
+	}
+}
+
+func TestTwoPhaseBarrier(t *testing.T) {
+	q, err := NewQueue(specs(2, 2, 2), TwoPhase, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three phase-1 assignments come out.
+	var first []Assignment
+	for {
+		a, ok := q.Next()
+		if !ok {
+			break
+		}
+		first = append(first, a)
+	}
+	if len(first) != 3 {
+		t.Fatalf("phase 1 released %d", len(first))
+	}
+	for _, a := range first {
+		if a.Copy != 0 {
+			t.Errorf("phase 1 released copy %d of task %d", a.Copy, a.TaskID)
+		}
+	}
+	// Completing two of three does not open phase 2.
+	q.Complete(first[0])
+	q.Complete(first[1])
+	if _, ok := q.Next(); ok {
+		t.Fatal("phase 2 opened before phase 1 completed")
+	}
+	q.Complete(first[2])
+	count := 0
+	for {
+		a, ok := q.Next()
+		if !ok {
+			break
+		}
+		if a.Copy != 1 {
+			t.Errorf("phase 2 released copy %d", a.Copy)
+		}
+		q.Complete(a)
+		count++
+	}
+	if count != 3 || !q.Done() {
+		t.Errorf("phase 2 released %d, done=%v", count, q.Done())
+	}
+}
+
+func TestTwoPhaseRejectsWrongMultiplicity(t *testing.T) {
+	if _, err := NewQueue(specs(2, 3), TwoPhase, rng.New(1)); err == nil {
+		t.Error("expected error for non-2 multiplicity")
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	if _, err := NewQueue(specs(1), Policy(99), rng.New(1)); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestCompleteWithoutIssuePanics(t *testing.T) {
+	q, err := NewQueue(specs(1), Free, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Complete(Assignment{})
+}
+
+func TestRingerFlagPropagates(t *testing.T) {
+	s := []plan.TaskSpec{{ID: 0, Copies: 2, Ringer: true}, {ID: 1, Copies: 1}}
+	q, err := NewQueue(s, Free, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringers := 0
+	for _, a := range drain(t, q) {
+		if a.Ringer {
+			if a.TaskID != 0 {
+				t.Error("wrong task flagged as ringer")
+			}
+			ringers++
+		}
+	}
+	if ringers != 2 {
+		t.Errorf("ringer assignments = %d, want 2", ringers)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Free.String() != "free" || OneOutstanding.String() != "one-outstanding" ||
+		TwoPhase.String() != "two-phase" || Policy(7).String() == "" {
+		t.Error("Policy.String misbehaves")
+	}
+}
+
+func TestPlanIntegrationRoundTrip(t *testing.T) {
+	p, err := plan.Balanced(20_000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQueue(p.Tasks(), Free, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Total() != p.TotalAssignments() {
+		t.Fatalf("queue total %d, plan says %d", q.Total(), p.TotalAssignments())
+	}
+	got := drain(t, q)
+	copies := map[int]map[int]bool{}
+	for _, a := range got {
+		if copies[a.TaskID] == nil {
+			copies[a.TaskID] = map[int]bool{}
+		}
+		if copies[a.TaskID][a.Copy] {
+			t.Fatalf("copy %d of task %d issued twice", a.Copy, a.TaskID)
+		}
+		copies[a.TaskID][a.Copy] = true
+	}
+	if len(copies) != p.N+p.Ringers {
+		t.Errorf("saw %d distinct tasks, want %d", len(copies), p.N+p.Ringers)
+	}
+}
+
+func TestAbandonRequeues(t *testing.T) {
+	q, err := NewQueue(specs(1, 1), Free, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := q.Next()
+	if !ok {
+		t.Fatal("no work")
+	}
+	q.Abandon(a)
+	// Abandon rolls the issue back entirely: the assignment will count
+	// as issued again when re-dealt, keeping Done()'s books exact.
+	if q.Outstanding() != 0 || q.Issued() != 0 {
+		t.Errorf("after abandon: outstanding=%d issued=%d", q.Outstanding(), q.Issued())
+	}
+	// The abandoned assignment must come around again.
+	seen := map[Assignment]int{}
+	for !q.Done() {
+		x, ok := q.Next()
+		if !ok {
+			t.Fatal("stalled")
+		}
+		seen[x]++
+		q.Complete(x)
+	}
+	if seen[a] != 1 {
+		t.Errorf("abandoned assignment reissued %d times", seen[a])
+	}
+	if len(seen) != 2 {
+		t.Errorf("saw %d distinct assignments, want 2", len(seen))
+	}
+}
+
+func TestAbandonInTwoPhaseKeepsBarrier(t *testing.T) {
+	q, err := NewQueue(specs(2, 2), TwoPhase, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := q.Next()
+	a2, _ := q.Next()
+	q.Complete(a1)
+	q.Abandon(a2) // phase 1 not yet complete
+	if x, ok := q.Next(); !ok || x.Copy != 0 {
+		t.Fatalf("expected re-issued phase-1 copy, got %+v ok=%v", x, ok)
+	} else {
+		q.Complete(x)
+	}
+	// Now phase 2 opens.
+	x, ok := q.Next()
+	if !ok || x.Copy != 1 {
+		t.Fatalf("phase 2 did not open correctly: %+v ok=%v", x, ok)
+	}
+	q.Complete(x)
+	y, ok := q.Next()
+	if !ok || y.Copy != 1 {
+		t.Fatalf("second phase-2 copy missing: %+v", y)
+	}
+	q.Complete(y)
+	if !q.Done() {
+		t.Error("queue not done")
+	}
+}
+
+func TestAbandonWithoutIssuePanics(t *testing.T) {
+	q, err := NewQueue(specs(1), Free, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Abandon(Assignment{})
+}
+
+func TestMarkCompletedAcrossPolicies(t *testing.T) {
+	for _, pol := range []Policy{Free, OneOutstanding, TwoPhase} {
+		q, err := NewQueue(specs(2, 2), pol, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay: task 0's copy 0 was completed in a previous run.
+		if !q.MarkCompleted(Assignment{TaskID: 0, Copy: 0}) {
+			t.Fatalf("%v: MarkCompleted failed", pol)
+		}
+		if q.MarkCompleted(Assignment{TaskID: 0, Copy: 0}) {
+			t.Fatalf("%v: double MarkCompleted succeeded", pol)
+		}
+		if q.MarkCompleted(Assignment{TaskID: 9, Copy: 0}) {
+			t.Fatalf("%v: unknown assignment marked", pol)
+		}
+		// The remaining three assignments must still drain normally, with
+		// no duplicate of the replayed one.
+		seen := map[Assignment]bool{{TaskID: 0, Copy: 0}: true}
+		for !q.Done() {
+			a, ok := q.Next()
+			if !ok {
+				t.Fatalf("%v: stalled with %d issued", pol, q.Issued())
+			}
+			if seen[a] {
+				t.Fatalf("%v: assignment %+v issued twice", pol, a)
+			}
+			seen[a] = true
+			q.Complete(a)
+		}
+		if len(seen) != 4 {
+			t.Fatalf("%v: saw %d assignments, want 4", pol, len(seen))
+		}
+	}
+}
+
+func TestMarkCompletedReleasesPendingCopies(t *testing.T) {
+	// Under OneOutstanding, replaying copy 0 must release copy 1.
+	q, err := NewQueue(specs(2), OneOutstanding, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.MarkCompleted(Assignment{TaskID: 0, Copy: 0}) {
+		t.Fatal("replay failed")
+	}
+	a, ok := q.Next()
+	if !ok || a.Copy != 1 {
+		t.Fatalf("copy 1 not released: %+v ok=%v", a, ok)
+	}
+	q.Complete(a)
+	if !q.Done() {
+		t.Error("queue not done")
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"redundancy/internal/adversary"
+	"redundancy/internal/plan"
+	"redundancy/internal/rng"
+	"redundancy/internal/sched"
+)
+
+// CampaignConfig parameterizes a multi-round campaign: the supervisor runs
+// successive computations, and the adversary keeps attacking with the same
+// pool of identities until every one of them is implicated. It models the
+// paper's closing caveat — "a determined adversary will succeed in
+// disrupting the system if she makes a sufficient number of attempts...
+// it is highly likely, however, that in making these attempts she will be
+// detected" — and measures how much damage she does before burning out.
+type CampaignConfig struct {
+	// Plan is re-run every round (fresh tasks, same shape).
+	Plan *plan.Plan
+	// Policy, Participants, Strategy, service parameters: as in Config.
+	Policy              sched.Policy
+	Participants        int
+	AdversaryProportion float64
+	Strategy            adversary.Strategy
+	MeanServiceTime     float64
+	// Rounds bounds the campaign length.
+	Rounds int
+	// Seed makes the campaign reproducible.
+	Seed uint64
+}
+
+// RoundOutcome records one computation of a campaign.
+type RoundOutcome struct {
+	Round              int
+	ActiveMembers      int // coalition identities still unimplicated at round start
+	WrongAccepted      int
+	MismatchDetections int
+	NewlyImplicated    int // members blacklisted this round
+}
+
+// CampaignReport summarizes a campaign.
+type CampaignReport struct {
+	Rounds []RoundOutcome
+	// TotalWrongAccepted is the adversary's cumulative damage.
+	TotalWrongAccepted int
+	// RoundsUntilNeutralized is the first round after which no coalition
+	// member remains unimplicated (0 if never within the horizon).
+	RoundsUntilNeutralized int
+}
+
+// Campaign runs successive computations, removing implicated coalition
+// members from play between rounds (the supervisor's reactive measure: it
+// stops assigning work to suspects). Honest participants stay; the
+// coalition does not replenish — the paper's Sybil countermeasure of
+// curbing registration is outside the model, so the interesting question
+// is how long a fixed identity pool survives.
+func Campaign(cfg CampaignConfig) (*CampaignReport, error) {
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("sim: nil plan")
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("sim: campaign needs at least one round")
+	}
+	if cfg.Participants < 1 {
+		return nil, fmt.Errorf("sim: need at least one participant")
+	}
+	if cfg.AdversaryProportion < 0 || cfg.AdversaryProportion >= 1 {
+		return nil, fmt.Errorf("sim: adversary proportion must lie in [0,1)")
+	}
+	root := rng.New(cfg.Seed)
+	members := int(float64(cfg.Participants)*cfg.AdversaryProportion + 0.5)
+	active := members
+
+	rep := &CampaignReport{}
+	for round := 1; round <= cfg.Rounds; round++ {
+		if active == 0 {
+			break
+		}
+		// Each round is an independent computation with the surviving
+		// coalition proportion; implicated members no longer receive work.
+		p := float64(active) / float64(cfg.Participants)
+		r, err := Run(Config{
+			Plan:                cfg.Plan,
+			Policy:              cfg.Policy,
+			Participants:        cfg.Participants,
+			AdversaryProportion: p,
+			Strategy:            cfg.Strategy,
+			MeanServiceTime:     cfg.MeanServiceTime,
+			Seed:                root.Split(uint64(round)).Uint64(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: campaign round %d: %w", round, err)
+		}
+		out := RoundOutcome{
+			Round:              round,
+			ActiveMembers:      active,
+			WrongAccepted:      r.WrongAccepted,
+			MismatchDetections: r.MismatchDetections,
+			NewlyImplicated:    r.BlacklistedMembers,
+		}
+		rep.Rounds = append(rep.Rounds, out)
+		rep.TotalWrongAccepted += r.WrongAccepted
+		active -= r.BlacklistedMembers
+		if active < 0 {
+			active = 0
+		}
+		if active == 0 && rep.RoundsUntilNeutralized == 0 {
+			rep.RoundsUntilNeutralized = round
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"redundancy/internal/adversary"
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+	"redundancy/internal/sched"
+)
+
+func TestCampaignValidation(t *testing.T) {
+	p := balancedPlan(t, 100, 0.5)
+	bad := []CampaignConfig{
+		{Plan: nil, Rounds: 1, Participants: 10},
+		{Plan: p, Rounds: 0, Participants: 10},
+		{Plan: p, Rounds: 1, Participants: 0},
+		{Plan: p, Rounds: 1, Participants: 10, AdversaryProportion: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Campaign(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCampaignNeutralizesBlatantCheaters(t *testing.T) {
+	// Against the Balanced scheme an always-cheat coalition is implicated
+	// rapidly: each round blacklists most active members, so the campaign
+	// burns out in a few rounds with modest total damage.
+	rep, err := Campaign(CampaignConfig{
+		Plan:                balancedPlan(t, 5_000, 0.5),
+		Policy:              sched.Free,
+		Participants:        200,
+		AdversaryProportion: 0.2,
+		Strategy:            adversary.Always{},
+		Rounds:              20,
+		Seed:                9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundsUntilNeutralized == 0 {
+		t.Fatalf("coalition never neutralized in 20 rounds: %+v", rep.Rounds)
+	}
+	if rep.RoundsUntilNeutralized > 8 {
+		t.Errorf("neutralization took %d rounds; blatant cheating should burn out fast",
+			rep.RoundsUntilNeutralized)
+	}
+	// Active membership must be strictly decreasing until zero.
+	for i := 1; i < len(rep.Rounds); i++ {
+		if rep.Rounds[i].ActiveMembers >= rep.Rounds[i-1].ActiveMembers {
+			t.Errorf("round %d: active members did not shrink (%d -> %d)",
+				rep.Rounds[i].Round, rep.Rounds[i-1].ActiveMembers, rep.Rounds[i].ActiveMembers)
+		}
+	}
+	// Rounds after neutralization must not exist.
+	if len(rep.Rounds) != rep.RoundsUntilNeutralized {
+		t.Errorf("campaign ran %d rounds after neutralization at %d",
+			len(rep.Rounds), rep.RoundsUntilNeutralized)
+	}
+}
+
+func TestCampaignCautiousPairAttackerSurvivesSimpleRedundancy(t *testing.T) {
+	// The contrast: under simple redundancy the pair-only attacker is
+	// never implicated and keeps extracting wrong results every round —
+	// the motivating failure of the paper, in campaign form.
+	sp, err := plan.FromDistribution(dist.Simple(5_000), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Campaign(CampaignConfig{
+		Plan:                sp,
+		Policy:              sched.Free,
+		Participants:        200,
+		AdversaryProportion: 0.2,
+		Strategy:            adversary.AtLeast{MinCopies: 2},
+		Rounds:              5,
+		Seed:                10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundsUntilNeutralized != 0 {
+		t.Errorf("pair attacker neutralized at round %d; simple redundancy cannot catch it",
+			rep.RoundsUntilNeutralized)
+	}
+	if len(rep.Rounds) != 5 {
+		t.Fatalf("expected the full 5 rounds, got %d", len(rep.Rounds))
+	}
+	for _, r := range rep.Rounds {
+		if r.WrongAccepted == 0 {
+			t.Errorf("round %d: no wrong results despite full pair control ~4%% of tasks", r.Round)
+		}
+		if r.MismatchDetections != 0 {
+			t.Errorf("round %d: pair-only cheats detected", r.Round)
+		}
+	}
+	if rep.TotalWrongAccepted < 3*200 {
+		t.Errorf("total damage %d suspiciously low", rep.TotalWrongAccepted)
+	}
+}
+
+func TestCampaignIsSeedDeterministic(t *testing.T) {
+	cfg := CampaignConfig{
+		Plan:                balancedPlan(t, 2_000, 0.5),
+		Policy:              sched.Free,
+		Participants:        100,
+		AdversaryProportion: 0.15,
+		Strategy:            adversary.Always{},
+		Rounds:              4,
+		Seed:                77,
+	}
+	a, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalWrongAccepted != b.TotalWrongAccepted ||
+		a.RoundsUntilNeutralized != b.RoundsUntilNeutralized {
+		t.Error("identical campaigns diverged")
+	}
+}

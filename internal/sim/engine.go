@@ -1,0 +1,67 @@
+// Package sim provides the Monte-Carlo machinery that cross-validates the
+// paper's closed-form probabilities:
+//
+//   - a discrete-event engine (virtual clock + event heap) driving a full
+//     supervisor/participant simulation of a volunteer computation under a
+//     chosen distribution plan, scheduling policy, and adversary coalition;
+//   - a fast binomial-thinning sampler matching the exact probabilistic
+//     model used in the paper's proofs, for high-replication experiments;
+//   - the Appendix-A two-phase experiment measuring how many tasks a
+//     p-proportion adversary fully controls under simple redundancy.
+package sim
+
+import "container/heap"
+
+// Engine is a minimal discrete-event scheduler with a float64 virtual
+// clock. Events scheduled for the same instant run in scheduling order.
+type Engine struct {
+	now float64
+	seq uint64
+	pq  eventQueue
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule queues fn to run delay time units from now. Negative delays run
+// immediately (at the current instant).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Run executes events in time order until the queue is empty, returning the
+// final virtual time.
+func (e *Engine) Run() float64 {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.pq.Len() }

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	end := e.Run()
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("order = %v", got)
+	}
+	if end != 3 {
+		t.Errorf("end time = %v", end)
+	}
+}
+
+func TestEngineTiesRunInScheduleOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var trace []float64
+	e.Schedule(1, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(2, func() { trace = append(trace, e.Now()) })
+		e.Schedule(0.5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []float64{1, 1.5, 3}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(2, func() {
+		e.Schedule(-5, func() {
+			ran = true
+			if e.Now() != 2 {
+				t.Errorf("negative delay ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Error("clamped event never ran")
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	var e Engine
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("pending after run = %d", e.Pending())
+	}
+}

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"redundancy/internal/adversary"
+	"redundancy/internal/plan"
+	"redundancy/internal/rng"
+	"redundancy/internal/sched"
+	"redundancy/internal/verify"
+)
+
+// HonestValue is the deterministic "work function" of the simulated
+// computation: the correct result of a task is a hash of its ID. Any
+// collision-free mixing works; the verifier only compares values.
+func HonestValue(taskID int) uint64 {
+	z := uint64(taskID) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Config parameterizes one full discrete-event run of a volunteer
+// computation.
+type Config struct {
+	// Plan is the deployed distribution plan (real tasks + ringers).
+	Plan *plan.Plan
+	// Policy is the assignment-release discipline.
+	Policy sched.Policy
+	// Participants is the number of registered participants (honest +
+	// coalition members).
+	Participants int
+	// AdversaryProportion is the fraction of participants the coalition
+	// controls. Because assignments land on uniformly random participants,
+	// this is also the expected fraction of assignments it holds — the
+	// paper's p.
+	AdversaryProportion float64
+	// Strategy drives the coalition's cheat decisions. Nil means a fully
+	// honest run.
+	Strategy adversary.Strategy
+	// MeanServiceTime is the mean per-assignment compute time (virtual
+	// time units). Zero means 1.
+	MeanServiceTime float64
+	// Service selects the compute-time law (default ServiceExponential).
+	// Volunteer hosts are famously heterogeneous; the heavy-tailed laws
+	// model stragglers.
+	Service ServiceDist
+	// ServiceShape parameterizes the law: σ of the underlying normal for
+	// log-normal (default 1), tail index α for Pareto (default 2.5).
+	ServiceShape float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// ServiceDist selects the per-assignment compute-time distribution.
+type ServiceDist int
+
+// Available service-time laws.
+const (
+	// ServiceExponential is the memoryless default.
+	ServiceExponential ServiceDist = iota
+	// ServiceLogNormal has a moderate right tail.
+	ServiceLogNormal
+	// ServicePareto has a power-law tail: rare extreme stragglers.
+	ServicePareto
+	// ServiceConstant is deterministic (useful for exact-time tests).
+	ServiceConstant
+)
+
+// PerTuple aggregates ground-truth outcomes for tasks of which the
+// coalition held exactly K copies.
+type PerTuple struct {
+	K          int
+	Held       int // tasks with exactly K copies held
+	Cheated    int // of those, tasks the coalition cheated on
+	Detected   int // cheats exposed (mismatch or ringer)
+	Undetected int // cheats certified as correct results
+}
+
+// Report is the outcome of one simulated computation.
+type Report struct {
+	Makespan     float64 // virtual completion time
+	MeanTaskTime float64 // mean virtual time at which tasks were certified
+	Assignments  int
+	Tasks        int // real + ringer tasks adjudicated
+	// FirstDetectionTime is the virtual time of the first exposed cheat
+	// (-1 if none): how quickly an active adversary alerts the supervisor.
+	FirstDetectionTime float64
+	// TasksBeforeFirstDetection counts tasks certified before the first
+	// exposure (equal to Tasks if none occurred).
+	TasksBeforeFirstDetection int
+	AdversaryAssignments      int
+	ControlledProportion      float64 // measured fraction of assignments held
+	PerTuple                  []PerTuple
+	WrongAccepted             int // certified results that are in fact wrong
+	MismatchDetections        int
+	RingersCaught             int
+	BlacklistedMembers        int
+	HonestBlacklisted         int // honest participants falsely implicated
+}
+
+// DetectionRate returns the empirical detection probability among cheats at
+// tuple size k, and ok=false if no such cheats occurred.
+func (r *Report) DetectionRate(k int) (rate float64, ok bool) {
+	if k < 1 || k > len(r.PerTuple) {
+		return 0, false
+	}
+	pt := r.PerTuple[k-1]
+	if pt.Cheated == 0 {
+		return 0, false
+	}
+	return float64(pt.Detected) / float64(pt.Cheated), true
+}
+
+// Run executes one full discrete-event simulation.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("sim: nil plan")
+	}
+	if cfg.Participants < 1 {
+		return nil, fmt.Errorf("sim: need at least one participant, got %d", cfg.Participants)
+	}
+	if cfg.AdversaryProportion < 0 || cfg.AdversaryProportion >= 1 {
+		return nil, fmt.Errorf("sim: adversary proportion must lie in [0,1), got %v", cfg.AdversaryProportion)
+	}
+	mean := cfg.MeanServiceTime
+	if mean <= 0 {
+		mean = 1
+	}
+	shape := cfg.ServiceShape
+	if shape <= 0 {
+		switch cfg.Service {
+		case ServicePareto:
+			shape = 2.5
+		default:
+			shape = 1
+		}
+	}
+	if cfg.Service == ServicePareto && shape <= 1 {
+		return nil, fmt.Errorf("sim: Pareto service needs shape > 1, got %v", shape)
+	}
+
+	root := rng.New(cfg.Seed)
+	rQueue := root.Split(1)
+	rDeal := root.Split(2)
+	rService := root.Split(3)
+	rMembers := root.Split(4)
+
+	specs := cfg.Plan.Tasks()
+	queue, err := sched.NewQueue(specs, cfg.Policy, rQueue)
+	if err != nil {
+		return nil, err
+	}
+
+	collector := verify.NewCollector(HonestValue)
+	for _, s := range specs {
+		collector.Expect(s.ID, s.Copies)
+	}
+
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = adversary.Never{}
+	}
+	coalition := adversary.NewCoalition(strategy)
+	nMembers := int(math.Round(cfg.AdversaryProportion * float64(cfg.Participants)))
+	if nMembers > 0 {
+		for _, m := range rMembers.SampleWithoutReplacement(cfg.Participants, nMembers) {
+			coalition.AddMember(m)
+		}
+	}
+
+	// Participant state: a FIFO backlog each; busy participants have a
+	// completion event in flight.
+	type worker struct {
+		backlog []sched.Assignment
+		busy    bool
+	}
+	workers := make([]worker, cfg.Participants)
+
+	eng := &Engine{}
+	report := &Report{Assignments: queue.Total(), FirstDetectionTime: -1}
+	var taskTimeSum float64
+	adjudicated := 0
+	collector.OnVerdict(func(v verify.Verdict) {
+		taskTimeSum += eng.Now()
+		adjudicated++
+		if v.MismatchDetected && report.FirstDetectionTime < 0 {
+			report.FirstDetectionTime = eng.Now()
+			report.TasksBeforeFirstDetection = adjudicated - 1
+		}
+	})
+
+	var serviceTime func() float64
+	switch cfg.Service {
+	case ServiceLogNormal:
+		serviceTime = func() float64 { return rService.LogNormal(mean, shape) }
+	case ServicePareto:
+		serviceTime = func() float64 { return rService.Pareto(mean, shape) }
+	case ServiceConstant:
+		serviceTime = func() float64 { return mean }
+	case ServiceExponential:
+		serviceTime = func() float64 { return rService.Exponential(mean) }
+	default:
+		return nil, fmt.Errorf("sim: unknown service distribution %d", cfg.Service)
+	}
+
+	var startNext func(w int)
+	submit := func(w int, a sched.Assignment) {
+		honest := HonestValue(a.TaskID)
+		value := honest
+		if coalition.Controls(w) {
+			value = coalition.Value(a, honest)
+		}
+		if _, _, err := collector.Submit(verify.Result{Assignment: a, Participant: w, Value: value}); err != nil {
+			panic("sim: " + err.Error()) // invariant: plan and queue agree
+		}
+		queue.Complete(a)
+	}
+
+	// deal drains every currently-available assignment to random workers.
+	deal := func() {
+		for {
+			a, ok := queue.Next()
+			if !ok {
+				return
+			}
+			w := rDeal.Intn(cfg.Participants)
+			if coalition.Controls(w) {
+				coalition.Observe(a)
+				report.AdversaryAssignments++
+			}
+			workers[w].backlog = append(workers[w].backlog, a)
+			if !workers[w].busy {
+				startNext(w)
+			}
+		}
+	}
+
+	startNext = func(w int) {
+		wk := &workers[w]
+		if len(wk.backlog) == 0 {
+			wk.busy = false
+			return
+		}
+		a := wk.backlog[0]
+		wk.backlog = wk.backlog[1:]
+		wk.busy = true
+		eng.Schedule(serviceTime(), func() {
+			submit(w, a)
+			// Completion may release held-back copies (one-outstanding,
+			// phase two); hand them out before continuing.
+			deal()
+			startNext(w)
+		})
+	}
+
+	// Kick off: distribute everything the policy allows at t=0.
+	eng.Schedule(0, deal)
+	report.Makespan = eng.Run()
+
+	if !queue.Done() {
+		return nil, fmt.Errorf("sim: queue not drained (%d of %d issued)", queue.Issued(), queue.Total())
+	}
+
+	// Ground-truth bookkeeping.
+	report.ControlledProportion =
+		float64(report.AdversaryAssignments) / float64(report.Assignments)
+	verdictByTask := make(map[int]verify.Verdict, len(specs))
+	for _, v := range collector.Verdicts() {
+		verdictByTask[v.TaskID] = v
+		report.Tasks++
+		if v.MismatchDetected {
+			report.MismatchDetections++
+			if v.Ringer {
+				report.RingersCaught++
+			}
+		}
+		if v.Accepted && v.Value != HonestValue(v.TaskID) {
+			report.WrongAccepted++
+		}
+	}
+	if report.Tasks > 0 {
+		report.MeanTaskTime = taskTimeSum / float64(report.Tasks)
+	}
+	if report.FirstDetectionTime < 0 {
+		report.TasksBeforeFirstDetection = report.Tasks
+	}
+
+	maxHeld := 0
+	for _, t := range coalition.HeldTasks() {
+		if h := coalition.CopiesHeld(t); h > maxHeld {
+			maxHeld = h
+		}
+	}
+	report.PerTuple = make([]PerTuple, maxHeld)
+	for k := range report.PerTuple {
+		report.PerTuple[k].K = k + 1
+	}
+	for _, t := range coalition.HeldTasks() {
+		k := coalition.CopiesHeld(t)
+		pt := &report.PerTuple[k-1]
+		pt.Held++
+		if coalition.CheatsOn(t) {
+			pt.Cheated++
+			if verdictByTask[t].MismatchDetected {
+				pt.Detected++
+			} else {
+				pt.Undetected++
+			}
+		}
+	}
+
+	for _, m := range collector.Blacklist() {
+		if coalition.Controls(m) {
+			report.BlacklistedMembers++
+		} else {
+			report.HonestBlacklisted++
+		}
+	}
+	return report, nil
+}

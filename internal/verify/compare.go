@@ -1,0 +1,73 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Comparator canonicalizes returned values before they are matched. Two
+// results agree iff their canonical forms are equal, which keeps majority
+// voting transitive (pairwise tolerance comparison is not). The zero
+// default used by NewCollector is exact bit equality.
+type Comparator interface {
+	// Canonical maps a raw returned value to the form used for matching.
+	Canonical(v uint64) uint64
+	// Name identifies the comparator in logs.
+	Name() string
+}
+
+// Exact matches values bit for bit — correct for integer and hash-valued
+// work functions, and the behavior the paper's model assumes.
+type Exact struct{}
+
+// Canonical implements Comparator.
+func (Exact) Canonical(v uint64) uint64 { return v }
+
+// Name implements Comparator.
+func (Exact) Name() string { return "exact" }
+
+// Quantize treats values as float64 bit patterns and rounds them to
+// Digits significant decimal digits before matching. Scientific volunteer
+// workloads (different FPUs, compiler flags, instruction orderings) return
+// results that agree only to a tolerance; quantization makes redundancy
+// verification usable for them while keeping matching transitive.
+//
+// NaNs canonicalize to one fixed pattern; ±0 collapse to +0.
+type Quantize struct {
+	// Digits is the number of significant decimal digits preserved
+	// (1..15). Fewer digits = looser matching.
+	Digits int
+}
+
+// Canonical implements Comparator.
+func (q Quantize) Canonical(v uint64) uint64 {
+	d := q.Digits
+	if d < 1 {
+		d = 1
+	}
+	if d > 15 {
+		d = 15
+	}
+	f := math.Float64frombits(v)
+	switch {
+	case math.IsNaN(f):
+		return math.Float64bits(math.NaN())
+	case f == 0: // collapses -0 and +0
+		return math.Float64bits(0)
+	case math.IsInf(f, 0):
+		return math.Float64bits(f)
+	}
+	// Round via a decimal string round-trip: exact decimal rounding for
+	// every finite float64 (subnormals included, where a power-of-ten
+	// scale factor would overflow) and idempotent by construction.
+	s := strconv.FormatFloat(f, 'e', d-1, 64)
+	rounded, err := strconv.ParseFloat(s, 64)
+	if err != nil { // unreachable: FormatFloat output always parses
+		return v
+	}
+	return math.Float64bits(rounded)
+}
+
+// Name implements Comparator.
+func (q Quantize) Name() string { return fmt.Sprintf("quantize-%d", q.Digits) }

@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func f2b(f float64) uint64 { return math.Float64bits(f) }
+
+func TestExactComparator(t *testing.T) {
+	e := Exact{}
+	if e.Canonical(42) != 42 || e.Name() != "exact" {
+		t.Error("Exact misbehaves")
+	}
+}
+
+func TestQuantizeGroupsNearbyFloats(t *testing.T) {
+	q := Quantize{Digits: 6}
+	a := f2b(3.141592653589793)
+	b := f2b(3.141592999999999) // differs beyond 6 significant digits
+	c := f2b(3.141593111111111)
+	if q.Canonical(a) != q.Canonical(b) && q.Canonical(b) != q.Canonical(c) {
+		// a rounds to 3.14159, b and c to 3.14159 or 3.14159x depending on
+		// digit position — at least b and c must collapse together.
+		t.Errorf("quantization failed to group near-equal values: %x %x %x",
+			q.Canonical(a), q.Canonical(b), q.Canonical(c))
+	}
+	far := f2b(3.15)
+	if q.Canonical(a) == q.Canonical(far) {
+		t.Error("clearly different values collapsed")
+	}
+}
+
+func TestQuantizeSpecialValues(t *testing.T) {
+	q := Quantize{Digits: 8}
+	nan1 := f2b(math.NaN())
+	nan2 := nan1 ^ 1 // a different NaN payload
+	if q.Canonical(nan1) != q.Canonical(nan2) {
+		t.Error("NaNs should canonicalize identically")
+	}
+	if q.Canonical(f2b(0.0)) != q.Canonical(f2b(math.Copysign(0, -1))) {
+		t.Error("±0 should collapse")
+	}
+	if q.Canonical(f2b(math.Inf(1))) == q.Canonical(f2b(math.Inf(-1))) {
+		t.Error("infinities of opposite sign must differ")
+	}
+	if q.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestQuantizeDigitClamping(t *testing.T) {
+	lo, hi := Quantize{Digits: -5}, Quantize{Digits: 99}
+	v := f2b(123.456789)
+	// Clamped to 1 digit: rounds to 100; clamped to 15: nearly identity.
+	if got := math.Float64frombits(lo.Canonical(v)); got != 100 {
+		t.Errorf("1-digit canonical = %v, want 100", got)
+	}
+	if got := math.Float64frombits(hi.Canonical(v)); math.Abs(got-123.456789) > 1e-9 {
+		t.Errorf("15-digit canonical = %v", got)
+	}
+}
+
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	q := Quantize{Digits: 7}
+	f := func(raw uint64) bool {
+		c := q.Canonical(raw)
+		return q.Canonical(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectorWithQuantizeAcceptsNoisyAgreement(t *testing.T) {
+	// Two honest workers return the "same" float with low-order noise:
+	// exact matching flags a false mismatch; quantized matching certifies.
+	noisy1, noisy2 := f2b(2.718281828459045), f2b(2.718281828459999)
+
+	exact := NewCollector(nil)
+	exact.Expect(1, 2)
+	exact.Submit(res(1, 0, 1, noisy1, false))
+	v, done, _ := exact.Submit(res(1, 1, 2, noisy2, false))
+	if !done || !v.MismatchDetected {
+		t.Fatalf("exact matching should flag the noise: %+v", v)
+	}
+
+	quant := NewCollector(nil)
+	quant.SetComparator(Quantize{Digits: 9})
+	quant.Expect(1, 2)
+	quant.Submit(res(1, 0, 1, noisy1, false))
+	v, done, _ = quant.Submit(res(1, 1, 2, noisy2, false))
+	if !done || !v.Accepted || v.MismatchDetected {
+		t.Fatalf("quantized matching should certify: %+v", v)
+	}
+	// A real cheat still mismatches under quantization.
+	quant.Expect(2, 2)
+	quant.Submit(res(2, 0, 1, noisy1, false))
+	v, done, _ = quant.Submit(res(2, 1, 2, f2b(999.0), false))
+	if !done || !v.MismatchDetected {
+		t.Fatalf("quantized matching missed a real cheat: %+v", v)
+	}
+}
+
+func TestCollectorQuantizedRinger(t *testing.T) {
+	truth := func(int) uint64 { return f2b(1.0000000001) }
+	c := NewCollector(truth)
+	c.SetComparator(Quantize{Digits: 6})
+	c.Expect(1, 1)
+	v, done, _ := c.Submit(res(1, 0, 1, f2b(1.0000000002), true))
+	if !done || !v.Accepted {
+		t.Fatalf("noisy ringer result should pass quantized check: %+v", v)
+	}
+	c.Expect(2, 1)
+	v, done, _ = c.Submit(res(2, 0, 2, f2b(2.0), true))
+	if !done || !v.MismatchDetected || !c.Convicted(2) {
+		t.Fatalf("wrong ringer result should convict: %+v", v)
+	}
+}
+
+func TestSetComparatorNilResets(t *testing.T) {
+	c := NewCollector(nil)
+	c.SetComparator(nil) // resets to Exact
+	c.Expect(1, 2)
+	c.Submit(res(1, 0, 1, 5, false))
+	v, _, _ := c.Submit(res(1, 1, 2, 5, false))
+	if !v.Accepted {
+		t.Error("nil comparator should behave as Exact")
+	}
+}

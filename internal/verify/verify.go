@@ -1,0 +1,249 @@
+// Package verify implements the supervisor's result-certification pipeline:
+// collecting returned results per task, adjudicating them by redundancy
+// (matching results are accepted — exactly the assumption the paper's
+// adversary exploits), checking ringer tasks against precomputed truth, and
+// maintaining a blacklist of implicated participants.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"redundancy/internal/sched"
+)
+
+// Result is one returned assignment result.
+type Result struct {
+	Assignment  sched.Assignment
+	Participant int
+	Value       uint64
+}
+
+// Verdict is the adjudication of one fully-collected task.
+type Verdict struct {
+	TaskID int
+	Ringer bool
+	Copies int
+	// Accepted reports whether a value was certified. Matching results are
+	// accepted even if wrong — redundancy cannot tell a unanimous lie from
+	// the truth, which is the vulnerability the paper quantifies.
+	Accepted bool
+	// Value is the certified result when Accepted.
+	Value uint64
+	// MismatchDetected reports that differing results (or a ringer result
+	// differing from precomputed truth) exposed cheating on this task.
+	MismatchDetected bool
+	// Suspects lists participants whose returns disagreed with the
+	// certified/true value (majority vote for regular tasks; the oracle
+	// for ringers). On an even split every participant is suspect.
+	Suspects []int
+	// Contributors lists every participant that returned a result for the
+	// task, in submission order. Credit systems award only contributors of
+	// Accepted tasks.
+	Contributors []int
+}
+
+// Collector accumulates results and adjudicates tasks as their final copy
+// arrives. It is not safe for concurrent use.
+type Collector struct {
+	// truth returns the precomputed value of a ringer task.
+	truth func(taskID int) uint64
+	// cmp canonicalizes values before matching (Exact by default).
+	cmp Comparator
+	// expected copies per task, registered up front.
+	expected map[int]int
+	pending  map[int][]Result
+	// done marks adjudicated tasks so late or duplicate results are
+	// rejected rather than silently restarting collection.
+	done map[int]bool
+
+	verdicts  []Verdict
+	blacklist map[int]bool
+	// convicted holds participants caught by ringer evidence, which is
+	// conclusive: the supervisor precomputed the true value. Mismatch
+	// suspects on regular tasks are circumstantial (an even split cannot
+	// say who lied) and only reach the blacklist.
+	convicted map[int]bool
+
+	// onVerdict, when set, observes each verdict as it is issued.
+	onVerdict func(Verdict)
+}
+
+// NewCollector creates a collector. truth supplies precomputed values for
+// ringer tasks and may be nil if the plan has no ringers.
+func NewCollector(truth func(taskID int) uint64) *Collector {
+	return &Collector{
+		truth:     truth,
+		cmp:       Exact{},
+		expected:  make(map[int]int),
+		pending:   make(map[int][]Result),
+		done:      make(map[int]bool),
+		blacklist: make(map[int]bool),
+		convicted: make(map[int]bool),
+	}
+}
+
+// Expect registers that taskID will receive copies results. It must be
+// called before the task's first Submit.
+func (c *Collector) Expect(taskID, copies int) {
+	if copies < 1 {
+		panic("verify: task must expect at least one copy")
+	}
+	c.expected[taskID] = copies
+}
+
+// OnVerdict registers a callback invoked for every adjudicated task.
+func (c *Collector) OnVerdict(fn func(Verdict)) { c.onVerdict = fn }
+
+// SetComparator installs the value comparator (Exact by default). It must
+// be called before the first Submit.
+func (c *Collector) SetComparator(cmp Comparator) {
+	if cmp == nil {
+		cmp = Exact{}
+	}
+	c.cmp = cmp
+}
+
+// Submit records one result. When the final expected copy of the task
+// arrives the task is adjudicated and the verdict returned with done=true.
+func (c *Collector) Submit(r Result) (v Verdict, done bool, err error) {
+	want, ok := c.expected[r.Assignment.TaskID]
+	if !ok {
+		return Verdict{}, false, fmt.Errorf("verify: result for unregistered task %d", r.Assignment.TaskID)
+	}
+	if c.done[r.Assignment.TaskID] {
+		return Verdict{}, false, fmt.Errorf("verify: task %d already adjudicated", r.Assignment.TaskID)
+	}
+	got := append(c.pending[r.Assignment.TaskID], r)
+	if len(got) < want {
+		c.pending[r.Assignment.TaskID] = got
+		return Verdict{}, false, nil
+	}
+	delete(c.pending, r.Assignment.TaskID)
+	c.done[r.Assignment.TaskID] = true
+	v = c.adjudicate(r.Assignment.TaskID, r.Assignment.Ringer, got)
+	c.verdicts = append(c.verdicts, v)
+	for _, s := range v.Suspects {
+		c.blacklist[s] = true
+		if v.Ringer {
+			c.convicted[s] = true
+		}
+	}
+	if c.onVerdict != nil {
+		c.onVerdict(v)
+	}
+	return v, true, nil
+}
+
+func (c *Collector) adjudicate(taskID int, ringer bool, results []Result) Verdict {
+	v := Verdict{TaskID: taskID, Ringer: ringer, Copies: len(results)}
+	for _, r := range results {
+		v.Contributors = append(v.Contributors, r.Participant)
+	}
+
+	if ringer {
+		if c.truth == nil {
+			panic("verify: ringer task adjudicated without a truth oracle")
+		}
+		want := c.truth(taskID)
+		wantC := c.cmp.Canonical(want)
+		for _, r := range results {
+			if c.cmp.Canonical(r.Value) != wantC {
+				v.MismatchDetected = true
+				v.Suspects = append(v.Suspects, r.Participant)
+			}
+		}
+		v.Accepted = !v.MismatchDetected
+		v.Value = want
+		sort.Ints(v.Suspects)
+		return v
+	}
+
+	// Regular task: majority vote over canonicalized values.
+	counts := make(map[uint64]int)
+	for _, r := range results {
+		counts[c.cmp.Canonical(r.Value)]++
+	}
+	if len(counts) == 1 {
+		v.Accepted = true
+		v.Value = results[0].Value
+		return v
+	}
+	v.MismatchDetected = true
+	// Find the majority canonical value; prefer the numerically smallest
+	// on ties so adjudication is deterministic.
+	var majority uint64
+	best := -1
+	for val, n := range counts {
+		if n > best || (n == best && val < majority) {
+			majority, best = val, n
+		}
+	}
+	strict := best*2 > len(results)
+	for _, r := range results {
+		if !strict || c.cmp.Canonical(r.Value) != majority {
+			v.Suspects = append(v.Suspects, r.Participant)
+		}
+	}
+	sort.Ints(v.Suspects)
+	return v
+}
+
+// Verdicts returns all verdicts issued so far, in adjudication order.
+func (c *Collector) Verdicts() []Verdict { return c.verdicts }
+
+// Blacklisted reports whether a participant has been implicated.
+func (c *Collector) Blacklisted(participant int) bool { return c.blacklist[participant] }
+
+// Blacklist returns the implicated participants in ascending order.
+func (c *Collector) Blacklist() []int {
+	out := make([]int, 0, len(c.blacklist))
+	for p := range c.blacklist {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Convicted reports whether a participant has been caught by conclusive
+// (ringer) evidence.
+func (c *Collector) Convicted(participant int) bool { return c.convicted[participant] }
+
+// ConvictedList returns the conclusively-caught participants, ascending.
+func (c *Collector) ConvictedList() []int {
+	out := make([]int, 0, len(c.convicted))
+	for p := range c.convicted {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PendingTasks returns the number of tasks with partial results.
+func (c *Collector) PendingTasks() int { return len(c.pending) }
+
+// Stats summarizes the verdicts issued so far.
+type Stats struct {
+	Tasks            int // adjudicated tasks
+	Accepted         int // certified results
+	MismatchDetected int // tasks where cheating was exposed
+	RingersCaught    int // ringer tasks that exposed cheating
+}
+
+// Stats tallies the verdict stream.
+func (c *Collector) Stats() Stats {
+	var s Stats
+	for _, v := range c.verdicts {
+		s.Tasks++
+		if v.Accepted {
+			s.Accepted++
+		}
+		if v.MismatchDetected {
+			s.MismatchDetected++
+			if v.Ringer {
+				s.RingersCaught++
+			}
+		}
+	}
+	return s
+}

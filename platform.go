@@ -1,0 +1,47 @@
+package redundancy
+
+import "redundancy/internal/platform"
+
+// SupervisorConfig parameterizes a platform supervisor (see NewSupervisor).
+type SupervisorConfig = platform.SupervisorConfig
+
+// Supervisor is the trusted coordinator of the runnable TCP platform: it
+// serves plan assignments to workers, collects and certifies results,
+// checks ringers against precomputed values, and blacklists participants
+// convicted by ringer evidence.
+type Supervisor = platform.Supervisor
+
+// NewSupervisor builds a platform supervisor for a plan.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	return platform.NewSupervisor(cfg)
+}
+
+// WorkerConfig parameterizes a platform worker (see RunWorker).
+type WorkerConfig = platform.WorkerConfig
+
+// WorkerStats reports what a worker did.
+type WorkerStats = platform.WorkerStats
+
+// CheatFunc corrupts a worker's results; nil means honest. Colluding
+// workers share one CheatFunc so their wrong values match.
+type CheatFunc = platform.CheatFunc
+
+// RunWorker connects to a supervisor, registers, and processes assignments
+// until the computation completes. It blocks for the worker's lifetime.
+func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
+	return platform.RunWorker(cfg)
+}
+
+// WorkerCoalition coordinates colluding workers client-side: members share
+// one per-task cheat decision so their incorrect results are identical.
+type WorkerCoalition = platform.Coalition
+
+// NewWorkerCoalition builds a coalition whose members cheat on each task
+// with the given probability (1 = the paper's always-cheat coalition).
+func NewWorkerCoalition(cheatProbability float64, seed uint64) *WorkerCoalition {
+	return platform.NewCoalition(cheatProbability, seed)
+}
+
+// WorkKinds lists the registered work functions of the platform
+// ("hashchain", "primecount", "collatz").
+func WorkKinds() []string { return platform.WorkKinds() }

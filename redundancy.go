@@ -1,0 +1,179 @@
+// Package redundancy implements the redundancy-based task-distribution
+// strategies of Szajda, Lawson and Owen, "Toward an Optimal Redundancy
+// Strategy for Distributed Computations" (IEEE CLUSTER 2005), together with
+// everything needed to use them in a volunteer-computing setting: the
+// Balanced distribution and its competitors, detection-probability
+// analysis, deployable integer plans with tail partitions and ringers, a
+// discrete-event simulator with colluding adversaries, and a runnable
+// TCP supervisor/worker platform.
+//
+// # Background
+//
+// A volunteer computation hands N independent tasks to untrusted
+// participants. The classic integrity defense is simple redundancy: send
+// each task to two participants and accept matching results. A colluding
+// adversary who obtains both copies of a task defeats it outright. A
+// distribution scheme x = (x1, x2, ...) instead assigns x_i tasks with
+// multiplicity i; the probability that cheating on a task of which the
+// adversary holds k copies goes undetected depends on how much mass the
+// scheme keeps above k.
+//
+// The paper's Balanced distribution,
+//
+//	a_i = N·((1−ε)/ε)·γ^i/i!,   γ = ln(1/(1−ε)),
+//
+// pins the detection probability to exactly ε for every tuple size k — no
+// assignments are wasted over-protecting large tuples — at redundancy
+// factor ln(1/(1−ε))/ε, below simple redundancy's factor 2 whenever
+// ε ≲ 0.797 and below the Golle–Stubblebine scheme's 1/sqrt(1−ε) always.
+//
+// # Quick start
+//
+//	d, _ := redundancy.Balanced(1_000_000, 0.75)   // theoretical scheme
+//	fmt.Println(d.RedundancyFactor())               // 1.848…
+//	p, _ := redundancy.NewPlan(1_000_000, 0.75)     // deployable §6 plan
+//	fmt.Println(p.TotalAssignments(), p.Ringers)
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-versus-measured
+// record of every reproduced table and figure.
+package redundancy
+
+import (
+	"io"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+)
+
+// Distribution is a redundancy scheme: Counts[i] tasks are assigned with
+// multiplicity i+1. Counts may be fractional in theoretical schemes; use a
+// Plan for deployable integer assignments.
+type Distribution = dist.Distribution
+
+// ValidationReport is the outcome of Validate.
+type ValidationReport = dist.ValidationReport
+
+// TupleOdds describes the adversary's prospects at one tuple size.
+type TupleOdds = dist.TupleOdds
+
+// Balanced returns the paper's Balanced distribution for n tasks at
+// detection threshold epsilon in (0,1): detection probability exactly
+// epsilon for every tuple size, at redundancy factor ln(1/(1−ε))/ε.
+func Balanced(n, epsilon float64) (*Distribution, error) {
+	return dist.Balanced(n, epsilon)
+}
+
+// GolleStubblebine returns the geometric baseline scheme of Golle and
+// Stubblebine with parameter c in (0,1).
+func GolleStubblebine(n, c float64) (*Distribution, error) {
+	return dist.GolleStubblebine(n, c)
+}
+
+// GolleStubblebineForThreshold tunes the GS scheme for asymptotic detection
+// threshold epsilon (c = 1 − sqrt(1−ε)).
+func GolleStubblebineForThreshold(n, epsilon float64) (*Distribution, error) {
+	return dist.GolleStubblebineForThreshold(n, epsilon)
+}
+
+// Simple returns simple redundancy: every task assigned exactly twice.
+func Simple(n float64) *Distribution { return dist.Simple(n) }
+
+// Single returns the no-redundancy scheme.
+func Single(n float64) *Distribution { return dist.Single(n) }
+
+// MinMultiplicity returns the §7 extension: the cheapest scheme with
+// detection probability epsilon at every tuple size whose every task is
+// assigned at least m times. m = 1 recovers Balanced.
+func MinMultiplicity(n, epsilon float64, m int) (*Distribution, error) {
+	return dist.MinMultiplicity(n, epsilon, m)
+}
+
+// AssignmentMinimizing solves the S_dim linear program of §3.2: the
+// fewest-assignment dim-dimensional scheme meeting every detection
+// constraint below the top multiplicity. Cheaper than Balanced but fragile
+// against adversaries controlling a nontrivial proportion of assignments,
+// and requiring the supervisor to precompute its top-multiplicity tasks.
+func AssignmentMinimizing(n, epsilon float64, dim int) (*Distribution, error) {
+	return dist.AssignmentMinimizing(n, epsilon, dim)
+}
+
+// Detection returns the asymptotic probability P_k that cheating on a task
+// of which the adversary holds k copies is detected under scheme d.
+func Detection(d *Distribution, k int) float64 { return dist.Detection(d, k) }
+
+// DetectionAt returns the non-asymptotic probability P_{k,p} when the
+// adversary controls proportion p of all assignments.
+func DetectionAt(d *Distribution, k int, p float64) float64 {
+	return dist.DetectionAt(d, k, p)
+}
+
+// MinDetection returns the adversary's best odds — the minimum of P_{k,p}
+// over tuple sizes k (excluding the supervisor-verified top multiplicity) —
+// and the minimizing k. This is a scheme's effective protection level.
+func MinDetection(d *Distribution, p float64) (minP float64, argK int) {
+	return dist.MinDetectionAt(d, p, 0)
+}
+
+// AdversaryOdds tabulates, per tuple size, the adversary's detection odds
+// and expected holdings under scheme d at control proportion p.
+func AdversaryOdds(d *Distribution, p float64, maxK int) []TupleOdds {
+	return dist.AdversaryOdds(d, p, maxK)
+}
+
+// ExpectedDamage returns the expected number of wrong results an
+// always-cheating adversary controlling proportion p of assignments gets
+// certified under scheme d: Σ_i x_i·p^i (only fully-held tasks escape).
+func ExpectedDamage(d *Distribution, p float64) float64 {
+	return dist.ExpectedDamage(d, p)
+}
+
+// Validate checks that d is a valid scheme for wantN tasks at threshold
+// epsilon (§2.2) and reports any violated constraints.
+func Validate(d *Distribution, wantN, epsilon float64) *ValidationReport {
+	return dist.Validate(d, wantN, epsilon, 1e-6)
+}
+
+// Closed-form quantities of the paper.
+var (
+	// BalancedRedundancyFactor is ln(1/(1−ε))/ε (Theorem 1).
+	BalancedRedundancyFactor = dist.BalancedRedundancyFactor
+	// BalancedDetection is P_{k,p} = 1 − (1−ε)^{1−p} for the Balanced
+	// distribution, independent of k (Proposition 3).
+	BalancedDetection = dist.BalancedDetectionAt
+	// GolleStubblebineRedundancyFactor is 1/sqrt(1−ε).
+	GolleStubblebineRedundancyFactor = dist.GolleStubblebineRedundancyFactor
+	// LowerBoundRedundancyFactor is the Proposition-1 bound 2/(2−ε) that
+	// no valid scheme can reach.
+	LowerBoundRedundancyFactor = dist.LowerBoundRedundancyFactor
+	// CrossoverEpsilon is the threshold ε* ≈ 0.797 below which Balanced
+	// beats simple redundancy on cost.
+	CrossoverEpsilon = dist.CrossoverEpsilon
+	// MinMultiplicityRedundancyFactor is the §7 closed form.
+	MinMultiplicityRedundancyFactor = dist.MinMultiplicityRedundancyFactor
+	// EpsilonForEffectiveDetection solves the design problem: the ε that
+	// keeps effective detection at delta against a p-proportion adversary,
+	// ε = 1 − (1−delta)^{1/(1−p)}.
+	EpsilonForEffectiveDetection = dist.EpsilonForEffectiveDetection
+)
+
+// Plan is a deployable integer assignment plan produced by the §6
+// adaptation: rounded classes, a tail partition at multiplicity i_f, and
+// precomputed ringer tasks restoring the tail's detection guarantee.
+type Plan = plan.Plan
+
+// TaskSpec describes one task of a plan (ID, copy count, ringer flag).
+type TaskSpec = plan.TaskSpec
+
+// NewPlan builds the deployable Balanced plan for n tasks at threshold
+// epsilon — the paper's recommended configuration.
+func NewPlan(n int, epsilon float64) (*Plan, error) { return plan.Balanced(n, epsilon) }
+
+// PlanFor builds the §6 deployment plan for any theoretical scheme.
+func PlanFor(d *Distribution, epsilon float64) (*Plan, error) {
+	return plan.FromDistribution(d, epsilon)
+}
+
+// LoadPlan reads a plan previously written with Plan.Save, auditing it
+// before returning.
+func LoadPlan(r io.Reader) (*Plan, error) { return plan.Load(r) }
