@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures fmt vet clean
+.PHONY: all build test race cover bench figures fmt vet check clean
 
 all: build test
+
+# The full verification gate CI runs: compile everything, vet, and the
+# whole test suite under the race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

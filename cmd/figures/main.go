@@ -13,10 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"redundancy/internal/experiments"
+	"redundancy/internal/obs"
 	"redundancy/internal/report"
 )
 
@@ -26,7 +29,22 @@ func main() {
 	seed := flag.Uint64("seed", 2005, "random seed for Monte-Carlo experiments")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "also render figures 1 and 3 as ASCII charts")
+	metricsAddr := flag.String("metrics-addr", "", "serve Monte-Carlo progress metrics on http://ADDR/metrics while regenerating (empty = off)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		experiments.InstrumentMetrics(reg)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures: metrics:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("figures: progress metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	wanted := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	supervisor -addr :9090 -n 10000 -eps 0.5 -work primecount -iters 5000
+//	supervisor -addr :9090 -n 10000 -eps 0.5 -work primecount -iters 5000 \
+//	           -metrics-addr :9091 -events events.jsonl
 //
-// Then start any number of workers (see cmd/worker) pointed at the address.
+// Then start any number of workers (see cmd/worker) pointed at the
+// address. With -metrics-addr set, `curl :9091/metrics` returns the live
+// Prometheus counters; -events appends one JSON line per platform event.
+// OBSERVABILITY.md documents both surfaces.
 package main
 
 import (
@@ -15,10 +19,25 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"redundancy"
 )
+
+// serveMetrics exposes reg at http://addr/metrics and returns the bound
+// address (addr may use port 0).
+func serveMetrics(addr string, reg *redundancy.MetricsRegistry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9090", "TCP listen address")
@@ -34,6 +53,8 @@ func main() {
 	journal := flag.String("journal", "", "append accepted results to this file and resume from it if it exists")
 	resolve := flag.Bool("resolve", false, "recompute disputed tasks on the supervisor (reactive measure)")
 	digits := flag.Int("digits", 0, "match float64 results to this many significant digits (0 = exact)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
+	events := flag.String("events", "", "append one JSON line per platform event to this file (empty = off)")
 	flag.Parse()
 
 	var pl *redundancy.Plan
@@ -97,6 +118,22 @@ func main() {
 		}
 		defer f.Close()
 		cfg.Journal = f
+	}
+	cfg.Metrics = redundancy.NewMetricsRegistry()
+	if *metricsAddr != "" {
+		bound, err := serveMetrics(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			log.Fatal("supervisor: metrics: ", err)
+		}
+		fmt.Printf("supervisor: metrics on http://%s/metrics\n", bound)
+	}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal("supervisor: events: ", err)
+		}
+		defer f.Close()
+		cfg.Events = redundancy.NewEventSink(f)
 	}
 	sup, err := redundancy.NewSupervisor(cfg)
 	if err != nil {

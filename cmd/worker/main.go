@@ -10,12 +10,19 @@
 // Multiple workers started with the same -cheat probability and -cheatseed
 // collude: they return identical incorrect values, modeling the paper's
 // coalition adversary.
+//
+// -metrics-addr serves the worker's own RTT histogram and completion
+// counters on /metrics; -events appends one JSON line per assignment
+// lifecycle event. See OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"os"
 	"time"
 
 	"redundancy"
@@ -28,6 +35,8 @@ func main() {
 	cheatSeed := flag.Uint64("cheatseed", 1, "coalition seed; workers sharing it collude")
 	maxAssign := flag.Int("max", 0, "stop after this many assignments (0 = run to completion)")
 	throttle := flag.Duration("throttle", 0, "fixed extra delay per assignment")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
+	events := flag.String("events", "", "append one JSON line per worker event to this file (empty = off)")
 	flag.Parse()
 
 	cfg := redundancy.WorkerConfig{
@@ -38,6 +47,25 @@ func main() {
 	}
 	if *cheat > 0 {
 		cfg.Cheat = redundancy.NewWorkerCoalition(*cheat, *cheatSeed).CheatFunc()
+	}
+	if *metricsAddr != "" {
+		cfg.Metrics = redundancy.NewMetricsRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal("worker: metrics: ", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", cfg.Metrics.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("worker %s: metrics on http://%s/metrics\n", *name, ln.Addr())
+	}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal("worker: events: ", err)
+		}
+		defer f.Close()
+		cfg.Events = redundancy.NewEventSink(f)
 	}
 
 	start := time.Now()

@@ -64,6 +64,7 @@ func CampaignExperiment(n, participants, rounds int, seed uint64) ([]CampaignRow
 		if err != nil {
 			return nil, err
 		}
+		roundsDone(len(rep.Rounds))
 		row := CampaignRow{
 			Scheme:      c.scheme,
 			Strategy:    c.strat.Name(),

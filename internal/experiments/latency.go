@@ -85,6 +85,7 @@ func DetectionLatency(n, participants, trials int, seed uint64) ([]LatencyRow, e
 			if err != nil {
 				return nil
 			}
+			trialDone("latency")
 			return rep
 		})
 		detected := 0

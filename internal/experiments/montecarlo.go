@@ -38,6 +38,7 @@ func AppendixA(trials int, seed uint64) ([]AppARow, error) {
 			if err != nil {
 				return nil, err
 			}
+			trialsDone("appendix_a", trials)
 			lo, hi := res.Observed.CI(0.95)
 			rows = append(rows, AppARow{
 				N:             n,
@@ -138,6 +139,7 @@ func CrossCheck(trials int, seed uint64) ([]CrossRow, error) {
 				if err != nil {
 					return nil
 				}
+				trialDone("crosscheck")
 				return rep
 			})
 			agg := make([]stats.Proportion, 4)

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink is a structured event stream: each Emit writes one JSON object per
+// line ("JSON lines") to the underlying writer, giving operators a
+// machine-replayable record of what the platform did — assignments issued,
+// results accepted, mismatches detected — alongside the aggregate
+// /metrics counters.
+//
+// A nil *Sink is valid and discards everything, so instrumented code needs
+// no nil checks. Emit serializes writes under an internal mutex and is
+// safe for concurrent use; a write error disables the sink rather than
+// failing the caller (observability must never take the computation down).
+type Sink struct {
+	mu   sync.Mutex
+	w    io.Writer
+	now  func() time.Time
+	dead bool
+}
+
+// NewSink wraps w in an event sink that timestamps events with time.Now.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{w: w, now: time.Now}
+}
+
+// SetClock replaces the timestamp source; a nil clock omits the ts field
+// entirely (used by tests for byte-exact golden output). It returns the
+// sink for chaining and must be called before the first Emit.
+func (s *Sink) SetClock(now func() time.Time) *Sink {
+	s.now = now
+	return s
+}
+
+// Emit writes one event line: the fields map plus "event" (the event name)
+// and "ts" (RFC 3339 with nanoseconds, unless the clock is nil). Keys are
+// rendered in sorted order, so lines are deterministic given deterministic
+// field values. Emit on a nil sink is a no-op.
+func (s *Sink) Emit(event string, fields map[string]any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil || s.dead {
+		return
+	}
+	line := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		line[k] = v
+	}
+	line["event"] = event
+	if s.now != nil {
+		line["ts"] = s.now().UTC().Format(time.RFC3339Nano)
+	}
+	buf, err := json.Marshal(line) // map keys marshal in sorted order
+	if err != nil {
+		return // unmarshalable field value; drop the event, not the run
+	}
+	buf = append(buf, '\n')
+	if _, err := s.w.Write(buf); err != nil {
+		s.dead = true
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSinkEmitsSortedDeterministicLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf).SetClock(nil) // no ts: byte-exact golden
+	s.Emit("assignment_issued", map[string]any{"task": 3, "copy": 1, "participant": 0})
+	s.Emit("worker_joined", map[string]any{"participant": 2, "name": "alice"})
+	want := `{"copy":1,"event":"assignment_issued","participant":0,"task":3}
+{"event":"worker_joined","name":"alice","participant":2}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("events:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSinkTimestamps(t *testing.T) {
+	var buf bytes.Buffer
+	fixed := time.Date(2026, 8, 5, 12, 0, 0, 500, time.UTC)
+	s := NewSink(&buf).SetClock(func() time.Time { return fixed })
+	s.Emit("x", nil)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["ts"] != "2026-08-05T12:00:00.0000005Z" {
+		t.Errorf("ts = %v", line["ts"])
+	}
+}
+
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	s.Emit("anything", map[string]any{"k": 1}) // must not panic
+	NewSink(nil).Emit("anything", nil)         // nil writer: discard
+}
+
+// failWriter errors after the first write, proving the sink disables
+// itself instead of failing the caller.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, &json.UnsupportedValueError{}
+	}
+	return len(p), nil
+}
+
+func TestSinkDisablesOnWriteError(t *testing.T) {
+	fw := &failWriter{}
+	s := NewSink(fw).SetClock(nil)
+	s.Emit("a", nil)
+	s.Emit("b", nil) // write fails; sink goes dead
+	s.Emit("c", nil) // no further writes attempted
+	if fw.n != 2 {
+		t.Errorf("writes attempted = %d, want 2", fw.n)
+	}
+}
+
+func TestSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Emit("tick", map[string]any{"j": j})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("torn line %q: %v", l, err)
+		}
+	}
+}

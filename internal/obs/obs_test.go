@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Idempotent re-registration returns the same counter.
+	if r.Counter("c_total", "help") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("g", "help")
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v, want 0", g.Value())
+	}
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("errs_total", "help", "kind")
+	v.With("io").Add(2)
+	v.With("io").Inc()
+	v.With("parse").Inc()
+	snap := r.Snapshot()
+	if got, ok := snap.Value("errs_total", "io"); !ok || got != 3 {
+		t.Errorf("errs_total{io} = %v,%v want 3,true", got, ok)
+	}
+	if got, ok := snap.Value("errs_total", "parse"); !ok || got != 1 {
+		t.Errorf("errs_total{parse} = %v,%v want 1,true", got, ok)
+	}
+	if _, ok := snap.Value("errs_total", "absent"); ok {
+		t.Error("absent child reported present")
+	}
+	// Label values containing the key separator bytes must round-trip.
+	v.With(`tricky,3:"x"`).Inc()
+	if got, ok := r.Snapshot().Value("errs_total", `tricky,3:"x"`); !ok || got != 1 {
+		t.Errorf("tricky label value = %v,%v want 1,true", got, ok)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "help")
+	for name, fn := range map[string]func(){
+		"shape conflict":   func() { r.Gauge("ok_total", "help") },
+		"bad metric name":  func() { r.Counter("bad-name", "help") },
+		"bad label name":   func() { r.CounterVec("v_total", "help", "bad-label") },
+		"reserved le":      func() { r.HistogramVec("h", "help", nil, "le") },
+		"arity mismatch":   func() { r.CounterVec("v2_total", "help", "a").With("x", "y") },
+		"unsorted buckets": func() { r.Histogram("h2", "help", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHistogramBucketEdges pins the le-inclusive bucket convention on
+// exact boundary values, including the implicit +Inf overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		buckets []float64
+		obs     []float64
+		want    []uint64 // non-cumulative, len(buckets)+1
+		wantSum float64
+	}{
+		{
+			name:    "exact bounds are inclusive",
+			buckets: []float64{1, 2.5, 5},
+			obs:     []float64{1, 2.5, 5},
+			want:    []uint64{1, 1, 1, 0},
+			wantSum: 8.5,
+		},
+		{
+			name:    "just above a bound spills to the next bucket",
+			buckets: []float64{1, 2.5, 5},
+			obs:     []float64{math.Nextafter(1, 2), math.Nextafter(2.5, 3), math.Nextafter(5, 6)},
+			want:    []uint64{0, 1, 1, 1},
+			wantSum: 8.5,
+		},
+		{
+			name:    "below the first bound",
+			buckets: []float64{1, 2.5, 5},
+			obs:     []float64{0, 0.5, -1},
+			want:    []uint64{3, 0, 0, 0},
+			wantSum: -0.5,
+		},
+		{
+			name:    "overflow bucket",
+			buckets: []float64{1, 2.5, 5},
+			obs:     []float64{5.5, 100},
+			want:    []uint64{0, 0, 0, 2},
+			wantSum: 105.5,
+		},
+		{
+			name:    "single bucket",
+			buckets: []float64{0.5},
+			obs:     []float64{0.5, 0.75},
+			want:    []uint64{1, 1},
+			wantSum: 1.25,
+		},
+		{
+			name:    "explicit +Inf bound is folded into the implicit one",
+			buckets: []float64{1, math.Inf(1)},
+			obs:     []float64{0.5, 2},
+			want:    []uint64{1, 1},
+			wantSum: 2.5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("h", "help", tc.buckets)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			snap := r.Snapshot()
+			m := snap.Families[0].Metrics[0]
+			if len(m.Buckets) != len(tc.want) {
+				t.Fatalf("got %d buckets, want %d", len(m.Buckets), len(tc.want))
+			}
+			for i := range tc.want {
+				if m.Buckets[i] != tc.want[i] {
+					t.Errorf("bucket %d = %d, want %d", i, m.Buckets[i], tc.want[i])
+				}
+			}
+			if m.Count != uint64(len(tc.obs)) {
+				t.Errorf("count = %d, want %d", m.Count, len(tc.obs))
+			}
+			if math.Abs(m.Sum-tc.wantSum) > 1e-9 {
+				t.Errorf("sum = %v, want %v", m.Sum, tc.wantSum)
+			}
+		})
+	}
+}
+
+func TestDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "help", nil)
+	h.Observe(0.003)
+	m := r.Snapshot().Families[0].Metrics[0]
+	if len(m.UpperBounds) != len(DefBuckets) {
+		t.Fatalf("got %d default bounds, want %d", len(m.UpperBounds), len(DefBuckets))
+	}
+	if m.Buckets[2] != 1 { // 0.003 lands in le=0.005
+		t.Errorf("0.003 landed wrong: %v", m.Buckets)
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	g := r.Gauge("g", "help")
+	hv := r.HistogramVec("h_seconds", "help", []float64{0.5, 1}, "who")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				hv.With([]string{"a", "b"}[i%2]).Observe(0.75)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	a, b := hv.With("a"), hv.With("b")
+	if a.Count()+b.Count() != 8000 {
+		t.Errorf("histogram counts = %d+%d, want 8000", a.Count(), b.Count())
+	}
+}
+
+func TestMetricNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "help")
+	r.Gauge("a", "help")
+	r.Histogram("m_seconds", "help", nil)
+	got := r.MetricNames()
+	want := []string{"a", "m_seconds", "z_total"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order; labeled children are sorted by label values so output is stable
+// across runs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	snap := r.Snapshot()
+	for _, f := range snap.Families {
+		sortMetrics(f.Metrics)
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.Help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Type)
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			if f.Type == typeHistogram {
+				writeHistogram(bw, f, m)
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, f.LabelNames, m.LabelValues, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(m.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram child: cumulative _bucket series
+// ending in le="+Inf", then _sum and _count.
+func writeHistogram(bw *bufio.Writer, f FamilySnapshot, m MetricSnapshot) {
+	cum := uint64(0)
+	for i, bound := range m.UpperBounds {
+		cum += m.Buckets[i]
+		bw.WriteString(f.Name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, f.LabelNames, m.LabelValues, formatFloat(bound))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(f.Name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, f.LabelNames, m.LabelValues, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(m.Count, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(f.Name)
+	bw.WriteString("_sum ")
+	bw.WriteString(formatFloat(m.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(f.Name)
+	bw.WriteString("_count ")
+	bw.WriteString(strconv.FormatUint(m.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders a {name="value",...} block, appending an le label
+// when le is non-empty. Nothing is written when there are no labels at
+// all.
+func writeLabels(bw *bufio.Writer, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(n)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(values[i]))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// sortMetrics orders children lexicographically by label values.
+func sortMetrics(ms []MetricSnapshot) {
+	if len(ms) < 2 {
+		return
+	}
+	sortSlice(ms, func(a, b MetricSnapshot) bool {
+		for i := range a.LabelValues {
+			if i >= len(b.LabelValues) {
+				return false
+			}
+			if a.LabelValues[i] != b.LabelValues[i] {
+				return a.LabelValues[i] < b.LabelValues[i]
+			}
+		}
+		return false
+	})
+}
+
+// sortSlice is an insertion sort — children per family are few, and this
+// avoids pulling reflection-based sorting into the hot exposition path.
+func sortSlice(ms []MetricSnapshot, less func(a, b MetricSnapshot) bool) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && less(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, integers without a decimal point.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, double quotes, and newlines in label
+// values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

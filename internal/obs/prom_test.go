@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition bytes: family order
+// follows registration, children sort by label values, histogram buckets
+// are cumulative and end at le="+Inf", and integral values render without
+// a decimal point.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests served.")
+	c.Add(3)
+	g := r.Gauge("test_queue_depth", "Assignments queued.")
+	g.Set(2.5)
+	h := r.Histogram("test_latency_seconds", "Round-trip latency.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.5) // boundary value: le is inclusive
+	h.Observe(4)
+	v := r.CounterVec("test_errors_total", "Errors by kind.", "kind")
+	v.With("parse").Add(2)
+	v.With("io").Inc()
+	hv := r.HistogramVec("test_rtt_seconds", "RTT by worker.", []float64{1}, "worker")
+	hv.With(`a"b\c`).Observe(7)
+
+	want := `# HELP test_requests_total Total requests served.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_queue_depth Assignments queued.
+# TYPE test_queue_depth gauge
+test_queue_depth 2.5
+# HELP test_latency_seconds Round-trip latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.5"} 2
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 4.75
+test_latency_seconds_count 3
+# HELP test_errors_total Errors by kind.
+# TYPE test_errors_total counter
+test_errors_total{kind="io"} 1
+test_errors_total{kind="parse"} 2
+# HELP test_rtt_seconds RTT by worker.
+# TYPE test_rtt_seconds histogram
+test_rtt_seconds_bucket{worker="a\"b\\c",le="1"} 0
+test_rtt_seconds_bucket{worker="a\"b\\c",le="+Inf"} 1
+test_rtt_seconds_sum 7
+test_rtt_seconds_count 1
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_up_total", "help").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := res.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "test_up_total 1") {
+		t.Errorf("body = %q", buf[:n])
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "line1\nline2 \\ backslash")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# HELP esc_total line1\nline2 \\ backslash`) {
+		t.Errorf("help not escaped: %q", sb.String())
+	}
+}

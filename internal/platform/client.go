@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"redundancy/internal/obs"
 )
 
 // CheatFunc lets a worker corrupt its results: it receives the task and the
@@ -28,6 +30,12 @@ type WorkerConfig struct {
 	// Throttle adds a fixed delay per assignment (simulates slow hosts,
 	// and exercises the platform's asynchrony in tests).
 	Throttle time.Duration
+	// Metrics, when non-nil, receives the worker's runtime metrics
+	// (protocol RTT histogram, completion counters; see OBSERVABILITY.md).
+	Metrics *obs.Registry
+	// Events, when non-nil, receives one JSON line per worker event
+	// (assignment_received, result_submitted). Nil discards events.
+	Events *obs.Sink
 }
 
 // WorkerStats reports what one worker did.
@@ -43,6 +51,11 @@ type WorkerStats struct {
 // download work, execute the local computation, return the result.
 func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 	var stats WorkerStats
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry() // instrument unconditionally; discard if unwanted
+	}
+	wm := newWorkerMetrics(reg)
 	conn, err := net.Dial("tcp", cfg.Addr)
 	if err != nil {
 		return stats, err
@@ -50,27 +63,36 @@ func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 	defer conn.Close()
 	codec := NewCodec(conn)
 
-	// Register.
-	if err := codec.Send(Message{Type: MsgRegister, Name: cfg.Name}); err != nil {
-		return stats, err
+	// roundTrip sends one message, waits for the reply, and records the
+	// protocol round-trip time (network + supervisor processing).
+	roundTrip := func(m Message) (Message, error) {
+		start := time.Now()
+		if err := codec.Send(m); err != nil {
+			return Message{}, err
+		}
+		reply, err := codec.Recv()
+		if err != nil {
+			return Message{}, err
+		}
+		wm.rtt.Observe(time.Since(start).Seconds())
+		return reply, nil
 	}
-	reg, err := codec.Recv()
+
+	// Register.
+	welcome, err := roundTrip(Message{Type: MsgRegister, Name: cfg.Name})
 	if err != nil {
 		return stats, err
 	}
-	if reg.Type != MsgRegistered {
-		return stats, fmt.Errorf("platform: unexpected registration reply %q: %s", reg.Type, reg.Error)
+	if welcome.Type != MsgRegistered {
+		return stats, fmt.Errorf("platform: unexpected registration reply %q: %s", welcome.Type, welcome.Error)
 	}
-	stats.ParticipantID = reg.ParticipantID
+	stats.ParticipantID = welcome.ParticipantID
 
 	for {
 		if cfg.MaxAssignments > 0 && stats.Completed >= cfg.MaxAssignments {
 			return stats, nil
 		}
-		if err := codec.Send(Message{Type: MsgRequestWork, ParticipantID: stats.ParticipantID}); err != nil {
-			return stats, err
-		}
-		m, err := codec.Recv()
+		m, err := roundTrip(Message{Type: MsgRequestWork, ParticipantID: stats.ParticipantID})
 		if err != nil {
 			return stats, err
 		}
@@ -78,6 +100,7 @@ func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 		case MsgDone:
 			return stats, nil
 		case MsgNoWork:
+			wm.noWork.Inc()
 			time.Sleep(time.Duration(m.Wait * float64(time.Second)))
 			continue
 		case MsgError:
@@ -88,6 +111,9 @@ func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 			return stats, fmt.Errorf("platform: unexpected reply %q", m.Type)
 		}
 
+		cfg.Events.Emit(EvAssignmentReceived, map[string]any{
+			"task": m.TaskID, "copy": m.Copy, "kind": m.Kind,
+		})
 		work, err := Work(m.Kind)
 		if err != nil {
 			return stats, err
@@ -96,29 +122,33 @@ func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 			time.Sleep(cfg.Throttle)
 		}
 		value := work(m.Seed, m.Iters)
+		cheated := false
 		if cfg.Cheat != nil {
 			if v := cfg.Cheat(m.TaskID, value); v != value {
 				value = v
+				cheated = true
 				stats.Cheated++
+				wm.cheats.Inc()
 			}
 		}
-		if err := codec.Send(Message{
+		ack, err := roundTrip(Message{
 			Type:          MsgResult,
 			ParticipantID: stats.ParticipantID,
 			TaskID:        m.TaskID,
 			Copy:          m.Copy,
 			Value:         value,
-		}); err != nil {
-			return stats, err
-		}
-		ack, err := codec.Recv()
+		})
 		if err != nil {
 			return stats, err
 		}
+		cfg.Events.Emit(EvResultSubmitted, map[string]any{
+			"task": m.TaskID, "copy": m.Copy, "cheated": cheated,
+		})
 		if ack.Type != MsgAck {
 			return stats, fmt.Errorf("platform: result rejected: %s", ack.Error)
 		}
 		stats.Completed++
+		wm.completed.Inc()
 	}
 }
 

@@ -9,29 +9,37 @@ import "sort"
 // redundancy/ringer verification. Credit earned by a participant later
 // convicted of cheating is revoked in full.
 //
-// The ledger is not safe for concurrent use; the Supervisor serializes
-// access under its own lock.
+// Credit is counted in whole certified-task contributions (one credit per
+// contributor per certified task). The zero CreditLedger is not usable —
+// its maps are nil; construct with NewCreditLedger. The ledger is not safe
+// for concurrent use; the Supervisor serializes access under its own lock.
 type CreditLedger struct {
 	earned  map[int]int
 	revoked map[int]bool
 }
 
-// NewCreditLedger returns an empty ledger.
+// NewCreditLedger returns an empty ledger: every participant has zero
+// credit and nobody is revoked.
 func NewCreditLedger() *CreditLedger {
 	return &CreditLedger{earned: make(map[int]int), revoked: make(map[int]bool)}
 }
 
-// Award grants one credit to each contributor of a certified task.
+// Award grants one credit to each listed contributor of a certified task.
+// A participant appearing k times in the slice earns k credits; revoked
+// participants still accrue (their standing stays 0 until un-revocation,
+// which this ledger never does).
 func (l *CreditLedger) Award(participants []int) {
 	for _, p := range participants {
 		l.earned[p]++
 	}
 }
 
-// Revoke zeroes a participant's standing permanently (conviction).
+// Revoke zeroes a participant's standing permanently (conviction);
+// revoking an unknown or already-revoked participant is a no-op.
 func (l *CreditLedger) Revoke(participant int) { l.revoked[participant] = true }
 
-// Credit returns a participant's current standing: 0 if revoked.
+// Credit returns a participant's current standing in credits: 0 if
+// revoked or never awarded.
 func (l *CreditLedger) Credit(participant int) int {
 	if l.revoked[participant] {
 		return 0
@@ -39,11 +47,15 @@ func (l *CreditLedger) Credit(participant int) int {
 	return l.earned[participant]
 }
 
-// CreditEntry is one row of a leaderboard.
+// CreditEntry is one row of a leaderboard. Its zero value is a valid row:
+// participant 0 with no credit and no conviction.
 type CreditEntry struct {
+	// Participant is the supervisor-assigned participant ID.
 	Participant int
-	Credit      int
-	Revoked     bool
+	// Credit is the current standing in credits (0 when revoked).
+	Credit int
+	// Revoked reports whether the standing was permanently zeroed.
+	Revoked bool
 }
 
 // Leaderboard returns all participants ordered by credit (descending),
@@ -63,7 +75,8 @@ func (l *CreditLedger) Leaderboard() []CreditEntry {
 	return out
 }
 
-// Total returns the credit in circulation (excluding revoked standings).
+// Total returns the credit in circulation, in credits, excluding revoked
+// standings; an empty ledger totals 0.
 func (l *CreditLedger) Total() int {
 	t := 0
 	for p := range l.earned {

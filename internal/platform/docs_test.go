@@ -1,0 +1,59 @@
+package platform
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+
+	"redundancy/internal/experiments"
+	"redundancy/internal/obs"
+)
+
+// TestObservabilityDocCoversEveryMetric keeps OBSERVABILITY.md authoritative:
+// every metric family any component registers must have a reference-table row
+// (| `name` | ...), and every documented name must still exist in code.
+func TestObservabilityDocCoversEveryMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	newSupMetrics(reg)
+	newWorkerMetrics(reg)
+	experiments.InstrumentMetrics(reg)
+
+	registered := map[string]bool{}
+	for _, name := range reg.MetricNames() {
+		registered[name] = true
+	}
+
+	doc, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("(?m)^\\| `(redundancy_[a-zA-Z0-9_]+)` \\|")
+	documented := map[string]bool{}
+	for _, m := range row.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metric reference rows found in OBSERVABILITY.md")
+	}
+
+	var missing, stale []string
+	for name := range registered {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("metrics registered in code but undocumented in OBSERVABILITY.md: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("metrics documented in OBSERVABILITY.md but not registered by any component: %v", stale)
+	}
+}

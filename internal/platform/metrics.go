@@ -1,0 +1,100 @@
+package platform
+
+import "redundancy/internal/obs"
+
+// Event names written to the supervisor's event sink (SupervisorConfig.
+// Events), one JSON line each. OBSERVABILITY.md documents the fields of
+// every event.
+const (
+	EvAssignmentIssued    = "assignment_issued"
+	EvResultAccepted      = "result_accepted"
+	EvResultRejected      = "result_rejected"
+	EvMismatchDetected    = "mismatch_detected"
+	EvRingerFailed        = "ringer_failed"
+	EvAssignmentReclaimed = "assignment_reclaimed"
+	EvWorkerJoined        = "worker_joined"
+	EvWorkerLeft          = "worker_left"
+)
+
+// Event names written to a worker's event sink (WorkerConfig.Events).
+const (
+	EvAssignmentReceived = "assignment_received"
+	EvResultSubmitted    = "result_submitted"
+)
+
+// supMetrics bundles every metric the supervisor emits. All series are
+// registered eagerly at construction so /metrics and Snapshot show a
+// complete (if zero) picture from the first scrape, and so the
+// documentation-coverage test can enumerate them without running traffic.
+type supMetrics struct {
+	assignmentsIssued *obs.Counter
+	resultsAccepted   *obs.Counter
+	resultsRejected   *obs.CounterVec // reason
+	tasksCertified    *obs.Counter
+	mismatchDetected  *obs.Counter
+	ringerFailures    *obs.Counter
+	convictions       *obs.Counter
+	reclaimed         *obs.CounterVec // reason
+	workersRegistered *obs.Counter
+	workersConnected  *obs.Gauge
+	journalRecords    *obs.Counter
+	journalRestored   *obs.Counter
+	turnaround        *obs.HistogramVec // worker
+}
+
+// newSupMetrics registers the supervisor's metric families on r
+// (idempotently, so several supervisors may share one registry).
+func newSupMetrics(r *obs.Registry) *supMetrics {
+	return &supMetrics{
+		assignmentsIssued: r.Counter("redundancy_assignments_issued_total",
+			"Assignments handed to workers, including re-issues of reclaimed copies."),
+		resultsAccepted: r.Counter("redundancy_results_accepted_total",
+			"Results accepted into the verification pipeline (acked to the worker)."),
+		resultsRejected: r.CounterVec("redundancy_results_rejected_total",
+			"Results refused before verification, by reason.", "reason"),
+		tasksCertified: r.Counter("redundancy_tasks_certified_total",
+			"Tasks whose collected results matched and were certified."),
+		mismatchDetected: r.Counter("redundancy_mismatch_detected_total",
+			"Tasks on which differing results (or a failed ringer) exposed cheating."),
+		ringerFailures: r.Counter("redundancy_ringer_failures_total",
+			"Ringer tasks whose returns differed from the precomputed truth."),
+		convictions: r.Counter("redundancy_convictions_total",
+			"Participants convicted by conclusive ringer evidence (conviction events; a twice-caught participant counts twice)."),
+		reclaimed: r.CounterVec("redundancy_assignments_reclaimed_total",
+			"Assignments taken back for re-issue, by reason (disconnect or deadline).", "reason"),
+		workersRegistered: r.Counter("redundancy_workers_registered_total",
+			"Participant registrations accepted."),
+		workersConnected: r.Gauge("redundancy_workers_connected",
+			"Currently open worker connections."),
+		journalRecords: r.Counter("redundancy_journal_records_total",
+			"Accepted results appended to the journal."),
+		journalRestored: r.Counter("redundancy_journal_restored_total",
+			"Results recovered from the journal at startup."),
+		turnaround: r.HistogramVec("redundancy_assignment_turnaround_seconds",
+			"Seconds from issuing an assignment to accepting its result, per worker name.",
+			obs.DefBuckets, "worker"),
+	}
+}
+
+// workerMetrics bundles every metric a worker client emits.
+type workerMetrics struct {
+	rtt       *obs.Histogram
+	completed *obs.Counter
+	cheats    *obs.Counter
+	noWork    *obs.Counter
+}
+
+// newWorkerMetrics registers the worker-side metric families on r.
+func newWorkerMetrics(r *obs.Registry) *workerMetrics {
+	return &workerMetrics{
+		rtt: r.Histogram("redundancy_worker_rtt_seconds",
+			"Protocol round-trip time in seconds: request-to-work and result-to-ack exchanges.",
+			obs.DefBuckets),
+		completed: r.Counter("redundancy_worker_assignments_completed_total",
+			"Assignments fully executed and acknowledged by the supervisor."),
+		cheats: r.Counter("redundancy_worker_cheats_total",
+			"Results this worker corrupted before submission (coalition members only)."),
+		noWork: r.Counter("redundancy_worker_nowork_total",
+			"no_work replies received (the release policy was holding copies back)."),
+	}
+}

@@ -18,52 +18,87 @@ import (
 )
 
 // Message is the single envelope type exchanged in both directions; Type
-// selects which fields are meaningful.
+// selects which fields are meaningful. The zero Message is not a valid
+// frame (its Type is empty); unset fields marshal away under omitempty.
 type Message struct {
+	// Type is one of the Msg* constants and selects the meaningful fields.
 	Type string `json:"type"`
 
-	// register / registered
-	Name          string `json:"name,omitempty"`
-	ParticipantID int    `json:"participant_id,omitempty"`
+	// Name is the participant's self-reported display name (register);
+	// it need not be unique and an empty name is accepted.
+	Name string `json:"name,omitempty"`
+	// ParticipantID is the supervisor-assigned identity, 0-based and
+	// unique per run (registered, request_work, result). 0 is a valid ID,
+	// not an absent one.
+	ParticipantID int `json:"participant_id,omitempty"`
 
-	// work
-	TaskID int     `json:"task_id,omitempty"`
-	Copy   int     `json:"copy,omitempty"`
-	Kind   string  `json:"kind,omitempty"`
-	Seed   uint64  `json:"seed,omitempty"`
-	Iters  int     `json:"iters,omitempty"`
-	Ringer bool    `json:"ringer,omitempty"` // never sent to workers; used in tests
-	Value  uint64  `json:"value,omitempty"`
-	Wait   float64 `json:"wait_seconds,omitempty"`
+	// TaskID numbers the task, 0-based; ringer tasks continue after the
+	// last real task (work, result).
+	TaskID int `json:"task_id,omitempty"`
+	// Copy indexes this assignment among the task's copies,
+	// 0..multiplicity-1 (work, result).
+	Copy int `json:"copy,omitempty"`
+	// Kind names the registered work function to execute (work).
+	Kind string `json:"kind,omitempty"`
+	// Seed is the work function's input, derived per task by TaskSeed
+	// (work).
+	Seed uint64 `json:"seed,omitempty"`
+	// Iters is the per-assignment work amount, in work-function
+	// iterations (work).
+	Iters int `json:"iters,omitempty"`
+	// Ringer is never sent to workers (a labeled ringer would be
+	// pointless); it exists for tests that splice Messages directly.
+	Ringer bool `json:"ringer,omitempty"`
+	// Value is the computed result, a work-function-defined 64-bit word —
+	// possibly float64 bits, see SupervisorConfig.ResultDigits (result).
+	Value uint64 `json:"value,omitempty"`
+	// Wait is how long to back off before the next request_work, in
+	// seconds (no_work). 0 means retry immediately.
+	Wait float64 `json:"wait_seconds,omitempty"`
 
-	// error
+	// Error carries the human-readable refusal reason (error).
 	Error string `json:"error,omitempty"`
 }
 
 // Message types, worker → supervisor.
 const (
-	MsgRegister    = "register"
+	// MsgRegister requests an identity; fields: Name.
+	MsgRegister = "register"
+	// MsgRequestWork asks for one assignment; fields: ParticipantID.
 	MsgRequestWork = "request_work"
-	MsgResult      = "result"
+	// MsgResult returns a computed value; fields: ParticipantID, TaskID,
+	// Copy, Value.
+	MsgResult = "result"
 )
 
 // Message types, supervisor → worker.
 const (
+	// MsgRegistered grants an identity; fields: ParticipantID.
 	MsgRegistered = "registered"
-	MsgWork       = "work"
-	MsgNoWork     = "no_work" // retry after Wait seconds
-	MsgDone       = "done"    // computation finished; disconnect
-	MsgAck        = "ack"
-	MsgError      = "error"
+	// MsgWork carries one assignment; fields: TaskID, Copy, Kind, Seed,
+	// Iters.
+	MsgWork = "work"
+	// MsgNoWork reports that the release policy is holding copies back;
+	// retry after Wait seconds.
+	MsgNoWork = "no_work"
+	// MsgDone reports the computation finished; the worker disconnects.
+	MsgDone = "done"
+	// MsgAck confirms a result was accepted into verification.
+	MsgAck = "ack"
+	// MsgError refuses the request; fields: Error.
+	MsgError = "error"
 )
 
-// Codec frames Messages over a byte stream, one JSON object per line.
+// Codec frames Messages over a byte stream, one JSON object per line. The
+// zero Codec is not usable (nil encoder and scanner); construct with
+// NewCodec. A Codec is not safe for concurrent use by multiple goroutines.
 type Codec struct {
 	enc *json.Encoder
 	sc  *bufio.Scanner
 }
 
-// NewCodec wraps a bidirectional stream.
+// NewCodec wraps a bidirectional stream; inbound frames may be up to
+// 1 MiB long.
 func NewCodec(rw io.ReadWriter) *Codec {
 	sc := bufio.NewScanner(rw)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
@@ -73,7 +108,8 @@ func NewCodec(rw io.ReadWriter) *Codec {
 // Send writes one message (json.Encoder appends the newline).
 func (c *Codec) Send(m Message) error { return c.enc.Encode(m) }
 
-// Recv reads the next message, returning io.EOF at end of stream.
+// Recv reads the next message, skipping blank lines, and returns io.EOF
+// at a clean end of stream.
 func (c *Codec) Recv() (Message, error) {
 	for c.sc.Scan() {
 		line := c.sc.Bytes()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"redundancy/internal/obs"
 	"redundancy/internal/plan"
 	"redundancy/internal/rng"
 	"redundancy/internal/sched"
@@ -48,8 +49,22 @@ type SupervisorConfig struct {
 	// a correct certified value at precompute cost. Off by default — it is
 	// exactly the expensive fallback static redundancy tries to avoid.
 	ResolveMismatches bool
-	// Logf, when set, receives progress lines (e.g. log.Printf).
+	// Logf, when set, receives progress lines (e.g. log.Printf). The
+	// supervisor invokes it from multiple goroutines (connection handlers
+	// and the deadline sweeper) but serializes every call under its own
+	// mutex and recovers panics, so a nil, non-reentrant, or faulty Logf
+	// can never take a run down. Nil suppresses logging.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is the registry the supervisor instruments;
+	// serve it with Registry.Handler to expose /metrics. When nil the
+	// supervisor still maintains a private registry (reachable via
+	// (*Supervisor).Metrics), so counters are always collected.
+	// OBSERVABILITY.md documents every series.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives one structured JSON line per
+	// platform event (assignment_issued, result_accepted,
+	// mismatch_detected, ...; see OBSERVABILITY.md). Nil discards events.
+	Events *obs.Sink
 }
 
 // Supervisor is the trusted coordinator: it owns the assignment queue and
@@ -57,6 +72,17 @@ type SupervisorConfig struct {
 type Supervisor struct {
 	cfg  SupervisorConfig
 	work WorkFunc
+
+	// logMu serializes calls into the user-supplied Logf hook; see logf.
+	logMu sync.Mutex
+
+	registry *obs.Registry
+	metrics  *supMetrics
+	events   *obs.Sink
+	// replaying suppresses metric and event emission while journaled
+	// results are fed back through the verification pipeline at
+	// construction: counters describe what this process observed live.
+	replaying bool
 
 	mu        sync.Mutex
 	queue     *sched.Queue
@@ -87,16 +113,20 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.Iters <= 0 {
 		cfg.Iters = 1000
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
 	work, err := Work(cfg.WorkKind)
 	if err != nil {
 		return nil, err
 	}
+	registry := cfg.Metrics
+	if registry == nil {
+		registry = obs.NewRegistry()
+	}
 	s := &Supervisor{
 		cfg:      cfg,
 		work:     work,
+		registry: registry,
+		metrics:  newSupMetrics(registry),
+		events:   cfg.Events,
 		names:    make(map[int]string),
 		resolved: make(map[int]uint64),
 		credits:  NewCreditLedger(),
@@ -122,6 +152,25 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 				s.credits.Revoke(p)
 			}
 		}
+		if s.replaying {
+			return // restored verdicts were counted by the previous process
+		}
+		if v.Accepted {
+			s.metrics.tasksCertified.Inc()
+		}
+		if v.MismatchDetected {
+			s.metrics.mismatchDetected.Inc()
+			s.events.Emit(EvMismatchDetected, map[string]any{
+				"task": v.TaskID, "ringer": v.Ringer, "suspects": v.Suspects,
+			})
+			if v.Ringer {
+				s.metrics.ringerFailures.Inc()
+				s.metrics.convictions.Add(uint64(len(v.Suspects)))
+				s.events.Emit(EvRingerFailed, map[string]any{
+					"task": v.TaskID, "suspects": v.Suspects,
+				})
+			}
+		}
 	})
 	specs := cfg.Plan.Tasks()
 	for _, sp := range specs {
@@ -132,15 +181,18 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		return nil, err
 	}
 	if cfg.Restore != nil {
+		s.replaying = true
 		n, maxP, err := replayJournal(cfg.Restore, s.collector, s.queue)
+		s.replaying = false
 		if err != nil {
 			return nil, err
 		}
 		s.restored = n
+		s.metrics.journalRestored.Add(uint64(n))
 		if maxP >= s.nextID {
 			s.nextID = maxP + 1 // never reuse a journaled participant ID
 		}
-		s.cfg.Logf("restored %d results from journal (%d assignments remain)",
+		s.logf("restored %d results from journal (%d assignments remain)",
 			n, s.queue.Total()-s.queue.Issued())
 		if s.queue.Done() {
 			s.finished = true
@@ -149,6 +201,27 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	return s, nil
 }
+
+// logf is the single guarded gateway to the user-supplied Logf hook. It
+// is called from connection goroutines and the deadline sweeper
+// concurrently, so it serializes calls under its own mutex (the hook may
+// not be reentrant) and recovers panics: a broken Logf loses a log line,
+// never the computation.
+func (s *Supervisor) logf(format string, args ...any) {
+	fn := s.cfg.Logf
+	if fn == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	defer func() { _ = recover() }()
+	fn(format, args...)
+}
+
+// Metrics returns the registry the supervisor instruments — the one from
+// SupervisorConfig.Metrics, or the private registry created when that was
+// nil. Safe to call and scrape at any time.
+func (s *Supervisor) Metrics() *obs.Registry { return s.registry }
 
 // Start begins listening on addr (e.g. "127.0.0.1:0") and serving workers.
 // It returns the bound address.
@@ -162,7 +235,7 @@ func (s *Supervisor) Start(addr string) (string, error) {
 	if s.cfg.Deadline > 0 {
 		go s.sweepLoop()
 	}
-	s.cfg.Logf("supervisor listening on %s (%d assignments, %d tasks)",
+	s.logf("supervisor listening on %s (%d assignments, %d tasks)",
 		ln.Addr(), s.queue.Total(), s.cfg.Plan.N+s.cfg.Plan.Ringers)
 	return ln.Addr().String(), nil
 }
@@ -178,7 +251,7 @@ func (s *Supervisor) acceptLoop() {
 			defer s.connWG.Done()
 			defer conn.Close()
 			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) {
-				s.cfg.Logf("connection error: %v", err)
+				s.logf("connection error: %v", err)
 			}
 		}()
 	}
@@ -202,6 +275,8 @@ type connState struct {
 func (s *Supervisor) serve(conn io.ReadWriter) error {
 	codec := NewCodec(conn)
 	cs := &connState{held: make(map[outstandingKey]int), registered: make(map[int]bool)}
+	s.metrics.workersConnected.Inc()
+	defer s.metrics.workersConnected.Dec()
 	defer s.reclaim(cs)
 	for {
 		m, err := codec.Recv()
@@ -236,7 +311,8 @@ func (s *Supervisor) serve(conn io.ReadWriter) error {
 	}
 }
 
-// reclaim re-queues every assignment a dead connection still held. An
+// reclaim re-queues every assignment a dead connection still held and
+// records the departure of every participant registered on it. An
 // assignment that the deadline sweeper already reclaimed — and possibly
 // re-issued to another participant under the same key — is left alone:
 // ownership is verified before abandoning.
@@ -250,8 +326,16 @@ func (s *Supervisor) reclaim(cs *connState) {
 		}
 		delete(s.inflight, key)
 		s.queue.Abandon(info.a)
-		s.cfg.Logf("reclaimed task %d copy %d from departed participant %d",
+		s.metrics.reclaimed.With("disconnect").Inc()
+		s.events.Emit(EvAssignmentReclaimed, map[string]any{
+			"task": info.a.TaskID, "copy": info.a.Copy,
+			"participant": info.participant, "reason": "disconnect",
+		})
+		s.logf("reclaimed task %d copy %d from departed participant %d",
 			info.a.TaskID, info.a.Copy, info.participant)
+	}
+	for id := range cs.registered {
+		s.events.Emit(EvWorkerLeft, map[string]any{"participant": id, "name": s.names[id]})
 	}
 }
 
@@ -261,7 +345,9 @@ func (s *Supervisor) register(m Message) Message {
 	id := s.nextID
 	s.nextID++
 	s.names[id] = m.Name
-	s.cfg.Logf("registered participant %d (%s)", id, m.Name)
+	s.metrics.workersRegistered.Inc()
+	s.events.Emit(EvWorkerJoined, map[string]any{"participant": id, "name": m.Name})
+	s.logf("registered participant %d (%s)", id, m.Name)
 	return Message{Type: MsgRegistered, ParticipantID: id}
 }
 
@@ -288,6 +374,10 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 	}
 	s.outstanding(m.ParticipantID, a)
 	cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
+	s.metrics.assignmentsIssued.Inc()
+	s.events.Emit(EvAssignmentIssued, map[string]any{
+		"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID, "ringer": a.Ringer,
+	})
 	return Message{
 		Type:   MsgWork,
 		TaskID: a.TaskID,
@@ -339,7 +429,12 @@ func (s *Supervisor) sweepExpired() {
 		if info.issuedAt.Before(cutoff) {
 			delete(s.inflight, key)
 			s.queue.Abandon(info.a)
-			s.cfg.Logf("deadline exceeded: reclaimed task %d copy %d from participant %d",
+			s.metrics.reclaimed.With("deadline").Inc()
+			s.events.Emit(EvAssignmentReclaimed, map[string]any{
+				"task": info.a.TaskID, "copy": info.a.Copy,
+				"participant": info.participant, "reason": "deadline",
+			})
+			s.logf("deadline exceeded: reclaimed task %d copy %d from participant %d",
 				info.a.TaskID, info.a.Copy, info.participant)
 		}
 	}
@@ -351,10 +446,10 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 	key := outstandingKey{m.TaskID, m.Copy}
 	info, ok := s.inflight[key]
 	if !ok {
-		return Message{Type: MsgError, Error: "result for unassigned work"}
+		return s.rejectResult(m, "unassigned", "result for unassigned work")
 	}
 	if info.participant != m.ParticipantID {
-		return Message{Type: MsgError, Error: "result from wrong participant"}
+		return s.rejectResult(m, "wrong_participant", "result from wrong participant")
 	}
 	delete(s.inflight, key)
 	delete(cs.held, key)
@@ -364,9 +459,15 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 		Value:       m.Value,
 	})
 	if err != nil {
-		return Message{Type: MsgError, Error: err.Error()}
+		return s.rejectResult(m, "verification", err.Error())
 	}
 	s.queue.Complete(info.a)
+	s.metrics.resultsAccepted.Inc()
+	s.metrics.turnaround.With(s.names[info.participant]).
+		Observe(time.Since(info.issuedAt).Seconds())
+	s.events.Emit(EvResultAccepted, map[string]any{
+		"task": m.TaskID, "copy": m.Copy, "participant": m.ParticipantID,
+	})
 	if s.cfg.Journal != nil {
 		if err := appendJournal(s.cfg.Journal, journalRecord{
 			TaskID:      m.TaskID,
@@ -375,16 +476,18 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 			Participant: m.ParticipantID,
 			Value:       m.Value,
 		}); err != nil {
-			s.cfg.Logf("journal write failed: %v", err)
+			s.logf("journal write failed: %v", err)
+		} else {
+			s.metrics.journalRecords.Inc()
 		}
 	}
 	if adjudicated && v.MismatchDetected {
-		s.cfg.Logf("CHEAT DETECTED on task %d (suspects %v)", v.TaskID, v.Suspects)
+		s.logf("CHEAT DETECTED on task %d (suspects %v)", v.TaskID, v.Suspects)
 		if s.cfg.ResolveMismatches && !v.Ringer {
 			// Reactive measure: the supervisor recomputes the disputed
 			// task on trusted hardware.
 			s.resolved[v.TaskID] = s.work(TaskSeed(v.TaskID), s.cfg.Iters)
-			s.cfg.Logf("task %d resolved by supervisor recomputation", v.TaskID)
+			s.logf("task %d resolved by supervisor recomputation", v.TaskID)
 		}
 	}
 	if s.queue.Done() && !s.finished {
@@ -392,6 +495,16 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 		close(s.done)
 	}
 	return Message{Type: MsgAck}
+}
+
+// rejectResult records a refused result (metrics + events) and builds the
+// error reply. Callers hold s.mu.
+func (s *Supervisor) rejectResult(m Message, reason, detail string) Message {
+	s.metrics.resultsRejected.With(reason).Inc()
+	s.events.Emit(EvResultRejected, map[string]any{
+		"task": m.TaskID, "copy": m.Copy, "participant": m.ParticipantID, "reason": reason,
+	})
+	return Message{Type: MsgError, Error: detail}
 }
 
 // Wait blocks until every task has been adjudicated.

@@ -8,7 +8,9 @@ import (
 
 // WorkFunc is an actual computation executed by workers: deterministic in
 // (seed, iters) so the supervisor can precompute ringer results and tests
-// can check certified values.
+// can check certified values. iters is the work amount in function-defined
+// iterations; every registered WorkFunc tolerates iters <= 0 by doing no
+// iterations and returning its base value.
 type WorkFunc func(seed uint64, iters int) uint64
 
 // workRegistry maps work-kind names to implementations.
@@ -19,7 +21,8 @@ var workRegistry = map[string]WorkFunc{
 	"logistic":   Logistic,
 }
 
-// Work looks up a registered work function.
+// Work looks up a registered work function by kind name (one of
+// WorkKinds); an unknown kind returns a non-nil error and a nil WorkFunc.
 func Work(kind string) (WorkFunc, error) {
 	f, ok := workRegistry[kind]
 	if !ok {
@@ -28,7 +31,8 @@ func Work(kind string) (WorkFunc, error) {
 	return f, nil
 }
 
-// WorkKinds returns the registered kinds, sorted.
+// WorkKinds returns the registered kind names in sorted order; the slice
+// is freshly allocated and safe to modify.
 func WorkKinds() []string {
 	out := make([]string, 0, len(workRegistry))
 	for k := range workRegistry {
@@ -40,6 +44,7 @@ func WorkKinds() []string {
 
 // HashChain iterates a 64-bit mixing function iters times from seed — a
 // stand-in for the per-task numerical kernels of real volunteer projects.
+// With iters <= 0 it returns seed unchanged.
 func HashChain(seed uint64, iters int) uint64 {
 	z := seed
 	for i := 0; i < iters; i++ {
@@ -52,7 +57,8 @@ func HashChain(seed uint64, iters int) uint64 {
 }
 
 // PrimeCount counts primes in [seed mod 10^6, seed mod 10^6 + iters) by
-// trial division — deliberately CPU-bound "scientific" work.
+// trial division — deliberately CPU-bound "scientific" work. With
+// iters <= 0 the interval is empty and the count is 0.
 func PrimeCount(seed uint64, iters int) uint64 {
 	lo := seed % 1_000_000
 	var count uint64
@@ -80,7 +86,8 @@ func isPrime(n uint64) bool {
 }
 
 // CollatzMax returns the maximum value reached by the Collatz trajectories
-// of iters consecutive starting points from seed mod 10^6 + 1.
+// of iters consecutive starting points from seed mod 10^6 + 1. With
+// iters <= 0 no trajectory runs and the result is 1.
 func CollatzMax(seed uint64, iters int) uint64 {
 	start := seed%1_000_000 + 1
 	var max uint64
@@ -108,6 +115,7 @@ func CollatzMax(seed uint64, iters int) uint64 {
 // of the final state — a floating-point-valued workload whose results
 // real-world heterogeneous hosts would reproduce only to a tolerance,
 // motivating quantized result matching (SupervisorConfig.ResultDigits).
+// With iters <= 0 it returns the bits of the starting point itself.
 func Logistic(seed uint64, iters int) uint64 {
 	x := 0.1 + float64(seed%1000)/2000.0 // in (0.1, 0.6)
 	for i := 0; i < iters; i++ {
@@ -116,8 +124,10 @@ func Logistic(seed uint64, iters int) uint64 {
 	return math.Float64bits(x)
 }
 
-// TaskSeed derives the per-task payload seed from the task ID; supervisor
-// and tests share it.
+// TaskSeed derives the per-task payload seed from the task ID (0-based);
+// supervisor and tests share it so both sides agree on every payload
+// without shipping data. It is a pure function — equal IDs always map to
+// equal seeds.
 func TaskSeed(taskID int) uint64 {
 	return uint64(taskID)*0x9E3779B97F4A7C15 + 0x1234567
 }

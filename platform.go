@@ -1,6 +1,11 @@
 package redundancy
 
-import "redundancy/internal/platform"
+import (
+	"io"
+
+	"redundancy/internal/obs"
+	"redundancy/internal/platform"
+)
 
 // SupervisorConfig parameterizes a platform supervisor (see NewSupervisor).
 type SupervisorConfig = platform.SupervisorConfig
@@ -45,3 +50,22 @@ func NewWorkerCoalition(cheatProbability float64, seed uint64) *WorkerCoalition 
 // WorkKinds lists the registered work functions of the platform
 // ("hashchain", "primecount", "collatz").
 func WorkKinds() []string { return platform.WorkKinds() }
+
+// MetricsRegistry collects the platform's runtime metrics — counters,
+// gauges, and latency histograms. Serve it over HTTP with Handler (the
+// /metrics endpoint, Prometheus text format) or read it in-process with
+// Snapshot. OBSERVABILITY.md documents every series.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry to pass to
+// SupervisorConfig.Metrics or WorkerConfig.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EventSink writes the platform's structured event stream: one JSON
+// object per line (assignment_issued, result_accepted, mismatch_detected,
+// ...; see OBSERVABILITY.md for the schema). A nil sink discards events.
+type EventSink = obs.Sink
+
+// NewEventSink wraps w (e.g. an append-mode file) in an event sink to
+// pass to SupervisorConfig.Events or WorkerConfig.Events.
+func NewEventSink(w io.Writer) *EventSink { return obs.NewSink(w) }
