@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures fmt vet check clean
+.PHONY: all build test race cover bench figures fmt vet check chaos fuzz clean
 
 all: build test
 
-# The full verification gate CI runs: compile everything, vet, and the
-# whole test suite under the race detector.
+# The full verification gate CI runs: compile everything, vet, the whole
+# test suite under the race detector (the chaos soak included), and a
+# short fuzz burst on the wire codec.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz
 
 build:
 	$(GO) build ./...
@@ -26,6 +28,17 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The crash-tolerance acceptance test alone, under the race detector:
+# full plan to certification with every fault mode injected and the
+# supervisor killed and restored mid-run (see DESIGN.md §8).
+chaos:
+	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/platform
+
+# Short-fuzz the wire codec against hostile bytes (seed corpus runs in
+# every plain `go test`; this explores further for 30s).
+fuzz:
+	$(GO) test -fuzz=FuzzCodecRecv -fuzztime=30s -run '^$$' ./internal/platform
 
 # Regenerate every paper table/figure (see EXPERIMENTS.md).
 figures:

@@ -12,16 +12,29 @@
 // address. With -metrics-addr set, `curl :9091/metrics` returns the live
 // Prometheus counters; -events appends one JSON line per platform event.
 // OBSERVABILITY.md documents both surfaces.
+//
+// The lifecycle is crash-tolerant: -journal records accepted results and
+// resumes from them on restart (-journal-sync fsyncs each record so a
+// kill -9 loses nothing), a torn final record left by a crash is
+// truncated away on restore, SIGINT/SIGTERM triggers a graceful drain
+// bounded by -drain, -io-timeout disconnects stalled workers so their
+// assignments are reissued, and -chaos injects deterministic seeded
+// faults into every accepted connection for self-testing. See DESIGN.md's
+// failure-model section.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"redundancy"
 )
@@ -51,6 +64,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-event logging")
 	planFile := flag.String("planfile", "", "load the plan from a JSON file written by redcalc -save (overrides -n/-eps/-scheme)")
 	journal := flag.String("journal", "", "append accepted results to this file and resume from it if it exists")
+	journalSync := flag.Bool("journal-sync", false, "fsync the journal after every accepted result (crash-safe, slower)")
+	ioTimeout := flag.Duration("io-timeout", 2*time.Minute, "per-message read/write deadline on worker connections (0 = none)")
+	drainTimeout := flag.Duration("drain", 10*time.Second, "on SIGINT/SIGTERM, wait this long for in-flight results before closing")
+	chaos := flag.String("chaos", "", `inject faults into accepted connections, e.g. "seed=7,drop=0.02,corrupt=0.01,latency=2ms" (empty = off)`)
 	resolve := flag.Bool("resolve", false, "recompute disputed tasks on the supervisor (reactive measure)")
 	digits := flag.Int("digits", 0, "match float64 results to this many significant digits (0 = exact)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
@@ -104,10 +121,13 @@ func main() {
 		WorkKind:          *work,
 		Iters:             *iters,
 		Seed:              *seed,
+		IOTimeout:         *ioTimeout,
+		JournalSync:       *journalSync,
 		ResolveMismatches: *resolve,
 		ResultDigits:      *digits,
 		Logf:              logf,
 	}
+	var journalFile *os.File
 	if *journal != "" {
 		if prev, err := os.ReadFile(*journal); err == nil && len(prev) > 0 {
 			cfg.Restore = bytes.NewReader(prev)
@@ -118,6 +138,18 @@ func main() {
 		}
 		defer f.Close()
 		cfg.Journal = f
+		journalFile = f
+	}
+	if *chaos != "" {
+		fc, err := redundancy.ParseFaultConfig(*chaos)
+		if err != nil {
+			log.Fatal("supervisor: ", err)
+		}
+		inj, err := redundancy.NewFaultInjector(fc)
+		if err != nil {
+			log.Fatal("supervisor: ", err)
+		}
+		cfg.WrapListener = inj.Listener
 	}
 	cfg.Metrics = redundancy.NewMetricsRegistry()
 	if *metricsAddr != "" {
@@ -139,6 +171,20 @@ func main() {
 	if err != nil {
 		log.Fatal("supervisor: ", err)
 	}
+	// A crash mid-append leaves a torn final record in the journal; replay
+	// tolerates it, but appending after it would weld the next record onto
+	// the fragment and turn it into unrecoverable interior corruption on
+	// the restart after this one. Cut it off before accepting results.
+	if journalFile != nil && cfg.Restore != nil {
+		if fi, err := journalFile.Stat(); err == nil {
+			if valid := sup.RestoredJournalBytes(); valid < fi.Size() {
+				if err := journalFile.Truncate(valid); err != nil {
+					log.Fatal("supervisor: truncating torn journal tail: ", err)
+				}
+				logf("journal: dropped torn tail (%d -> %d bytes)", fi.Size(), valid)
+			}
+		}
+	}
 	bound, err := sup.Start(*addr)
 	if err != nil {
 		log.Fatal("supervisor: ", err)
@@ -146,16 +192,41 @@ func main() {
 	fmt.Printf("supervisor: serving %s on %s (%d assignments, factor %.4f, %d ringers)\n",
 		pl, bound, pl.TotalAssignments(), pl.RedundancyFactor(), pl.Ringers)
 
-	sup.Wait()
+	done := make(chan struct{})
+	go func() { sup.Wait(); close(done) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
+	select {
+	case <-done:
+	case sig := <-sigCh:
+		// Graceful drain: stop issuing, let in-flight results land (up to
+		// -drain), flush the journal, then report progress so far. A
+		// second signal during the drain kills the process the hard way.
+		signal.Stop(sigCh)
+		fmt.Fprintf(os.Stderr, "\nsupervisor: caught %v, draining for up to %v\n", sig, *drainTimeout)
+		interrupted = true
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := sup.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "supervisor: drain incomplete:", err)
+		}
+		cancel()
+	}
 	sum := sup.Summary()
-	fmt.Println("\ncomputation complete")
+	if interrupted {
+		fmt.Println("\ninterrupted; progress so far (resume with the same -journal)")
+	} else {
+		fmt.Println("\ncomputation complete")
+	}
 	fmt.Printf("participants:       %d\n", sum.Participants)
 	fmt.Printf("tasks certified:    %d of %d\n", sum.Verify.Accepted, sum.Verify.Tasks)
 	fmt.Printf("cheats detected:    %d (ringer catches: %d)\n",
 		sum.Verify.MismatchDetected, sum.Verify.RingersCaught)
 	fmt.Printf("wrong results:      %d\n", sum.WrongResults)
 	fmt.Printf("blacklist:          %v\n", sum.Blacklist)
-	if err := sup.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "supervisor: close:", err)
+	if !interrupted {
+		if err := sup.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "supervisor: close:", err)
+		}
 	}
 }

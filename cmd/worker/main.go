@@ -11,6 +11,14 @@
 // collude: they return identical incorrect values, modeling the paper's
 // coalition adversary.
 //
+// By default the worker survives connection failures (-reconnect): it
+// redials with exponential backoff, resumes its identity with the token
+// the supervisor minted at registration, and picks its in-flight
+// assignment back up. -chaos injects deterministic, seeded faults into
+// this worker's own connections (drops, latency, torn frames, corruption)
+// to exercise exactly that machinery; see DESIGN.md's failure-model
+// section.
+//
 // -metrics-addr serves the worker's own RTT histogram and completion
 // counters on /metrics; -events appends one JSON line per assignment
 // lifecycle event. See OBSERVABILITY.md.
@@ -35,6 +43,9 @@ func main() {
 	cheatSeed := flag.Uint64("cheatseed", 1, "coalition seed; workers sharing it collude")
 	maxAssign := flag.Int("max", 0, "stop after this many assignments (0 = run to completion)")
 	throttle := flag.Duration("throttle", 0, "fixed extra delay per assignment")
+	reconnect := flag.Bool("reconnect", true, "survive connection failures: redial with backoff and resume the same identity")
+	maxReconnects := flag.Int("max-reconnects", 8, "consecutive failed sessions before giving up (with -reconnect)")
+	chaos := flag.String("chaos", "", `inject faults into this worker's connections, e.g. "seed=7,drop=0.02,corrupt=0.01,latency=2ms" (empty = off)`)
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
 	events := flag.String("events", "", "append one JSON line per worker event to this file (empty = off)")
 	flag.Parse()
@@ -44,9 +55,22 @@ func main() {
 		Name:           *name,
 		MaxAssignments: *maxAssign,
 		Throttle:       *throttle,
+		Reconnect:      *reconnect,
+		MaxReconnects:  *maxReconnects,
 	}
 	if *cheat > 0 {
 		cfg.Cheat = redundancy.NewWorkerCoalition(*cheat, *cheatSeed).CheatFunc()
+	}
+	if *chaos != "" {
+		fc, err := redundancy.ParseFaultConfig(*chaos)
+		if err != nil {
+			log.Fatal("worker: ", err)
+		}
+		inj, err := redundancy.NewFaultInjector(fc)
+		if err != nil {
+			log.Fatal("worker: ", err)
+		}
+		cfg.Dial = func(a string) (net.Conn, error) { return inj.Dial("tcp", a) }
 	}
 	if *metricsAddr != "" {
 		cfg.Metrics = redundancy.NewMetricsRegistry()

@@ -1,0 +1,307 @@
+// Package faults is the platform's deterministic fault-injection layer.
+// The paper's setting is explicitly hostile volunteer computing — hosts
+// stall, sleep, and disappear silently — so the resilience machinery of
+// internal/platform must be provoked on demand, not waited for. This
+// package wraps net.Conn and net.Listener with seeded, configurable
+// failure modes: connection drops (at dial, mid-read, mid-write), added
+// latency and jitter, short writes that tear a frame in half, and
+// single-byte corruption. Tests and the -chaos flags of cmd/worker and
+// cmd/supervisor use it to replay the same failure schedule from a seed.
+//
+// Determinism: every dial or accepted connection draws its faults from a
+// private xoshiro256** stream split from (Config.Seed, connection index),
+// so a connection's fault schedule depends only on the seed and the order
+// in which connections open — not on wall-clock timing. Two runs that
+// open connections in the same order see byte-identical fault schedules.
+//
+// Corruption flips the high bit of one byte (XOR 0x80). Outside JSON
+// strings this always breaks the frame (a high-bit byte is not a valid
+// JSON token), which is exactly what the platform must survive; inside a
+// string it degrades to a mojibake display name, which it must tolerate.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redundancy/internal/rng"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so
+// callers (and tests) can tell a scheduled fault from a real network
+// error with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Config selects which faults to inject and how often. The zero Config
+// injects nothing (Enabled reports false) and wrapping with it is a
+// near-free passthrough. Probabilities are per operation (per dial, per
+// Read, per Write), not per connection.
+type Config struct {
+	// Seed derives every connection's private fault stream.
+	Seed uint64
+	// DialDrop is the probability a Dial fails outright.
+	DialDrop float64
+	// ReadDrop is the probability a Read kills the connection instead.
+	ReadDrop float64
+	// WriteDrop is the probability a Write kills the connection instead.
+	WriteDrop float64
+	// Corrupt is the probability one byte of a Read's payload gets its
+	// high bit flipped.
+	Corrupt float64
+	// ShortWrite is the probability a Write delivers only the first half
+	// of its payload and then kills the connection — a torn frame.
+	ShortWrite float64
+	// Latency is a fixed delay added to every Read and Write.
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.DialDrop > 0 || c.ReadDrop > 0 || c.WriteDrop > 0 ||
+		c.Corrupt > 0 || c.ShortWrite > 0 || c.Latency > 0 || c.Jitter > 0
+}
+
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"dialdrop", c.DialDrop}, {"readdrop", c.ReadDrop}, {"writedrop", c.WriteDrop},
+		{"corrupt", c.Corrupt}, {"shortwrite", c.ShortWrite},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.Latency < 0 || c.Jitter < 0 {
+		return errors.New("faults: negative latency or jitter")
+	}
+	return nil
+}
+
+// Parse reads a -chaos flag value: comma-separated key=value pairs.
+// Keys: seed (uint64), dialdrop, readdrop, writedrop, corrupt, shortwrite
+// (probabilities in [0,1]), drop (shorthand setting dialdrop, readdrop,
+// and writedrop at once), latency, jitter (Go durations, e.g. "5ms").
+//
+//	-chaos "seed=7,drop=0.02,corrupt=0.01,latency=2ms,jitter=3ms"
+func Parse(s string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(s) == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: malformed pair %q (want key=value)", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "seed":
+			c.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "dialdrop":
+			c.DialDrop, err = strconv.ParseFloat(v, 64)
+		case "readdrop":
+			c.ReadDrop, err = strconv.ParseFloat(v, 64)
+		case "writedrop":
+			c.WriteDrop, err = strconv.ParseFloat(v, 64)
+		case "drop":
+			var p float64
+			p, err = strconv.ParseFloat(v, 64)
+			c.DialDrop, c.ReadDrop, c.WriteDrop = p, p, p
+		case "corrupt":
+			c.Corrupt, err = strconv.ParseFloat(v, 64)
+		case "shortwrite":
+			c.ShortWrite, err = strconv.ParseFloat(v, 64)
+		case "latency":
+			c.Latency, err = time.ParseDuration(v)
+		case "jitter":
+			c.Jitter, err = time.ParseDuration(v)
+		default:
+			return Config{}, fmt.Errorf("faults: unknown key %q", k)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("faults: bad value for %q: %v", k, err)
+		}
+	}
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// String renders the configuration in Parse's format (set fields only, in
+// a fixed order), so Parse(c.String()) round-trips.
+func (c Config) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", c.Seed)}
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("dialdrop", c.DialDrop)
+	add("readdrop", c.ReadDrop)
+	add("writedrop", c.WriteDrop)
+	add("corrupt", c.Corrupt)
+	add("shortwrite", c.ShortWrite)
+	if c.Latency > 0 {
+		parts = append(parts, "latency="+c.Latency.String())
+	}
+	if c.Jitter > 0 {
+		parts = append(parts, "jitter="+c.Jitter.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Injector hands out fault-wrapped connections. All methods are safe for
+// concurrent use; each wrapped connection gets its own decorrelated
+// random stream.
+type Injector struct {
+	cfg      Config
+	seq      atomic.Uint64 // connection index; stream id for Split
+	injected atomic.Uint64 // total faults actually applied
+}
+
+// New validates cfg and builds an injector.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg}, nil
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Injected returns how many faults have been applied so far (dropped
+// dials, killed reads/writes, corrupted bytes, short writes) — latency is
+// not counted. Tests use it to assert the schedule actually fired.
+func (in *Injector) Injected() uint64 { return in.injected.Load() }
+
+// stream derives the next connection's private fault stream.
+func (in *Injector) stream() *rng.Source {
+	return rng.New(in.cfg.Seed).Split(in.seq.Add(1))
+}
+
+// Dial connects like net.Dial but may fail at dial (DialDrop) and wraps
+// the resulting connection with the injector's fault modes.
+func (in *Injector) Dial(network, addr string) (net.Conn, error) {
+	r := in.stream()
+	if r.Bernoulli(in.cfg.DialDrop) {
+		in.injected.Add(1)
+		return nil, fmt.Errorf("faults: injected dial drop to %s: %w", addr, ErrInjected)
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: conn, in: in, r: r}, nil
+}
+
+// Wrap returns conn with the injector's fault modes applied to every
+// Read and Write.
+func (in *Injector) Wrap(conn net.Conn) net.Conn {
+	return &faultConn{Conn: conn, in: in, r: in.stream()}
+}
+
+// Listener wraps ln so every accepted connection is fault-wrapped —
+// the server-side counterpart of Dial.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(conn), nil
+}
+
+// faultConn applies the fault schedule of one private random stream to a
+// real connection.
+type faultConn struct {
+	net.Conn
+	in *Injector
+
+	mu sync.Mutex // guards r (a Source is not concurrency-safe)
+	r  *rng.Source
+}
+
+// opFaults is one operation's pre-drawn fate. Every decision is drawn
+// unconditionally and in a fixed order so the stream stays aligned no
+// matter which faults are enabled or taken.
+type opFaults struct {
+	delay  time.Duration
+	kill   bool
+	aux    bool    // corrupt (reads) / short write (writes)
+	auxPos float64 // which byte to corrupt, as a fraction of the payload
+}
+
+func (c *faultConn) draw(killP, auxP float64) opFaults {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var f opFaults
+	cfg := c.in.cfg
+	if cfg.Latency > 0 || cfg.Jitter > 0 {
+		f.delay = cfg.Latency + time.Duration(c.r.Float64()*float64(cfg.Jitter))
+	}
+	f.kill = c.r.Bernoulli(killP)
+	f.aux = c.r.Bernoulli(auxP)
+	f.auxPos = c.r.Float64()
+	return f
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	f := c.draw(c.in.cfg.ReadDrop, c.in.cfg.Corrupt)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.kill {
+		c.Conn.Close()
+		c.in.injected.Add(1)
+		return 0, fmt.Errorf("faults: injected read drop: %w", ErrInjected)
+	}
+	n, err := c.Conn.Read(p)
+	if f.aux && n > 0 {
+		p[int(f.auxPos*float64(n))] ^= 0x80
+		c.in.injected.Add(1)
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	f := c.draw(c.in.cfg.WriteDrop, c.in.cfg.ShortWrite)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.kill {
+		c.Conn.Close()
+		c.in.injected.Add(1)
+		return 0, fmt.Errorf("faults: injected write drop: %w", ErrInjected)
+	}
+	if f.aux && len(p) > 1 {
+		n, err := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		c.in.injected.Add(1)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faults: injected short write (%d of %d bytes): %w", n, len(p), ErrInjected)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,261 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "seed=7,dialdrop=0.25,readdrop=0.1,writedrop=0.05,corrupt=0.01,shortwrite=0.02,latency=2ms,jitter=1ms"
+	c, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 7 || c.DialDrop != 0.25 || c.ReadDrop != 0.1 || c.WriteDrop != 0.05 ||
+		c.Corrupt != 0.01 || c.ShortWrite != 0.02 || c.Latency != 2*time.Millisecond || c.Jitter != time.Millisecond {
+		t.Fatalf("parsed %+v", c)
+	}
+	back, err := Parse(c.String())
+	if err != nil {
+		t.Fatalf("String() %q does not reparse: %v", c.String(), err)
+	}
+	if back != c {
+		t.Errorf("round trip changed config: %+v -> %+v", c, back)
+	}
+	if !c.Enabled() {
+		t.Error("configured faults report disabled")
+	}
+}
+
+func TestParseShorthandAndErrors(t *testing.T) {
+	c, err := Parse("drop=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DialDrop != 0.3 || c.ReadDrop != 0.3 || c.WriteDrop != 0.3 {
+		t.Errorf("drop shorthand: %+v", c)
+	}
+	if c, err := Parse(""); err != nil || c.Enabled() {
+		t.Errorf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"nope=1", "corrupt=yes", "readdrop=1.5", "latency=-1s", "seed"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// fakeConn is a deterministic in-memory net.Conn: reads come from a
+// pre-seeded buffer, writes are recorded.
+type fakeConn struct {
+	r      *bytes.Reader
+	w      bytes.Buffer
+	closed bool
+}
+
+func (f *fakeConn) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return f.r.Read(p)
+}
+func (f *fakeConn) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return f.w.Write(p)
+}
+func (f *fakeConn) Close() error                       { f.closed = true; return nil }
+func (f *fakeConn) LocalAddr() net.Addr                { return nil }
+func (f *fakeConn) RemoteAddr() net.Addr               { return nil }
+func (f *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (f *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (f *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// schedule replays a fixed op sequence against one wrapped connection and
+// records, per op, whether it was killed and what came back — a
+// fingerprint of the fault schedule.
+func schedule(t *testing.T, cfg Config, ops int) string {
+	t.Helper()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("abcdefgh", 4)
+	var sb strings.Builder
+	fake := &fakeConn{r: bytes.NewReader([]byte(strings.Repeat(payload, ops)))}
+	conn := in.Wrap(fake)
+	buf := make([]byte, len(payload))
+	for i := 0; i < ops; i++ {
+		var n int
+		var err error
+		if i%2 == 0 {
+			n, err = conn.Read(buf[:])
+			sb.Write(buf[:n])
+		} else {
+			n, err = conn.Write([]byte(payload))
+		}
+		sb.WriteString(":")
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: non-injected error %v", i, err)
+			}
+			sb.WriteString("X")
+			// The conn is dead; reopen a fresh wrapped conn to keep probing
+			// the injector's per-connection streams.
+			fake = &fakeConn{r: bytes.NewReader([]byte(strings.Repeat(payload, ops)))}
+			conn = in.Wrap(fake)
+		}
+	}
+	return sb.String()
+}
+
+func TestScheduleDeterministicInSeed(t *testing.T) {
+	cfg := Config{Seed: 42, ReadDrop: 0.2, WriteDrop: 0.2, Corrupt: 0.3, ShortWrite: 0.2}
+	a := schedule(t, cfg, 64)
+	b := schedule(t, cfg, 64)
+	if a != b {
+		t.Error("same seed produced different fault schedules")
+	}
+	cfg.Seed = 43
+	if c := schedule(t, cfg, 64); c == a {
+		t.Error("different seed produced an identical fault schedule")
+	}
+	if !strings.Contains(a, "X") {
+		t.Error("no faults fired at these rates")
+	}
+}
+
+func TestDialDropAndPassthrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { io.Copy(c, c) }(c) // echo
+		}
+	}()
+
+	drop, _ := New(Config{Seed: 1, DialDrop: 1})
+	if _, err := drop.Dial("tcp", ln.Addr().String()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("DialDrop=1 got %v", err)
+	}
+	if drop.Injected() != 1 {
+		t.Errorf("injected count %d", drop.Injected())
+	}
+
+	clean, _ := New(Config{Seed: 1})
+	conn, err := clean.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello faults")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("clean injector altered bytes: %q", got)
+	}
+	if clean.Injected() != 0 {
+		t.Errorf("clean injector reported %d faults", clean.Injected())
+	}
+}
+
+func TestCorruptFlipsExactlyOneHighBit(t *testing.T) {
+	in, _ := New(Config{Seed: 9, Corrupt: 1})
+	payload := []byte(`{"type":"result","task_id":12,"value":99}` + "\n")
+	fake := &fakeConn{r: bytes.NewReader(payload)}
+	conn := in.Wrap(fake)
+	got := make([]byte, len(payload))
+	n, err := io.ReadFull(conn, got)
+	if err != nil || n != len(payload) {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	diff := 0
+	for i := range payload {
+		if got[i] != payload[i] {
+			diff++
+			if got[i] != payload[i]^0x80 {
+				t.Errorf("byte %d corrupted to %x, want high-bit flip of %x", i, got[i], payload[i])
+			}
+		}
+	}
+	// One corruption per Read; ReadFull may take several reads, so at
+	// least one byte differs and every difference is a high-bit flip.
+	if diff == 0 {
+		t.Error("Corrupt=1 altered nothing")
+	}
+}
+
+func TestShortWriteTearsFrameAndKillsConn(t *testing.T) {
+	in, _ := New(Config{Seed: 3, ShortWrite: 1})
+	fake := &fakeConn{r: bytes.NewReader(nil)}
+	conn := in.Wrap(fake)
+	payload := []byte(`{"type":"work","task_id":5}` + "\n")
+	n, err := conn.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write err = %v", err)
+	}
+	if n != len(payload)/2 || fake.w.Len() != n {
+		t.Errorf("wrote %d bytes (buffer %d), want %d", n, fake.w.Len(), len(payload)/2)
+	}
+	if !fake.closed {
+		t.Error("connection survived a short write")
+	}
+	if _, err := conn.Write(payload); err == nil {
+		t.Error("write succeeded on a killed connection")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := New(Config{Seed: 5, ReadDrop: 1})
+	ln := in.Listener(inner)
+	defer ln.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Read(make([]byte, 1))
+		errCh <- err
+	}()
+
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Write([]byte("x"))
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("server read err = %v, want injected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never observed the injected read drop")
+	}
+}

@@ -3,11 +3,15 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redundancy/internal/obs"
+	"redundancy/internal/rng"
 )
 
 // CheatFunc lets a worker corrupt its results: it receives the task and the
@@ -30,11 +34,35 @@ type WorkerConfig struct {
 	// Throttle adds a fixed delay per assignment (simulates slow hosts,
 	// and exercises the platform's asynchrony in tests).
 	Throttle time.Duration
+	// Reconnect makes session failures survivable: instead of returning the
+	// first network error, the worker redials with exponential backoff,
+	// resumes its identity (and any in-flight assignment) via a resume
+	// register, and resubmits a result whose ack never arrived. Off, any
+	// error ends the run — the pre-hardening behavior tests rely on.
+	Reconnect bool
+	// MaxReconnects caps consecutive failed sessions before giving up
+	// (default 8). The counter resets whenever a session makes progress, so
+	// a long run on a flaky link is not bounded by its total hiccup count.
+	MaxReconnects int
+	// BackoffBase is the first reconnect delay (default 50ms); each further
+	// consecutive failure doubles it up to BackoffMax (default 5s). Delays
+	// are jittered to ±50% so a herd of workers killed by one supervisor
+	// restart does not redial in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed fixes the worker's jitter stream (backoff and no_work waits) for
+	// reproducible tests. 0 derives a stream from Name and a process-wide
+	// counter.
+	Seed uint64
+	// Dial, when non-nil, replaces net.Dial("tcp", addr) — the hook the
+	// fault injector (internal/faults) plugs into.
+	Dial func(addr string) (net.Conn, error)
 	// Metrics, when non-nil, receives the worker's runtime metrics
 	// (protocol RTT histogram, completion counters; see OBSERVABILITY.md).
 	Metrics *obs.Registry
 	// Events, when non-nil, receives one JSON line per worker event
-	// (assignment_received, result_submitted). Nil discards events.
+	// (assignment_received, result_submitted, reconnect). Nil discards
+	// events.
 	Events *obs.Sink
 }
 
@@ -45,20 +73,138 @@ type WorkerStats struct {
 	Cheated       int
 }
 
+// workerState is what survives across sessions of one RunWorker call: the
+// identity to resume, the result awaiting an ack, and the running stats.
+type workerState struct {
+	stats WorkerStats
+	id    int    // participant ID, -1 before first registration
+	token uint64 // resume credential minted by the supervisor
+	// pending is a submitted result whose ack never arrived; it is
+	// resubmitted after the next resume so a crash between send and ack
+	// cannot lose (or double-count) the work.
+	pending    *Message
+	progressed bool // session made progress; resets the failure counter
+}
+
+// terminalError marks a session error reconnecting cannot fix (e.g. the
+// participant was blacklisted); RunWorker returns the wrapped error as-is.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// maxNoWorkWait caps the supervisor-suggested no_work backoff: a corrupt or
+// absurd Wait must not park the worker for minutes.
+const maxNoWorkWait = 5 * time.Second
+
+// noWorkDelay converts a no_work Wait (seconds) into a sleep, capped at
+// maxNoWorkWait and jittered to [w/2, 3w/2) so workers poll out of phase
+// instead of stampeding the supervisor in lockstep.
+func noWorkDelay(wait float64, r *rng.Source) time.Duration {
+	if wait <= 0 {
+		return 0
+	}
+	d := time.Duration(wait * float64(time.Second))
+	if d > maxNoWorkWait {
+		d = maxNoWorkWait
+	}
+	return d/2 + time.Duration(r.Float64()*float64(d))
+}
+
+// reconnectDelay is the backoff before reconnect attempt number `attempt`
+// (1-based): base doubled per consecutive failure, capped at max, jittered
+// to [d/2, 3d/2).
+func reconnectDelay(attempt int, base, max time.Duration, r *rng.Source) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(r.Float64()*float64(d))
+}
+
+// workerSeq decorrelates the jitter streams of same-named workers started
+// without an explicit Seed.
+var workerSeq atomic.Uint64
+
+func workerJitterSeed(cfg WorkerConfig) uint64 {
+	if cfg.Seed != 0 {
+		return cfg.Seed
+	}
+	h := fnv.New64a()
+	io.WriteString(h, cfg.Name)
+	return h.Sum64() ^ workerSeq.Add(1)
+}
+
 // RunWorker connects to the supervisor, registers, and processes
 // assignments until the supervisor reports the computation done (or
 // MaxAssignments is reached). It is the complete participant-side loop:
-// download work, execute the local computation, return the result.
+// download work, execute the local computation, return the result. With
+// Reconnect set it also survives the connection dying under it: redial with
+// backoff, resume the same identity, pick the in-flight assignment back up.
 func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
-	var stats WorkerStats
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry() // instrument unconditionally; discard if unwanted
 	}
 	wm := newWorkerMetrics(reg)
-	conn, err := net.Dial("tcp", cfg.Addr)
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	maxReconnects := cfg.MaxReconnects
+	if maxReconnects <= 0 {
+		maxReconnects = 8
+	}
+	base := cfg.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxBackoff := cfg.BackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	r := rng.New(workerJitterSeed(cfg))
+	st := &workerState{id: -1}
+	failures := 0
+	for {
+		err := runSession(cfg, wm, st, dial, r)
+		if err == nil {
+			return st.stats, nil
+		}
+		var term *terminalError
+		if errors.As(err, &term) {
+			return st.stats, term.err
+		}
+		if !cfg.Reconnect {
+			return st.stats, err
+		}
+		if st.progressed {
+			failures = 0
+			st.progressed = false
+		}
+		failures++
+		if failures > maxReconnects {
+			return st.stats, fmt.Errorf("platform: giving up after %d consecutive failed sessions: %w", failures-1, err)
+		}
+		wm.reconnects.Inc()
+		cfg.Events.Emit(EvReconnect, map[string]any{
+			"attempt": failures, "participant": st.id, "error": err.Error(),
+		})
+		time.Sleep(reconnectDelay(failures, base, maxBackoff, r))
+	}
+}
+
+// runSession runs one connection's worth of the worker loop: dial, register
+// (or resume), resubmit any pending result, then request/execute/submit
+// until done. A nil return ends RunWorker; errors are retried or not by the
+// caller.
+func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(string) (net.Conn, error), r *rng.Source) error {
+	conn, err := dial(cfg.Addr)
 	if err != nil {
-		return stats, err
+		return err
 	}
 	defer conn.Close()
 	codec := NewCodec(conn)
@@ -78,45 +224,98 @@ func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 		return reply, nil
 	}
 
-	// Register.
-	welcome, err := roundTrip(Message{Type: MsgRegister, Name: cfg.Name})
+	// Register — or, after a reconnect, resume the identity we already hold
+	// so credit accrues to one participant and the supervisor can hand back
+	// the assignment this worker still owes.
+	reg := Message{Type: MsgRegister, Name: cfg.Name}
+	if st.id >= 0 {
+		reg.Resume, reg.ParticipantID, reg.Token = true, st.id, st.token
+	}
+	welcome, err := roundTrip(reg)
 	if err != nil {
-		return stats, err
+		return err
+	}
+	if welcome.Type == MsgError && welcome.Reason == ReasonResumeRefused && st.id >= 0 {
+		// The supervisor does not know us — typically it restarted and
+		// resume tokens are in-memory. Start over with a fresh identity;
+		// the pending result names an assignment that no longer exists.
+		st.id, st.token, st.pending = -1, 0, nil
+		welcome, err = roundTrip(Message{Type: MsgRegister, Name: cfg.Name})
+		if err != nil {
+			return err
+		}
 	}
 	if welcome.Type != MsgRegistered {
-		return stats, fmt.Errorf("platform: unexpected registration reply %q: %s", welcome.Type, welcome.Error)
+		err := fmt.Errorf("platform: unexpected registration reply %q: %s", welcome.Type, welcome.Error)
+		if welcome.Reason == ReasonBlacklisted {
+			return &terminalError{err}
+		}
+		return err
 	}
-	stats.ParticipantID = welcome.ParticipantID
+	st.id = welcome.ParticipantID
+	st.token = welcome.Token
+	st.stats.ParticipantID = st.id
+
+	// Resubmit the result whose ack never arrived. An ack means the crash
+	// hit between send and ack and the original submission was lost; an
+	// error means it landed (the duplicate is "unassigned") or the copy was
+	// reclaimed meanwhile — either way it is out of our hands now.
+	if st.pending != nil {
+		resub := *st.pending
+		resub.ParticipantID = st.id
+		ack, err := roundTrip(resub)
+		if err != nil {
+			return err
+		}
+		switch ack.Type {
+		case MsgAck:
+			st.pending = nil
+			st.stats.Completed++
+			wm.completed.Inc()
+			st.progressed = true
+		case MsgError:
+			st.pending = nil
+		default:
+			return fmt.Errorf("platform: unexpected resubmission reply %q", ack.Type)
+		}
+	}
 
 	for {
-		if cfg.MaxAssignments > 0 && stats.Completed >= cfg.MaxAssignments {
-			return stats, nil
+		if cfg.MaxAssignments > 0 && st.stats.Completed >= cfg.MaxAssignments {
+			return nil
 		}
-		m, err := roundTrip(Message{Type: MsgRequestWork, ParticipantID: stats.ParticipantID})
+		m, err := roundTrip(Message{Type: MsgRequestWork, ParticipantID: st.id})
 		if err != nil {
-			return stats, err
+			return err
 		}
 		switch m.Type {
 		case MsgDone:
-			return stats, nil
+			return nil
 		case MsgNoWork:
 			wm.noWork.Inc()
-			time.Sleep(time.Duration(m.Wait * float64(time.Second)))
+			time.Sleep(noWorkDelay(m.Wait, r))
 			continue
 		case MsgError:
-			return stats, errors.New("platform: supervisor refused work: " + m.Error)
+			err := errors.New("platform: supervisor refused work: " + m.Error)
+			if m.Reason == ReasonBlacklisted {
+				return &terminalError{err}
+			}
+			return err
 		case MsgWork:
 			// fall through to execution below
 		default:
-			return stats, fmt.Errorf("platform: unexpected reply %q", m.Type)
+			return fmt.Errorf("platform: unexpected reply %q", m.Type)
 		}
 
 		cfg.Events.Emit(EvAssignmentReceived, map[string]any{
 			"task": m.TaskID, "copy": m.Copy, "kind": m.Kind,
 		})
+		st.progressed = true
 		work, err := Work(m.Kind)
 		if err != nil {
-			return stats, err
+			// A corrupt frame can garble Kind; reconnecting gets the
+			// assignment re-issued intact, so this is not terminal.
+			return err
 		}
 		if cfg.Throttle > 0 {
 			time.Sleep(cfg.Throttle)
@@ -127,28 +326,43 @@ func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 			if v := cfg.Cheat(m.TaskID, value); v != value {
 				value = v
 				cheated = true
-				stats.Cheated++
+				st.stats.Cheated++
 				wm.cheats.Inc()
 			}
 		}
-		ack, err := roundTrip(Message{
+		result := Message{
 			Type:          MsgResult,
-			ParticipantID: stats.ParticipantID,
+			ParticipantID: st.id,
 			TaskID:        m.TaskID,
 			Copy:          m.Copy,
 			Value:         value,
-		})
+		}
+		// Record the submission before sending: if the connection dies
+		// anywhere between here and the ack, the next session resubmits.
+		st.pending = &result
+		ack, err := roundTrip(result)
 		if err != nil {
-			return stats, err
+			return err
 		}
 		cfg.Events.Emit(EvResultSubmitted, map[string]any{
 			"task": m.TaskID, "copy": m.Copy, "cheated": cheated,
 		})
-		if ack.Type != MsgAck {
-			return stats, fmt.Errorf("platform: result rejected: %s", ack.Error)
+		switch ack.Type {
+		case MsgAck:
+			st.pending = nil
+			st.stats.Completed++
+			wm.completed.Inc()
+			st.progressed = true
+		case MsgError:
+			st.pending = nil
+			if !cfg.Reconnect {
+				return errors.New("platform: result rejected: " + ack.Error)
+			}
+			// Rejected (reclaimed under a deadline, or a supervisor restart
+			// forgot the assignment); the copy is someone else's now.
+		default:
+			return fmt.Errorf("platform: unexpected reply %q", ack.Type)
 		}
-		stats.Completed++
-		wm.completed.Inc()
 	}
 }
 

@@ -32,8 +32,14 @@ func appendJournal(w io.Writer, rec journalRecord) error {
 // replayJournal feeds every journaled result back through the collector
 // and marks the corresponding assignments completed in the queue. Torn
 // trailing lines (a crash mid-write) are tolerated; corrupt interior
-// records abort with an error. It returns the number of results restored.
-func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue) (restored, maxParticipant int, err error) {
+// records abort with an error. It returns the number of results restored
+// and validBytes, the length of the journal prefix that replayed cleanly:
+// a caller that will keep appending to the same file should truncate it
+// to validBytes first, so a torn tail does not glue itself onto the next
+// record and turn into interior corruption at a later restore. (A final
+// valid line missing its newline counts the newline anyway; clamp to the
+// file size before truncating.)
+func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue) (restored, maxParticipant int, validBytes int64, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	maxParticipant = -1
@@ -41,12 +47,13 @@ func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
+			validBytes++ // a blank line consumed one newline byte
 			continue
 		}
 		if pendingErr != nil {
 			// A bad record followed by more data is real corruption, not
 			// a torn tail.
-			return restored, maxParticipant, pendingErr
+			return restored, maxParticipant, validBytes, pendingErr
 		}
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
@@ -64,15 +71,16 @@ func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue)
 			Participant: rec.Participant,
 			Value:       rec.Value,
 		}); err != nil {
-			return restored, maxParticipant, fmt.Errorf("platform: journal replay: %w", err)
+			return restored, maxParticipant, validBytes, fmt.Errorf("platform: journal replay: %w", err)
 		}
 		if rec.Participant > maxParticipant {
 			maxParticipant = rec.Participant
 		}
 		restored++
+		validBytes += int64(len(line)) + 1
 	}
 	if err := sc.Err(); err != nil {
-		return restored, maxParticipant, err
+		return restored, maxParticipant, validBytes, err
 	}
-	return restored, maxParticipant, nil
+	return restored, maxParticipant, validBytes, nil
 }

@@ -130,42 +130,68 @@ func TestJournalRestoreOfCompleteRun(t *testing.T) {
 	}
 }
 
-func TestJournalReplayTornTailTolerated(t *testing.T) {
-	p, err := plan.FromDistribution(dist.Simple(5), 0.5)
-	if err != nil {
-		t.Fatal(err)
+// TestJournalReplayCorruption drives replay through every damage shape a
+// crash (or a disk) can leave behind: torn tails are tolerated and
+// excluded from the valid prefix, anything corrupt in the interior aborts
+// the restore with a diagnosable error.
+func TestJournalReplayCorruption(t *testing.T) {
+	rec0 := `{"task":0,"copy":0,"participant":1,"value":7}` + "\n"
+	rec1 := `{"task":1,"copy":0,"participant":1,"value":9}` + "\n"
+	cases := []struct {
+		name     string
+		journal  string
+		restored int   // -1: construction must fail
+		valid    int64 // clean prefix RestoredJournalBytes must report
+		errWant  []string
+	}{
+		{name: "clean", journal: rec0 + rec1,
+			restored: 2, valid: int64(len(rec0) + len(rec1))},
+		{name: "blank lines tolerated", journal: rec0 + "\n" + rec1,
+			restored: 2, valid: int64(len(rec0) + 1 + len(rec1))},
+		{name: "torn tail tolerated", journal: rec0 + `{"task":1,"cop`,
+			restored: 1, valid: int64(len(rec0))},
+		{name: "torn unknown-assignment tail tolerated",
+			journal:  rec0 + `{"task":99,"copy":5,"participant":1,"value":7}` + "\n",
+			restored: 1, valid: int64(len(rec0))},
+		{name: "interior garbage aborts", journal: "not json\n" + rec0,
+			restored: -1, errWant: []string{"corrupt journal record"}},
+		{name: "interior torn record aborts", journal: `{"task":1,"cop` + "\n" + rec0,
+			restored: -1, errWant: []string{"corrupt journal record"}},
+		{name: "interior unknown assignment aborts, naming the record",
+			journal:  `{"task":99,"copy":5,"participant":1,"value":7}` + "\n" + rec0,
+			restored: -1, errWant: []string{"unknown assignment", "task=99", "copy=5"}},
+		{name: "interior duplicate aborts", journal: rec0 + rec0 + rec1,
+			restored: -1, errWant: []string{"task=0", "copy=0"}},
 	}
-	good := `{"task":0,"copy":0,"participant":1,"value":7}` + "\n"
-	torn := good + `{"task":1,"cop` // crash mid-write
-	sup, err := NewSupervisor(SupervisorConfig{
-		Plan: p, Iters: 5, Restore: strings.NewReader(torn),
-	})
-	if err != nil {
-		t.Fatalf("torn tail should be tolerated: %v", err)
-	}
-	if sup.restored != 1 {
-		t.Errorf("restored %d, want 1", sup.restored)
-	}
-}
-
-func TestJournalReplayInteriorCorruptionRejected(t *testing.T) {
-	p, err := plan.FromDistribution(dist.Simple(5), 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bad := "not json\n" + `{"task":0,"copy":0,"participant":1,"value":7}` + "\n"
-	if _, err := NewSupervisor(SupervisorConfig{
-		Plan: p, Iters: 5, Restore: strings.NewReader(bad),
-	}); err == nil {
-		t.Error("interior corruption accepted")
-	}
-	// Unknown assignment (copy out of range) is also corruption when
-	// followed by more records.
-	bogus := `{"task":99,"copy":5,"participant":1,"value":7}` + "\n" +
-		`{"task":0,"copy":0,"participant":1,"value":7}` + "\n"
-	if _, err := NewSupervisor(SupervisorConfig{
-		Plan: p, Iters: 5, Restore: strings.NewReader(bogus),
-	}); err == nil {
-		t.Error("unknown-assignment record accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := plan.FromDistribution(dist.Simple(5), 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sup, err := NewSupervisor(SupervisorConfig{
+				Plan: p, Iters: 5, Restore: strings.NewReader(tc.journal),
+			})
+			if tc.restored < 0 {
+				if err == nil {
+					t.Fatal("corrupt journal accepted")
+				}
+				for _, want := range tc.errWant {
+					if !strings.Contains(err.Error(), want) {
+						t.Errorf("error %q does not mention %q", err, want)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("restore failed: %v", err)
+			}
+			if sup.restored != tc.restored {
+				t.Errorf("restored %d, want %d", sup.restored, tc.restored)
+			}
+			if got := sup.RestoredJournalBytes(); got != tc.valid {
+				t.Errorf("valid prefix %d bytes, want %d", got, tc.valid)
+			}
+		})
 	}
 }

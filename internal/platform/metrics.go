@@ -14,12 +14,14 @@ const (
 	EvAssignmentReclaimed = "assignment_reclaimed"
 	EvWorkerJoined        = "worker_joined"
 	EvWorkerLeft          = "worker_left"
+	EvWorkerResumed       = "worker_resumed"
 )
 
 // Event names written to a worker's event sink (WorkerConfig.Events).
 const (
 	EvAssignmentReceived = "assignment_received"
 	EvResultSubmitted    = "result_submitted"
+	EvReconnect          = "reconnect"
 )
 
 // supMetrics bundles every metric the supervisor emits. All series are
@@ -36,9 +38,12 @@ type supMetrics struct {
 	convictions       *obs.Counter
 	reclaimed         *obs.CounterVec // reason
 	workersRegistered *obs.Counter
+	workersResumed    *obs.Counter
 	workersConnected  *obs.Gauge
+	reissued          *obs.Counter
 	journalRecords    *obs.Counter
 	journalRestored   *obs.Counter
+	journalSyncs      *obs.Counter
 	turnaround        *obs.HistogramVec // worker
 }
 
@@ -64,12 +69,18 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 			"Assignments taken back for re-issue, by reason (disconnect or deadline).", "reason"),
 		workersRegistered: r.Counter("redundancy_workers_registered_total",
 			"Participant registrations accepted."),
+		workersResumed: r.Counter("redundancy_workers_resumed_total",
+			"Reconnecting workers that re-attached an existing identity via a resume register."),
 		workersConnected: r.Gauge("redundancy_workers_connected",
 			"Currently open worker connections."),
+		reissued: r.Counter("redundancy_assignments_reissued_total",
+			"In-flight assignments re-sent to their holder after a resume, without a new queue pop."),
 		journalRecords: r.Counter("redundancy_journal_records_total",
 			"Accepted results appended to the journal."),
 		journalRestored: r.Counter("redundancy_journal_restored_total",
 			"Results recovered from the journal at startup."),
+		journalSyncs: r.Counter("redundancy_journal_syncs_total",
+			"Successful journal fsyncs (JournalSync mode appends and shutdown flushes)."),
 		turnaround: r.HistogramVec("redundancy_assignment_turnaround_seconds",
 			"Seconds from issuing an assignment to accepting its result, per worker name.",
 			obs.DefBuckets, "worker"),
@@ -78,10 +89,11 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 
 // workerMetrics bundles every metric a worker client emits.
 type workerMetrics struct {
-	rtt       *obs.Histogram
-	completed *obs.Counter
-	cheats    *obs.Counter
-	noWork    *obs.Counter
+	rtt        *obs.Histogram
+	completed  *obs.Counter
+	cheats     *obs.Counter
+	noWork     *obs.Counter
+	reconnects *obs.Counter
 }
 
 // newWorkerMetrics registers the worker-side metric families on r.
@@ -96,5 +108,7 @@ func newWorkerMetrics(r *obs.Registry) *workerMetrics {
 			"Results this worker corrupted before submission (coalition members only)."),
 		noWork: r.Counter("redundancy_worker_nowork_total",
 			"no_work replies received (the release policy was holding copies back)."),
+		reconnects: r.Counter("redundancy_worker_reconnects_total",
+			"Reconnect attempts after a failed session (WorkerConfig.Reconnect mode only)."),
 	}
 }

@@ -13,6 +13,7 @@ package platform
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -31,6 +32,15 @@ type Message struct {
 	// unique per run (registered, request_work, result). 0 is a valid ID,
 	// not an absent one.
 	ParticipantID int `json:"participant_id,omitempty"`
+	// Resume marks a register that re-attaches an existing identity after
+	// a reconnect instead of minting a new participant; ParticipantID and
+	// Token carry the identity being resumed (register).
+	Resume bool `json:"resume,omitempty"`
+	// Token authenticates identity resumption: minted by the supervisor
+	// at registration, echoed in registered, required on a Resume
+	// register. Without it any client could hijack a participant — and
+	// its credit — by guessing a small ID (registered, register).
+	Token uint64 `json:"token,omitempty"`
 
 	// TaskID numbers the task, 0-based; ringer tasks continue after the
 	// last real task (work, result).
@@ -58,11 +68,43 @@ type Message struct {
 
 	// Error carries the human-readable refusal reason (error).
 	Error string `json:"error,omitempty"`
+	// Reason machine-codes an error reply — one of the Reason* constants —
+	// so clients can tell fatal refusals (blacklisted) from races that a
+	// reconnect resolves (error).
+	Reason string `json:"reason,omitempty"`
 }
+
+// Machine-readable refusal reasons carried in MsgError replies. The
+// result-rejection reasons double as the label values of the
+// redundancy_results_rejected_total metric.
+const (
+	// ReasonBlacklisted refuses a convicted participant; reconnecting
+	// cannot fix it.
+	ReasonBlacklisted = "blacklisted"
+	// ReasonUnregistered refuses a request naming a participant not
+	// registered (or resumed) on this connection.
+	ReasonUnregistered = "unregistered"
+	// ReasonResumeRefused refuses a resume with an unknown identity or a
+	// wrong token (e.g. the supervisor restarted); register afresh.
+	ReasonResumeRefused = "resume_refused"
+	// ReasonUnassigned rejects a result for work the supervisor has no
+	// outstanding record of (already accepted, or reclaimed).
+	ReasonUnassigned = "unassigned"
+	// ReasonWrongParticipant rejects a result for a copy held by someone
+	// else (the copy was reclaimed and re-issued).
+	ReasonWrongParticipant = "wrong_participant"
+	// ReasonVerification rejects a result the verifier refused.
+	ReasonVerification = "verification"
+	// ReasonUnknownType refuses a frame whose type is not part of the
+	// protocol (possibly corruption in transit).
+	ReasonUnknownType = "unknown_type"
+)
 
 // Message types, worker → supervisor.
 const (
-	// MsgRegister requests an identity; fields: Name.
+	// MsgRegister requests an identity; fields: Name — or, with Resume
+	// set, re-attaches an existing one; fields: Name, Resume,
+	// ParticipantID, Token.
 	MsgRegister = "register"
 	// MsgRequestWork asks for one assignment; fields: ParticipantID.
 	MsgRequestWork = "request_work"
@@ -73,7 +115,8 @@ const (
 
 // Message types, supervisor → worker.
 const (
-	// MsgRegistered grants an identity; fields: ParticipantID.
+	// MsgRegistered grants (or re-attaches) an identity; fields:
+	// ParticipantID, Token.
 	MsgRegistered = "registered"
 	// MsgWork carries one assignment; fields: TaskID, Copy, Kind, Seed,
 	// Iters.
@@ -105,11 +148,15 @@ func NewCodec(rw io.ReadWriter) *Codec {
 	return &Codec{enc: json.NewEncoder(rw), sc: sc}
 }
 
+// ErrFrameTooLong reports an inbound line over the codec's 1 MiB frame
+// limit — a hostile or broken peer, never a legitimate message.
+var ErrFrameTooLong = errors.New("platform: frame exceeds 1 MiB")
+
 // Send writes one message (json.Encoder appends the newline).
 func (c *Codec) Send(m Message) error { return c.enc.Encode(m) }
 
 // Recv reads the next message, skipping blank lines, and returns io.EOF
-// at a clean end of stream.
+// at a clean end of stream. Oversized frames surface as ErrFrameTooLong.
 func (c *Codec) Recv() (Message, error) {
 	for c.sc.Scan() {
 		line := c.sc.Bytes()
@@ -123,6 +170,9 @@ func (c *Codec) Recv() (Message, error) {
 		return m, nil
 	}
 	if err := c.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return Message{}, ErrFrameTooLong
+		}
 		return Message{}, err
 	}
 	return Message{}, io.EOF

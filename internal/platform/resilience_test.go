@@ -1,0 +1,410 @@
+package platform
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/obs"
+	"redundancy/internal/plan"
+	"redundancy/internal/rng"
+	"redundancy/internal/sched"
+)
+
+func TestFrameTooLongError(t *testing.T) {
+	big := strings.Repeat("x", 2<<20) + "\n"
+	c := NewCodec(struct {
+		io.Reader
+		io.Writer
+	}{strings.NewReader(big), io.Discard})
+	if _, err := c.Recv(); !errors.Is(err, ErrFrameTooLong) {
+		t.Errorf("oversized frame: got %v, want ErrFrameTooLong", err)
+	}
+}
+
+func TestNoWorkWaitCappedAndJittered(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if d := noWorkDelay(1000, r); d < 2500*time.Millisecond || d >= 7500*time.Millisecond {
+			t.Fatalf("absurd wait not capped: slept %v", d)
+		}
+		if d := noWorkDelay(0.05, r); d < 25*time.Millisecond || d >= 75*time.Millisecond {
+			t.Fatalf("wait=0.05 jittered to %v, want [25ms,75ms)", d)
+		}
+	}
+	if d := noWorkDelay(0, r); d != 0 {
+		t.Errorf("wait=0 slept %v", d)
+	}
+}
+
+func TestReconnectDelayBackoff(t *testing.T) {
+	r := rng.New(2)
+	base, max := 50*time.Millisecond, 5*time.Second
+	prevCeil := time.Duration(0)
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := reconnectDelay(attempt, base, max, r)
+		ideal := base << (attempt - 1)
+		if ideal > max || ideal <= 0 {
+			ideal = max
+		}
+		if d < ideal/2 || d >= ideal+ideal/2 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, d, ideal/2, ideal+ideal/2)
+		}
+		if ceil := ideal + ideal/2; ceil < prevCeil {
+			t.Errorf("attempt %d: backoff ceiling shrank", attempt)
+		} else {
+			prevCeil = ceil
+		}
+	}
+}
+
+// dialCodec opens a raw protocol connection for tests that drive the wire
+// by hand.
+func dialCodec(t *testing.T, addr string) (net.Conn, *Codec) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, NewCodec(conn)
+}
+
+func roundTrip(t *testing.T, c *Codec, m Message) Message {
+	t.Helper()
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+// TestWorkerReconnectsAndResumes walks the resume protocol by hand: an
+// identity registered on one connection is re-attached on a second (token
+// in hand) while the first is still open — the half-open-connection case —
+// and the in-flight assignment follows it there.
+func TestWorkerReconnectsAndResumes(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(10), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, addr := startSupervisor(t, p, sched.Free)
+
+	_, c1 := dialCodec(t, addr)
+	welcome := roundTrip(t, c1, Message{Type: MsgRegister, Name: "ghost"})
+	if welcome.Type != MsgRegistered || welcome.Token == 0 {
+		t.Fatalf("registration reply %+v (token must be minted)", welcome)
+	}
+	id, token := welcome.ParticipantID, welcome.Token
+	work := roundTrip(t, c1, Message{Type: MsgRequestWork, ParticipantID: id})
+	if work.Type != MsgWork {
+		t.Fatalf("work reply %+v", work)
+	}
+
+	// An impostor who knows the ID but not the token is turned away.
+	_, cBad := dialCodec(t, addr)
+	refuse := roundTrip(t, cBad, Message{Type: MsgRegister, Resume: true, ParticipantID: id, Token: token + 1})
+	if refuse.Type != MsgError || refuse.Reason != ReasonResumeRefused {
+		t.Fatalf("bad-token resume got %+v, want %s", refuse, ReasonResumeRefused)
+	}
+
+	// The real worker resumes on a fresh connection (the old one may be
+	// half-open for minutes) and is handed the same assignment back.
+	_, c2 := dialCodec(t, addr)
+	back := roundTrip(t, c2, Message{Type: MsgRegister, Resume: true, ParticipantID: id, Token: token})
+	if back.Type != MsgRegistered || back.ParticipantID != id {
+		t.Fatalf("resume reply %+v", back)
+	}
+	again := roundTrip(t, c2, Message{Type: MsgRequestWork, ParticipantID: id})
+	if again.Type != MsgWork || again.TaskID != work.TaskID || again.Copy != work.Copy {
+		t.Fatalf("reissued %+v, want task %d copy %d back", again, work.TaskID, work.Copy)
+	}
+
+	// Completing it on the new connection is an ordinary acceptance.
+	fn, err := Work(again.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := roundTrip(t, c2, Message{
+		Type: MsgResult, ParticipantID: id, TaskID: again.TaskID, Copy: again.Copy,
+		Value: fn(again.Seed, again.Iters),
+	})
+	if ack.Type != MsgAck {
+		t.Fatalf("result on resumed connection: %+v", ack)
+	}
+
+	snap := sup.Metrics().Snapshot()
+	if v, _ := snap.Value("redundancy_workers_resumed_total"); v != 1 {
+		t.Errorf("workers_resumed = %v, want 1", v)
+	}
+	if v, _ := snap.Value("redundancy_assignments_reissued_total"); v != 1 {
+		t.Errorf("assignments_reissued = %v, want 1", v)
+	}
+}
+
+// flakyDialer returns conns whose writeToFail-th Write fails without
+// delivering a byte, killing the connection — the crash window between a
+// worker computing a result and its submission landing.
+type flakyDialer struct {
+	mu          sync.Mutex
+	dials       int
+	writeToFail int // fail this (1-based) write of the first conn; 0 = never
+}
+
+type flakyConn struct {
+	net.Conn
+	d      *flakyDialer
+	writes int
+	arm    bool
+}
+
+func (d *flakyDialer) dial(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.dials++
+	first := d.dials == 1
+	d.mu.Unlock()
+	return &flakyConn{Conn: conn, d: d, arm: first && d.writeToFail > 0}, nil
+}
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.arm && c.writes == c.d.writeToFail {
+		c.Conn.Close()
+		return 0, errors.New("flaky: connection died before the frame left")
+	}
+	return c.Conn.Write(p)
+}
+
+// TestWorkerResubmitsPendingResult kills the worker's connection exactly at
+// the result submission (the third frame: register, request, result). The
+// reconnect logic must resume the identity and resubmit, and the work must
+// be accepted exactly once.
+func TestWorkerResubmitsPendingResult(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(6), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 10, Seed: 3, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sup.Close() })
+
+	d := &flakyDialer{writeToFail: 3}
+	wreg := obs.NewRegistry()
+	st, err := RunWorker(WorkerConfig{
+		Addr: addr, Name: "flaky", Reconnect: true, Seed: 11,
+		BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		Dial: d.dial, Metrics: wreg,
+	})
+	if err != nil {
+		t.Fatalf("worker did not survive the torn submission: %v", err)
+	}
+	sup.Wait()
+	sum := sup.Summary()
+	total := p.TotalAssignments()
+	if st.Completed != total {
+		t.Errorf("worker completed %d, want %d (resubmitted result must be acked)", st.Completed, total)
+	}
+	if sum.Verify.MismatchDetected != 0 || sum.WrongResults != 0 {
+		t.Errorf("resubmission corrupted state: %+v wrong=%d", sum.Verify, sum.WrongResults)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Value("redundancy_results_accepted_total"); int(v) != total {
+		t.Errorf("accepted %v results, want exactly %d (no double acceptance)", v, total)
+	}
+	if v, _ := snap.Value("redundancy_workers_resumed_total"); v != 1 {
+		t.Errorf("workers_resumed = %v, want 1", v)
+	}
+	if v, _ := wreg.Snapshot().Value("redundancy_worker_reconnects_total"); v != 1 {
+		t.Errorf("worker_reconnects = %v, want 1", v)
+	}
+}
+
+// TestSlowLorisDisconnectedByIOTimeout opens a connection that never sends
+// a frame; with IOTimeout set the supervisor must drop it instead of
+// pinning a goroutine forever.
+func TestSlowLorisDisconnectedByIOTimeout(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(5), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Plan: p, Iters: 5, Metrics: reg, IOTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sup.Close() })
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := conn.Read(make([]byte, 1)); err != nil {
+			break // supervisor hung up on us
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow-loris connection was never dropped")
+		}
+	}
+	for time.Now().Before(deadline) {
+		if v, _ := reg.Snapshot().Value("redundancy_workers_connected"); v == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("connection gauge never returned to zero")
+}
+
+// TestShutdownDrains checks the graceful path: Shutdown stops accepting
+// and issuing but lets the in-flight result land before returning nil.
+func TestShutdownDrains(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(8), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jf, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	reg := obs.NewRegistry()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Plan: p, Iters: 10, Metrics: reg, Journal: jf, JournalSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := dialCodec(t, addr)
+	welcome := roundTrip(t, c, Message{Type: MsgRegister, Name: "slow"})
+	work := roundTrip(t, c, Message{Type: MsgRequestWork, ParticipantID: welcome.ParticipantID})
+	if work.Type != MsgWork {
+		t.Fatalf("work reply %+v", work)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- sup.Shutdown(ctx)
+	}()
+
+	// Drain visibly started: the listener refuses new connections.
+	for start := time.Now(); ; {
+		probe, err := net.Dial("tcp", addr)
+		if err != nil {
+			break
+		}
+		probe.Close()
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("listener still accepting during shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The in-flight result still lands and is acked.
+	fn, err := Work(work.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := roundTrip(t, c, Message{
+		Type: MsgResult, ParticipantID: welcome.ParticipantID,
+		TaskID: work.TaskID, Copy: work.Copy, Value: fn(work.Seed, work.Iters),
+	})
+	if ack.Type != MsgAck {
+		t.Fatalf("in-flight result during drain: %+v", ack)
+	}
+
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("drained shutdown returned %v", err)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Value("redundancy_results_accepted_total"); v != 1 {
+		t.Errorf("accepted %v results through the drain, want 1", v)
+	}
+	if v, _ := snap.Value("redundancy_journal_syncs_total"); v < 1 {
+		t.Errorf("journal_syncs = %v, want >= 1 (JournalSync mode)", v)
+	}
+	// And the journaled record survived to disk.
+	data, err := os.ReadFile(jf.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"value"`)) {
+		t.Errorf("journal on disk is missing the accepted record: %q", data)
+	}
+}
+
+// TestShutdownTimeoutForceCloses checks the impatient path: a worker that
+// never returns its assignment cannot hold Shutdown hostage past ctx.
+func TestShutdownTimeoutForceCloses(t *testing.T) {
+	p, err := plan.FromDistribution(dist.Simple(8), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := NewSupervisor(SupervisorConfig{Plan: p, Iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := dialCodec(t, addr)
+	welcome := roundTrip(t, c, Message{Type: MsgRegister, Name: "hostage"})
+	if work := roundTrip(t, c, Message{Type: MsgRequestWork, ParticipantID: welcome.ParticipantID}); work.Type != MsgWork {
+		t.Fatalf("work reply %+v", work)
+	}
+	// ... and never submit it.
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = sup.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("hostage shutdown returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("shutdown took %v despite the 100ms budget", elapsed)
+	}
+}

@@ -1,6 +1,9 @@
 package platform
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -32,12 +35,25 @@ type SupervisorConfig struct {
 	// (volunteer hosts stall, sleep, or disappear silently). A participant
 	// submitting after its assignment was reclaimed is rejected.
 	Deadline time.Duration
+	// IOTimeout, when positive, bounds each read of a request and each
+	// write of a reply on a worker connection. A peer that stalls mid-frame
+	// (or a slow-loris) is disconnected and its assignments reclaimed,
+	// instead of pinning a connection goroutine forever.
+	IOTimeout time.Duration
 	// Journal, when non-nil, receives one JSON line per accepted result;
 	// a supervisor restarted with the same plan and Restore pointed at the
 	// journal resumes without re-running completed work.
 	Journal io.Writer
+	// JournalSync, when set and Journal has a Sync method (an *os.File),
+	// fsyncs after every appended record, so even a machine crash loses at
+	// most the torn tail of the final record — which replay tolerates.
+	JournalSync bool
 	// Restore, when non-nil, is replayed at construction (see Journal).
 	Restore io.Reader
+	// WrapListener, when non-nil, wraps the listener Start creates before
+	// any connection is accepted — the hook the fault injector
+	// (internal/faults) plugs into on the supervisor side.
+	WrapListener func(net.Listener) net.Listener
 	// ResultDigits, when positive, matches returned values as float64 bit
 	// patterns quantized to that many significant decimal digits instead of
 	// exactly — for floating-point workloads whose results agree only to a
@@ -91,15 +107,24 @@ type Supervisor struct {
 	inflight  map[outstandingKey]inflightInfo
 	nextID    int
 	names     map[int]string
+	tokens    map[int]uint64 // participant → resume credential
 	resolved  map[int]uint64 // taskID → supervisor-recomputed value
 	restored  int            // results recovered from the journal
 	finished  bool
+	draining  bool // Shutdown in progress: no new assignments
 
-	done chan struct{} // closed when every task is adjudicated
-	stop chan struct{} // closed by Close; halts the deadline sweeper
+	restoredBytes int64 // clean journal prefix length, for tail truncation
+
+	done     chan struct{} // closed when every task is adjudicated
+	stop     chan struct{} // closed by Close/Shutdown; halts the sweeper
+	stopOnce sync.Once
 
 	ln     net.Listener
 	connWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool // no further connections are admitted
 }
 
 // NewSupervisor validates the configuration and builds the supervisor.
@@ -128,10 +153,12 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		metrics:  newSupMetrics(registry),
 		events:   cfg.Events,
 		names:    make(map[int]string),
+		tokens:   make(map[int]uint64),
 		resolved: make(map[int]uint64),
 		credits:  NewCreditLedger(),
 		done:     make(chan struct{}),
 		stop:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	// Ringer truth: the supervisor precomputes the work function itself.
 	s.collector = verify.NewCollector(func(taskID int) uint64 {
@@ -182,12 +209,13 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	if cfg.Restore != nil {
 		s.replaying = true
-		n, maxP, err := replayJournal(cfg.Restore, s.collector, s.queue)
+		n, maxP, valid, err := replayJournal(cfg.Restore, s.collector, s.queue)
 		s.replaying = false
 		if err != nil {
 			return nil, err
 		}
 		s.restored = n
+		s.restoredBytes = valid
 		s.metrics.journalRestored.Add(uint64(n))
 		if maxP >= s.nextID {
 			s.nextID = maxP + 1 // never reuse a journaled participant ID
@@ -223,12 +251,22 @@ func (s *Supervisor) logf(format string, args ...any) {
 // nil. Safe to call and scrape at any time.
 func (s *Supervisor) Metrics() *obs.Registry { return s.registry }
 
+// RestoredJournalBytes reports the length of the journal prefix that
+// replayed cleanly at construction (0 without Restore). A caller reusing
+// the same journal file for appending should truncate it to this length
+// first, removing any torn tail a crashed predecessor left behind;
+// cmd/supervisor does exactly that.
+func (s *Supervisor) RestoredJournalBytes() int64 { return s.restoredBytes }
+
 // Start begins listening on addr (e.g. "127.0.0.1:0") and serving workers.
 // It returns the bound address.
 func (s *Supervisor) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
+	}
+	if s.cfg.WrapListener != nil {
+		ln = s.cfg.WrapListener(ln)
 	}
 	s.ln = ln
 	go s.acceptLoop()
@@ -246,14 +284,38 @@ func (s *Supervisor) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
-			defer conn.Close()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
 			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) {
 				s.logf("connection error: %v", err)
 			}
 		}()
+	}
+}
+
+// closeConns stops admitting connections and force-closes every open one;
+// their serve loops return on the next read or write.
+func (s *Supervisor) closeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
 	}
 }
 
@@ -262,9 +324,10 @@ func (s *Supervisor) acceptLoop() {
 // work lost to a dropped connection can be re-issued.
 type connState struct {
 	held map[outstandingKey]int
-	// registered holds the participant IDs created over this connection;
-	// work requests and results must name one of them, so a client cannot
-	// impersonate another participant (e.g. by guessing a small ID).
+	// registered holds the participant IDs created (or resumed) over this
+	// connection; work requests and results must name one of them, so a
+	// client cannot impersonate another participant (e.g. by guessing a
+	// small ID). Resuming requires the supervisor-minted token.
 	registered map[int]bool
 }
 
@@ -272,13 +335,16 @@ type connState struct {
 // or not — any assignment it still holds is returned to the queue and
 // re-issued to another participant: volunteer hosts leave all the time and
 // the computation must not stall on them.
-func (s *Supervisor) serve(conn io.ReadWriter) error {
+func (s *Supervisor) serve(conn net.Conn) error {
 	codec := NewCodec(conn)
 	cs := &connState{held: make(map[outstandingKey]int), registered: make(map[int]bool)}
 	s.metrics.workersConnected.Inc()
 	defer s.metrics.workersConnected.Dec()
 	defer s.reclaim(cs)
 	for {
+		if s.cfg.IOTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+		}
 		m, err := codec.Recv()
 		if err != nil {
 			return err
@@ -286,24 +352,27 @@ func (s *Supervisor) serve(conn io.ReadWriter) error {
 		var reply Message
 		switch m.Type {
 		case MsgRegister:
-			reply = s.register(m)
-			if reply.Type == MsgRegistered {
-				cs.registered[reply.ParticipantID] = true
-			}
+			reply = s.register(m, cs)
 		case MsgRequestWork:
 			if !cs.registered[m.ParticipantID] {
-				reply = Message{Type: MsgError, Error: "participant not registered on this connection"}
+				reply = Message{Type: MsgError, Reason: ReasonUnregistered,
+					Error: "participant not registered on this connection"}
 				break
 			}
 			reply = s.assign(m, cs)
 		case MsgResult:
 			if !cs.registered[m.ParticipantID] {
-				reply = Message{Type: MsgError, Error: "participant not registered on this connection"}
+				reply = Message{Type: MsgError, Reason: ReasonUnregistered,
+					Error: "participant not registered on this connection"}
 				break
 			}
 			reply = s.result(m, cs)
 		default:
-			reply = Message{Type: MsgError, Error: fmt.Sprintf("unknown message type %q", m.Type)}
+			reply = Message{Type: MsgError, Reason: ReasonUnknownType,
+				Error: fmt.Sprintf("unknown message type %q", m.Type)}
+		}
+		if s.cfg.IOTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
 		}
 		if err := codec.Send(reply); err != nil {
 			return err
@@ -313,15 +382,15 @@ func (s *Supervisor) serve(conn io.ReadWriter) error {
 
 // reclaim re-queues every assignment a dead connection still held and
 // records the departure of every participant registered on it. An
-// assignment that the deadline sweeper already reclaimed — and possibly
-// re-issued to another participant under the same key — is left alone:
-// ownership is verified before abandoning.
+// assignment that the deadline sweeper already reclaimed — or that a
+// resumed connection took ownership of — is left alone: ownership is
+// verified before abandoning.
 func (s *Supervisor) reclaim(cs *connState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for key, holder := range cs.held {
 		info, ok := s.inflight[key]
-		if !ok || info.participant != holder {
+		if !ok || info.participant != holder || info.owner != cs {
 			continue
 		}
 		delete(s.inflight, key)
@@ -339,16 +408,69 @@ func (s *Supervisor) reclaim(cs *connState) {
 	}
 }
 
-func (s *Supervisor) register(m Message) Message {
+// newToken mints an unguessable resume credential. Identity resumption is
+// authenticated by this token, not by the (small, guessable) participant
+// ID, so a malicious client cannot hijack another participant's identity
+// and accrued credit.
+func newToken() uint64 {
+	var b [8]byte
+	crand.Read(b[:]) // never fails; panics on broken platforms
+	tok := binary.LittleEndian.Uint64(b[:])
+	if tok == 0 {
+		tok = 1 // 0 means "no token" on the wire
+	}
+	return tok
+}
+
+// register mints a new identity, or — with Resume set and a valid token —
+// re-attaches an existing one to this connection, transferring any
+// in-flight assignments so they are re-issued here instead of reclaimed
+// when the old connection's goroutine notices the drop.
+func (s *Supervisor) register(m Message, cs *connState) Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if m.Resume {
+		tok, ok := s.tokens[m.ParticipantID]
+		if !ok || m.Token == 0 || m.Token != tok {
+			return Message{Type: MsgError, Reason: ReasonResumeRefused,
+				Error: "unknown participant or bad token"}
+		}
+		if s.collector.Convicted(m.ParticipantID) {
+			return Message{Type: MsgError, Reason: ReasonBlacklisted,
+				Error: "participant is blacklisted"}
+		}
+		moved := 0
+		for key, info := range s.inflight {
+			if info.participant != m.ParticipantID {
+				continue
+			}
+			if info.owner != nil && info.owner != cs {
+				delete(info.owner.held, key)
+			}
+			info.owner = cs
+			s.inflight[key] = info
+			cs.held[key] = m.ParticipantID
+			moved++
+		}
+		cs.registered[m.ParticipantID] = true
+		s.metrics.workersResumed.Inc()
+		s.events.Emit(EvWorkerResumed, map[string]any{
+			"participant": m.ParticipantID, "name": s.names[m.ParticipantID], "inflight": moved,
+		})
+		s.logf("participant %d (%s) resumed with %d in-flight assignment(s)",
+			m.ParticipantID, s.names[m.ParticipantID], moved)
+		return Message{Type: MsgRegistered, ParticipantID: m.ParticipantID, Token: tok}
+	}
 	id := s.nextID
 	s.nextID++
 	s.names[id] = m.Name
+	tok := newToken()
+	s.tokens[id] = tok
+	cs.registered[id] = true
 	s.metrics.workersRegistered.Inc()
 	s.events.Emit(EvWorkerJoined, map[string]any{"participant": id, "name": m.Name})
 	s.logf("registered participant %d (%s)", id, m.Name)
-	return Message{Type: MsgRegistered, ParticipantID: id}
+	return Message{Type: MsgRegistered, ParticipantID: id, Token: tok}
 }
 
 func (s *Supervisor) assign(m Message, cs *connState) Message {
@@ -359,10 +481,44 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 	// would let an adversary starve the computation by framing honest
 	// participants.
 	if s.collector.Convicted(m.ParticipantID) {
-		return Message{Type: MsgError, Error: "participant is blacklisted"}
+		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
 	}
 	if s.finished {
 		return Message{Type: MsgDone}
+	}
+	// Re-issue before popping fresh work: a resumed connection first gets
+	// back the assignment it already holds, so a reconnect never duplicates
+	// queue state. Entries whose in-flight record is gone (swept, or
+	// re-issued elsewhere) are stale and dropped.
+	for key, holder := range cs.held {
+		info, ok := s.inflight[key]
+		if !ok || info.participant != holder || info.owner != cs {
+			delete(cs.held, key)
+			continue
+		}
+		if holder != m.ParticipantID {
+			continue
+		}
+		info.issuedAt = time.Now()
+		s.inflight[key] = info
+		s.metrics.reissued.Inc()
+		s.events.Emit(EvAssignmentIssued, map[string]any{
+			"task": info.a.TaskID, "copy": info.a.Copy,
+			"participant": m.ParticipantID, "ringer": info.a.Ringer, "reissue": true,
+		})
+		return Message{
+			Type:   MsgWork,
+			TaskID: info.a.TaskID,
+			Copy:   info.a.Copy,
+			Kind:   s.cfg.WorkKind,
+			Seed:   TaskSeed(info.a.TaskID),
+			Iters:  s.cfg.Iters,
+		}
+	}
+	if s.draining {
+		// Shutdown in progress: in-flight work may still land, but nothing
+		// new goes out.
+		return Message{Type: MsgNoWork, Wait: 0.2}
 	}
 	a, ok := s.queue.Next()
 	if !ok {
@@ -372,7 +528,7 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 		// Policy is holding copies back; ask the worker to retry.
 		return Message{Type: MsgNoWork, Wait: 0.05}
 	}
-	s.outstanding(m.ParticipantID, a)
+	s.outstanding(m.ParticipantID, a, cs)
 	cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
 	s.metrics.assignmentsIssued.Inc()
 	s.events.Emit(EvAssignmentIssued, map[string]any{
@@ -392,17 +548,18 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 // back. Keyed by (task, copy).
 type outstandingKey struct{ task, copy int }
 
-func (s *Supervisor) outstanding(participant int, a sched.Assignment) {
+func (s *Supervisor) outstanding(participant int, a sched.Assignment, cs *connState) {
 	if s.inflight == nil {
 		s.inflight = make(map[outstandingKey]inflightInfo)
 	}
-	s.inflight[outstandingKey{a.TaskID, a.Copy}] = inflightInfo{participant, a, time.Now()}
+	s.inflight[outstandingKey{a.TaskID, a.Copy}] = inflightInfo{participant, a, time.Now(), cs}
 }
 
 type inflightInfo struct {
 	participant int
 	a           sched.Assignment
 	issuedAt    time.Time
+	owner       *connState // connection the assignment is currently attached to
 }
 
 // sweepLoop periodically reclaims assignments held past the deadline.
@@ -428,6 +585,9 @@ func (s *Supervisor) sweepExpired() {
 	for key, info := range s.inflight {
 		if info.issuedAt.Before(cutoff) {
 			delete(s.inflight, key)
+			if info.owner != nil {
+				delete(info.owner.held, key)
+			}
 			s.queue.Abandon(info.a)
 			s.metrics.reclaimed.With("deadline").Inc()
 			s.events.Emit(EvAssignmentReclaimed, map[string]any{
@@ -446,20 +606,23 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 	key := outstandingKey{m.TaskID, m.Copy}
 	info, ok := s.inflight[key]
 	if !ok {
-		return s.rejectResult(m, "unassigned", "result for unassigned work")
+		return s.rejectResult(m, ReasonUnassigned, "result for unassigned work")
 	}
 	if info.participant != m.ParticipantID {
-		return s.rejectResult(m, "wrong_participant", "result from wrong participant")
+		return s.rejectResult(m, ReasonWrongParticipant, "result from wrong participant")
 	}
 	delete(s.inflight, key)
 	delete(cs.held, key)
+	if info.owner != nil && info.owner != cs {
+		delete(info.owner.held, key)
+	}
 	v, adjudicated, err := s.collector.Submit(verify.Result{
 		Assignment:  info.a,
 		Participant: m.ParticipantID,
 		Value:       m.Value,
 	})
 	if err != nil {
-		return s.rejectResult(m, "verification", err.Error())
+		return s.rejectResult(m, ReasonVerification, err.Error())
 	}
 	s.queue.Complete(info.a)
 	s.metrics.resultsAccepted.Inc()
@@ -479,6 +642,9 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 			s.logf("journal write failed: %v", err)
 		} else {
 			s.metrics.journalRecords.Inc()
+			if s.cfg.JournalSync {
+				s.syncJournal()
+			}
 		}
 	}
 	if adjudicated && v.MismatchDetected {
@@ -504,24 +670,95 @@ func (s *Supervisor) rejectResult(m Message, reason, detail string) Message {
 	s.events.Emit(EvResultRejected, map[string]any{
 		"task": m.TaskID, "copy": m.Copy, "participant": m.ParticipantID, "reason": reason,
 	})
-	return Message{Type: MsgError, Error: detail}
+	return Message{Type: MsgError, Reason: reason, Error: detail}
+}
+
+// syncer is the optional flushing facet of a journal writer (*os.File
+// implements it).
+type syncer interface{ Sync() error }
+
+// syncJournal fsyncs the journal if its writer supports it. Callers hold
+// s.mu, so records and syncs are totally ordered.
+func (s *Supervisor) syncJournal() {
+	sy, ok := s.cfg.Journal.(syncer)
+	if !ok {
+		return
+	}
+	if err := sy.Sync(); err != nil {
+		s.logf("journal sync failed: %v", err)
+		return
+	}
+	s.metrics.journalSyncs.Inc()
 }
 
 // Wait blocks until every task has been adjudicated.
 func (s *Supervisor) Wait() { <-s.done }
 
-// Close shuts the listener down and waits for connections to finish.
-func (s *Supervisor) Close() error {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
+// Shutdown drains the supervisor gracefully: it stops accepting
+// connections and issuing assignments, waits (up to ctx) for in-flight
+// assignments to land or be reclaimed, then closes every connection and
+// flushes the journal. It returns nil if the drain completed, or ctx's
+// error if the deadline cut it short (state is still consistent — the
+// journal has every accepted result).
+func (s *Supervisor) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
 	}
+	drained := s.awaitDrain(ctx)
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.closeConns()
+	s.connWG.Wait()
+	s.mu.Lock()
+	s.syncJournal()
+	s.mu.Unlock()
+	if drained {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// awaitDrain polls until no assignment is in flight or ctx expires.
+func (s *Supervisor) awaitDrain(ctx context.Context) bool {
+	for {
+		s.mu.Lock()
+		n := len(s.inflight)
+		s.mu.Unlock()
+		if n == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Close shuts the supervisor down. After the computation finished it
+// waits for workers to collect their done replies and leave, as before;
+// mid-run it is an abrupt kill — every open connection is closed without
+// draining (in-flight work is lost to the journal's mercy, which is the
+// point: tests kill a supervisor this way and assert the journal restores
+// it). Use Shutdown for a graceful mid-run stop.
+func (s *Supervisor) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	s.mu.Lock()
+	finished := s.finished
+	s.mu.Unlock()
+	if !finished {
+		s.closeConns()
+	}
 	s.connWG.Wait()
+	s.mu.Lock()
+	s.syncJournal()
+	s.mu.Unlock()
 	return err
 }
 

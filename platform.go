@@ -3,6 +3,7 @@ package redundancy
 import (
 	"io"
 
+	"redundancy/internal/faults"
 	"redundancy/internal/obs"
 	"redundancy/internal/platform"
 )
@@ -69,3 +70,23 @@ type EventSink = obs.Sink
 // NewEventSink wraps w (e.g. an append-mode file) in an event sink to
 // pass to SupervisorConfig.Events or WorkerConfig.Events.
 func NewEventSink(w io.Writer) *EventSink { return obs.NewSink(w) }
+
+// FaultConfig selects the platform's deterministic fault-injection modes:
+// seeded connection drops (at dial, mid-read, mid-write), latency and
+// jitter, torn frames, and single-byte corruption. The zero value injects
+// nothing. See internal/faults for the failure-schedule semantics.
+type FaultConfig = faults.Config
+
+// FaultInjector hands out fault-wrapped connections and listeners,
+// replaying the same failure schedule from FaultConfig.Seed. Plug
+// Injector.Dial into WorkerConfig.Dial and Injector.Listener into
+// SupervisorConfig.WrapListener; cmd/worker and cmd/supervisor expose both
+// as -chaos.
+type FaultInjector = faults.Injector
+
+// ParseFaultConfig reads a -chaos flag value — comma-separated key=value
+// pairs, e.g. "seed=7,drop=0.02,corrupt=0.01,latency=2ms".
+func ParseFaultConfig(s string) (FaultConfig, error) { return faults.Parse(s) }
+
+// NewFaultInjector validates cfg and builds an injector.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return faults.New(cfg) }
