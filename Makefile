@@ -1,16 +1,17 @@
 GO ?= go
 
-.PHONY: all build test race cover bench figures fmt vet check chaos fuzz clean
+.PHONY: all build test race cover cover-check bench bench-save figures fmt vet check chaos fuzz clean
 
 all: build test
 
 # The full verification gate CI runs: compile everything, vet, the whole
-# test suite under the race detector (the chaos soak included), and a
-# short fuzz burst on the wire codec.
+# test suite under the race detector (the chaos soak included), the
+# per-package coverage floor, and a short fuzz burst on the wire codec.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) cover-check
 	$(MAKE) fuzz
 
 build:
@@ -26,8 +27,27 @@ cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
 	$(GO) tool cover -func=cover.out | tail -1
 
+# Per-package coverage floor for the packages that carry the paper's math
+# and the wire protocol. A new feature that lands without tests drops the
+# percentage and fails the gate.
+COVER_FLOOR ?= 75.0
+
+cover-check:
+	@for pkg in ./internal/dist ./internal/platform; do \
+		$(GO) test -coverprofile=cover-check.out $$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=cover-check.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
+		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit (p + 0 < f + 0) }' || \
+			{ echo "FAIL: $$pkg coverage $$pct% is below the $(COVER_FLOOR)% floor"; rm -f cover-check.out; exit 1; }; \
+	done; rm -f cover-check.out
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the batched-leasing hot path over loopback and commit the JSON
+# artifact (assignments/sec at lease sizes 1, 16, and 64).
+bench-save:
+	$(GO) run ./cmd/platformbench -out BENCH_pr3.json
 
 # The crash-tolerance acceptance test alone, under the race detector:
 # full plan to certification with every fault mode injected and the
@@ -51,4 +71,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out cover-check.out test_output.txt bench_output.txt

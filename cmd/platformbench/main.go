@@ -1,0 +1,163 @@
+// Command platformbench measures the wire-protocol hot path: it runs the
+// same computation to completion over loopback at several lease sizes and
+// reports assignments per second for each. With one round trip per
+// assignment (-batch 1, the legacy protocol) the run is RTT-bound; batched
+// leasing amortizes that round trip over the whole lease, and this tool
+// quantifies the speedup on the machine it runs on.
+//
+// Usage:
+//
+//	platformbench                       # print the table
+//	platformbench -out BENCH_pr3.json   # also write the JSON artifact
+//
+// `make bench-save` runs the committed configuration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"redundancy"
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+)
+
+type result struct {
+	Batch             int     `json:"batch"`
+	Assignments       int     `json:"assignments"`
+	Seconds           float64 `json:"seconds"`
+	AssignmentsPerSec float64 `json:"assignments_per_sec"`
+}
+
+type report struct {
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	Tasks       int      `json:"tasks"`
+	Iters       int      `json:"iters"`
+	Workers     int      `json:"workers"`
+	Results     []result `json:"results"`
+	SpeedupVs1  float64  `json:"speedup_max_batch_vs_1"`
+	Speedup16   float64  `json:"speedup_batch16_vs_1"`
+	GeneratedAt string   `json:"generated_at"`
+}
+
+func main() {
+	n := flag.Int("n", 2000, "tasks per run (multiplicity 1 plus ringers)")
+	iters := flag.Int("iters", 1, "work-function iterations; 1 keeps runs RTT-bound")
+	workers := flag.Int("workers", 1, "concurrent workers per run (1 isolates the per-round-trip cost)")
+	batches := flag.String("batches", "1,16,64", "comma-separated lease sizes to measure")
+	out := flag.String("out", "", "also write the JSON report to this file (empty = stdout table only)")
+	flag.Parse()
+
+	var sizes []int
+	for _, f := range strings.Split(*batches, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || b < 1 {
+			log.Fatalf("platformbench: bad -batches entry %q", f)
+		}
+		sizes = append(sizes, b)
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Tasks: *n, Iters: *iters, Workers: *workers,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("%-8s %-14s %-10s %s\n", "batch", "assignments", "seconds", "assignments/sec")
+	for _, b := range sizes {
+		r, err := run(*n, *iters, *workers, b)
+		if err != nil {
+			log.Fatalf("platformbench: batch %d: %v", b, err)
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-8d %-14d %-10.3f %.0f\n", r.Batch, r.Assignments, r.Seconds, r.AssignmentsPerSec)
+	}
+
+	base := rep.Results[0]
+	for _, r := range rep.Results {
+		if r.Batch == 1 {
+			base = r
+		}
+	}
+	for _, r := range rep.Results {
+		if s := r.AssignmentsPerSec / base.AssignmentsPerSec; s > rep.SpeedupVs1 {
+			rep.SpeedupVs1 = s
+		}
+		if r.Batch == 16 {
+			rep.Speedup16 = r.AssignmentsPerSec / base.AssignmentsPerSec
+		}
+	}
+	fmt.Printf("\nspeedup vs batch 1: %.2fx (batch 16: %.2fx)\n", rep.SpeedupVs1, rep.Speedup16)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// run drives one full computation over loopback at the given lease size
+// and returns its throughput.
+func run(n, iters, workers, batch int) (result, error) {
+	p, err := plan.FromDistribution(dist.Simple(float64(n)), 0.5)
+	if err != nil {
+		return result{}, err
+	}
+	sup, err := redundancy.NewSupervisor(redundancy.SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: iters, Seed: 1, MaxBatch: batch,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer sup.Close()
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		return result{}, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := redundancy.RunWorker(redundancy.WorkerConfig{
+				Addr: addr, Name: fmt.Sprintf("bench-%d", i),
+				BatchSize: batch, Seed: uint64(i + 1),
+			})
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	sup.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return result{}, err
+	}
+
+	total := p.TotalAssignments()
+	return result{
+		Batch:             batch,
+		Assignments:       total,
+		Seconds:           elapsed.Seconds(),
+		AssignmentsPerSec: float64(total) / elapsed.Seconds(),
+	}, nil
+}

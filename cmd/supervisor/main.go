@@ -61,6 +61,7 @@ func main() {
 	iters := flag.Int("iters", 2000, "per-assignment work amount")
 	policy := flag.String("policy", "free", "free | one-outstanding")
 	seed := flag.Uint64("seed", 1, "assignment shuffle seed")
+	batch := flag.Int("batch", redundancy.DefaultMaxBatch, "max assignments per work_batch lease (1 = single-assignment leases)")
 	quiet := flag.Bool("quiet", false, "suppress per-event logging")
 	planFile := flag.String("planfile", "", "load the plan from a JSON file written by redcalc -save (overrides -n/-eps/-scheme)")
 	journal := flag.String("journal", "", "append accepted results to this file and resume from it if it exists")
@@ -73,6 +74,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
 	events := flag.String("events", "", "append one JSON line per platform event to this file (empty = off)")
 	flag.Parse()
+	if *batch < 1 {
+		log.Fatalf("supervisor: -batch must be at least 1 (got %d)", *batch)
+	}
 
 	var pl *redundancy.Plan
 	if *planFile != "" {
@@ -121,6 +125,7 @@ func main() {
 		WorkKind:          *work,
 		Iters:             *iters,
 		Seed:              *seed,
+		MaxBatch:          *batch,
 		IOTimeout:         *ioTimeout,
 		JournalSync:       *journalSync,
 		ResolveMismatches: *resolve,

@@ -43,17 +43,22 @@ func main() {
 	cheatSeed := flag.Uint64("cheatseed", 1, "coalition seed; workers sharing it collude")
 	maxAssign := flag.Int("max", 0, "stop after this many assignments (0 = run to completion)")
 	throttle := flag.Duration("throttle", 0, "fixed extra delay per assignment")
+	batch := flag.Int("batch", redundancy.DefaultMaxBatch, "assignments to lease per get_work round trip (1 = single-assignment protocol)")
 	reconnect := flag.Bool("reconnect", true, "survive connection failures: redial with backoff and resume the same identity")
 	maxReconnects := flag.Int("max-reconnects", 8, "consecutive failed sessions before giving up (with -reconnect)")
 	chaos := flag.String("chaos", "", `inject faults into this worker's connections, e.g. "seed=7,drop=0.02,corrupt=0.01,latency=2ms" (empty = off)`)
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
 	events := flag.String("events", "", "append one JSON line per worker event to this file (empty = off)")
 	flag.Parse()
+	if *batch < 1 {
+		log.Fatalf("worker: -batch must be at least 1 (got %d)", *batch)
+	}
 
 	cfg := redundancy.WorkerConfig{
 		Addr:           *addr,
 		Name:           *name,
 		MaxAssignments: *maxAssign,
+		BatchSize:      *batch,
 		Throttle:       *throttle,
 		Reconnect:      *reconnect,
 		MaxReconnects:  *maxReconnects,

@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the committed golden files instead of comparing:
+//
+//	go test ./internal/dist -args -update
+//
+// Review the diff before committing — a changed golden file IS a changed
+// paper table.
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
+// checkGolden compares got against the committed testdata/<name>, or
+// rewrites the file under -update. Any regression in the probability code
+// shows up as a one-line text diff.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with `go test ./internal/dist -args -update`): %v", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s differs at line %d:\n  got:  %q\n  want: %q\n(rerun with -update only if the change is intended)",
+				path, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s differs (same lines, different trailing bytes)", path)
+}
+
+// goldenEps is the threshold grid the golden tables cover: the paper's
+// running example ε = 1/2 plus points on both sides of the GS/Balanced
+// crossover ε* ≈ 0.7968.
+var goldenEps = []float64{0.25, 0.5, 0.75, 0.9}
+
+// gsTable renders the Golle-Stubblebine scheme exactly as the paper
+// tabulates it: the geometric task counts g_i (here for n = 10000), the
+// closed-form detection probabilities P_k (increasing in k — the
+// over-protection the Balanced scheme eliminates), and the redundancy
+// factor both from the closed form 1/sqrt(1−ε) and summed from the vector.
+func gsTable() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Golle-Stubblebine geometric scheme, n=10000 (g_i = (1-c)c^{i-1}n)\n")
+	for _, eps := range goldenEps {
+		c := GolleStubblebineC(eps, 0)
+		d, err := GolleStubblebineForThreshold(10000, eps)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\neps=%.4g c=%.10g\n", eps, c)
+		fmt.Fprintf(&b, "factor closed-form=%.10g vector=%.10g\n",
+			GolleStubblebineRedundancyFactor(eps), d.RedundancyFactor())
+		for i := 1; i <= 10; i++ {
+			fmt.Fprintf(&b, "g_%d=%.10g\n", i, d.Count(i))
+		}
+		for k := 1; k <= 6; k++ {
+			fmt.Fprintf(&b, "P_%d closed-form=%.10g vector=%.10g\n",
+				k, GolleStubblebineDetection(c, k), Detection(d, k))
+		}
+	}
+	return b.String(), nil
+}
+
+// balancedTable renders the Balanced distribution's Theorem 1 numbers: the
+// zero-truncated-Poisson task counts a_i for n = 10000, the detection
+// probabilities P_k — constant and equal to ε, the theorem's point — and
+// the non-asymptotic P_{k,p} of Proposition 3.
+func balancedTable() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Balanced distribution, n=10000 (a_i = n((1-eps)/eps)gamma^i/i!)\n")
+	for _, eps := range goldenEps {
+		d, err := Balanced(10000, eps)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\neps=%.4g gamma=%.10g\n", eps, Gamma(eps))
+		fmt.Fprintf(&b, "factor closed-form=%.10g vector=%.10g\n",
+			BalancedRedundancyFactor(eps), d.RedundancyFactor())
+		for i := 1; i <= 10; i++ {
+			fmt.Fprintf(&b, "a_%d=%.10g\n", i, d.Count(i))
+		}
+		for k := 1; k <= 6; k++ {
+			fmt.Fprintf(&b, "P_%d=%.10g\n", k, Detection(d, k))
+		}
+		for _, p := range []float64{0.1, 0.3} {
+			fmt.Fprintf(&b, "P_{k,p=%.3g}=%.10g\n", p, BalancedDetectionAt(eps, p))
+		}
+	}
+	return b.String(), nil
+}
+
+// factorsTable renders the scheme-comparison numbers: redundancy factors
+// of GS, Balanced, and the Proposition 4 lower bound across the ε grid,
+// the crossover threshold ε* where GS overtakes Balanced, the §5 savings
+// at n = 10^6, and the §7 minimum-multiplicity factors at ε = 1/2.
+func factorsTable() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Redundancy factors by scheme\n\n")
+	fmt.Fprintf(&b, "%-8s %-16s %-16s %-16s %s\n", "eps", "gs", "balanced", "lower-bound", "gs-balanced savings (n=1e6)")
+	for _, eps := range goldenEps {
+		fmt.Fprintf(&b, "%-8.4g %-16.10g %-16.10g %-16.10g %.10g\n",
+			eps,
+			GolleStubblebineRedundancyFactor(eps),
+			BalancedRedundancyFactor(eps),
+			LowerBoundRedundancyFactor(eps),
+			GSBalancedSavings(1e6, eps))
+	}
+	fmt.Fprintf(&b, "\ncrossover eps*=%.10g\n", CrossoverEpsilon())
+	fmt.Fprintf(&b, "\nSection 7 minimum-multiplicity factors at eps=0.5\n")
+	for m := 1; m <= 5; m++ {
+		fmt.Fprintf(&b, "m=%d factor closed-form=%.10g", m, MinMultiplicityRedundancyFactor(0.5, m))
+		d, err := MinMultiplicity(10000, 0.5, m)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, " vector=%.10g\n", d.RedundancyFactor())
+	}
+	return b.String(), nil
+}
+
+// TestGoldenTables locks the paper's GS, Balanced, and factor tables to
+// committed golden files; see the -update flag above.
+func TestGoldenTables(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		gen  func() (string, error)
+	}{
+		{"gs_table.golden", gsTable},
+		{"balanced_table.golden", balancedTable},
+		{"factors_table.golden", factorsTable},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			got, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.file, got)
+		})
+	}
+}

@@ -63,16 +63,23 @@ func TestChaosSoak(t *testing.T) {
 	// A small workforce that never gives up: each goroutine re-enters
 	// RunWorker (fresh identity) whenever a run ends, until told to stop.
 	// Within a run, Reconnect-mode sessions resume the same identity.
+	// Three workers lease in batches of 16 and one speaks the legacy
+	// single-assignment protocol, so the soak also proves the two protocol
+	// generations share one supervisor under fire.
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			batch := 16
+			if i == 3 {
+				batch = 1
+			}
 			for !stop.Load() {
 				RunWorker(WorkerConfig{
 					Addr: addr, Name: fmt.Sprintf("chaos-%d", i),
-					Reconnect: true, MaxReconnects: 25,
+					Reconnect: true, MaxReconnects: 25, BatchSize: batch,
 					BackoffBase: 2 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
 					Seed: uint64(i + 1),
 					Dial: func(a string) (net.Conn, error) { return inj.Dial("tcp", a) },

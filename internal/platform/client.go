@@ -31,6 +31,12 @@ type WorkerConfig struct {
 	// MaxAssignments, when positive, stops after that many completions
 	// (simulates a participant leaving).
 	MaxAssignments int
+	// BatchSize, when greater than 1, switches to batched leasing: each
+	// get_work round trip leases up to BatchSize assignments (the
+	// supervisor caps the grant at its MaxBatch) and their values return
+	// in a single result_batch. 0 or 1 keeps the single-assignment
+	// protocol byte-for-byte; negative is rejected.
+	BatchSize int
 	// Throttle adds a fixed delay per assignment (simulates slow hosts,
 	// and exercises the platform's asynchrony in tests).
 	Throttle time.Duration
@@ -145,6 +151,9 @@ func workerJitterSeed(cfg WorkerConfig) uint64 {
 // Reconnect set it also survives the connection dying under it: redial with
 // backoff, resume the same identity, pick the in-flight assignment back up.
 func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
+	if cfg.BatchSize < 0 {
+		return WorkerStats{}, errors.New("platform: negative BatchSize")
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry() // instrument unconditionally; discard if unwanted
@@ -259,7 +268,10 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 	// Resubmit the result whose ack never arrived. An ack means the crash
 	// hit between send and ack and the original submission was lost; an
 	// error means it landed (the duplicate is "unassigned") or the copy was
-	// reclaimed meanwhile — either way it is out of our hands now.
+	// reclaimed meanwhile — either way it is out of our hands now. A
+	// pending result_batch comes back as a batch_ack: the OK items were
+	// lost in the crash window and are credited now; rejected items landed
+	// the first time (duplicates read "unassigned") or were reclaimed.
 	if st.pending != nil {
 		resub := *st.pending
 		resub.ParticipantID = st.id
@@ -273,11 +285,24 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 			st.stats.Completed++
 			wm.completed.Inc()
 			st.progressed = true
+		case MsgBatchAck:
+			st.pending = nil
+			for _, a := range ack.Acks {
+				if a.OK {
+					st.stats.Completed++
+					wm.completed.Inc()
+					st.progressed = true
+				}
+			}
 		case MsgError:
 			st.pending = nil
 		default:
 			return fmt.Errorf("platform: unexpected resubmission reply %q", ack.Type)
 		}
+	}
+
+	if cfg.BatchSize > 1 {
+		return batchLoop(cfg, wm, st, roundTrip, r)
 	}
 
 	for {
@@ -360,6 +385,125 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 			}
 			// Rejected (reclaimed under a deadline, or a supervisor restart
 			// forgot the assignment); the copy is someone else's now.
+		default:
+			return fmt.Errorf("platform: unexpected reply %q", ack.Type)
+		}
+	}
+}
+
+// batchLoop is the batched-leasing analogue of runSession's
+// single-assignment loop, used when BatchSize > 1: one get_work leases up
+// to BatchSize assignments, every item is executed locally, and the
+// values go back in a single result_batch — two round trips per lease
+// instead of two per assignment. The pending-result crash window covers
+// the whole batch: the result_batch Message is recorded before it is
+// sent, and resubmitted after a resume exactly like a single pending
+// result (runSession handles the batch_ack reply shape).
+func batchLoop(cfg WorkerConfig, wm *workerMetrics, st *workerState, roundTrip func(Message) (Message, error), r *rng.Source) error {
+	for {
+		want := cfg.BatchSize
+		if cfg.MaxAssignments > 0 {
+			remaining := cfg.MaxAssignments - st.stats.Completed
+			if remaining <= 0 {
+				return nil
+			}
+			if remaining < want {
+				want = remaining
+			}
+		}
+		m, err := roundTrip(Message{Type: MsgGetWork, ParticipantID: st.id, Batch: want})
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgDone:
+			return nil
+		case MsgNoWork:
+			wm.noWork.Inc()
+			time.Sleep(noWorkDelay(m.Wait, r))
+			continue
+		case MsgError:
+			err := errors.New("platform: supervisor refused work: " + m.Error)
+			if m.Reason == ReasonBlacklisted {
+				return &terminalError{err}
+			}
+			return err
+		case MsgWorkBatch:
+			// fall through to execution below
+		default:
+			return fmt.Errorf("platform: unexpected reply %q", m.Type)
+		}
+		if len(m.Work) == 0 {
+			return errors.New("platform: empty work_batch lease")
+		}
+		work, err := Work(m.Kind)
+		if err != nil {
+			// A corrupt frame can garble Kind; reconnecting gets the lease
+			// re-issued intact, so this is not terminal.
+			return err
+		}
+		results := make([]ResultItem, 0, len(m.Work))
+		cheatedOn := make([]bool, 0, len(m.Work))
+		for _, item := range m.Work {
+			cfg.Events.Emit(EvAssignmentReceived, map[string]any{
+				"task": item.TaskID, "copy": item.Copy, "kind": m.Kind,
+			})
+			st.progressed = true
+			if cfg.Throttle > 0 {
+				time.Sleep(cfg.Throttle)
+			}
+			value := work(item.Seed, m.Iters)
+			cheated := false
+			if cfg.Cheat != nil {
+				if v := cfg.Cheat(item.TaskID, value); v != value {
+					value = v
+					cheated = true
+					st.stats.Cheated++
+					wm.cheats.Inc()
+				}
+			}
+			results = append(results, ResultItem{TaskID: item.TaskID, Copy: item.Copy, Value: value})
+			cheatedOn = append(cheatedOn, cheated)
+		}
+		batch := Message{Type: MsgResultBatch, ParticipantID: st.id, Results: results}
+		// Record the submission before sending: if the connection dies
+		// anywhere between here and the batch ack, the next session
+		// resubmits the whole batch.
+		st.pending = &batch
+		ack, err := roundTrip(batch)
+		if err != nil {
+			return err
+		}
+		for i, item := range results {
+			cfg.Events.Emit(EvResultSubmitted, map[string]any{
+				"task": item.TaskID, "copy": item.Copy, "cheated": cheatedOn[i],
+			})
+		}
+		switch ack.Type {
+		case MsgBatchAck:
+			st.pending = nil
+			if len(ack.Acks) != len(results) {
+				return fmt.Errorf("platform: batch_ack carries %d acks for %d results", len(ack.Acks), len(results))
+			}
+			for _, a := range ack.Acks {
+				if a.OK {
+					st.stats.Completed++
+					wm.completed.Inc()
+					st.progressed = true
+					continue
+				}
+				if !cfg.Reconnect {
+					return errors.New("platform: result rejected: " + a.Error)
+				}
+				// Rejected (reclaimed under a deadline, or a supervisor
+				// restart forgot the assignment); the copy is someone
+				// else's now.
+			}
+		case MsgError:
+			st.pending = nil
+			if !cfg.Reconnect {
+				return errors.New("platform: result batch rejected: " + ack.Error)
+			}
 		default:
 			return fmt.Errorf("platform: unexpected reply %q", ack.Type)
 		}

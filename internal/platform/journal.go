@@ -2,6 +2,7 @@ package platform
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,6 +28,24 @@ type journalRecord struct {
 // records are totally ordered.
 func appendJournal(w io.Writer, rec journalRecord) error {
 	return json.NewEncoder(w).Encode(rec)
+}
+
+// appendJournalBatch writes a whole result batch's records with a single
+// Write call. Encoding into one buffer first matters for crash safety: a
+// partial write of one contiguous buffer can only truncate it, so at most
+// the final record is torn — exactly the damage replayJournal already
+// tolerates — and interleaved interior corruption is impossible. Callers
+// hold the supervisor lock so batches are totally ordered.
+func appendJournalBatch(w io.Writer, recs []journalRecord) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // replayJournal feeds every journaled result back through the collector

@@ -45,6 +45,10 @@ type supMetrics struct {
 	journalRestored   *obs.Counter
 	journalSyncs      *obs.Counter
 	turnaround        *obs.HistogramVec // worker
+
+	batchesIssued       *obs.Counter
+	batchSize           *obs.Histogram
+	batchedJournalSyncs *obs.Counter
 }
 
 // newSupMetrics registers the supervisor's metric families on r
@@ -84,6 +88,13 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 		turnaround: r.HistogramVec("redundancy_assignment_turnaround_seconds",
 			"Seconds from issuing an assignment to accepting its result, per worker name.",
 			obs.DefBuckets, "worker"),
+		batchesIssued: r.Counter("redundancy_batches_issued_total",
+			"Non-empty work_batch leases issued in reply to get_work requests."),
+		batchSize: r.Histogram("redundancy_batch_size",
+			"Assignments per issued work_batch lease (re-issues included).",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		batchedJournalSyncs: r.Counter("redundancy_batched_journal_syncs_total",
+			"Journal fsyncs amortized over a whole result_batch (one per batch, not per record)."),
 	}
 }
 

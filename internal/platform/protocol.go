@@ -72,6 +72,44 @@ type Message struct {
 	// so clients can tell fatal refusals (blacklisted) from races that a
 	// reconnect resolves (error).
 	Reason string `json:"reason,omitempty"`
+
+	// Batch is the number of assignments requested in one lease; the
+	// supervisor caps it at SupervisorConfig.MaxBatch (get_work).
+	Batch int `json:"batch,omitempty"`
+	// Work carries the assignments of a batch lease; the envelope's Kind
+	// and Iters apply to every item (work_batch).
+	Work []WorkItem `json:"work,omitempty"`
+	// Results carries the computed values of a lease (result_batch).
+	Results []ResultItem `json:"results,omitempty"`
+	// Acks carries per-result outcomes, in submission order (batch_ack).
+	Acks []ResultAck `json:"acks,omitempty"`
+}
+
+// WorkItem is one assignment inside a work_batch lease. Kind and Iters are
+// identical for every assignment of a run, so they ride once on the
+// envelope instead of once per item.
+type WorkItem struct {
+	TaskID int    `json:"task_id"`
+	Copy   int    `json:"copy"`
+	Seed   uint64 `json:"seed"`
+}
+
+// ResultItem is one computed result inside a result_batch.
+type ResultItem struct {
+	TaskID int    `json:"task_id"`
+	Copy   int    `json:"copy"`
+	Value  uint64 `json:"value"`
+}
+
+// ResultAck is the per-result outcome inside a batch_ack. OK plays the
+// role of a single-result MsgAck; a false OK carries the Reason and Error
+// a single-result MsgError reply would.
+type ResultAck struct {
+	TaskID int    `json:"task_id"`
+	Copy   int    `json:"copy"`
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Machine-readable refusal reasons carried in MsgError replies. The
@@ -111,6 +149,12 @@ const (
 	// MsgResult returns a computed value; fields: ParticipantID, TaskID,
 	// Copy, Value.
 	MsgResult = "result"
+	// MsgGetWork asks for a lease of up to Batch assignments; fields:
+	// ParticipantID, Batch. The supervisor caps the grant at its MaxBatch.
+	MsgGetWork = "get_work"
+	// MsgResultBatch returns the computed values of a lease in one frame;
+	// fields: ParticipantID, Results. Credited and journaled atomically.
+	MsgResultBatch = "result_batch"
 )
 
 // Message types, supervisor → worker.
@@ -130,6 +174,12 @@ const (
 	MsgAck = "ack"
 	// MsgError refuses the request; fields: Error.
 	MsgError = "error"
+	// MsgWorkBatch carries a lease of assignments; fields: Work, Kind,
+	// Iters (Kind/Iters apply to every item).
+	MsgWorkBatch = "work_batch"
+	// MsgBatchAck reports the per-result outcome of a result_batch, in
+	// submission order; fields: Acks.
+	MsgBatchAck = "batch_ack"
 )
 
 // Codec frames Messages over a byte stream, one JSON object per line. The

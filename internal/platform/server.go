@@ -30,6 +30,12 @@ type SupervisorConfig struct {
 	Iters int
 	// Seed shuffles the assignment order.
 	Seed uint64
+	// MaxBatch caps how many assignments one get_work lease may carry
+	// (0 means DefaultMaxBatch; negative is rejected). Workers ask for
+	// their own batch size and receive min(requested, MaxBatch). Setting 1
+	// caps every lease at a single assignment without refusing
+	// batch-capable workers.
+	MaxBatch int
 	// Deadline, when positive, bounds how long an assignment may stay out
 	// with one participant before it is reclaimed and re-issued to another
 	// (volunteer hosts stall, sleep, or disappear silently). A participant
@@ -127,10 +133,20 @@ type Supervisor struct {
 	closed bool // no further connections are admitted
 }
 
+// DefaultMaxBatch is the lease-size cap applied when
+// SupervisorConfig.MaxBatch is zero.
+const DefaultMaxBatch = 16
+
 // NewSupervisor validates the configuration and builds the supervisor.
 func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.Plan == nil {
 		return nil, errors.New("platform: nil plan")
+	}
+	if cfg.MaxBatch < 0 {
+		return nil, errors.New("platform: negative MaxBatch")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.WorkKind == "" {
 		cfg.WorkKind = "hashchain"
@@ -367,6 +383,20 @@ func (s *Supervisor) serve(conn net.Conn) error {
 				break
 			}
 			reply = s.result(m, cs)
+		case MsgGetWork:
+			if !cs.registered[m.ParticipantID] {
+				reply = Message{Type: MsgError, Reason: ReasonUnregistered,
+					Error: "participant not registered on this connection"}
+				break
+			}
+			reply = s.assignBatch(m, cs)
+		case MsgResultBatch:
+			if !cs.registered[m.ParticipantID] {
+				reply = Message{Type: MsgError, Reason: ReasonUnregistered,
+					Error: "participant not registered on this connection"}
+				break
+			}
+			reply = s.resultBatch(m, cs)
 		default:
 			reply = Message{Type: MsgError, Reason: ReasonUnknownType,
 				Error: fmt.Sprintf("unknown message type %q", m.Type)}
@@ -544,6 +574,78 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 	}
 }
 
+// assignBatch serves a get_work request: under one lock acquisition it
+// first re-issues every surviving assignment this participant already
+// holds — the whole lease comes back after a resume, so a reconnect never
+// duplicates queue state — then fills the remainder of the lease with
+// fresh queue pops, up to min(requested, MaxBatch). Amortizing the mutex
+// and the round trip over the lease is the batched hot path; the
+// single-assignment handlers above are untouched so -batch 1 clients see
+// today's wire behavior byte-for-byte.
+func (s *Supervisor) assignBatch(m Message, cs *connState) Message {
+	want := m.Batch
+	if want < 1 {
+		want = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.collector.Convicted(m.ParticipantID) {
+		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
+	}
+	if s.finished {
+		return Message{Type: MsgDone}
+	}
+	if want > s.cfg.MaxBatch {
+		want = s.cfg.MaxBatch
+	}
+	items := make([]WorkItem, 0, want)
+	// Re-issues are not capped by want: the worker must learn about every
+	// assignment it still holds, or a resumed lease could silently shrink.
+	for key, holder := range cs.held {
+		info, ok := s.inflight[key]
+		if !ok || info.participant != holder || info.owner != cs {
+			delete(cs.held, key)
+			continue
+		}
+		if holder != m.ParticipantID {
+			continue
+		}
+		info.issuedAt = time.Now()
+		s.inflight[key] = info
+		s.metrics.reissued.Inc()
+		s.events.Emit(EvAssignmentIssued, map[string]any{
+			"task": info.a.TaskID, "copy": info.a.Copy,
+			"participant": m.ParticipantID, "ringer": info.a.Ringer, "reissue": true,
+		})
+		items = append(items, WorkItem{TaskID: info.a.TaskID, Copy: info.a.Copy, Seed: TaskSeed(info.a.TaskID)})
+	}
+	for !s.draining && len(items) < want {
+		a, ok := s.queue.Next()
+		if !ok {
+			break
+		}
+		s.outstanding(m.ParticipantID, a, cs)
+		cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
+		s.metrics.assignmentsIssued.Inc()
+		s.events.Emit(EvAssignmentIssued, map[string]any{
+			"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID, "ringer": a.Ringer,
+		})
+		items = append(items, WorkItem{TaskID: a.TaskID, Copy: a.Copy, Seed: TaskSeed(a.TaskID)})
+	}
+	if len(items) == 0 {
+		if s.draining {
+			return Message{Type: MsgNoWork, Wait: 0.2}
+		}
+		if s.queue.Done() {
+			return Message{Type: MsgDone}
+		}
+		return Message{Type: MsgNoWork, Wait: 0.05}
+	}
+	s.metrics.batchesIssued.Inc()
+	s.metrics.batchSize.Observe(float64(len(items)))
+	return Message{Type: MsgWorkBatch, Kind: s.cfg.WorkKind, Iters: s.cfg.Iters, Work: items}
+}
+
 // outstanding records who holds which assignment so results can be matched
 // back. Keyed by (task, copy).
 type outstandingKey struct{ task, copy int }
@@ -603,13 +705,79 @@ func (s *Supervisor) sweepExpired() {
 func (s *Supervisor) result(m Message, cs *connState) Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	key := outstandingKey{m.TaskID, m.Copy}
+	var recs []journalRecord
+	reason, detail := s.acceptResult(m.ParticipantID, m.TaskID, m.Copy, m.Value, cs, &recs)
+	if reason != "" {
+		return s.rejectResult(m, reason, detail)
+	}
+	for _, rec := range recs {
+		if err := appendJournal(s.cfg.Journal, rec); err != nil {
+			s.logf("journal write failed: %v", err)
+		} else {
+			s.metrics.journalRecords.Inc()
+			if s.cfg.JournalSync {
+				s.syncJournal()
+			}
+		}
+	}
+	return Message{Type: MsgAck}
+}
+
+// resultBatch serves a result_batch: every result is verified and credited
+// under a single lock acquisition, their journal records are appended with
+// one buffered write (a crash can tear only the final record, which replay
+// tolerates), and — the other half of the batched hot path — JournalSync
+// mode pays one fsync for the whole batch, after the lock is released.
+// The fsync still precedes the ack, so the durability contract (an acked
+// result survives a crash) is unchanged; Sync flushes everything written
+// so far, and writes are ordered under s.mu, so syncing outside the lock
+// cannot miss this batch's records.
+func (s *Supervisor) resultBatch(m Message, cs *connState) Message {
+	acks := make([]ResultAck, 0, len(m.Results))
+	var recs []journalRecord
+	s.mu.Lock()
+	for _, r := range m.Results {
+		reason, detail := s.acceptResult(m.ParticipantID, r.TaskID, r.Copy, r.Value, cs, &recs)
+		ack := ResultAck{TaskID: r.TaskID, Copy: r.Copy, OK: reason == ""}
+		if reason != "" {
+			s.recordReject(r.TaskID, r.Copy, m.ParticipantID, reason)
+			ack.Reason = reason
+			ack.Error = detail
+		}
+		acks = append(acks, ack)
+	}
+	synced := false
+	if len(recs) > 0 {
+		if err := appendJournalBatch(s.cfg.Journal, recs); err != nil {
+			s.logf("journal write failed: %v", err)
+		} else {
+			s.metrics.journalRecords.Add(uint64(len(recs)))
+			synced = s.cfg.JournalSync
+		}
+	}
+	s.mu.Unlock()
+	if synced {
+		s.syncJournal()
+		s.metrics.batchedJournalSyncs.Inc()
+	}
+	return Message{Type: MsgBatchAck, Acks: acks}
+}
+
+// acceptResult verifies ownership of one submitted result and feeds it
+// into the verification pipeline, updating queue, credit, metrics, and
+// event state; on success it appends the result's journal record to *recs
+// (when journaling is on) and returns "", "" — writing the records is the
+// caller's business, so a batch can journal in one write. On refusal it
+// returns the rejection reason and detail and changes nothing. Callers
+// hold s.mu.
+func (s *Supervisor) acceptResult(participant, taskID, copy int, value uint64, cs *connState, recs *[]journalRecord) (reason, detail string) {
+	key := outstandingKey{taskID, copy}
 	info, ok := s.inflight[key]
 	if !ok {
-		return s.rejectResult(m, ReasonUnassigned, "result for unassigned work")
+		return ReasonUnassigned, "result for unassigned work"
 	}
-	if info.participant != m.ParticipantID {
-		return s.rejectResult(m, ReasonWrongParticipant, "result from wrong participant")
+	if info.participant != participant {
+		return ReasonWrongParticipant, "result from wrong participant"
 	}
 	delete(s.inflight, key)
 	delete(cs.held, key)
@@ -618,34 +786,27 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 	}
 	v, adjudicated, err := s.collector.Submit(verify.Result{
 		Assignment:  info.a,
-		Participant: m.ParticipantID,
-		Value:       m.Value,
+		Participant: participant,
+		Value:       value,
 	})
 	if err != nil {
-		return s.rejectResult(m, ReasonVerification, err.Error())
+		return ReasonVerification, err.Error()
 	}
 	s.queue.Complete(info.a)
 	s.metrics.resultsAccepted.Inc()
 	s.metrics.turnaround.With(s.names[info.participant]).
 		Observe(time.Since(info.issuedAt).Seconds())
 	s.events.Emit(EvResultAccepted, map[string]any{
-		"task": m.TaskID, "copy": m.Copy, "participant": m.ParticipantID,
+		"task": taskID, "copy": copy, "participant": participant,
 	})
 	if s.cfg.Journal != nil {
-		if err := appendJournal(s.cfg.Journal, journalRecord{
-			TaskID:      m.TaskID,
-			Copy:        m.Copy,
+		*recs = append(*recs, journalRecord{
+			TaskID:      taskID,
+			Copy:        copy,
 			Ringer:      info.a.Ringer,
-			Participant: m.ParticipantID,
-			Value:       m.Value,
-		}); err != nil {
-			s.logf("journal write failed: %v", err)
-		} else {
-			s.metrics.journalRecords.Inc()
-			if s.cfg.JournalSync {
-				s.syncJournal()
-			}
-		}
+			Participant: participant,
+			Value:       value,
+		})
 	}
 	if adjudicated && v.MismatchDetected {
 		s.logf("CHEAT DETECTED on task %d (suspects %v)", v.TaskID, v.Suspects)
@@ -660,16 +821,21 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 		s.finished = true
 		close(s.done)
 	}
-	return Message{Type: MsgAck}
+	return "", ""
+}
+
+// recordReject counts and reports a refused result. Callers hold s.mu.
+func (s *Supervisor) recordReject(taskID, copy, participant int, reason string) {
+	s.metrics.resultsRejected.With(reason).Inc()
+	s.events.Emit(EvResultRejected, map[string]any{
+		"task": taskID, "copy": copy, "participant": participant, "reason": reason,
+	})
 }
 
 // rejectResult records a refused result (metrics + events) and builds the
 // error reply. Callers hold s.mu.
 func (s *Supervisor) rejectResult(m Message, reason, detail string) Message {
-	s.metrics.resultsRejected.With(reason).Inc()
-	s.events.Emit(EvResultRejected, map[string]any{
-		"task": m.TaskID, "copy": m.Copy, "participant": m.ParticipantID, "reason": reason,
-	})
+	s.recordReject(m.TaskID, m.Copy, m.ParticipantID, reason)
 	return Message{Type: MsgError, Reason: reason, Error: detail}
 }
 
@@ -677,8 +843,11 @@ func (s *Supervisor) rejectResult(m Message, reason, detail string) Message {
 // implements it).
 type syncer interface{ Sync() error }
 
-// syncJournal fsyncs the journal if its writer supports it. Callers hold
-// s.mu, so records and syncs are totally ordered.
+// syncJournal fsyncs the journal if its writer supports it. Safe with or
+// without s.mu held: appends are ordered under s.mu, and Sync flushes
+// everything written before the call, so a batch handler syncing after
+// unlock still covers its own records (*os.File.Sync is goroutine-safe,
+// logf and the counter guard themselves).
 func (s *Supervisor) syncJournal() {
 	sy, ok := s.cfg.Journal.(syncer)
 	if !ok {

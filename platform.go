@@ -22,6 +22,11 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	return platform.NewSupervisor(cfg)
 }
 
+// DefaultMaxBatch is the supervisor's lease-size cap when
+// SupervisorConfig.MaxBatch is zero: one get_work request leases at most
+// this many assignments. Both daemons default their -batch flag to it.
+const DefaultMaxBatch = platform.DefaultMaxBatch
+
 // WorkerConfig parameterizes a platform worker (see RunWorker).
 type WorkerConfig = platform.WorkerConfig
 
