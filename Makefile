@@ -33,7 +33,7 @@ cover:
 COVER_FLOOR ?= 75.0
 
 cover-check:
-	@for pkg in ./internal/dist ./internal/platform; do \
+	@for pkg in ./internal/dist ./internal/platform ./internal/adapt; do \
 		$(GO) test -coverprofile=cover-check.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover-check.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
@@ -45,9 +45,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Measure the batched-leasing hot path over loopback and commit the JSON
-# artifact (assignments/sec at lease sizes 1, 16, and 64).
+# artifacts: assignments/sec at lease sizes 1, 16, and 64, and the same
+# computation with the adaptive control plane ticking.
 bench-save:
 	$(GO) run ./cmd/platformbench -out BENCH_pr3.json
+	$(GO) run ./cmd/platformbench -adapt -out BENCH_pr4.json
 
 # The crash-tolerance acceptance test alone, under the race detector:
 # full plan to certification with every fault mode injected and the

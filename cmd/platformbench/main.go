@@ -9,8 +9,9 @@
 //
 //	platformbench                       # print the table
 //	platformbench -out BENCH_pr3.json   # also write the JSON artifact
+//	platformbench -adapt -out BENCH_pr4.json  # plus an adaptive-control run
 //
-// `make bench-save` runs the committed configuration.
+// `make bench-save` runs the committed configurations.
 package main
 
 import (
@@ -35,6 +36,8 @@ type result struct {
 	Assignments       int     `json:"assignments"`
 	Seconds           float64 `json:"seconds"`
 	AssignmentsPerSec float64 `json:"assignments_per_sec"`
+	Adaptive          bool    `json:"adaptive,omitempty"`
+	Revisions         int     `json:"revisions,omitempty"`
 }
 
 type report struct {
@@ -47,7 +50,12 @@ type report struct {
 	Results     []result `json:"results"`
 	SpeedupVs1  float64  `json:"speedup_max_batch_vs_1"`
 	Speedup16   float64  `json:"speedup_batch16_vs_1"`
-	GeneratedAt string   `json:"generated_at"`
+	// Adaptive, when -adapt is set, is the same computation with the
+	// adaptive control plane ticking; AdaptiveOverheadPct compares its
+	// throughput against the plain run at the same lease size.
+	Adaptive            *result `json:"adaptive,omitempty"`
+	AdaptiveOverheadPct float64 `json:"adaptive_overhead_pct,omitempty"`
+	GeneratedAt         string  `json:"generated_at"`
 }
 
 func main() {
@@ -55,6 +63,7 @@ func main() {
 	iters := flag.Int("iters", 1, "work-function iterations; 1 keeps runs RTT-bound")
 	workers := flag.Int("workers", 1, "concurrent workers per run (1 isolates the per-round-trip cost)")
 	batches := flag.String("batches", "1,16,64", "comma-separated lease sizes to measure")
+	adaptRun := flag.Bool("adapt", false, "also measure a run with the adaptive control plane ticking (at the largest lease size)")
 	out := flag.String("out", "", "also write the JSON report to this file (empty = stdout table only)")
 	flag.Parse()
 
@@ -74,7 +83,7 @@ func main() {
 	}
 	fmt.Printf("%-8s %-14s %-10s %s\n", "batch", "assignments", "seconds", "assignments/sec")
 	for _, b := range sizes {
-		r, err := run(*n, *iters, *workers, b)
+		r, err := run(*n, *iters, *workers, b, false)
 		if err != nil {
 			log.Fatalf("platformbench: batch %d: %v", b, err)
 		}
@@ -98,6 +107,22 @@ func main() {
 	}
 	fmt.Printf("\nspeedup vs batch 1: %.2fx (batch 16: %.2fx)\n", rep.SpeedupVs1, rep.Speedup16)
 
+	if *adaptRun {
+		ab := sizes[len(sizes)-1]
+		r, err := run(*n, *iters, *workers, ab, true)
+		if err != nil {
+			log.Fatalf("platformbench: adaptive batch %d: %v", ab, err)
+		}
+		rep.Adaptive = &r
+		for _, plain := range rep.Results {
+			if plain.Batch == ab && plain.AssignmentsPerSec > 0 {
+				rep.AdaptiveOverheadPct = (1 - r.AssignmentsPerSec/plain.AssignmentsPerSec) * 100
+			}
+		}
+		fmt.Printf("adaptive (batch %d): %d assignments in %.3fs, %.0f/sec, %d revision(s), overhead %.1f%%\n",
+			r.Batch, r.Assignments, r.Seconds, r.AssignmentsPerSec, r.Revisions, rep.AdaptiveOverheadPct)
+	}
+
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -111,15 +136,23 @@ func main() {
 }
 
 // run drives one full computation over loopback at the given lease size
-// and returns its throughput.
-func run(n, iters, workers, batch int) (result, error) {
+// and returns its throughput. With adaptive set, the control plane ticks
+// throughout the run: honest workers keep p̂ near zero, so this measures
+// the estimator/controller overhead on the hot path, not re-planning.
+func run(n, iters, workers, batch int, adaptive bool) (result, error) {
 	p, err := plan.FromDistribution(dist.Simple(float64(n)), 0.5)
 	if err != nil {
 		return result{}, err
 	}
-	sup, err := redundancy.NewSupervisor(redundancy.SupervisorConfig{
+	cfg := redundancy.SupervisorConfig{
 		Plan: p, WorkKind: "hashchain", Iters: iters, Seed: 1, MaxBatch: batch,
-	})
+	}
+	if adaptive {
+		cfg.Adapt = &redundancy.AdaptConfig{
+			TargetEpsilon: 0.5, Interval: 5 * time.Millisecond, MinSamples: 32,
+		}
+	}
+	sup, err := redundancy.NewSupervisor(cfg)
 	if err != nil {
 		return result{}, err
 	}
@@ -153,11 +186,13 @@ func run(n, iters, workers, batch int) (result, error) {
 		return result{}, err
 	}
 
-	total := p.TotalAssignments()
+	total := p.TotalAssignments() // includes copies a revision added mid-run
 	return result{
 		Batch:             batch,
 		Assignments:       total,
 		Seconds:           elapsed.Seconds(),
 		AssignmentsPerSec: float64(total) / elapsed.Seconds(),
+		Adaptive:          adaptive,
+		Revisions:         sup.RevisionsApplied(),
 	}, nil
 }

@@ -8,6 +8,12 @@
 //
 //	redsim -scheme balanced -n 50000 -eps 0.5 -participants 1000 -p 0.1 \
 //	       -strategy always -policy free -seed 1
+//
+// With -drift it instead runs the drifting-adversary scenario: the true
+// coalition share steps from 2% to 15% mid-run, and the printed table
+// compares the weakest per-class detection guarantee of the untouched
+// static plan against a plan revised online by the adaptive controller
+// (internal/adapt) from the same evidence stream.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 
 	"redundancy"
+	"redundancy/internal/experiments"
 	"redundancy/internal/report"
 )
 
@@ -31,7 +38,19 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.55, "max acceptable detection probability for the rational strategy")
 	policy := flag.String("policy", "free", "free | one-outstanding | two-phase")
 	seed := flag.Uint64("seed", 1, "random seed")
+	drift := flag.Bool("drift", false, "run the drifting-adversary scenario instead: a static vs adaptive min_k P(k,p) comparison table")
+	driftDecay := flag.Float64("drift-decay", 0.998, "estimator decay per observed assignment in -drift mode")
 	flag.Parse()
+
+	if *drift {
+		tbl, err := experiments.DriftTable(int(*n), *eps,
+			experiments.DefaultDriftSteps(int(*n)/8), *driftDecay, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(tbl.String())
+		return
+	}
 
 	d, err := buildScheme(*scheme, *n, *eps, *m)
 	if err != nil {

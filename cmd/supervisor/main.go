@@ -21,6 +21,13 @@
 // assignments are reissued, and -chaos injects deterministic seeded
 // faults into every accepted connection for self-testing. See DESIGN.md's
 // failure-model section.
+//
+// With -adapt the supervisor additionally estimates the adversary's
+// assignment share p̂ from its own verification verdicts and revises the
+// plan mid-run — promoting still-queued tasks and minting extra ringers —
+// whenever the estimate's upper confidence bound would drag detection
+// below -target-eps. Revisions are journaled and survive restarts. See
+// DESIGN.md's adaptive-control section.
 package main
 
 import (
@@ -73,6 +80,9 @@ func main() {
 	digits := flag.Int("digits", 0, "match float64 results to this many significant digits (0 = exact)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
 	events := flag.String("events", "", "append one JSON line per platform event to this file (empty = off)")
+	adaptive := flag.Bool("adapt", false, "estimate the adversary share p̂ online and revise the plan mid-run to keep detection at the target ε (free policy only)")
+	targetEps := flag.Float64("target-eps", 0, "detection threshold the adaptive controller defends (0 = the plan's ε)")
+	adaptInterval := flag.Duration("adapt-interval", 0, "how often the adaptive controller re-evaluates p̂ (0 = 250ms)")
 	flag.Parse()
 	if *batch < 1 {
 		log.Fatalf("supervisor: -batch must be at least 1 (got %d)", *batch)
@@ -131,6 +141,13 @@ func main() {
 		ResolveMismatches: *resolve,
 		ResultDigits:      *digits,
 		Logf:              logf,
+	}
+	if *adaptive {
+		te := *targetEps
+		if te == 0 {
+			te = pl.Epsilon
+		}
+		cfg.Adapt = &redundancy.AdaptConfig{TargetEpsilon: te, Interval: *adaptInterval}
 	}
 	var journalFile *os.File
 	if *journal != "" {
@@ -229,6 +246,10 @@ func main() {
 		sum.Verify.MismatchDetected, sum.Verify.RingersCaught)
 	fmt.Printf("wrong results:      %d\n", sum.WrongResults)
 	fmt.Printf("blacklist:          %v\n", sum.Blacklist)
+	if est, on := sup.AdaptiveEstimate(); on {
+		fmt.Printf("adaptive:           p̂=%.4f [%.4f, %.4f], %d plan revision(s)\n",
+			est.PHat, est.Lower, est.Upper, sup.RevisionsApplied())
+	}
 	if !interrupted {
 		if err := sup.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "supervisor: close:", err)

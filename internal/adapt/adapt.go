@@ -1,0 +1,105 @@
+// Package adapt is the adaptive redundancy control plane: it closes the
+// loop between the verification evidence a running supervisor accumulates
+// and the redundancy plan it is executing.
+//
+// The paper's schemes are static — the supervisor guesses the adversary's
+// assignment share p up front, and Proposition 2's non-asymptotic detection
+// probability
+//
+//	P_{k,p}(x) = 1 − x_k / Σ_{i≥k} C(i,k)·(1−p)^{i−k}·x_i
+//
+// quantifies exactly how much detection power a wrong guess costs. A live
+// deployment faces a p that is unknown and drifting, so this package
+// provides two cooperating halves:
+//
+//   - an Estimator that consumes verification verdicts (mismatch
+//     detections, ringer failures, per-participant attributions) and
+//     maintains a running p̂ with a Wilson confidence interval over
+//     observed bad / total credited assignments, optionally
+//     exponentially decayed so the estimate tracks drift;
+//
+//   - a Controller (Replan) that, when the interval's upper bound pushes
+//     P_{k,p̂} for any active class below the configured ε, computes a
+//     plan.Revision: it promotes not-yet-dispatched tasks to higher
+//     multiplicity classes and mints additional ringer tasks, never
+//     touching a task any copy of which is already in flight, so the
+//     platform's lease-exclusivity and exactly-once-credit invariants are
+//     preserved.
+//
+// The package is pure computation — no goroutines, no clocks, no locks.
+// The platform supervisor owns scheduling the loop (Config.Interval),
+// journaling the revisions it applies, and feeding evidence in under its
+// own lock.
+package adapt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Defaults used by Config.Normalized for zero-valued fields.
+const (
+	// DefaultZ is the 95% Wilson interval z-score.
+	DefaultZ = 1.959963984540054
+	// DefaultMinSamples is how many credited assignments must be observed
+	// before the controller trusts the interval enough to act.
+	DefaultMinSamples = 64
+	// DefaultInterval is how often the supervisor evaluates the controller.
+	DefaultInterval = 250 * time.Millisecond
+	// DefaultDecay keeps every past observation at full weight (no decay).
+	DefaultDecay = 1.0
+)
+
+// Config parameterizes the adaptive loop as run by the platform supervisor.
+type Config struct {
+	// TargetEpsilon is the detection threshold ε the controller defends:
+	// every active class k must keep P_{k,p̂upper} ≥ ε. Required (no
+	// default); must lie in (0,1).
+	TargetEpsilon float64
+	// Interval is how often the supervisor re-evaluates the controller.
+	Interval time.Duration
+	// MinSamples gates the controller: no revision is computed until the
+	// estimator has seen at least this many credited assignments.
+	MinSamples int
+	// Z is the Wilson interval z-score (confidence level of the bound the
+	// controller defends at).
+	Z float64
+	// Decay is the per-assignment retention factor applied to past
+	// evidence, in (0,1]. 1 means every observation counts forever; values
+	// slightly below 1 (e.g. 0.999) let p̂ track a drifting adversary at
+	// the cost of a wider interval.
+	Decay float64
+}
+
+// Normalized returns c with zero-valued optional fields replaced by the
+// package defaults, or an error if a set field is out of range.
+func (c Config) Normalized() (Config, error) {
+	if !(c.TargetEpsilon > 0 && c.TargetEpsilon < 1) {
+		return c, fmt.Errorf("adapt: target ε must lie in (0,1), got %v", c.TargetEpsilon)
+	}
+	if c.Interval < 0 {
+		return c, fmt.Errorf("adapt: negative interval %v", c.Interval)
+	}
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.MinSamples < 0 {
+		return c, fmt.Errorf("adapt: negative min samples %d", c.MinSamples)
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.Z < 0 {
+		return c, fmt.Errorf("adapt: negative z-score %v", c.Z)
+	}
+	if c.Z == 0 {
+		c.Z = DefaultZ
+	}
+	if c.Decay < 0 || c.Decay > 1 {
+		return c, fmt.Errorf("adapt: decay must lie in (0,1], got %v", c.Decay)
+	}
+	if c.Decay == 0 {
+		c.Decay = DefaultDecay
+	}
+	return c, nil
+}

@@ -1,0 +1,209 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+)
+
+// states converts a plan's task list into controller input, marking tasks
+// eligible according to issued.
+func states(p *plan.Plan, issued func(id int) bool) []TaskState {
+	var out []TaskState
+	for _, t := range p.Tasks() {
+		out = append(out, TaskState{
+			ID:       t.ID,
+			Copies:   t.Copies,
+			Ringer:   t.Ringer,
+			Eligible: !t.Ringer && !issued(t.ID),
+		})
+	}
+	return out
+}
+
+// assertDefends checks that p (with rev applied) meets eps at pUpper for
+// every class holding regular tasks.
+func assertDefends(t *testing.T, p *plan.Plan, rev plan.Revision, eps, pUpper float64) {
+	t.Helper()
+	if err := p.ApplyRevision(rev); err != nil {
+		t.Fatalf("controller produced invalid revision: %v", err)
+	}
+	if problems := p.Audit(1e-9); len(problems) != 0 {
+		t.Fatalf("revised plan fails audit: %v", problems)
+	}
+	reg, ring := p.SplitDistribution()
+	for k := 1; k <= len(reg.Counts); k++ {
+		if reg.Count(k) == 0 {
+			continue
+		}
+		if pk := dist.DetectionAtSplit(reg, ring, k, pUpper); pk < eps-1e-9 {
+			t.Fatalf("revised plan: P_{%d,%v} = %v < ε = %v", k, pUpper, pk, eps)
+		}
+	}
+}
+
+func TestReplanSatisfiedPlanUntouched(t *testing.T) {
+	p, err := plan.Balanced(500, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, ok := Replan(states(p, func(int) bool { return false }), p.NextTaskID(), 0.8, 0)
+	if !ok {
+		t.Fatal("plan meeting ε at p=0 reported unsatisfied")
+	}
+	if !rev.Empty() {
+		t.Fatalf("plan already meets ε at p=0, got revision %+v", rev)
+	}
+}
+
+func TestReplanRestoresEpsilonAllEligible(t *testing.T) {
+	const eps, pUpper = 0.8, 0.15
+	p, err := plan.Balanced(500, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static plan must actually be deficient at pUpper — the Balanced
+	// closed form P_{k,p} = 1 − (1−ε)^{1−p} degrades for any p > 0.
+	reg, ring := p.SplitDistribution()
+	deficient := false
+	for k := 1; k <= len(reg.Counts); k++ {
+		if reg.Count(k) > 0 && dist.DetectionAtSplit(reg, ring, k, pUpper) < eps {
+			deficient = true
+		}
+	}
+	if !deficient {
+		t.Fatal("static Balanced plan unexpectedly meets ε at p = 0.15")
+	}
+	rev, ok := Replan(states(p, func(int) bool { return false }), p.NextTaskID(), eps, pUpper)
+	if !ok {
+		t.Fatal("controller could not restore ε with every task eligible")
+	}
+	if rev.Empty() {
+		t.Fatal("deficient plan produced empty revision")
+	}
+	assertDefends(t, p, rev, eps, pUpper)
+}
+
+func TestReplanMintOnlyWhenNothingEligible(t *testing.T) {
+	const eps, pUpper = 0.8, 0.15
+	p, err := plan.Balanced(500, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, ok := Replan(states(p, func(int) bool { return true }), p.NextTaskID(), eps, pUpper)
+	if !ok {
+		t.Fatal("controller could not restore ε by minting alone")
+	}
+	if len(rev.Promotions) != 0 {
+		t.Fatalf("no task was eligible, yet revision promotes: %+v", rev.Promotions)
+	}
+	if len(rev.Minted) == 0 {
+		t.Fatal("deficient plan with nothing eligible must mint ringers")
+	}
+	assertDefends(t, p, rev, eps, pUpper)
+}
+
+func TestReplanNeverTouchesIneligibleTasks(t *testing.T) {
+	const eps, pUpper = 0.75, 0.2
+	p, err := plan.Balanced(800, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	issued := map[int]bool{}
+	for _, s := range p.Tasks() {
+		if rng.Float64() < 0.5 {
+			issued[s.ID] = true
+		}
+	}
+	rev, ok := Replan(states(p, func(id int) bool { return issued[id] }), p.NextTaskID(), eps, pUpper)
+	if !ok {
+		t.Fatal("controller could not restore ε with half the tasks in flight")
+	}
+	for _, pr := range rev.Promotions {
+		if issued[pr.TaskID] {
+			t.Fatalf("revision promotes in-flight task %d", pr.TaskID)
+		}
+	}
+	assertDefends(t, p, rev, eps, pUpper)
+}
+
+func TestReplanDeterministicUnderShuffle(t *testing.T) {
+	const eps, pUpper = 0.8, 0.12
+	p, err := plan.Balanced(300, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := states(p, func(id int) bool { return id%3 == 0 })
+	rev1, ok1 := Replan(base, p.NextTaskID(), eps, pUpper)
+	shuffled := append([]TaskState(nil), base...)
+	rand.New(rand.NewSource(5)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	rev2, ok2 := Replan(shuffled, p.NextTaskID(), eps, pUpper)
+	if ok1 != ok2 {
+		t.Fatalf("satisfied differs under shuffle: %v vs %v", ok1, ok2)
+	}
+	if len(rev1.Promotions) != len(rev2.Promotions) || len(rev1.Minted) != len(rev2.Minted) {
+		t.Fatalf("revision differs under input shuffle:\n%+v\n%+v", rev1, rev2)
+	}
+	for i := range rev1.Promotions {
+		if rev1.Promotions[i] != rev2.Promotions[i] {
+			t.Fatalf("promotion %d differs under shuffle: %+v vs %+v", i, rev1.Promotions[i], rev2.Promotions[i])
+		}
+	}
+	for i := range rev1.Minted {
+		if rev1.Minted[i] != rev2.Minted[i] {
+			t.Fatalf("mint %d differs under shuffle: %+v vs %+v", i, rev1.Minted[i], rev2.Minted[i])
+		}
+	}
+}
+
+func TestReplanRejectsBadEpsilon(t *testing.T) {
+	if _, ok := Replan(nil, 0, 0, 0.1); ok {
+		t.Fatal("ε = 0 accepted")
+	}
+	if _, ok := Replan(nil, 0, 1, 0.1); ok {
+		t.Fatal("ε = 1 accepted")
+	}
+}
+
+func TestReplanClampsAbsurdUpperBound(t *testing.T) {
+	// With no evidence the Wilson interval is [0,1]; a supervisor bug that
+	// passes that raw upper bound through must still terminate (clamped to
+	// maxDefendableP) and produce a valid — if expensive — revision.
+	const eps = 0.75
+	p, err := plan.Balanced(100, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, ok := Replan(states(p, func(int) bool { return false }), p.NextTaskID(), eps, 1.0)
+	if ok {
+		assertDefends(t, p, rev, eps, maxDefendableP)
+	}
+	// Either outcome (cap hit or satisfied at the clamp) is acceptable;
+	// the test is that we returned at all and any revision is valid.
+	if err := p.ValidateRevision(rev); !ok && err != nil {
+		t.Fatalf("capped revision is not even applicable: %v", err)
+	}
+}
+
+func TestReplanSkipsDegenerateTasks(t *testing.T) {
+	// Zero-copy entries (not producible by plan, but defensive) are ignored.
+	tasks := []TaskState{
+		{ID: 0, Copies: 0, Eligible: true},
+		{ID: 1, Copies: 2, Eligible: true},
+		{ID: 2, Copies: 3, Ringer: true},
+	}
+	rev, ok := Replan(tasks, 3, 0.6, 0.05)
+	if !ok {
+		t.Fatalf("tiny deployment unsatisfiable: %+v", rev)
+	}
+	for _, pr := range rev.Promotions {
+		if pr.TaskID == 0 {
+			t.Fatal("promoted a zero-copy task")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package adapt
+
+import "math"
+
+// Estimator maintains the running adversary-share estimate p̂.
+//
+// Evidence arrives one verification verdict at a time: a verdict credits
+// some number of assignments and attributes some of them (possibly zero)
+// to cheating participants — a mismatched tuple yields one suspect per
+// copy the minority side submitted, a failed ringer yields one suspect per
+// wrong copy. Each credited assignment is a Bernoulli draw of "was this
+// assignment in adversarial hands and caught", so p̂ = bad/total with a
+// Wilson score interval is the natural estimate of the *detectable*
+// adversarial share. Tuples the adversary controlled outright are invisible
+// here (that is exactly the paper's point); the interval's upper bound,
+// which the controller defends at, is what compensates for the estimate
+// being a lower-noise floor.
+//
+// An Estimator is not safe for concurrent use; the supervisor feeds it
+// under its own lock.
+type Estimator struct {
+	z     float64
+	decay float64
+	bad   float64
+	total float64
+}
+
+// NewEstimator returns an estimator with z-score z and per-assignment
+// retention decay (see Config). Both must already be normalized.
+func NewEstimator(z, decay float64) *Estimator {
+	return &Estimator{z: z, decay: decay}
+}
+
+// Observe folds one verdict into the estimate: copies credited
+// assignments, bad of which were attributed to cheaters. With decay < 1
+// all prior evidence is first discounted by decay^copies, so the effective
+// sample size saturates near 1/(1−decay) and the estimate tracks drift.
+func (e *Estimator) Observe(copies, bad int) {
+	if copies <= 0 {
+		return
+	}
+	if bad < 0 {
+		bad = 0
+	}
+	if bad > copies {
+		bad = copies
+	}
+	if e.decay < 1 {
+		w := math.Pow(e.decay, float64(copies))
+		e.bad *= w
+		e.total *= w
+	}
+	e.bad += float64(bad)
+	e.total += float64(copies)
+}
+
+// Estimate is a snapshot of the estimator's state.
+type Estimate struct {
+	// PHat is the point estimate bad/total (0 when nothing observed).
+	PHat float64
+	// Lower and Upper bound the Wilson score interval at the estimator's
+	// z. With no evidence the interval is the vacuous [0,1].
+	Lower, Upper float64
+	// Samples is the (decayed) number of credited assignments observed.
+	Samples float64
+}
+
+// Width returns the interval width.
+func (s Estimate) Width() float64 { return s.Upper - s.Lower }
+
+// Estimate computes the current point estimate and Wilson interval.
+func (e *Estimator) Estimate() Estimate {
+	if e.total <= 0 {
+		return Estimate{Lower: 0, Upper: 1}
+	}
+	n := e.total
+	phat := e.bad / n
+	z2 := e.z * e.z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := e.z * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n)) / denom
+	lo, hi := center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Estimate{PHat: phat, Lower: lo, Upper: hi, Samples: n}
+}

@@ -1,0 +1,140 @@
+package adapt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestConfigNormalized(t *testing.T) {
+	c, err := Config{TargetEpsilon: 0.9}.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	if c.Interval != DefaultInterval || c.MinSamples != DefaultMinSamples ||
+		c.Z != DefaultZ || c.Decay != DefaultDecay {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	set := Config{TargetEpsilon: 0.5, Interval: time.Second, MinSamples: 7, Z: 1, Decay: 0.5}
+	got, err := set.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	if got != set {
+		t.Fatalf("explicit fields changed: %+v", got)
+	}
+	for _, bad := range []Config{
+		{TargetEpsilon: 0},
+		{TargetEpsilon: 1},
+		{TargetEpsilon: 0.5, Interval: -time.Second},
+		{TargetEpsilon: 0.5, MinSamples: -1},
+		{TargetEpsilon: 0.5, Z: -2},
+		{TargetEpsilon: 0.5, Decay: 1.5},
+		{TargetEpsilon: 0.5, Decay: -0.1},
+	} {
+		if _, err := bad.Normalized(); err == nil {
+			t.Errorf("Normalized(%+v) accepted invalid config", bad)
+		}
+	}
+}
+
+func TestEstimatorEmpty(t *testing.T) {
+	e := NewEstimator(DefaultZ, 1)
+	s := e.Estimate()
+	if s.PHat != 0 || s.Lower != 0 || s.Upper != 1 || s.Samples != 0 {
+		t.Fatalf("empty estimator should give vacuous [0,1]: %+v", s)
+	}
+	if s.Width() != 1 {
+		t.Fatalf("vacuous width = %v, want 1", s.Width())
+	}
+	// Degenerate observations must not corrupt state.
+	e.Observe(0, 3)
+	e.Observe(-1, 0)
+	if s := e.Estimate(); s.Samples != 0 {
+		t.Fatalf("degenerate observations counted: %+v", s)
+	}
+}
+
+func TestEstimatorWilsonKnownValue(t *testing.T) {
+	// 10 bad out of 100 at z = 1.96: the textbook Wilson interval is
+	// approximately [0.0552, 0.1744].
+	e := NewEstimator(1.96, 1)
+	e.Observe(90, 10)
+	e.Observe(10, 0)
+	s := e.Estimate()
+	if s.Samples != 100 {
+		t.Fatalf("samples = %v, want 100", s.Samples)
+	}
+	if math.Abs(s.PHat-0.1) > 1e-12 {
+		t.Fatalf("p̂ = %v, want 0.1", s.PHat)
+	}
+	if math.Abs(s.Lower-0.05522854) > 1e-4 || math.Abs(s.Upper-0.17436566) > 1e-4 {
+		t.Fatalf("Wilson interval [%v, %v], want ≈ [0.0552, 0.1744]", s.Lower, s.Upper)
+	}
+	if s.Lower >= s.PHat || s.PHat >= s.Upper {
+		t.Fatalf("p̂ outside its own interval: %+v", s)
+	}
+}
+
+func TestEstimatorClampsBadToCopies(t *testing.T) {
+	e := NewEstimator(DefaultZ, 1)
+	e.Observe(3, 99) // attribution bug upstream must not push p̂ past 1
+	s := e.Estimate()
+	if s.PHat != 1 || s.Upper != 1 {
+		t.Fatalf("over-attributed verdict gave %+v", s)
+	}
+}
+
+func TestEstimatorIntervalShrinksWithEvidence(t *testing.T) {
+	e := NewEstimator(DefaultZ, 1)
+	var prev float64 = 1
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 200; i++ {
+			bad := 0
+			if i%20 == 0 {
+				bad = 1
+			}
+			e.Observe(1, bad)
+		}
+		s := e.Estimate()
+		if s.Width() >= prev {
+			t.Fatalf("round %d: interval width %v did not shrink from %v", round, s.Width(), prev)
+		}
+		prev = s.Width()
+	}
+	s := e.Estimate()
+	if s.Lower > 0.05 || s.Upper < 0.05 {
+		t.Fatalf("true rate 0.05 outside interval [%v, %v]", s.Lower, s.Upper)
+	}
+}
+
+func TestEstimatorDecayTracksDrift(t *testing.T) {
+	// An undecayed estimator is anchored by its history; a decayed one must
+	// converge to the new rate after the adversary steps 0.02 -> 0.30.
+	rng := rand.New(rand.NewSource(7))
+	frozen := NewEstimator(DefaultZ, 1)
+	tracking := NewEstimator(DefaultZ, 0.995)
+	feed := func(p float64, n int) {
+		for i := 0; i < n; i++ {
+			bad := 0
+			if rng.Float64() < p {
+				bad = 1
+			}
+			frozen.Observe(1, bad)
+			tracking.Observe(1, bad)
+		}
+	}
+	feed(0.02, 4000)
+	feed(0.30, 4000)
+	f, tr := frozen.Estimate(), tracking.Estimate()
+	if f.PHat > 0.25 {
+		t.Fatalf("undecayed estimator should stay anchored near 0.16, got %v", f.PHat)
+	}
+	if math.Abs(tr.PHat-0.30) > 0.08 {
+		t.Fatalf("decayed estimator should track the step to 0.30, got %v", tr.PHat)
+	}
+	if tr.Samples > 1/(1-0.995)+1 {
+		t.Fatalf("decayed sample mass %v exceeds saturation bound %v", tr.Samples, 1/(1-0.995))
+	}
+}

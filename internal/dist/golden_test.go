@@ -147,6 +147,54 @@ func factorsTable() (string, error) {
 	return b.String(), nil
 }
 
+// pkpTable renders Proposition 2's non-asymptotic detection probabilities
+// P_{k,p} — the guarantee that remains when the adversary holds a finite
+// share p of the assignments — across the paper's schemes. This is the
+// quantity the adaptive control plane (internal/adapt) defends online;
+// the golden file pins the numbers its controller and the offline drift
+// experiment consume.
+func pkpTable() (string, error) {
+	ps := []float64{0.01, 0.05, 0.1, 0.2}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Non-asymptotic detection P(k,p), n=10000 (Proposition 2)\n")
+	for _, eps := range goldenEps {
+		bal, err := Balanced(10000, eps)
+		if err != nil {
+			return "", err
+		}
+		gs, err := GolleStubblebineForThreshold(10000, eps)
+		if err != nil {
+			return "", err
+		}
+		mm2, err := MinMultiplicity(10000, eps, 2)
+		if err != nil {
+			return "", err
+		}
+		for _, sc := range []struct {
+			name string
+			d    *Distribution
+		}{
+			{"balanced", bal},
+			{"gs", gs},
+			{"minmult-2", mm2},
+			{"simple", Simple(10000)},
+		} {
+			fmt.Fprintf(&b, "\neps=%.4g scheme=%s\n", eps, sc.name)
+			for k := 1; k <= 6; k++ {
+				if sc.d.Count(k) == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "k=%d", k)
+				for _, p := range ps {
+					fmt.Fprintf(&b, " P(k,%.4g)=%.10g", p, DetectionAt(sc.d, k, p))
+				}
+				fmt.Fprintf(&b, "\n")
+			}
+		}
+	}
+	return b.String(), nil
+}
+
 // TestGoldenTables locks the paper's GS, Balanced, and factor tables to
 // committed golden files; see the -update flag above.
 func TestGoldenTables(t *testing.T) {
@@ -157,6 +205,7 @@ func TestGoldenTables(t *testing.T) {
 		{"gs_table.golden", gsTable},
 		{"balanced_table.golden", balancedTable},
 		{"factors_table.golden", factorsTable},
+		{"pkp_table.golden", pkpTable},
 	} {
 		t.Run(tc.file, func(t *testing.T) {
 			got, err := tc.gen()

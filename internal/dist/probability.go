@@ -61,6 +61,47 @@ func DetectionAt(d *Distribution, k int, p float64) float64 {
 	return 1 - xk/dv
 }
 
+// DetectionAtSplit computes the non-asymptotic detection probability
+// P_{k,p} for a deployment whose mass is split into regular tasks and
+// ringer tasks. A k-tuple escapes only when it covers every copy of a
+// *regular* multiplicity-k task: a fully-controlled ringer is always
+// caught against the supervisor's precomputed truth, so ringer mass
+// contributes to the denominator (the tuples the adversary may be
+// holding) but never to the escape term:
+//
+//	P_{k,p} = 1 − x_k^reg / Σ_{i>=k} C(i,k)·(1−p)^{i−k}·(x_i^reg + x_i^ring).
+//
+// With all ringer mass at a single multiplicity r this reduces to the §6
+// analysis (DetectionAt on the combined vector for k < r, and the exempt
+// supervisor-verified class at k = r); the split form additionally covers
+// revised plans where promotions push regular tasks into and past the
+// ringer class.
+func DetectionAtSplit(regular, ringers *Distribution, k int, p float64) float64 {
+	if k < 1 {
+		panic("dist: DetectionAtSplit requires k >= 1")
+	}
+	if p < 0 || p >= 1 {
+		panic("dist: DetectionAtSplit requires 0 <= p < 1")
+	}
+	var denom numeric.KahanSum
+	q := 1 - p
+	max := len(regular.Counts)
+	if len(ringers.Counts) > max {
+		max = len(ringers.Counts)
+	}
+	for i := k; i <= max; i++ {
+		if x := regular.Count(i) + ringers.Count(i); x != 0 {
+			denom.Add(numeric.Binomial(i, k) * math.Pow(q, float64(i-k)) * x)
+		}
+	}
+	xk := regular.Count(k)
+	dv := denom.Value()
+	if dv == 0 {
+		return 1 // no k-tuples exist
+	}
+	return 1 - xk/dv
+}
+
 // MinDetectionAt returns the adversary's best case: the minimum of P_{k,p}
 // over k = 1..maxK, together with the minimizing k. An intelligent global
 // adversary (§3.1) cheats only at the k with the most favorable odds, so

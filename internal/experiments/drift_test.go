@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDriftStaticDegradesAdaptiveHolds(t *testing.T) {
+	const eps = 0.5
+	rows, err := Drift(4000, eps, DefaultDriftSteps(1000), 0.998, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want one per step", len(rows))
+	}
+	calm, last := rows[2], rows[len(rows)-1]
+	// The estimator must have tracked the drift: p̂ rises from the calm
+	// era toward the true 15% share.
+	if last.PHat <= calm.PHat {
+		t.Errorf("p̂ never rose with the drift: calm %.4f, drifted %.4f", calm.PHat, last.PHat)
+	}
+	if last.Upper < 0.15 {
+		t.Errorf("upper bound %.4f below the true share 0.15: the revision defends too little", last.Upper)
+	}
+	// The claim itself: static falls below ε at the drifted share,
+	// adaptive holds it.
+	if last.StaticMinP >= eps {
+		t.Errorf("static plan still satisfies ε=%v at p=%.2f (min P=%.4f)", eps, last.TrueP, last.StaticMinP)
+	}
+	if last.AdaptiveMinP < eps-1e-9 {
+		t.Errorf("adaptive plan lost the guarantee: min P=%.6f < ε=%v at p=%.2f",
+			last.AdaptiveMinP, eps, last.TrueP)
+	}
+	if last.Revisions == 0 {
+		t.Error("adaptive run never revised the plan")
+	}
+	// Adaptation costs redundancy: the factor must have grown.
+	if last.Factor <= rows[0].Factor {
+		t.Errorf("redundancy factor did not grow: %.4f -> %.4f", rows[0].Factor, last.Factor)
+	}
+}
+
+func TestDriftTableRenders(t *testing.T) {
+	tb, err := DriftTable(2000, 0.5, DefaultDriftSteps(400), 0.995, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 6 || !strings.Contains(tb.String(), "adaptive min P") {
+		t.Errorf("table:\n%s", tb.String())
+	}
+}
+
+func TestDriftRejectsBadSteps(t *testing.T) {
+	if _, err := Drift(1000, 0.5, nil, 1, 1); err == nil {
+		t.Error("empty steps accepted")
+	}
+	if _, err := Drift(1000, 0.5, []DriftStep{{P: 1.5, Observations: 10}}, 1, 1); err == nil {
+		t.Error("out-of-range p accepted")
+	}
+}

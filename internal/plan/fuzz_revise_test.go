@@ -1,0 +1,72 @@
+package plan_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"redundancy/internal/adapt"
+	"redundancy/internal/plan"
+)
+
+// FuzzReviseRoundTrip drives the persist → revise → restore cycle the
+// adaptive platform performs: build a plan, let the controller revise it
+// against fuzzed adversary shares and fuzzed sets of in-flight tasks,
+// then Save/Load and assert the restored plan is byte-equivalent task for
+// task and still audits clean. (External test package: the controller
+// lives in internal/adapt, which imports internal/plan.)
+func FuzzReviseRoundTrip(f *testing.F) {
+	f.Add(uint16(200), uint8(75), uint8(15), uint64(1), uint8(2))
+	f.Add(uint16(40), uint8(90), uint8(5), uint64(7), uint8(1))
+	f.Add(uint16(1000), uint8(50), uint8(25), uint64(42), uint8(3))
+	f.Add(uint16(3), uint8(60), uint8(0), uint64(9), uint8(2))
+	f.Fuzz(func(t *testing.T, n uint16, epsPct, pPct uint8, seed uint64, rounds uint8) {
+		eps := float64(epsPct%46+50) / 100 // 0.50 .. 0.95
+		p, err := plan.Balanced(int(n)+1, eps)
+		if err != nil {
+			return // degenerate parameters, not a plan bug
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		pUpper := float64(pPct%30) / 100
+		for round := 0; round < int(rounds%3)+1; round++ {
+			var tasks []adapt.TaskState
+			for _, s := range p.Tasks() {
+				tasks = append(tasks, adapt.TaskState{
+					ID: s.ID, Copies: s.Copies, Ringer: s.Ringer,
+					Eligible: !s.Ringer && rng.Intn(3) > 0,
+				})
+			}
+			rev, ok := adapt.Replan(tasks, p.NextTaskID(), eps, pUpper)
+			if !ok {
+				return // safety cap hit: nothing to round-trip
+			}
+			if rev.Empty() {
+				break
+			}
+			if err := p.ApplyRevision(rev); err != nil {
+				t.Fatalf("controller revision rejected by plan: %v", err)
+			}
+			pUpper += 0.03 // drift upward so later rounds revise again
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		got, err := plan.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Load rejected a saved revised plan: %v", err)
+		}
+		if problems := got.Audit(1e-6); len(problems) != 0 {
+			t.Fatalf("restored plan fails audit: %v", problems)
+		}
+		want, have := p.Tasks(), got.Tasks()
+		if len(want) != len(have) {
+			t.Fatalf("restore changed task count %d -> %d", len(want), len(have))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("restore changed task %d: %+v -> %+v", i, want[i], have[i])
+			}
+		}
+	})
+}

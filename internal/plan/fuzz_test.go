@@ -17,6 +17,16 @@ func FuzzLoad(f *testing.F) {
 			f.Add(buf.String())
 		}
 	}
+	// A genuinely revised plan survives Save (see FuzzReviseRoundTrip);
+	// these seeds aim hostile revision records at Load instead.
+	f.Add(`{"version":1,"plan":{"Epsilon":0.5,"N":2,"Counts":[2],"TailMultiplicity":2,` +
+		`"Revisions":[{"promotions":[{"task":0,"from":1,"to":3}]}]}}`)
+	f.Add(`{"version":1,"plan":{"Epsilon":0.5,"N":2,"Counts":[2],"TailMultiplicity":2,` +
+		`"Revisions":[{"promotions":[{"task":9,"from":1,"to":3}]}]}}`)
+	f.Add(`{"version":1,"plan":{"Epsilon":0.5,"N":2,"Counts":[2],"TailMultiplicity":2,` +
+		`"Revisions":[{"minted":[{"task":7,"copies":3}]}]}}`)
+	f.Add(`{"version":1,"plan":{"Epsilon":0.5,"N":2,"Counts":[2],"TailTasks":9000000000,` +
+		`"Revisions":[{}]}}`)
 	f.Add(`{"version":1,"plan":{"Epsilon":0.5,"N":-3}}`)
 	f.Add(`{"version":1,"plan":{"Epsilon":2,"N":1,"Counts":[1]}}`)
 	f.Add(`{"version":1,"plan":{"Counts":[9223372036854775807]}}`)

@@ -39,6 +39,11 @@ type Plan struct {
 	Ringers int
 	// RingerMultiplicity is i_f + 1.
 	RingerMultiplicity int
+	// Revisions records mid-run re-planning steps (promotions of queued
+	// tasks to higher multiplicities and minted ringers), applied in order
+	// on top of the base layout above. Always appended through
+	// ApplyRevision, which validates each step. Empty for a static plan.
+	Revisions []Revision `json:",omitempty"`
 }
 
 // FromDistribution builds the §6 integer plan for a theoretical scheme d at
@@ -118,19 +123,45 @@ func (p *Plan) TotalTasks() int {
 }
 
 // TotalAssignments returns the number of assignments handed out, including
-// tail and ringer copies.
+// tail copies, ringer copies, and any copies added by revisions. For the
+// common unrevised case this is O(classes), never O(N) — paper-scale plans
+// run to N = 10⁹ tasks.
 func (p *Plan) TotalAssignments() int {
-	a := p.TailTasks*p.TailMultiplicity + p.Ringers*p.RingerMultiplicity
+	a := 0
 	for i, c := range p.Counts {
 		a += (i + 1) * c
+	}
+	a += p.TailTasks*p.TailMultiplicity + p.Ringers*p.RingerMultiplicity
+	if len(p.Revisions) == 0 {
+		return a
+	}
+	s, _ := p.revisedState()
+	a = 0
+	for _, c := range s.copies {
+		a += c
 	}
 	return a
 }
 
 // PrecomputedAssignments returns the number of assignments whose results
-// the supervisor must compute itself (the ringer copies).
+// the supervisor must compute itself (the ringer copies, base and minted).
 func (p *Plan) PrecomputedAssignments() int {
-	return p.Ringers * p.RingerMultiplicity
+	a := p.Ringers * p.RingerMultiplicity
+	for _, rev := range p.Revisions {
+		for _, m := range rev.Minted {
+			a += m.Copies
+		}
+	}
+	return a
+}
+
+// TotalRingers returns the number of ringer tasks, base plus minted.
+func (p *Plan) TotalRingers() int {
+	r := p.Ringers
+	for _, rev := range p.Revisions {
+		r += len(rev.Minted)
+	}
+	return r
 }
 
 // RedundancyFactor returns assignments per real task.
@@ -139,30 +170,66 @@ func (p *Plan) RedundancyFactor() float64 {
 }
 
 // Distribution converts the plan back into a dist.Distribution, including
-// the tail partition and ringer tasks, so the detection formulas of package
-// dist apply to the deployed scheme exactly as §6 analyzes it.
+// the tail partition, ringer tasks, and any revisions, so the detection
+// formulas of package dist apply to the deployed scheme exactly as §6
+// analyzes it.
 func (p *Plan) Distribution() *dist.Distribution {
-	d := &dist.Distribution{Name: "plan"}
-	for i, c := range p.Counts {
-		if c > 0 {
-			d.SetCount(i+1, float64(c))
+	reg, ring := p.SplitDistribution()
+	for i := 1; i <= len(ring.Counts); i++ {
+		if c := ring.Count(i); c > 0 {
+			reg.SetCount(i, reg.Count(i)+c)
 		}
 	}
-	if p.TailTasks > 0 {
-		d.SetCount(p.TailMultiplicity, d.Count(p.TailMultiplicity)+float64(p.TailTasks))
+	reg.Name = "plan"
+	return reg
+}
+
+// SplitDistribution converts the (possibly revised) plan into two
+// distributions: the regular-task mass and the ringer mass. The split is
+// what the detection audit needs — a fully-controlled ringer tuple is
+// always caught against precomputed truth, so ringer mass strengthens
+// every class's denominator without ever contributing an escape
+// (dist.DetectionAtSplit).
+func (p *Plan) SplitDistribution() (regular, ringers *dist.Distribution) {
+	regular = &dist.Distribution{Name: "plan-regular"}
+	ringers = &dist.Distribution{Name: "plan-ringers"}
+	if len(p.Revisions) == 0 {
+		// O(classes) fast path: paper-scale plans have N far too large to
+		// expand per task.
+		for i, c := range p.Counts {
+			if c > 0 {
+				regular.SetCount(i+1, float64(c))
+			}
+		}
+		if p.TailTasks > 0 {
+			regular.SetCount(p.TailMultiplicity,
+				regular.Count(p.TailMultiplicity)+float64(p.TailTasks))
+		}
+		if p.Ringers > 0 {
+			ringers.SetCount(p.RingerMultiplicity, float64(p.Ringers))
+		}
+		return regular, ringers
 	}
-	if p.Ringers > 0 {
-		d.SetCount(p.RingerMultiplicity, d.Count(p.RingerMultiplicity)+float64(p.Ringers))
+	s, _ := p.revisedState()
+	for id, c := range s.copies {
+		d := regular
+		if s.ringer[id] {
+			d = ringers
+		}
+		d.SetCount(c, d.Count(c)+1)
 	}
-	return d
+	return regular, ringers
 }
 
 // Audit verifies the deployed plan end to end: integer consistency (every
-// task covered exactly once, non-negative classes) and the detection
-// guarantee P_k >= ε−tol for every k = 1..i_f at which tasks exist. Thanks
-// to the ringers this includes k = i_f, the constraint the truncation alone
-// could not satisfy. The ringer class itself (k = i_f+1) is exempt: ringer
-// results are precomputed, so cheating there is always detected.
+// task covered exactly once, non-negative classes, revisions that replay
+// cleanly) and the detection guarantee P_k >= ε−tol for every multiplicity
+// k at which regular tasks exist. Thanks to the ringers this includes
+// k = i_f, the constraint the truncation alone could not satisfy. Classes
+// holding only ringers are vacuously safe: ringer results are precomputed,
+// so cheating there is always detected (dist.DetectionAtSplit encodes
+// exactly that asymmetry, which also covers revised plans whose promoted
+// tasks share a class with ringers).
 func (p *Plan) Audit(tol float64) []string {
 	var problems []string
 	if p.TotalTasks() != p.N {
@@ -180,12 +247,18 @@ func (p *Plan) Audit(tol float64) []string {
 	if p.TailTasks > 0 && p.Ringers == 0 {
 		problems = append(problems, "tail partition present but no ringers precomputed")
 	}
-	d := p.Distribution()
-	for k := 1; k <= p.TailMultiplicity; k++ {
-		if d.Count(k) == 0 {
-			continue // vacuous: no k-multiplicity tasks to cheat on
+	if len(p.Revisions) > 0 {
+		if _, err := p.revisedState(); err != nil {
+			problems = append(problems, err.Error())
+			return problems // detection numbers are meaningless past a bad revision
 		}
-		if pk := dist.Detection(d, k); pk < p.Epsilon-tol {
+	}
+	reg, ring := p.SplitDistribution()
+	for k := 1; k <= len(reg.Counts); k++ {
+		if reg.Count(k) == 0 {
+			continue // vacuous: no regular k-multiplicity tasks to cheat on
+		}
+		if pk := dist.DetectionAtSplit(reg, ring, k, 0); pk < p.Epsilon-tol {
 			problems = append(problems,
 				fmt.Sprintf("deployed P_%d = %.6f < ε = %g", k, pk, p.Epsilon))
 		}
@@ -195,10 +268,14 @@ func (p *Plan) Audit(tol float64) []string {
 
 // String summarizes the plan.
 func (p *Plan) String() string {
+	rev := ""
+	if len(p.Revisions) > 0 {
+		rev = fmt.Sprintf(", revisions=%d", len(p.Revisions))
+	}
 	return fmt.Sprintf(
-		"plan{N=%d, ε=%g, classes=%d, i_f=%d, tail=%d, ringers=%d, assignments=%d, factor=%.4f}",
-		p.N, p.Epsilon, len(p.Counts), p.TailMultiplicity, p.TailTasks, p.Ringers,
-		p.TotalAssignments(), p.RedundancyFactor())
+		"plan{N=%d, ε=%g, classes=%d, i_f=%d, tail=%d, ringers=%d, assignments=%d, factor=%.4f%s}",
+		p.N, p.Epsilon, len(p.Counts), p.TailMultiplicity, p.TailTasks, p.TotalRingers(),
+		p.TotalAssignments(), p.RedundancyFactor(), rev)
 }
 
 // TaskSpec describes one concrete task in a deployable plan.
@@ -212,8 +289,13 @@ type TaskSpec struct {
 }
 
 // Tasks expands the plan into one TaskSpec per task (real tasks first, then
-// ringers), the form consumed by the scheduler.
+// base ringers, then revision effects in order), the form consumed by the
+// scheduler.
 func (p *Plan) Tasks() []TaskSpec {
+	if len(p.Revisions) > 0 {
+		s, _ := p.revisedState()
+		return s.specs()
+	}
 	specs := make([]TaskSpec, 0, p.N+p.Ringers)
 	id := 0
 	for i, c := range p.Counts {

@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// revisable returns a small balanced plan plus a valid revision touching
+// both mechanisms: one promotion and one minted ringer.
+func revisable(t *testing.T) (*Plan, Revision) {
+	t.Helper()
+	p, err := Balanced(200, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := p.Tasks()
+	var pr Promotion
+	for _, s := range specs {
+		if !s.Ringer {
+			pr = Promotion{TaskID: s.ID, From: s.Copies, To: s.Copies + 2}
+			break
+		}
+	}
+	return p, Revision{
+		Promotions: []Promotion{pr},
+		Minted:     []Mint{{TaskID: p.NextTaskID(), Copies: p.RingerMultiplicity + 1}},
+	}
+}
+
+func TestApplyRevisionReflectsEverywhere(t *testing.T) {
+	p, rev := revisable(t)
+	baseAssign := p.TotalAssignments()
+	basePre := p.PrecomputedAssignments()
+	baseRingers := p.TotalRingers()
+	baseNext := p.NextTaskID()
+	if err := p.ApplyRevision(rev); err != nil {
+		t.Fatalf("ApplyRevision: %v", err)
+	}
+	if got := p.TotalAssignments(); got != baseAssign+rev.CopiesAdded() {
+		t.Fatalf("TotalAssignments = %d, want %d", got, baseAssign+rev.CopiesAdded())
+	}
+	if got := p.PrecomputedAssignments(); got != basePre+rev.Minted[0].Copies {
+		t.Fatalf("PrecomputedAssignments = %d, want %d", got, basePre+rev.Minted[0].Copies)
+	}
+	if got := p.TotalRingers(); got != baseRingers+1 {
+		t.Fatalf("TotalRingers = %d, want %d", got, baseRingers+1)
+	}
+	if got := p.NextTaskID(); got != baseNext+1 {
+		t.Fatalf("NextTaskID = %d, want %d", got, baseNext+1)
+	}
+	if p.TotalTasks() != p.N {
+		t.Fatalf("revision changed real task count: %d != %d", p.TotalTasks(), p.N)
+	}
+
+	byID := map[int]TaskSpec{}
+	for _, s := range p.Tasks() {
+		byID[s.ID] = s
+	}
+	pr, mint := rev.Promotions[0], rev.Minted[0]
+	if got := byID[pr.TaskID]; got.Copies != pr.To || got.Ringer {
+		t.Fatalf("promoted task spec = %+v, want %d regular copies", got, pr.To)
+	}
+	if got := byID[mint.TaskID]; got.Copies != mint.Copies || !got.Ringer {
+		t.Fatalf("minted task spec = %+v, want %d ringer copies", got, mint.Copies)
+	}
+
+	// The distribution moves with the revision too.
+	reg, ring := p.SplitDistribution()
+	if reg.Count(pr.To) < 1 {
+		t.Fatalf("regular distribution missing promoted mass at %d", pr.To)
+	}
+	if ring.Count(mint.Copies) < 1 {
+		t.Fatalf("ringer distribution missing minted mass at %d", mint.Copies)
+	}
+	if p.Distribution().N() != float64(p.N)+float64(p.TotalRingers()) {
+		t.Fatalf("combined distribution mass %v, want %v", p.Distribution().N(),
+			float64(p.N)+float64(p.TotalRingers()))
+	}
+}
+
+func TestApplyRevisionIsDeepCopied(t *testing.T) {
+	p, rev := revisable(t)
+	if err := p.ApplyRevision(rev); err != nil {
+		t.Fatal(err)
+	}
+	rev.Promotions[0].To = 9999 // caller mutates its copy afterwards
+	if p.Revisions[0].Promotions[0].To == 9999 {
+		t.Fatal("recorded revision aliases the caller's slice")
+	}
+}
+
+func TestRevisionRejections(t *testing.T) {
+	p, _ := revisable(t)
+	regular := -1
+	for _, s := range p.Tasks() {
+		if !s.Ringer {
+			regular = s.ID
+			break
+		}
+	}
+	ringer := p.N // first ringer ID
+	from := p.Tasks()[regular].Copies
+	next := p.NextTaskID()
+	cases := map[string]Revision{
+		"task out of range":    {Promotions: []Promotion{{TaskID: next + 5, From: 1, To: 2}}},
+		"negative task":        {Promotions: []Promotion{{TaskID: -1, From: 1, To: 2}}},
+		"promote ringer":       {Promotions: []Promotion{{TaskID: ringer, From: p.RingerMultiplicity, To: p.RingerMultiplicity + 1}}},
+		"wrong from":           {Promotions: []Promotion{{TaskID: regular, From: from + 1, To: from + 2}}},
+		"not a raise":          {Promotions: []Promotion{{TaskID: regular, From: from, To: from}}},
+		"absurd to":            {Promotions: []Promotion{{TaskID: regular, From: from, To: maxRevisedCopies + 1}}},
+		"duplicate promotion":  {Promotions: []Promotion{{TaskID: regular, From: from, To: from + 1}, {TaskID: regular, From: from + 1, To: from + 2}}},
+		"mint breaks sequence": {Minted: []Mint{{TaskID: next + 1, Copies: 3}}},
+		"mint zero copies":     {Minted: []Mint{{TaskID: next, Copies: 0}}},
+	}
+	for name, rev := range cases {
+		if err := p.ApplyRevision(rev); err == nil {
+			t.Errorf("%s: revision accepted", name)
+		}
+		if len(p.Revisions) != 0 {
+			t.Fatalf("%s: rejected revision was recorded", name)
+		}
+	}
+}
+
+func TestAuditFlagsCorruptRevision(t *testing.T) {
+	p, rev := revisable(t)
+	if err := p.ApplyRevision(rev); err != nil {
+		t.Fatal(err)
+	}
+	if problems := p.Audit(1e-9); len(problems) != 0 {
+		t.Fatalf("clean revised plan fails audit: %v", problems)
+	}
+	// Hand-corrupt the recorded revision as a hostile plan file would.
+	p.Revisions[0].Promotions[0].From += 7
+	problems := p.Audit(1e-9)
+	if len(problems) == 0 {
+		t.Fatal("audit missed a corrupt revision")
+	}
+}
+
+func TestSaveLoadRoundTripsRevisions(t *testing.T) {
+	p, rev := revisable(t)
+	if err := p.ApplyRevision(rev); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Revisions) != 1 {
+		t.Fatalf("revisions lost in round trip: %+v", got.Revisions)
+	}
+	want, have := p.Tasks(), got.Tasks()
+	if len(want) != len(have) {
+		t.Fatalf("task count changed: %d -> %d", len(want), len(have))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("task %d changed in round trip: %+v -> %+v", i, want[i], have[i])
+		}
+	}
+}
+
+func TestRevisedStateRefusesHugePlans(t *testing.T) {
+	p := &Plan{N: maxRevisableTasks + 10, TailTasks: maxRevisableTasks + 10,
+		TailMultiplicity: 2, Ringers: 1, RingerMultiplicity: 3,
+		Epsilon:   0.5,
+		Revisions: []Revision{{}},
+	}
+	if _, err := p.revisedState(); err == nil {
+		t.Fatal("revision replay on a paper-scale plan must refuse, not allocate")
+	}
+	if problems := p.Audit(1e-9); len(problems) == 0 {
+		t.Fatal("audit accepted an un-replayable revised plan")
+	}
+}
+
+func TestStringMentionsRevisions(t *testing.T) {
+	p, rev := revisable(t)
+	if err := p.ApplyRevision(rev); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.String(); !bytes.Contains([]byte(s), []byte("revisions=1")) {
+		t.Fatalf("String() hides revisions: %s", s)
+	}
+}

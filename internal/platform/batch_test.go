@@ -2,6 +2,7 @@ package platform
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -449,7 +450,8 @@ func TestAppendJournalBatchTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored, _, valid, err := replayJournal(strings.NewReader(torn), collector, queue)
+	restored, _, valid, err := replayJournal(strings.NewReader(torn),
+		collectorQueueReplayer{collector, queue})
 	if err != nil {
 		t.Fatalf("torn batch tail not tolerated: %v", err)
 	}
@@ -463,4 +465,24 @@ func TestAppendJournalBatchTornTail(t *testing.T) {
 	if valid != wantValid {
 		t.Errorf("valid prefix %d bytes, want %d", valid, wantValid)
 	}
+}
+
+// collectorQueueReplayer replays results into a bare collector/queue pair
+// (no supervisor), for journal-layer tests. Revision records are out of
+// scope here and fail loudly.
+type collectorQueueReplayer struct {
+	collector *verify.Collector
+	queue     *sched.Queue
+}
+
+func (r collectorQueueReplayer) replayResult(a sched.Assignment, participant int, value uint64) error {
+	if !r.queue.MarkCompleted(a) {
+		return replayTornError{fmt.Errorf("unknown assignment task=%d copy=%d", a.TaskID, a.Copy)}
+	}
+	_, _, err := r.collector.Submit(verify.Result{Assignment: a, Participant: participant, Value: value})
+	return err
+}
+
+func (r collectorQueueReplayer) replayRevision(rec revisionRecord) error {
+	return fmt.Errorf("unexpected revision record seq=%d", rec.Seq)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"redundancy/internal/plan"
 	"redundancy/internal/sched"
 	"redundancy/internal/verify"
 )
@@ -24,10 +25,45 @@ type journalRecord struct {
 	Value       uint64 `json:"value"`
 }
 
+// revisionRecord journals one adaptive plan revision. The supervisor
+// writes (and, in JournalSync mode, fsyncs) the record *before* applying
+// the revision to its in-memory plan, queue, and collector, so the journal
+// is never behind reality: a crash after the write replays the revision, a
+// crash that tears the line drops a revision no later record can depend on
+// (a revised copy can only be issued — and its result journaled — after
+// the apply step). Replay applies revisions at their recorded position in
+// the result stream, reconstructing the revised plan exactly.
+type revisionRecord struct {
+	// Seq numbers revisions from 0 in application order.
+	Seq int `json:"seq"`
+	// PHat and Upper snapshot the estimate that triggered the revision —
+	// diagnostic only; replay does not depend on them.
+	PHat  float64 `json:"phat"`
+	Upper float64 `json:"upper"`
+
+	Promotions []plan.Promotion `json:"promotions,omitempty"`
+	Minted     []plan.Mint      `json:"minted,omitempty"`
+}
+
+// journalLine is the union read shape: a result record, or — when the
+// Revision pointer is set — a plan revision.
+type journalLine struct {
+	journalRecord
+	Revision *revisionRecord `json:"revision,omitempty"`
+}
+
 // appendJournal writes one record; callers hold the supervisor lock so
 // records are totally ordered.
 func appendJournal(w io.Writer, rec journalRecord) error {
 	return json.NewEncoder(w).Encode(rec)
+}
+
+// appendJournalRevision writes one revision record. Callers hold the
+// supervisor lock.
+func appendJournalRevision(w io.Writer, rec revisionRecord) error {
+	return json.NewEncoder(w).Encode(struct {
+		Revision *revisionRecord `json:"revision"`
+	}{&rec})
 }
 
 // appendJournalBatch writes a whole result batch's records with a single
@@ -48,17 +84,25 @@ func appendJournalBatch(w io.Writer, recs []journalRecord) error {
 	return err
 }
 
-// replayJournal feeds every journaled result back through the collector
-// and marks the corresponding assignments completed in the queue. Torn
-// trailing lines (a crash mid-write) are tolerated; corrupt interior
-// records abort with an error. It returns the number of results restored
-// and validBytes, the length of the journal prefix that replayed cleanly:
-// a caller that will keep appending to the same file should truncate it
-// to validBytes first, so a torn tail does not glue itself onto the next
-// record and turn into interior corruption at a later restore. (A final
-// valid line missing its newline counts the newline anyway; clamp to the
-// file size before truncating.)
-func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue) (restored, maxParticipant int, validBytes int64, err error) {
+// journalReplayer is what replaying a journal needs from its owner: the
+// verification/queue state every result feeds, plus a hook for applying
+// plan revisions at their recorded position. The supervisor implements it;
+// tests may substitute pieces.
+type journalReplayer interface {
+	replayResult(a sched.Assignment, participant int, value uint64) error
+	replayRevision(rec revisionRecord) error
+}
+
+// replayJournal feeds every journaled line back through rp. Torn trailing
+// lines (a crash mid-write) are tolerated; corrupt interior records abort
+// with an error. It returns the number of results restored and validBytes,
+// the length of the journal prefix that replayed cleanly: a caller that
+// will keep appending to the same file should truncate it to validBytes
+// first, so a torn tail does not glue itself onto the next record and turn
+// into interior corruption at a later restore. (A final valid line missing
+// its newline counts the newline anyway; clamp to the file size before
+// truncating.)
+func replayJournal(r io.Reader, rp journalReplayer) (restored, maxParticipant int, validBytes int64, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	maxParticipant = -1
@@ -74,23 +118,30 @@ func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue)
 			// a torn tail.
 			return restored, maxParticipant, validBytes, pendingErr
 		}
-		var rec journalRecord
+		var rec journalLine
 		if err := json.Unmarshal(line, &rec); err != nil {
 			pendingErr = fmt.Errorf("platform: corrupt journal record: %w", err)
 			continue
 		}
-		a := sched.Assignment{TaskID: rec.TaskID, Copy: rec.Copy, Ringer: rec.Ringer}
-		if !queue.MarkCompleted(a) {
-			pendingErr = fmt.Errorf("platform: journal replays unknown assignment task=%d copy=%d",
-				rec.TaskID, rec.Copy)
+		if rec.Revision != nil {
+			// Revisions are load-bearing plan state: an inapplicable one is
+			// interior corruption even at the tail, because the write
+			// preceded the apply — a revision that once applied cleanly
+			// always replays cleanly.
+			if err := rp.replayRevision(*rec.Revision); err != nil {
+				return restored, maxParticipant, validBytes,
+					fmt.Errorf("platform: journal revision %d: %w", rec.Revision.Seq, err)
+			}
+			validBytes += int64(len(line)) + 1
 			continue
 		}
-		if _, _, err := collector.Submit(verify.Result{
-			Assignment:  a,
-			Participant: rec.Participant,
-			Value:       rec.Value,
-		}); err != nil {
-			return restored, maxParticipant, validBytes, fmt.Errorf("platform: journal replay: %w", err)
+		a := sched.Assignment{TaskID: rec.TaskID, Copy: rec.Copy, Ringer: rec.Ringer}
+		if err := rp.replayResult(a, rec.Participant, rec.Value); err != nil {
+			if torn, ok := err.(replayTornError); ok {
+				pendingErr = torn.err
+				continue
+			}
+			return restored, maxParticipant, validBytes, err
 		}
 		if rec.Participant > maxParticipant {
 			maxParticipant = rec.Participant
@@ -102,4 +153,38 @@ func replayJournal(r io.Reader, collector *verify.Collector, queue *sched.Queue)
 		return restored, maxParticipant, validBytes, err
 	}
 	return restored, maxParticipant, validBytes, nil
+}
+
+// replayTornError wraps a replay failure that should be tolerated when it
+// is the journal's final line (the torn-tail rule) but is corruption when
+// followed by more data.
+type replayTornError struct{ err error }
+
+func (e replayTornError) Error() string { return e.err.Error() }
+
+// supReplayer adapts a Supervisor to journalReplayer.
+type supReplayer struct{ s *Supervisor }
+
+func (r supReplayer) replayResult(a sched.Assignment, participant int, value uint64) error {
+	s := r.s
+	if !s.queue.MarkCompleted(a) {
+		return replayTornError{fmt.Errorf("platform: journal replays unknown assignment task=%d copy=%d",
+			a.TaskID, a.Copy)}
+	}
+	if _, _, err := s.collector.Submit(verify.Result{
+		Assignment:  a,
+		Participant: participant,
+		Value:       value,
+	}); err != nil {
+		return fmt.Errorf("platform: journal replay: %w", err)
+	}
+	return nil
+}
+
+func (r supReplayer) replayRevision(rec revisionRecord) error {
+	s := r.s
+	if rec.Seq != s.revApplied {
+		return fmt.Errorf("revision sequence %d out of order (want %d)", rec.Seq, s.revApplied)
+	}
+	return s.applyRevisionLocked(plan.Revision{Promotions: rec.Promotions, Minted: rec.Minted})
 }

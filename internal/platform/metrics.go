@@ -15,6 +15,7 @@ const (
 	EvWorkerJoined        = "worker_joined"
 	EvWorkerLeft          = "worker_left"
 	EvWorkerResumed       = "worker_resumed"
+	EvPlanRevised         = "plan_revised"
 )
 
 // Event names written to a worker's event sink (WorkerConfig.Events).
@@ -49,6 +50,12 @@ type supMetrics struct {
 	batchesIssued       *obs.Counter
 	batchSize           *obs.Histogram
 	batchedJournalSyncs *obs.Counter
+
+	adaptPHat          *obs.Gauge
+	adaptIntervalWidth *obs.Gauge
+	adaptRevisions     *obs.Counter
+	adaptPromoted      *obs.Counter
+	adaptMinted        *obs.Counter
 }
 
 // newSupMetrics registers the supervisor's metric families on r
@@ -95,6 +102,16 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 		batchedJournalSyncs: r.Counter("redundancy_batched_journal_syncs_total",
 			"Journal fsyncs amortized over a whole result_batch (one per batch, not per record)."),
+		adaptPHat: r.Gauge("redundancy_adapt_phat",
+			"Adaptive estimator's point estimate p̂ of the adversary's assignment share (0 until evidence arrives)."),
+		adaptIntervalWidth: r.Gauge("redundancy_adapt_interval_width",
+			"Width of the Wilson confidence interval around p̂ (1 while no evidence has been observed)."),
+		adaptRevisions: r.Counter("redundancy_adapt_revisions_total",
+			"Plan revisions the adaptive controller journaled and applied."),
+		adaptPromoted: r.Counter("redundancy_adapt_copies_promoted_total",
+			"Additional assignment copies created by promoting queued tasks to higher multiplicity classes."),
+		adaptMinted: r.Counter("redundancy_adapt_ringers_minted_total",
+			"Ringer tasks minted mid-run by the adaptive controller."),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"redundancy/internal/adapt"
 	"redundancy/internal/obs"
 	"redundancy/internal/plan"
 	"redundancy/internal/rng"
@@ -87,6 +88,15 @@ type SupervisorConfig struct {
 	// platform event (assignment_issued, result_accepted,
 	// mismatch_detected, ...; see OBSERVABILITY.md). Nil discards events.
 	Events *obs.Sink
+	// Adapt, when non-nil, turns on the adaptive redundancy control plane
+	// (internal/adapt): the supervisor estimates the adversary share p̂
+	// from its verification verdicts and, whenever the estimate's upper
+	// confidence bound pushes any active class's P_{k,p̂} below
+	// Adapt.TargetEpsilon, journals and applies a plan revision that
+	// promotes still-queued tasks and mints fresh ringers. Requires the
+	// Free policy (revisions re-shape the queue) and mutates Plan in
+	// place via plan.ApplyRevision.
+	Adapt *adapt.Config
 }
 
 // Supervisor is the trusted coordinator: it owns the assignment queue and
@@ -118,6 +128,15 @@ type Supervisor struct {
 	restored  int            // results recovered from the journal
 	finished  bool
 	draining  bool // Shutdown in progress: no new assignments
+
+	// Adaptive control plane (cfg.Adapt != nil). est accumulates evidence
+	// from every verdict — including journal replay, so p̂ survives a
+	// restart; revApplied counts revisions applied to the plan (live and
+	// replayed), which is also the next revision's journal sequence
+	// number.
+	adaptCfg   adapt.Config
+	est        *adapt.Estimator
+	revApplied int
 
 	restoredBytes int64 // clean journal prefix length, for tail truncation
 
@@ -158,6 +177,16 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if err != nil {
 		return nil, err
 	}
+	var adaptCfg adapt.Config
+	if cfg.Adapt != nil {
+		if cfg.Policy != sched.Free {
+			return nil, fmt.Errorf("platform: adaptive re-planning requires the free policy, have %v", cfg.Policy)
+		}
+		adaptCfg, err = cfg.Adapt.Normalized()
+		if err != nil {
+			return nil, err
+		}
+	}
 	registry := cfg.Metrics
 	if registry == nil {
 		registry = obs.NewRegistry()
@@ -176,6 +205,10 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		stop:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	if cfg.Adapt != nil {
+		s.adaptCfg = adaptCfg
+		s.est = adapt.NewEstimator(adaptCfg.Z, adaptCfg.Decay)
+	}
 	// Ringer truth: the supervisor precomputes the work function itself.
 	s.collector = verify.NewCollector(func(taskID int) uint64 {
 		return work(TaskSeed(taskID), cfg.Iters)
@@ -187,6 +220,12 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	// for uncompleted or rejected work is structurally impossible; a
 	// conviction revokes a participant's standing entirely.
 	s.collector.OnVerdict(func(v verify.Verdict) {
+		if s.est != nil {
+			// Adaptive evidence: every adjudicated copy is one Bernoulli
+			// observation, attributed copies are the bad ones. Fed during
+			// replay too, so p̂ survives a restart along with the plan.
+			s.est.Observe(v.Copies, len(v.Suspects))
+		}
 		if v.Accepted {
 			s.credits.Award(v.Contributors)
 		}
@@ -225,7 +264,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	if cfg.Restore != nil {
 		s.replaying = true
-		n, maxP, valid, err := replayJournal(cfg.Restore, s.collector, s.queue)
+		n, maxP, valid, err := replayJournal(cfg.Restore, supReplayer{s})
 		s.replaying = false
 		if err != nil {
 			return nil, err
@@ -288,6 +327,9 @@ func (s *Supervisor) Start(addr string) (string, error) {
 	go s.acceptLoop()
 	if s.cfg.Deadline > 0 {
 		go s.sweepLoop()
+	}
+	if s.est != nil {
+		go s.adaptLoop()
 	}
 	s.logf("supervisor listening on %s (%d assignments, %d tasks)",
 		ln.Addr(), s.queue.Total(), s.cfg.Plan.N+s.cfg.Plan.Ringers)
@@ -700,6 +742,148 @@ func (s *Supervisor) sweepExpired() {
 				info.a.TaskID, info.a.Copy, info.participant)
 		}
 	}
+}
+
+// applyRevisionLocked applies one plan revision to the supervisor's live
+// state — plan, queue, and verification expectations — in that order. It
+// does NOT journal; the caller either just wrote the record (live tick) or
+// is replaying one (restore). Callers hold s.mu. Revisions are validated
+// against the plan before anything mutates, so a failure leaves state
+// untouched.
+func (s *Supervisor) applyRevisionLocked(rev plan.Revision) error {
+	if err := s.cfg.Plan.ValidateRevision(rev); err != nil {
+		return err
+	}
+	// Cross-check against the queue before mutating anything: every
+	// promotion must name a never-issued task with exactly From copies
+	// still queued. The controller only proposes such tasks; this guards
+	// replay against a journal that disagrees with the queue.
+	for _, pr := range rev.Promotions {
+		if s.queue.EverIssued(pr.TaskID) {
+			return fmt.Errorf("platform: revision promotes issued task %d", pr.TaskID)
+		}
+	}
+	if err := s.cfg.Plan.ApplyRevision(rev); err != nil {
+		return err
+	}
+	for _, pr := range rev.Promotions {
+		if err := s.queue.Promote(pr.TaskID, pr.From, pr.To); err != nil {
+			return fmt.Errorf("platform: revision %d: %w", s.revApplied, err)
+		}
+		s.collector.Expect(pr.TaskID, pr.To)
+	}
+	for _, m := range rev.Minted {
+		if err := s.queue.AddTask(plan.TaskSpec{ID: m.TaskID, Copies: m.Copies, Ringer: true}); err != nil {
+			return fmt.Errorf("platform: revision %d: %w", s.revApplied, err)
+		}
+		s.collector.Expect(m.TaskID, m.Copies)
+	}
+	s.revApplied++
+	return nil
+}
+
+// adaptLoop periodically evaluates the adaptive controller.
+func (s *Supervisor) adaptLoop() {
+	tick := time.NewTicker(s.adaptCfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.adaptTick()
+		}
+	}
+}
+
+// adaptTick is one evaluation of the control loop: refresh the p̂ gauges,
+// and if the interval's upper bound leaves any active class below the
+// target ε, journal and apply a revision. Journal-first ordering makes the
+// crash cases safe: a torn revision line is dropped on restore and no
+// later record can depend on it (revised copies are only issued after the
+// apply), while a fully written line replays exactly.
+func (s *Supervisor) adaptTick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	est := s.est.Estimate()
+	s.metrics.adaptPHat.Set(est.PHat)
+	s.metrics.adaptIntervalWidth.Set(est.Width())
+	if est.Samples < float64(s.adaptCfg.MinSamples) || s.finished || s.draining {
+		return
+	}
+	var tasks []adapt.TaskState
+	for _, sp := range s.cfg.Plan.Tasks() {
+		tasks = append(tasks, adapt.TaskState{
+			ID: sp.ID, Copies: sp.Copies, Ringer: sp.Ringer,
+			Eligible: !sp.Ringer && !s.queue.EverIssued(sp.ID),
+		})
+	}
+	rev, ok := adapt.Replan(tasks, s.cfg.Plan.NextTaskID(), s.adaptCfg.TargetEpsilon, est.Upper)
+	if rev.Empty() {
+		if !ok {
+			s.logf("adapt: ε=%g unreachable at p̂ upper bound %.4f (safety cap)",
+				s.adaptCfg.TargetEpsilon, est.Upper)
+		}
+		return
+	}
+	if s.cfg.Journal != nil {
+		rec := revisionRecord{
+			Seq: s.revApplied, PHat: est.PHat, Upper: est.Upper,
+			Promotions: rev.Promotions, Minted: rev.Minted,
+		}
+		if err := appendJournalRevision(s.cfg.Journal, rec); err != nil {
+			s.logf("adapt: journal write failed, revision deferred: %v", err)
+			return
+		}
+		if s.cfg.JournalSync {
+			s.syncJournal()
+		}
+	}
+	seq := s.revApplied
+	if err := s.applyRevisionLocked(rev); err != nil {
+		// Pre-validated, so this is a genuine bug; surface loudly but keep
+		// serving — the journal record will replay (and fail) identically.
+		s.logf("adapt: BUG: journaled revision failed to apply: %v", err)
+		return
+	}
+	promoted, minted := 0, 0
+	for _, pr := range rev.Promotions {
+		promoted += pr.To - pr.From
+	}
+	for _, m := range rev.Minted {
+		minted += m.Copies
+	}
+	s.metrics.adaptRevisions.Inc()
+	s.metrics.adaptPromoted.Add(uint64(promoted))
+	s.metrics.adaptMinted.Add(uint64(len(rev.Minted)))
+	s.events.Emit(EvPlanRevised, map[string]any{
+		"seq": seq, "phat": est.PHat, "upper": est.Upper,
+		"promotions": len(rev.Promotions), "promoted_copies": promoted,
+		"minted": len(rev.Minted), "minted_copies": minted, "satisfied": ok,
+	})
+	s.logf("adapt: revision %d applied (p̂=%.4f upper=%.4f): %d promotion(s), %d minted ringer(s), %d new assignments",
+		seq, est.PHat, est.Upper, len(rev.Promotions), len(rev.Minted), rev.CopiesAdded())
+}
+
+// AdaptiveEstimate returns the current p̂ estimate and true when the
+// adaptive control plane is enabled.
+func (s *Supervisor) AdaptiveEstimate() (adapt.Estimate, bool) {
+	if s.est == nil {
+		return adapt.Estimate{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Estimate(), true
+}
+
+// RevisionsApplied reports how many plan revisions this supervisor has
+// applied, including revisions restored from the journal.
+func (s *Supervisor) RevisionsApplied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.revApplied
 }
 
 func (s *Supervisor) result(m Message, cs *connState) Message {

@@ -70,13 +70,18 @@ type Queue struct {
 	outstanding int
 	issued      int
 	total       int
+
+	// everIssued marks tasks at least one copy of which has ever been
+	// handed out. Abandon does not clear it: once any copy has touched a
+	// participant the task is no longer safely re-plannable (Promote).
+	everIssued map[int]bool
 }
 
 // NewQueue builds a queue over the tasks of a plan, shuffled with r.
 // Under TwoPhase every task must have exactly two copies (the Appendix-A
 // setting); other multiplicities cause an error.
 func NewQueue(specs []plan.TaskSpec, policy Policy, r *rng.Source) (*Queue, error) {
-	q := &Queue{policy: policy, pending: make(map[int][]Assignment)}
+	q := &Queue{policy: policy, pending: make(map[int][]Assignment), everIssued: make(map[int]bool)}
 	switch policy {
 	case Free:
 		for _, s := range specs {
@@ -132,6 +137,7 @@ func (q *Queue) Next() (a Assignment, ok bool) {
 	q.ready = q.ready[1:]
 	q.outstanding++
 	q.issued++
+	q.everIssued[a.TaskID] = true
 	return a, true
 }
 
@@ -185,6 +191,7 @@ func (q *Queue) MarkCompleted(a Assignment) bool {
 	}
 	q.issued++
 	q.outstanding++
+	q.everIssued[a.TaskID] = true
 	q.Complete(a)
 	return true
 }
@@ -197,6 +204,61 @@ func removeAssignment(pool *[]Assignment, a Assignment) bool {
 		}
 	}
 	return false
+}
+
+// EverIssued reports whether any copy of the task has ever been handed
+// out (including copies later abandoned). Tasks for which this is false
+// are the ones the adaptive controller may still re-plan.
+func (q *Queue) EverIssued(taskID int) bool { return q.everIssued[taskID] }
+
+// Promote raises a never-issued task's multiplicity from from to to under
+// the Free policy: the task's existing queued copies stay where the
+// initial shuffle put them and the additional copies to−from..to−1 are
+// appended to the back of the ready pool. It is the scheduler half of an
+// adaptive plan revision; the caller journals the revision before calling.
+func (q *Queue) Promote(taskID, from, to int) error {
+	if q.policy != Free {
+		return fmt.Errorf("sched: Promote requires the free policy, have %v", q.policy)
+	}
+	if to <= from {
+		return fmt.Errorf("sched: Promote task %d: %d -> %d is not a raise", taskID, from, to)
+	}
+	if q.everIssued[taskID] {
+		return fmt.Errorf("sched: Promote task %d: copies already issued", taskID)
+	}
+	queued := 0
+	for _, a := range q.ready {
+		if a.TaskID == taskID {
+			queued++
+		}
+	}
+	if queued != from {
+		return fmt.Errorf("sched: Promote task %d: %d copies queued, revision expects %d", taskID, queued, from)
+	}
+	for c := from; c < to; c++ {
+		q.ready = append(q.ready, Assignment{TaskID: taskID, Copy: c})
+	}
+	q.total += to - from
+	return nil
+}
+
+// AddTask appends a brand-new task (an adaptively minted ringer) to a
+// Free-policy queue; its copies join the back of the ready pool.
+func (q *Queue) AddTask(spec plan.TaskSpec) error {
+	if q.policy != Free {
+		return fmt.Errorf("sched: AddTask requires the free policy, have %v", q.policy)
+	}
+	if spec.Copies < 1 {
+		return fmt.Errorf("sched: AddTask task %d: invalid multiplicity %d", spec.ID, spec.Copies)
+	}
+	if q.everIssued[spec.ID] {
+		return fmt.Errorf("sched: AddTask task %d: ID already in use", spec.ID)
+	}
+	for c := 0; c < spec.Copies; c++ {
+		q.ready = append(q.ready, Assignment{TaskID: spec.ID, Copy: c, Ringer: spec.Ringer})
+	}
+	q.total += spec.Copies
+	return nil
 }
 
 // Done reports whether every assignment has been issued and completed.

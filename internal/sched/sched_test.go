@@ -374,3 +374,144 @@ func TestMarkCompletedReleasesPendingCopies(t *testing.T) {
 		t.Error("queue not done")
 	}
 }
+
+func TestEverIssuedTracksIssuanceNotAbandon(t *testing.T) {
+	q, err := NewQueue(specs(2, 2), Free, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EverIssued(0) || q.EverIssued(1) {
+		t.Fatal("fresh queue reports tasks issued")
+	}
+	a, ok := q.Next()
+	if !ok {
+		t.Fatal("no assignment")
+	}
+	if !q.EverIssued(a.TaskID) {
+		t.Fatalf("task %d issued but not tracked", a.TaskID)
+	}
+	// Abandon must NOT clear the mark: the copy touched a participant.
+	q.Abandon(a)
+	if !q.EverIssued(a.TaskID) {
+		t.Fatalf("abandon cleared ever-issued for task %d", a.TaskID)
+	}
+}
+
+func TestMarkCompletedSetsEverIssued(t *testing.T) {
+	q, err := NewQueue(specs(1, 1), Free, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.MarkCompleted(Assignment{TaskID: 1, Copy: 0}) {
+		t.Fatal("MarkCompleted failed")
+	}
+	if !q.EverIssued(1) {
+		t.Fatal("journal-replayed completion not tracked as issuance")
+	}
+	if q.EverIssued(0) {
+		t.Fatal("untouched task reported issued")
+	}
+}
+
+func TestPromoteAddsCopiesToNeverIssuedTask(t *testing.T) {
+	q, err := NewQueue(specs(2, 3), Free, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Promote(0, 2, 4); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if q.Total() != 7 {
+		t.Fatalf("total = %d after promotion, want 7", q.Total())
+	}
+	got := drain(t, q)
+	perTask := map[int]map[int]bool{}
+	for _, a := range got {
+		if perTask[a.TaskID] == nil {
+			perTask[a.TaskID] = map[int]bool{}
+		}
+		if perTask[a.TaskID][a.Copy] {
+			t.Fatalf("duplicate assignment %+v", a)
+		}
+		perTask[a.TaskID][a.Copy] = true
+	}
+	if len(perTask[0]) != 4 || len(perTask[1]) != 3 {
+		t.Fatalf("copies per task: %d and %d, want 4 and 3", len(perTask[0]), len(perTask[1]))
+	}
+	for c := 0; c < 4; c++ {
+		if !perTask[0][c] {
+			t.Fatalf("promoted task missing copy %d", c)
+		}
+	}
+}
+
+func TestPromoteRefusals(t *testing.T) {
+	q, err := NewQueue(specs(2, 2), Free, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Promote(0, 2, 2); err == nil {
+		t.Fatal("non-raise accepted")
+	}
+	if err := q.Promote(0, 3, 4); err == nil {
+		t.Fatal("wrong from-count accepted")
+	}
+	a, _ := q.Next()
+	if err := q.Promote(a.TaskID, 2, 3); err == nil {
+		t.Fatal("promoted a task with an issued copy")
+	}
+
+	oo, err := NewQueue(specs(2, 2), OneOutstanding, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oo.Promote(0, 2, 3); err == nil {
+		t.Fatal("Promote accepted under one-outstanding policy")
+	}
+}
+
+func TestAddTaskAppendsRinger(t *testing.T) {
+	q, err := NewQueue(specs(1), Free, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddTask(plan.TaskSpec{ID: 1, Copies: 3, Ringer: true}); err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	if q.Total() != 4 {
+		t.Fatalf("total = %d, want 4", q.Total())
+	}
+	ringers := 0
+	for _, a := range drain(t, q) {
+		if a.TaskID == 1 {
+			if !a.Ringer {
+				t.Fatalf("minted assignment lost ringer flag: %+v", a)
+			}
+			ringers++
+		}
+	}
+	if ringers != 3 {
+		t.Fatalf("ringer copies issued = %d, want 3", ringers)
+	}
+}
+
+func TestAddTaskRefusals(t *testing.T) {
+	q, err := NewQueue(specs(1), Free, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddTask(plan.TaskSpec{ID: 2, Copies: 0}); err == nil {
+		t.Fatal("zero-copy task accepted")
+	}
+	a, _ := q.Next()
+	if err := q.AddTask(plan.TaskSpec{ID: a.TaskID, Copies: 1}); err == nil {
+		t.Fatal("reused an issued task ID")
+	}
+	oo, err := NewQueue(specs(2, 2), OneOutstanding, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oo.AddTask(plan.TaskSpec{ID: 9, Copies: 1}); err == nil {
+		t.Fatal("AddTask accepted under one-outstanding policy")
+	}
+}

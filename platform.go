@@ -3,6 +3,7 @@ package redundancy
 import (
 	"io"
 
+	"redundancy/internal/adapt"
 	"redundancy/internal/faults"
 	"redundancy/internal/obs"
 	"redundancy/internal/platform"
@@ -26,6 +27,20 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 // SupervisorConfig.MaxBatch is zero: one get_work request leases at most
 // this many assignments. Both daemons default their -batch flag to it.
 const DefaultMaxBatch = platform.DefaultMaxBatch
+
+// AdaptConfig enables the supervisor's adaptive redundancy control plane
+// when assigned to SupervisorConfig.Adapt: an online Wilson-interval
+// estimate p̂ of the adversary's assignment share, and a controller that
+// revises the live plan (promoting still-queued tasks, minting ringers)
+// whenever the interval's upper bound pushes any class's detection
+// probability below TargetEpsilon. Requires the free scheduling policy.
+// See DESIGN.md's adaptive-control section.
+type AdaptConfig = adapt.Config
+
+// AdaptEstimate is the estimator's current view: the point estimate p̂,
+// the Wilson confidence interval around it, and the evidence weight
+// behind it. Returned by Supervisor.AdaptiveEstimate.
+type AdaptEstimate = adapt.Estimate
 
 // WorkerConfig parameterizes a platform worker (see RunWorker).
 type WorkerConfig = platform.WorkerConfig
