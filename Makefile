@@ -1,17 +1,21 @@
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-save figures fmt vet check chaos fuzz clean
+.PHONY: all build test race cover cover-check bench bench-save bench-smoke figures fmt vet check chaos fuzz clean
 
 all: build test
 
 # The full verification gate CI runs: compile everything, vet, the whole
-# test suite under the race detector (the chaos soak included), the
-# per-package coverage floor, and a short fuzz burst on the wire codec.
+# test suite under the race detector (the chaos soak included), an
+# uncached race pass over the concurrency-heavy platform package, the
+# per-package coverage floor, a quick contention-benchmark smoke run,
+# and a short fuzz burst on the wire codec.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/platform/...
 	$(MAKE) cover-check
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 
 build:
@@ -46,10 +50,21 @@ bench:
 
 # Measure the batched-leasing hot path over loopback and commit the JSON
 # artifacts: assignments/sec at lease sizes 1, 16, and 64, and the same
-# computation with the adaptive control plane ticking.
+# computation with the adaptive control plane ticking. BENCH_pr5 adds the
+# concurrent-worker sweep (1, 8, 32, 128 workers at lease size 16) against
+# the recorded pre-group-commit 32-worker baseline of ~40000
+# assignments/sec; the acceptance bar is a >=2x speedup at 32 workers.
 bench-save:
 	$(GO) run ./cmd/platformbench -out BENCH_pr3.json
 	$(GO) run ./cmd/platformbench -adapt -out BENCH_pr4.json
+	$(GO) run ./cmd/platformbench -adapt -workers 1,8,32,128 -baseline-aps32 40000 -out BENCH_pr5.json
+
+# A fast CI-sized version of the contention benchmark: tiny task count,
+# 8 concurrent workers, no artifact. Catches a supervisor that deadlocks,
+# parks forever, or collapses under concurrency before the full sweep
+# would ever run.
+bench-smoke:
+	$(GO) run ./cmd/platformbench -n 600 -iters 10 -workers 1,8 -batches 16 -sweep-batch 16
 
 # The crash-tolerance acceptance test alone, under the race detector:
 # full plan to certification with every fault mode injected and the

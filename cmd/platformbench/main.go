@@ -1,15 +1,21 @@
-// Command platformbench measures the wire-protocol hot path: it runs the
-// same computation to completion over loopback at several lease sizes and
-// reports assignments per second for each. With one round trip per
-// assignment (-batch 1, the legacy protocol) the run is RTT-bound; batched
-// leasing amortizes that round trip over the whole lease, and this tool
-// quantifies the speedup on the machine it runs on.
+// Command platformbench measures the wire-protocol hot path along two
+// axes. The batch sweep runs the same computation to completion over
+// loopback at several lease sizes with a fixed worker count and reports
+// assignments per second for each: with one round trip per assignment
+// (-batch 1, the legacy protocol) the run is RTT-bound, and batched
+// leasing amortizes that round trip over the whole lease. The worker
+// sweep holds the lease size fixed and scales the number of concurrent
+// workers (-workers accepts a comma-separated list), reporting
+// assignments per second plus p50/p99 lease latency per step — the axis
+// where supervisor lock contention lives or dies.
 //
 // Usage:
 //
-//	platformbench                       # print the table
-//	platformbench -out BENCH_pr3.json   # also write the JSON artifact
-//	platformbench -adapt -out BENCH_pr4.json  # plus an adaptive-control run
+//	platformbench                                 # batch sweep table
+//	platformbench -workers 1,8,32,128             # plus the worker sweep
+//	platformbench -out BENCH_pr5.json             # also write the artifact
+//	platformbench -adapt                          # plus an adaptive run
+//	platformbench -baseline-aps32 41000           # embed pre-change ref
 //
 // `make bench-save` runs the committed configurations.
 package main
@@ -21,6 +27,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,16 +48,42 @@ type result struct {
 	Revisions         int     `json:"revisions,omitempty"`
 }
 
+// sweepResult is one step of the worker sweep: the same workload run with
+// a given number of concurrent workers, with lease-latency percentiles
+// observed from the worker side (WorkerConfig.OnLeaseRTT).
+type sweepResult struct {
+	Workers           int     `json:"workers"`
+	Batch             int     `json:"batch"`
+	Assignments       int     `json:"assignments"`
+	Seconds           float64 `json:"seconds"`
+	AssignmentsPerSec float64 `json:"assignments_per_sec"`
+	LeaseP50Micros    float64 `json:"lease_p50_us"`
+	LeaseP99Micros    float64 `json:"lease_p99_us"`
+}
+
 type report struct {
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	Tasks       int      `json:"tasks"`
-	Iters       int      `json:"iters"`
-	Workers     int      `json:"workers"`
-	Results     []result `json:"results"`
-	SpeedupVs1  float64  `json:"speedup_max_batch_vs_1"`
-	Speedup16   float64  `json:"speedup_batch16_vs_1"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Tasks     int    `json:"tasks"`
+	Iters     int    `json:"iters"`
+	// Workers is the worker count of the batch sweep (the first -workers
+	// entry) — the field earlier BENCH_pr*.json artifacts carry, kept for
+	// trajectory comparison.
+	Workers    int      `json:"workers"`
+	Results    []result `json:"results"`
+	SpeedupVs1 float64  `json:"speedup_max_batch_vs_1"`
+	Speedup16  float64  `json:"speedup_batch16_vs_1"`
+	// WorkerSweep scales concurrent workers at a fixed lease size; one
+	// entry per -workers value, with lease-latency percentiles.
+	WorkerSweep []sweepResult `json:"worker_sweep,omitempty"`
+	// BaselineAPS32 is the pre-change supervisor's assignments/sec at 32
+	// workers on the same workload (passed in via -baseline-aps32 so the
+	// artifact records both sides of the comparison); SpeedupVsBaseline32
+	// divides this run's 32-worker throughput by it.
+	BaselineAPS32       float64 `json:"baseline_assignments_per_sec_32_workers,omitempty"`
+	SpeedupVsBaseline32 float64 `json:"speedup_vs_baseline_32_workers,omitempty"`
 	// Adaptive, when -adapt is set, is the same computation with the
 	// adaptive control plane ticking; AdaptiveOverheadPct compares its
 	// throughput against the plain run at the same lease size.
@@ -58,32 +92,56 @@ type report struct {
 	GeneratedAt         string  `json:"generated_at"`
 }
 
+func parseIntList(flagName, s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			log.Fatalf("platformbench: bad %s entry %q", flagName, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func main() {
 	n := flag.Int("n", 2000, "tasks per run (multiplicity 1 plus ringers)")
 	iters := flag.Int("iters", 1, "work-function iterations; 1 keeps runs RTT-bound")
-	workers := flag.Int("workers", 1, "concurrent workers per run (1 isolates the per-round-trip cost)")
-	batches := flag.String("batches", "1,16,64", "comma-separated lease sizes to measure")
+	workersFlag := flag.String("workers", "1", "comma-separated concurrent-worker counts; the first runs the batch sweep, the full list runs the worker sweep")
+	batches := flag.String("batches", "1,16,64", "comma-separated lease sizes for the batch sweep")
+	sweepBatch := flag.Int("sweep-batch", 16, "lease size held fixed during the worker sweep")
 	adaptRun := flag.Bool("adapt", false, "also measure a run with the adaptive control plane ticking (at the largest lease size)")
+	baselineAPS32 := flag.Float64("baseline-aps32", 0, "pre-change assignments/sec at 32 workers, recorded in the artifact for comparison")
+	journal := flag.String("journal", "", "journal accepted results to this file during every run (exercises the group-commit path; file is truncated per run)")
+	journalSync := flag.Bool("journal-sync", false, "fsync journal records before acking (requires -journal)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	out := flag.String("out", "", "also write the JSON report to this file (empty = stdout table only)")
 	flag.Parse()
 
-	var sizes []int
-	for _, f := range strings.Split(*batches, ",") {
-		b, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || b < 1 {
-			log.Fatalf("platformbench: bad -batches entry %q", f)
+	sizes := parseIntList("-batches", *batches)
+	workerCounts := parseIntList("-workers", *workersFlag)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
 		}
-		sizes = append(sizes, b)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
+	rc := runConfig{journal: *journal, journalSync: *journalSync}
 	rep := report{
 		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		Tasks: *n, Iters: *iters, Workers: *workers,
+		NumCPU: runtime.NumCPU(),
+		Tasks:  *n, Iters: *iters, Workers: workerCounts[0],
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 	fmt.Printf("%-8s %-14s %-10s %s\n", "batch", "assignments", "seconds", "assignments/sec")
 	for _, b := range sizes {
-		r, err := run(*n, *iters, *workers, b, false)
+		r, _, err := rc.run(*n, *iters, workerCounts[0], b, false)
 		if err != nil {
 			log.Fatalf("platformbench: batch %d: %v", b, err)
 		}
@@ -107,9 +165,37 @@ func main() {
 	}
 	fmt.Printf("\nspeedup vs batch 1: %.2fx (batch 16: %.2fx)\n", rep.SpeedupVs1, rep.Speedup16)
 
+	if len(workerCounts) > 1 {
+		fmt.Printf("\n%-8s %-8s %-14s %-16s %-12s %s\n",
+			"workers", "batch", "assignments", "assignments/sec", "p50 lease", "p99 lease")
+		for _, w := range workerCounts {
+			r, lat, err := rc.run(*n, *iters, w, *sweepBatch, false)
+			if err != nil {
+				log.Fatalf("platformbench: %d workers: %v", w, err)
+			}
+			sr := sweepResult{
+				Workers: w, Batch: r.Batch, Assignments: r.Assignments,
+				Seconds: r.Seconds, AssignmentsPerSec: r.AssignmentsPerSec,
+				LeaseP50Micros: lat.p50.Seconds() * 1e6,
+				LeaseP99Micros: lat.p99.Seconds() * 1e6,
+			}
+			rep.WorkerSweep = append(rep.WorkerSweep, sr)
+			fmt.Printf("%-8d %-8d %-14d %-16.0f %-12v %v\n",
+				w, sr.Batch, sr.Assignments, sr.AssignmentsPerSec, lat.p50, lat.p99)
+			if w == 32 && *baselineAPS32 > 0 {
+				rep.BaselineAPS32 = *baselineAPS32
+				rep.SpeedupVsBaseline32 = sr.AssignmentsPerSec / *baselineAPS32
+			}
+		}
+		if rep.SpeedupVsBaseline32 > 0 {
+			fmt.Printf("\n32-worker speedup vs pre-change baseline (%.0f/sec): %.2fx\n",
+				rep.BaselineAPS32, rep.SpeedupVsBaseline32)
+		}
+	}
+
 	if *adaptRun {
 		ab := sizes[len(sizes)-1]
-		r, err := run(*n, *iters, *workers, ab, true)
+		r, _, err := rc.run(*n, *iters, workerCounts[0], ab, true)
 		if err != nil {
 			log.Fatalf("platformbench: adaptive batch %d: %v", ab, err)
 		}
@@ -135,17 +221,65 @@ func main() {
 	}
 }
 
+// latencySummary holds lease-latency percentiles over one run.
+type latencySummary struct{ p50, p99 time.Duration }
+
+// latencyRecorder collects per-lease round-trip samples from every worker
+// goroutine of a run.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// summary computes p50/p99 by nearest-rank over the collected samples.
+func (l *latencyRecorder) summary() latencySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q * float64(len(l.samples)-1))
+		return l.samples[i]
+	}
+	return latencySummary{p50: rank(0.50), p99: rank(0.99)}
+}
+
+// runConfig carries the per-invocation knobs shared by every run.
+type runConfig struct {
+	journal     string
+	journalSync bool
+}
+
 // run drives one full computation over loopback at the given lease size
-// and returns its throughput. With adaptive set, the control plane ticks
-// throughout the run: honest workers keep p̂ near zero, so this measures
-// the estimator/controller overhead on the hot path, not re-planning.
-func run(n, iters, workers, batch int, adaptive bool) (result, error) {
+// and worker count and returns its throughput plus lease-latency
+// percentiles. With adaptive set, the control plane ticks throughout the
+// run: honest workers keep p̂ near zero, so this measures the
+// estimator/controller overhead on the hot path, not re-planning.
+func (rc runConfig) run(n, iters, workers, batch int, adaptive bool) (result, latencySummary, error) {
 	p, err := plan.FromDistribution(dist.Simple(float64(n)), 0.5)
 	if err != nil {
-		return result{}, err
+		return result{}, latencySummary{}, err
 	}
 	cfg := redundancy.SupervisorConfig{
 		Plan: p, WorkKind: "hashchain", Iters: iters, Seed: 1, MaxBatch: batch,
+	}
+	if rc.journal != "" {
+		f, err := os.Create(rc.journal)
+		if err != nil {
+			return result{}, latencySummary{}, err
+		}
+		defer f.Close()
+		cfg.Journal = f
+		cfg.JournalSync = rc.journalSync
+		cfg.GroupCommit = true
 	}
 	if adaptive {
 		cfg.Adapt = &redundancy.AdaptConfig{
@@ -154,14 +288,15 @@ func run(n, iters, workers, batch int, adaptive bool) (result, error) {
 	}
 	sup, err := redundancy.NewSupervisor(cfg)
 	if err != nil {
-		return result{}, err
+		return result{}, latencySummary{}, err
 	}
 	defer sup.Close()
 	addr, err := sup.Start("127.0.0.1:0")
 	if err != nil {
-		return result{}, err
+		return result{}, latencySummary{}, err
 	}
 
+	lat := &latencyRecorder{samples: make([]time.Duration, 0, 2*n)}
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
@@ -172,6 +307,7 @@ func run(n, iters, workers, batch int, adaptive bool) (result, error) {
 			_, err := redundancy.RunWorker(redundancy.WorkerConfig{
 				Addr: addr, Name: fmt.Sprintf("bench-%d", i),
 				BatchSize: batch, Seed: uint64(i + 1),
+				OnLeaseRTT: lat.observe,
 			})
 			if err != nil {
 				errs <- err
@@ -183,7 +319,7 @@ func run(n, iters, workers, batch int, adaptive bool) (result, error) {
 	elapsed := time.Since(start)
 	close(errs)
 	for err := range errs {
-		return result{}, err
+		return result{}, latencySummary{}, err
 	}
 
 	total := p.TotalAssignments() // includes copies a revision added mid-run
@@ -194,5 +330,5 @@ func run(n, iters, workers, batch int, adaptive bool) (result, error) {
 		AssignmentsPerSec: float64(total) / elapsed.Seconds(),
 		Adaptive:          adaptive,
 		Revisions:         sup.RevisionsApplied(),
-	}, nil
+	}, lat.summary(), nil
 }

@@ -38,16 +38,21 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"redundancy"
 )
 
-// serveMetrics exposes reg at http://addr/metrics and returns the bound
-// address (addr may use port 0).
+// serveMetrics exposes reg at http://addr/metrics — plus the net/http/pprof
+// endpoints under /debug/pprof/ — and returns the bound address (addr may
+// use port 0). The profiling surface rides the metrics listener on purpose:
+// it is on only when the operator opted into a diagnostics port, never on
+// the worker-facing protocol address.
 func serveMetrics(addr string, reg *redundancy.MetricsRegistry) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -55,8 +60,22 @@ func serveMetrics(addr string, reg *redundancy.MetricsRegistry) (string, error) 
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() { _ = http.Serve(ln, mux) }()
 	return ln.Addr().String(), nil
+}
+
+// enableContentionProfiles turns on the runtime's lock-contention
+// samplers so /debug/pprof/mutex and /debug/pprof/block return data:
+// mutex contention sampled 1-in-5, block events recorded from 10µs up.
+// Off by default — both add steady-state bookkeeping cost.
+func enableContentionProfiles() {
+	runtime.SetMutexProfileFraction(5)
+	runtime.SetBlockProfileRate(int(10 * time.Microsecond / time.Nanosecond))
 }
 
 func main() {
@@ -73,6 +92,8 @@ func main() {
 	planFile := flag.String("planfile", "", "load the plan from a JSON file written by redcalc -save (overrides -n/-eps/-scheme)")
 	journal := flag.String("journal", "", "append accepted results to this file and resume from it if it exists")
 	journalSync := flag.Bool("journal-sync", false, "fsync the journal after every accepted result (crash-safe, slower)")
+	groupCommit := flag.Bool("group-commit", false, "coalesce journal appends from all connections into one write (and, with -journal-sync, one fsync) per commit window; acks still wait for their fsync")
+	profile := flag.Bool("profile", false, "enable mutex and block contention profiling (served at /debug/pprof on -metrics-addr)")
 	ioTimeout := flag.Duration("io-timeout", 2*time.Minute, "per-message read/write deadline on worker connections (0 = none)")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "on SIGINT/SIGTERM, wait this long for in-flight results before closing")
 	chaos := flag.String("chaos", "", `inject faults into accepted connections, e.g. "seed=7,drop=0.02,corrupt=0.01,latency=2ms" (empty = off)`)
@@ -138,6 +159,7 @@ func main() {
 		MaxBatch:          *batch,
 		IOTimeout:         *ioTimeout,
 		JournalSync:       *journalSync,
+		GroupCommit:       *groupCommit,
 		ResolveMismatches: *resolve,
 		ResultDigits:      *digits,
 		Logf:              logf,
@@ -174,12 +196,15 @@ func main() {
 		cfg.WrapListener = inj.Listener
 	}
 	cfg.Metrics = redundancy.NewMetricsRegistry()
+	if *profile {
+		enableContentionProfiles()
+	}
 	if *metricsAddr != "" {
 		bound, err := serveMetrics(*metricsAddr, cfg.Metrics)
 		if err != nil {
 			log.Fatal("supervisor: metrics: ", err)
 		}
-		fmt.Printf("supervisor: metrics on http://%s/metrics\n", bound)
+		fmt.Printf("supervisor: metrics on http://%s/metrics (pprof on /debug/pprof)\n", bound)
 	}
 	if *events != "" {
 		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

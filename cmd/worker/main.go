@@ -30,7 +30,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"redundancy"
@@ -48,6 +50,7 @@ func main() {
 	maxReconnects := flag.Int("max-reconnects", 8, "consecutive failed sessions before giving up (with -reconnect)")
 	chaos := flag.String("chaos", "", `inject faults into this worker's connections, e.g. "seed=7,drop=0.02,corrupt=0.01,latency=2ms" (empty = off)`)
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
+	profile := flag.Bool("profile", false, "enable mutex and block contention profiling (served at /debug/pprof on -metrics-addr)")
 	events := flag.String("events", "", "append one JSON line per worker event to this file (empty = off)")
 	flag.Parse()
 	if *batch < 1 {
@@ -77,6 +80,12 @@ func main() {
 		}
 		cfg.Dial = func(a string) (net.Conn, error) { return inj.Dial("tcp", a) }
 	}
+	if *profile {
+		// Same sampling rates as the supervisor's -profile flag: mutex
+		// contention 1-in-5, block events from 10µs up.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(int(10 * time.Microsecond / time.Nanosecond))
+	}
 	if *metricsAddr != "" {
 		cfg.Metrics = redundancy.NewMetricsRegistry()
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -85,8 +94,13 @@ func main() {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", cfg.Metrics.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() { _ = http.Serve(ln, mux) }()
-		fmt.Printf("worker %s: metrics on http://%s/metrics\n", *name, ln.Addr())
+		fmt.Printf("worker %s: metrics on http://%s/metrics (pprof on /debug/pprof)\n", *name, ln.Addr())
 	}
 	if *events != "" {
 		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

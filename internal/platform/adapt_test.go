@@ -215,9 +215,9 @@ func TestAdaptiveChaosResumesRevisedPlan(t *testing.T) {
 	wg.Wait()
 
 	// Plant adversary evidence and force a revision.
-	sup1.mu.Lock()
-	sup1.est.Observe(200, 30)
-	sup1.mu.Unlock()
+	sup1.audit.mu.Lock()
+	sup1.audit.est.Observe(200, 30)
+	sup1.audit.mu.Unlock()
 	sup1.adaptTick()
 	if got := sup1.RevisionsApplied(); got != 1 {
 		t.Fatalf("revisions applied before kill = %d, want 1", got)

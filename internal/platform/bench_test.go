@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"io"
+	"testing"
+
+	"redundancy/internal/plan"
+)
+
+// BenchmarkAppendJournalBatch measures the encode path shared by the
+// legacy batch journal and the group committer's commit window: the
+// whole batch is serialized into one pooled buffer and handed to the
+// writer as a single Write. Run with -benchmem; the pooled buffer keeps
+// the per-batch allocations down to encoding/json's own scratch.
+func BenchmarkAppendJournalBatch(b *testing.B) {
+	recs := make([]journalRecord, 16)
+	for i := range recs {
+		recs[i] = journalRecord{TaskID: i, Copy: i % 3, Participant: 7, Value: uint64(i) * 0x9e3779b9}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := appendJournalBatch(io.Discard, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchPipeline drives the supervisor's full request path
+// in-process — lease a 16-assignment batch, compute it, submit the
+// result batch — with no network in the way, so -benchmem shows exactly
+// what the lease/verify/credit pipeline allocates per round trip. The
+// connState scratch reuse and the conn-local name cache are what keep
+// this flat as batches repeat.
+func BenchmarkBatchPipeline(b *testing.B) {
+	const batch = 16
+	var (
+		sup      *Supervisor
+		cs       *connState
+		id       int
+		iters    int
+		remain   int
+		fn       WorkFunc
+		kindErr  error
+		leaseMsg = Message{Type: MsgGetWork, Batch: batch}
+	)
+	reset := func() {
+		if sup != nil {
+			sup.Close()
+		}
+		p, err := plan.Balanced(4096, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup, err = NewSupervisor(SupervisorConfig{
+			Plan: p, WorkKind: "hashchain", Iters: 4, Seed: 1, MaxBatch: batch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs = &connState{
+			held:       make(map[outstandingKey]int),
+			registered: make(map[int]bool),
+			names:      make(map[int]string),
+		}
+		welcome := sup.register(Message{Type: MsgRegister, Name: "bench"}, cs)
+		if welcome.Type != MsgRegistered {
+			b.Fatalf("register: %+v", welcome)
+		}
+		id = welcome.ParticipantID
+		iters = 4
+		remain = p.TotalAssignments()
+		if fn == nil {
+			fn, kindErr = Work("hashchain")
+			if kindErr != nil {
+				b.Fatal(kindErr)
+			}
+		}
+	}
+	reset()
+	defer func() { sup.Close() }()
+	leaseMsg.ParticipantID = id
+	results := make([]ResultItem, 0, batch)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if remain < batch {
+			b.StopTimer()
+			reset()
+			leaseMsg.ParticipantID = id
+			b.StartTimer()
+		}
+		lease := sup.assignBatch(leaseMsg, cs)
+		if lease.Type != MsgWorkBatch || len(lease.Work) == 0 {
+			b.Fatalf("lease: %+v", lease)
+		}
+		remain -= len(lease.Work)
+		results = results[:0]
+		for _, w := range lease.Work {
+			results = append(results, ResultItem{TaskID: w.TaskID, Copy: w.Copy, Value: fn(w.Seed, iters)})
+		}
+		ack := sup.resultBatch(Message{Type: MsgResultBatch, ParticipantID: id, Results: results}, cs)
+		if ack.Type != MsgBatchAck {
+			b.Fatalf("ack: %+v", ack)
+		}
+	}
+}

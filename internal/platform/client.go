@@ -66,6 +66,12 @@ type WorkerConfig struct {
 	// Metrics, when non-nil, receives the worker's runtime metrics
 	// (protocol RTT histogram, completion counters; see OBSERVABILITY.md).
 	Metrics *obs.Registry
+	// OnLeaseRTT, when non-nil, observes the wall-clock duration of every
+	// work-request round trip (request_work and get_work), including queue
+	// and lock wait inside the supervisor — the lease latency a volunteer
+	// experiences. Invoked from the worker's own goroutine; keep it cheap.
+	// cmd/platformbench uses it to report p50/p99 lease latency.
+	OnLeaseRTT func(time.Duration)
 	// Events, when non-nil, receives one JSON line per worker event
 	// (assignment_received, result_submitted, reconnect). Nil discards
 	// events.
@@ -199,9 +205,11 @@ func RunWorker(cfg WorkerConfig) (WorkerStats, error) {
 			return st.stats, fmt.Errorf("platform: giving up after %d consecutive failed sessions: %w", failures-1, err)
 		}
 		wm.reconnects.Inc()
-		cfg.Events.Emit(EvReconnect, map[string]any{
-			"attempt": failures, "participant": st.id, "error": err.Error(),
-		})
+		if cfg.Events != nil {
+			cfg.Events.Emit(EvReconnect, map[string]any{
+				"attempt": failures, "participant": st.id, "error": err.Error(),
+			})
+		}
 		time.Sleep(reconnectDelay(failures, base, maxBackoff, r))
 	}
 }
@@ -309,9 +317,13 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 		if cfg.MaxAssignments > 0 && st.stats.Completed >= cfg.MaxAssignments {
 			return nil
 		}
+		leaseStart := time.Now()
 		m, err := roundTrip(Message{Type: MsgRequestWork, ParticipantID: st.id})
 		if err != nil {
 			return err
+		}
+		if cfg.OnLeaseRTT != nil {
+			cfg.OnLeaseRTT(time.Since(leaseStart))
 		}
 		switch m.Type {
 		case MsgDone:
@@ -332,9 +344,11 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 			return fmt.Errorf("platform: unexpected reply %q", m.Type)
 		}
 
-		cfg.Events.Emit(EvAssignmentReceived, map[string]any{
-			"task": m.TaskID, "copy": m.Copy, "kind": m.Kind,
-		})
+		if cfg.Events != nil {
+			cfg.Events.Emit(EvAssignmentReceived, map[string]any{
+				"task": m.TaskID, "copy": m.Copy, "kind": m.Kind,
+			})
+		}
 		st.progressed = true
 		work, err := Work(m.Kind)
 		if err != nil {
@@ -369,9 +383,11 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 		if err != nil {
 			return err
 		}
-		cfg.Events.Emit(EvResultSubmitted, map[string]any{
-			"task": m.TaskID, "copy": m.Copy, "cheated": cheated,
-		})
+		if cfg.Events != nil {
+			cfg.Events.Emit(EvResultSubmitted, map[string]any{
+				"task": m.TaskID, "copy": m.Copy, "cheated": cheated,
+			})
+		}
 		switch ack.Type {
 		case MsgAck:
 			st.pending = nil
@@ -400,6 +416,14 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 // sent, and resubmitted after a resume exactly like a single pending
 // result (runSession handles the batch_ack reply shape).
 func batchLoop(cfg WorkerConfig, wm *workerMetrics, st *workerState, roundTrip func(Message) (Message, error), r *rng.Source) error {
+	// Per-lease scratch, reused across iterations: every loop-continuing
+	// path clears st.pending first, so the previous iteration's batch no
+	// longer references the backing arrays when they are rewound. (A batch
+	// recorded in st.pending at the time of a session-ending error is a
+	// different story — but then this call has returned and its locals
+	// belong to that pending Message alone.)
+	var results []ResultItem
+	var cheatedOn []bool
 	for {
 		want := cfg.BatchSize
 		if cfg.MaxAssignments > 0 {
@@ -411,9 +435,13 @@ func batchLoop(cfg WorkerConfig, wm *workerMetrics, st *workerState, roundTrip f
 				want = remaining
 			}
 		}
+		leaseStart := time.Now()
 		m, err := roundTrip(Message{Type: MsgGetWork, ParticipantID: st.id, Batch: want})
 		if err != nil {
 			return err
+		}
+		if cfg.OnLeaseRTT != nil {
+			cfg.OnLeaseRTT(time.Since(leaseStart))
 		}
 		switch m.Type {
 		case MsgDone:
@@ -442,12 +470,14 @@ func batchLoop(cfg WorkerConfig, wm *workerMetrics, st *workerState, roundTrip f
 			// re-issued intact, so this is not terminal.
 			return err
 		}
-		results := make([]ResultItem, 0, len(m.Work))
-		cheatedOn := make([]bool, 0, len(m.Work))
+		results = results[:0]
+		cheatedOn = cheatedOn[:0]
 		for _, item := range m.Work {
-			cfg.Events.Emit(EvAssignmentReceived, map[string]any{
-				"task": item.TaskID, "copy": item.Copy, "kind": m.Kind,
-			})
+			if cfg.Events != nil {
+				cfg.Events.Emit(EvAssignmentReceived, map[string]any{
+					"task": item.TaskID, "copy": item.Copy, "kind": m.Kind,
+				})
+			}
 			st.progressed = true
 			if cfg.Throttle > 0 {
 				time.Sleep(cfg.Throttle)
@@ -474,10 +504,12 @@ func batchLoop(cfg WorkerConfig, wm *workerMetrics, st *workerState, roundTrip f
 		if err != nil {
 			return err
 		}
-		for i, item := range results {
-			cfg.Events.Emit(EvResultSubmitted, map[string]any{
-				"task": item.TaskID, "copy": item.Copy, "cheated": cheatedOn[i],
-			})
+		if cfg.Events != nil {
+			for i, item := range results {
+				cfg.Events.Emit(EvResultSubmitted, map[string]any{
+					"task": item.TaskID, "copy": item.Copy, "cheated": cheatedOn[i],
+				})
+			}
 		}
 		switch ack.Type {
 		case MsgBatchAck:

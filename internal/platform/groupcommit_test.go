@@ -1,0 +1,339 @@
+package platform
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redundancy/internal/faults"
+	"redundancy/internal/obs"
+	"redundancy/internal/plan"
+)
+
+// cacheSimWriter models an OS page cache under a crash: Write lands in
+// volatile memory, Sync copies everything written so far to the durable
+// image, and Snapshot returns what a machine that lost power *right now*
+// would find on disk. A test can install a gate so Sync blocks — freezing
+// the committer exactly between its write and its fsync — and watch what
+// the supervisor does (and must not do) in that window.
+type cacheSimWriter struct {
+	mu         sync.Mutex
+	all        []byte        // everything written, in order
+	durableLen int           // prefix of all that has been fsynced
+	gate       chan struct{} // when non-nil, Sync blocks until closed
+	entered    chan struct{} // receives one signal per Sync call that hits a gate
+}
+
+func (w *cacheSimWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.all = append(w.all, p...)
+	return len(p), nil
+}
+
+func (w *cacheSimWriter) Sync() error {
+	w.mu.Lock()
+	gate, entered := w.gate, w.entered
+	w.mu.Unlock()
+	if gate != nil {
+		if entered != nil {
+			entered <- struct{}{}
+		}
+		<-gate
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.durableLen = len(w.all)
+	return nil
+}
+
+// block makes the next Sync calls stall until unblock; the returned
+// channel receives one value each time a Sync reaches the gate.
+func (w *cacheSimWriter) block() chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gate = make(chan struct{})
+	w.entered = make(chan struct{}, 16)
+	return w.entered
+}
+
+func (w *cacheSimWriter) unblock() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.gate != nil {
+		close(w.gate)
+		w.gate = nil
+		w.entered = nil
+	}
+}
+
+// Snapshot is the post-crash disk image: only fsynced bytes survive.
+func (w *cacheSimWriter) Snapshot() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.all[:w.durableLen]...)
+}
+
+// TestGroupCommitCrashBetweenWriteAndFsync pins down the group committer's
+// durability contract at the most dangerous instant: the commit window's
+// bytes are written but the fsync has not returned. Two things must hold
+// there. First, no ack may have been released — a client that saw an ack
+// for a result the crash then ate would violate ack-after-fsync. Second,
+// a crash in that window loses only unacked results: the durable image
+// restores cleanly, and once the fsync completes and the ack is released,
+// the durable image contains every acked record with no torn tail.
+func TestGroupCommitCrashBetweenWriteAndFsync(t *testing.T) {
+	p := mustPlan(t)
+	w := &cacheSimWriter{}
+	sup, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 5, Seed: 3,
+		Journal: w, JournalSync: true, GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.unblock() // never leave the committer wedged at teardown
+	t.Cleanup(func() { sup.Close() })
+
+	_, c := dialCodec(t, addr)
+	welcome := roundTrip(t, c, Message{Type: MsgRegister, Name: "crashprobe"})
+	lease := roundTrip(t, c, Message{Type: MsgGetWork, ParticipantID: welcome.ParticipantID, Batch: 4})
+	if lease.Type != MsgWorkBatch || len(lease.Work) == 0 {
+		t.Fatalf("lease reply %+v", lease)
+	}
+	fn, err := Work(lease.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]ResultItem, 0, len(lease.Work))
+	for _, item := range lease.Work {
+		results = append(results, ResultItem{TaskID: item.TaskID, Copy: item.Copy, Value: fn(item.Seed, lease.Iters)})
+	}
+
+	// Freeze the disk, submit the batch, and wait until the committer is
+	// provably inside the write→fsync window.
+	entered := w.block()
+	if err := c.Send(Message{Type: MsgResultBatch, ParticipantID: welcome.ParticipantID, Results: results}); err != nil {
+		t.Fatal(err)
+	}
+	ackCh := make(chan Message, 1)
+	go func() {
+		if reply, err := c.Recv(); err == nil {
+			ackCh <- reply
+		}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("committer never reached Sync for the submitted batch")
+	}
+
+	// In the window: the records are written (volatile) but not durable,
+	// and the client must still be waiting — an ack here would be a lie.
+	select {
+	case ack := <-ackCh:
+		t.Fatalf("ack %+v released before fsync completed", ack)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// Crash now. The durable image predates the stuck window, so it holds
+	// none of the submitted results — which is exactly permitted, because
+	// none were acked. It must still restore cleanly, torn-tail free.
+	crashed := w.Snapshot()
+	sup2, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 5, Seed: 3,
+		Restore: bytes.NewReader(crashed),
+	})
+	if err != nil {
+		t.Fatalf("restore from mid-window crash image: %v", err)
+	}
+	if got := sup2.Summary().Restored; got != 0 {
+		t.Errorf("mid-window crash image restored %d results; the stuck window's records leaked into durability before fsync", got)
+	}
+	if sup2.RestoredJournalBytes() != int64(len(crashed)) {
+		t.Errorf("mid-window image has a torn tail: %d of %d bytes valid",
+			sup2.RestoredJournalBytes(), len(crashed))
+	}
+
+	// Let the fsync finish; the ack must now arrive with every result
+	// accepted, and the post-ack durable image must restore all of them.
+	w.unblock()
+	var ack Message
+	select {
+	case ack = <-ackCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no ack after fsync completed")
+	}
+	if ack.Type != MsgBatchAck || len(ack.Acks) != len(results) {
+		t.Fatalf("batch ack %+v", ack)
+	}
+	for _, a := range ack.Acks {
+		if !a.OK {
+			t.Errorf("task %d copy %d refused: %s", a.TaskID, a.Copy, a.Reason)
+		}
+	}
+	acked := w.Snapshot()
+	sup3, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 5, Seed: 3,
+		Restore: bytes.NewReader(acked),
+	})
+	if err != nil {
+		t.Fatalf("restore from post-ack image: %v", err)
+	}
+	if got := sup3.Summary().Restored; got != len(results) {
+		t.Errorf("post-ack crash image restored %d results, want all %d acked (acked result lost)", got, len(results))
+	}
+	if sup3.RestoredJournalBytes() != int64(len(acked)) {
+		t.Errorf("post-ack image has a torn tail: %d of %d bytes valid",
+			sup3.RestoredJournalBytes(), len(acked))
+	}
+}
+
+// TestGroupCommitManyWorkerSoak is the scale companion to TestChaosSoak:
+// 32 concurrent batched workers hammer one supervisor in GroupCommit +
+// JournalSync mode through a fault injector, and the run must end with
+// exact accounting — every assignment credited exactly once — while the
+// journal the committer wrote coalesced (group commits observed, windows
+// averaging more than one record) and replays byte-for-byte: the full
+// file is a valid prefix, restores every accepted result, and rebuilds
+// the identical certified value for every task.
+func TestGroupCommitManyWorkerSoak(t *testing.T) {
+	p, err := plan.Balanced(96, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Config{
+		Seed:     11,
+		DialDrop: 0.02, ReadDrop: 0.01, WriteDrop: 0.01,
+		Latency: 100 * time.Microsecond, Jitter: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := filepath.Join(t.TempDir(), "journal.jsonl")
+	jf, err := os.OpenFile(jpath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	reg := obs.NewRegistry()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 10, Seed: 5,
+		Journal: jf, JournalSync: true, GroupCommit: true,
+		IOTimeout: 2 * time.Second, Deadline: 2 * time.Second,
+		WrapListener: inj.Listener, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !stop.Load() {
+				RunWorker(WorkerConfig{
+					Addr: addr, Name: fmt.Sprintf("soak-%d", i),
+					Reconnect: true, MaxReconnects: 25, BatchSize: 8,
+					BackoffBase: 2 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+					Seed: uint64(i + 1),
+					Dial: func(a string) (net.Conn, error) { return inj.Dial("tcp", a) },
+				})
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+
+	waitDone := make(chan struct{})
+	go func() { sup.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(120 * time.Second):
+		stop.Store(true)
+		wg.Wait()
+		t.Fatalf("soak never certified (journal records: %v)",
+			func() float64 { v, _ := reg.Snapshot().Value("redundancy_journal_records_total"); return v }())
+	}
+	stop.Store(true)
+	wg.Wait()
+	sup.Close()
+
+	sum := sup.Summary()
+	tasks := p.N + p.Ringers
+	if sum.Verify.Tasks != tasks || sum.Verify.Accepted != tasks {
+		t.Errorf("certified %d/%d tasks, want all %d", sum.Verify.Accepted, sum.Verify.Tasks, tasks)
+	}
+	// Exactly-once accounting across 32 concurrent clients: a lost result
+	// leaves the credit total short, a double grant pushes it over.
+	total := 0
+	for _, e := range sum.Credits {
+		total += e.Credit
+	}
+	if total != p.TotalAssignments() {
+		t.Errorf("total credit %d, want %d (lost or double-granted work)", total, p.TotalAssignments())
+	}
+
+	snap := reg.Snapshot()
+	commits, _ := snap.Value("redundancy_journal_group_commits_total")
+	if commits == 0 {
+		t.Error("journal_group_commits_total = 0: traffic did not take the group-commit path")
+	}
+	if recs, _ := snap.Value("redundancy_journal_records_total"); int(recs) != p.TotalAssignments() {
+		t.Errorf("journaled %v records, want %d", recs, p.TotalAssignments())
+	}
+	if obsN, ok := snap.Value("redundancy_journal_commit_batch_size"); !ok || obsN != commits {
+		t.Errorf("commit batch-size observations %v, want one per group commit (%v)", obsN, commits)
+	}
+	if syncs, _ := snap.Value("redundancy_journal_syncs_total"); syncs > commits+1 {
+		t.Errorf("%v fsyncs for %v group commits: windows are not coalescing syncs", syncs, commits)
+	}
+
+	// Byte-identical replay: the whole file — written concurrently by the
+	// committer under load — must be one valid record stream that rebuilds
+	// the run. No torn tail, no lost record, identical certified values.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup2, err := NewSupervisor(SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: 10, Seed: 5,
+		Restore: bytes.NewReader(data),
+	})
+	if err != nil {
+		t.Fatalf("replaying the group-committed journal: %v", err)
+	}
+	if sup2.RestoredJournalBytes() != int64(len(data)) {
+		t.Errorf("replay consumed %d of %d journal bytes: group commit tore a record",
+			sup2.RestoredJournalBytes(), len(data))
+	}
+	if got := sup2.Summary().Restored; got != p.TotalAssignments() {
+		t.Errorf("replay restored %d results, want %d", got, p.TotalAssignments())
+	}
+	for task := 0; task < p.N+p.Ringers; task++ {
+		v1, ok1 := sup.CertifiedValue(task)
+		v2, ok2 := sup2.CertifiedValue(task)
+		if ok1 != ok2 || v1 != v2 {
+			t.Errorf("task %d: certified %v/%v live, %v/%v from replay", task, v1, ok1, v2, ok2)
+		}
+	}
+	t.Logf("soak: %d workers, %d faults injected, %v group commits for %d records (%.1f records/window)",
+		workers, inj.Injected(), commits, p.TotalAssignments(), float64(p.TotalAssignments())/commits)
+}

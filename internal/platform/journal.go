@@ -52,14 +52,14 @@ type journalLine struct {
 	Revision *revisionRecord `json:"revision,omitempty"`
 }
 
-// appendJournal writes one record; callers hold the supervisor lock so
-// records are totally ordered.
+// appendJournal writes one record; callers hold the supervisor's journal
+// lock so records are totally ordered.
 func appendJournal(w io.Writer, rec journalRecord) error {
 	return json.NewEncoder(w).Encode(rec)
 }
 
 // appendJournalRevision writes one revision record. Callers hold the
-// supervisor lock.
+// supervisor's journal lock.
 func appendJournalRevision(w io.Writer, rec revisionRecord) error {
 	return json.NewEncoder(w).Encode(struct {
 		Revision *revisionRecord `json:"revision"`
@@ -71,10 +71,15 @@ func appendJournalRevision(w io.Writer, rec revisionRecord) error {
 // partial write of one contiguous buffer can only truncate it, so at most
 // the final record is torn — exactly the damage replayJournal already
 // tolerates — and interleaved interior corruption is impossible. Callers
-// hold the supervisor lock so batches are totally ordered.
+// hold the supervisor's journal lock so batches are totally ordered. The
+// encode buffer is pooled: batch journaling is the hot path's only
+// remaining per-request buffer, and recycling it keeps the write side
+// allocation-free at steady state.
 func appendJournalBatch(w io.Writer, recs []journalRecord) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	for _, rec := range recs {
 		if err := enc.Encode(rec); err != nil {
 			return err
@@ -167,11 +172,11 @@ type supReplayer struct{ s *Supervisor }
 
 func (r supReplayer) replayResult(a sched.Assignment, participant int, value uint64) error {
 	s := r.s
-	if !s.queue.MarkCompleted(a) {
+	if !s.lease.queue.MarkCompleted(a) {
 		return replayTornError{fmt.Errorf("platform: journal replays unknown assignment task=%d copy=%d",
 			a.TaskID, a.Copy)}
 	}
-	if _, _, err := s.collector.Submit(verify.Result{
+	if _, _, err := s.audit.collector.Submit(verify.Result{
 		Assignment:  a,
 		Participant: participant,
 		Value:       value,
@@ -183,8 +188,8 @@ func (r supReplayer) replayResult(a sched.Assignment, participant int, value uin
 
 func (r supReplayer) replayRevision(rec revisionRecord) error {
 	s := r.s
-	if rec.Seq != s.revApplied {
-		return fmt.Errorf("revision sequence %d out of order (want %d)", rec.Seq, s.revApplied)
+	if rec.Seq != s.audit.revApplied {
+		return fmt.Errorf("revision sequence %d out of order (want %d)", rec.Seq, s.audit.revApplied)
 	}
 	return s.applyRevisionLocked(plan.Revision{Promotions: rec.Promotions, Minted: rec.Minted})
 }

@@ -51,6 +51,10 @@ type supMetrics struct {
 	batchSize           *obs.Histogram
 	batchedJournalSyncs *obs.Counter
 
+	journalGroupCommits *obs.Counter
+	journalCommitBatch  *obs.Histogram
+	leaseWait           *obs.Histogram
+
 	adaptPHat          *obs.Gauge
 	adaptIntervalWidth *obs.Gauge
 	adaptRevisions     *obs.Counter
@@ -102,6 +106,14 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 		batchedJournalSyncs: r.Counter("redundancy_batched_journal_syncs_total",
 			"Journal fsyncs amortized over a whole result_batch (one per batch, not per record)."),
+		journalGroupCommits: r.Counter("redundancy_journal_group_commits_total",
+			"Commit windows flushed by the group-commit journal goroutine (one buffered write and at most one fsync each)."),
+		journalCommitBatch: r.Histogram("redundancy_journal_commit_batch_size",
+			"Journal records made durable per group-commit window (windows grow only while fsync is the bottleneck).",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		leaseWait: r.Histogram("redundancy_lease_wait_seconds",
+			"Seconds a get_work request spent inside the supervisor before its lease (or no_work verdict) was returned, empty-queue parking included.",
+			[]float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1, 10}),
 		adaptPHat: r.Gauge("redundancy_adapt_phat",
 			"Adaptive estimator's point estimate p̂ of the adversary's assignment share (0 until evidence arrives)."),
 		adaptIntervalWidth: r.Gauge("redundancy_adapt_interval_width",

@@ -384,7 +384,7 @@ func TestShutdownDrains(t *testing.T) {
 // non-reissue issuance must find the copy not outstanding, every reissue
 // must find it outstanding with the same holder — and (2) total credited
 // assignments equals the plan's assignment count exactly. The supervisor
-// emits its event stream while holding s.mu, so replaying the stream
+// emits its lease-lifecycle events while holding the lease lock, so replaying the stream
 // through a live-lease state machine checks the invariant at every step
 // of the actual interleaving, not just at the end of the run.
 func TestLeaseInvariantsUnderChaos(t *testing.T) {

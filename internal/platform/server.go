@@ -55,6 +55,16 @@ type SupervisorConfig struct {
 	// fsyncs after every appended record, so even a machine crash loses at
 	// most the torn tail of the final record — which replay tolerates.
 	JournalSync bool
+	// GroupCommit, when set (and Journal is non-nil), routes journal
+	// appends from all connections through a dedicated committer goroutine
+	// that coalesces every record arriving during a commit window into one
+	// buffered write followed by (with JournalSync) one fsync, releasing
+	// each batch's ack only after the fsync covering its records returns.
+	// Durability and ordering are unchanged — an acked result is on disk,
+	// revision records still precede any result they enable — but N
+	// concurrent result batches cost one fsync instead of N. Off, every
+	// handler writes (and syncs) inline, the pre-group-commit behavior.
+	GroupCommit bool
 	// Restore, when non-nil, is replayed at construction (see Journal).
 	Restore io.Reader
 	// WrapListener, when non-nil, wraps the listener Start creates before
@@ -99,6 +109,67 @@ type SupervisorConfig struct {
 	Adapt *adapt.Config
 }
 
+// The supervisor's shared state is split into three independently locked
+// subsystems, so concurrent connections contend only for the state their
+// current request actually touches (DESIGN.md §11 has the full ownership
+// map):
+//
+//   - leaseState (lease.mu): the assignment queue and who holds what —
+//     everything a get_work lease or a reclaim mutates;
+//   - auditState (audit.mu): the verification pipeline and its derived
+//     judgments — credits, convictions, the adaptive estimator;
+//   - identState (ident.mu): the participant directory — IDs, names,
+//     resume tokens.
+//
+// Lock order is lease.mu → audit.mu → ident.mu; the only place two are
+// held at once is adaptTick (and construction, which is single-threaded),
+// which must atomically re-shape both the queue and the expectations.
+// Journal bytes are ordered by jnlMu (or the committer goroutine, which
+// writes under jnlMu too), never by a state lock: handlers append after
+// releasing state locks, which is safe because a record's content is
+// fixed once its result is claimed, and revision records are written
+// before the copies they enable can exist.
+
+// leaseState guards the scheduler queue and the in-flight assignment
+// table. Lease-lifecycle events (assignment_issued, result_accepted,
+// assignment_reclaimed) are emitted while holding lease.mu, so the event
+// stream is a serialization witness of lease history — the chaos property
+// test replays it through a state machine.
+type leaseState struct {
+	mu       sync.Mutex
+	queue    *sched.Queue
+	inflight map[outstandingKey]inflightInfo
+	finished bool
+	draining bool // Shutdown in progress: no new assignments
+	// waiters parks get_work requests that found the queue empty; each
+	// channel is closed (once) by kickLocked when completions, reclaims,
+	// or revisions may have made assignments available. Parking replaces
+	// most of the no_work/sleep/retry polling near queue exhaustion.
+	waiters []chan struct{}
+}
+
+// auditState guards verification and everything verdicts feed: the
+// credit ledger, supervisor-resolved disputes, and the adaptive
+// estimator. revApplied counts plan revisions applied (live and
+// replayed) and doubles as the next revision's journal sequence number.
+type auditState struct {
+	mu         sync.Mutex
+	collector  *verify.Collector
+	credits    *CreditLedger
+	resolved   map[int]uint64 // taskID → supervisor-recomputed value
+	est        *adapt.Estimator
+	revApplied int
+}
+
+// identState guards the participant directory: ID allocation, names, and
+// resume credentials.
+type identState struct {
+	mu     sync.Mutex
+	nextID int
+	names  map[int]string
+	tokens map[int]uint64 // participant → resume credential
+}
+
 // Supervisor is the trusted coordinator: it owns the assignment queue and
 // the verification pipeline and serves workers over TCP.
 type Supervisor struct {
@@ -116,36 +187,32 @@ type Supervisor struct {
 	// construction: counters describe what this process observed live.
 	replaying bool
 
-	mu        sync.Mutex
-	queue     *sched.Queue
-	collector *verify.Collector
-	credits   *CreditLedger
-	inflight  map[outstandingKey]inflightInfo
-	nextID    int
-	names     map[int]string
-	tokens    map[int]uint64 // participant → resume credential
-	resolved  map[int]uint64 // taskID → supervisor-recomputed value
-	restored  int            // results recovered from the journal
-	finished  bool
-	draining  bool // Shutdown in progress: no new assignments
+	lease leaseState
+	audit auditState
+	ident identState
 
-	// Adaptive control plane (cfg.Adapt != nil). est accumulates evidence
-	// from every verdict — including journal replay, so p̂ survives a
-	// restart; revApplied counts revisions applied to the plan (live and
-	// replayed), which is also the next revision's journal sequence
-	// number.
-	adaptCfg   adapt.Config
-	est        *adapt.Estimator
-	revApplied int
+	// adaptCfg is immutable after construction (cfg.Adapt != nil).
+	adaptCfg adapt.Config
 
+	restored      int   // results recovered from the journal
 	restoredBytes int64 // clean journal prefix length, for tail truncation
 
+	// jnlMu orders journal appends across goroutines (handlers on the
+	// legacy path, adaptTick's revision records, and the group committer
+	// all write under it), so interleaved torn interior writes are
+	// impossible. It is a leaf lock below every state lock.
+	jnlMu sync.Mutex
+	// committer is the group-commit goroutine (GroupCommit mode), nil on
+	// the legacy inline-write path.
+	committer *journalCommitter
+
 	done     chan struct{} // closed when every task is adjudicated
-	stop     chan struct{} // closed by Close/Shutdown; halts the sweeper
+	stop     chan struct{} // closed by Close/Shutdown; halts the loops
 	stopOnce sync.Once
 
 	ln     net.Listener
 	connWG sync.WaitGroup
+	loopWG sync.WaitGroup // sweepLoop and adaptLoop
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -155,6 +222,13 @@ type Supervisor struct {
 // DefaultMaxBatch is the lease-size cap applied when
 // SupervisorConfig.MaxBatch is zero.
 const DefaultMaxBatch = 16
+
+// leaseParkMax bounds how long an empty-handed get_work request may park
+// waiting for assignments before it falls back to a no_work reply. Long
+// enough to absorb the common "queue momentarily empty near the tail"
+// window, short enough that a worker still polls through pathological
+// stalls.
+const leaseParkMax = time.Second
 
 // NewSupervisor validates the configuration and builds the supervisor.
 func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
@@ -197,41 +271,45 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		registry: registry,
 		metrics:  newSupMetrics(registry),
 		events:   cfg.Events,
-		names:    make(map[int]string),
-		tokens:   make(map[int]uint64),
-		resolved: make(map[int]uint64),
-		credits:  NewCreditLedger(),
 		done:     make(chan struct{}),
 		stop:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	s.lease.inflight = make(map[outstandingKey]inflightInfo)
+	s.audit.credits = NewCreditLedger()
+	s.audit.resolved = make(map[int]uint64)
+	s.ident.names = make(map[int]string)
+	s.ident.tokens = make(map[int]uint64)
 	if cfg.Adapt != nil {
 		s.adaptCfg = adaptCfg
-		s.est = adapt.NewEstimator(adaptCfg.Z, adaptCfg.Decay)
+		s.audit.est = adapt.NewEstimator(adaptCfg.Z, adaptCfg.Decay)
 	}
 	// Ringer truth: the supervisor precomputes the work function itself.
-	s.collector = verify.NewCollector(func(taskID int) uint64 {
+	s.audit.collector = verify.NewCollector(func(taskID int) uint64 {
 		return work(TaskSeed(taskID), cfg.Iters)
 	})
 	if cfg.ResultDigits > 0 {
-		s.collector.SetComparator(verify.Quantize{Digits: cfg.ResultDigits})
+		s.audit.collector.SetComparator(verify.Quantize{Digits: cfg.ResultDigits})
 	}
 	// Credit accounting: awarded only at certification, so claiming credit
 	// for uncompleted or rejected work is structurally impossible; a
-	// conviction revokes a participant's standing entirely.
-	s.collector.OnVerdict(func(v verify.Verdict) {
-		if s.est != nil {
+	// conviction revokes a participant's standing entirely. The callback
+	// fires inside Collector.Submit, i.e. under audit.mu (or during
+	// single-threaded construction replay), which is what makes the
+	// estimator and ledger updates safe.
+	s.audit.collector.OnVerdict(func(v verify.Verdict) {
+		if s.audit.est != nil {
 			// Adaptive evidence: every adjudicated copy is one Bernoulli
 			// observation, attributed copies are the bad ones. Fed during
 			// replay too, so p̂ survives a restart along with the plan.
-			s.est.Observe(v.Copies, len(v.Suspects))
+			s.audit.est.Observe(v.Copies, len(v.Suspects))
 		}
 		if v.Accepted {
-			s.credits.Award(v.Contributors)
+			s.audit.credits.Award(v.Contributors)
 		}
 		if v.Ringer && v.MismatchDetected {
 			for _, p := range v.Suspects {
-				s.credits.Revoke(p)
+				s.audit.credits.Revoke(p)
 			}
 		}
 		if s.replaying {
@@ -242,23 +320,27 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		}
 		if v.MismatchDetected {
 			s.metrics.mismatchDetected.Inc()
-			s.events.Emit(EvMismatchDetected, map[string]any{
-				"task": v.TaskID, "ringer": v.Ringer, "suspects": v.Suspects,
-			})
+			if s.events != nil {
+				s.events.Emit(EvMismatchDetected, map[string]any{
+					"task": v.TaskID, "ringer": v.Ringer, "suspects": v.Suspects,
+				})
+			}
 			if v.Ringer {
 				s.metrics.ringerFailures.Inc()
 				s.metrics.convictions.Add(uint64(len(v.Suspects)))
-				s.events.Emit(EvRingerFailed, map[string]any{
-					"task": v.TaskID, "suspects": v.Suspects,
-				})
+				if s.events != nil {
+					s.events.Emit(EvRingerFailed, map[string]any{
+						"task": v.TaskID, "suspects": v.Suspects,
+					})
+				}
 			}
 		}
 	})
 	specs := cfg.Plan.Tasks()
 	for _, sp := range specs {
-		s.collector.Expect(sp.ID, sp.Copies)
+		s.audit.collector.Expect(sp.ID, sp.Copies)
 	}
-	s.queue, err = sched.NewQueue(specs, cfg.Policy, rng.New(cfg.Seed))
+	s.lease.queue, err = sched.NewQueue(specs, cfg.Policy, rng.New(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -272,15 +354,18 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		s.restored = n
 		s.restoredBytes = valid
 		s.metrics.journalRestored.Add(uint64(n))
-		if maxP >= s.nextID {
-			s.nextID = maxP + 1 // never reuse a journaled participant ID
+		if maxP >= s.ident.nextID {
+			s.ident.nextID = maxP + 1 // never reuse a journaled participant ID
 		}
 		s.logf("restored %d results from journal (%d assignments remain)",
-			n, s.queue.Total()-s.queue.Issued())
-		if s.queue.Done() {
-			s.finished = true
+			n, s.lease.queue.Total()-s.lease.queue.Issued())
+		if s.lease.queue.Done() {
+			s.lease.finished = true
 			close(s.done)
 		}
+	}
+	if cfg.GroupCommit && cfg.Journal != nil {
+		s.committer = newJournalCommitter(s)
 	}
 	return s, nil
 }
@@ -326,13 +411,15 @@ func (s *Supervisor) Start(addr string) (string, error) {
 	s.ln = ln
 	go s.acceptLoop()
 	if s.cfg.Deadline > 0 {
-		go s.sweepLoop()
+		s.loopWG.Add(1)
+		go func() { defer s.loopWG.Done(); s.sweepLoop() }()
 	}
-	if s.est != nil {
-		go s.adaptLoop()
+	if s.audit.est != nil {
+		s.loopWG.Add(1)
+		go func() { defer s.loopWG.Done(); s.adaptLoop() }()
 	}
 	s.logf("supervisor listening on %s (%d assignments, %d tasks)",
-		ln.Addr(), s.queue.Total(), s.cfg.Plan.N+s.cfg.Plan.Ringers)
+		ln.Addr(), s.lease.queue.Total(), s.cfg.Plan.N+s.cfg.Plan.Ringers)
 	return ln.Addr().String(), nil
 }
 
@@ -379,7 +466,10 @@ func (s *Supervisor) closeConns() {
 
 // connState tracks the assignments a single connection currently holds
 // (keyed by assignment, valued by the participant it was issued to), so
-// work lost to a dropped connection can be re-issued.
+// work lost to a dropped connection can be re-issued. held is shared
+// state (the sweeper and resumed connections reach into it) and is
+// guarded by lease.mu; registered and names are touched only by this
+// connection's serve goroutine.
 type connState struct {
 	held map[outstandingKey]int
 	// registered holds the participant IDs created (or resumed) over this
@@ -387,6 +477,19 @@ type connState struct {
 	// client cannot impersonate another participant (e.g. by guessing a
 	// small ID). Resuming requires the supervisor-minted token.
 	registered map[int]bool
+	// names caches the display names of participants registered here, so
+	// the hot path never takes ident.mu just to label a metric.
+	names map[int]string
+
+	// Per-request scratch, reused across the serve loop: the previous
+	// reply is fully encoded onto the wire before the next request is
+	// read, so its backing arrays are free again. This removes the
+	// per-batch slice allocations from the hot path.
+	items []WorkItem
+	fill  []sched.Assignment
+	acks  []ResultAck
+	pend  []pendingResult
+	recs  []journalRecord
 }
 
 // serve handles one worker connection. When the connection ends — cleanly
@@ -395,7 +498,11 @@ type connState struct {
 // the computation must not stall on them.
 func (s *Supervisor) serve(conn net.Conn) error {
 	codec := NewCodec(conn)
-	cs := &connState{held: make(map[outstandingKey]int), registered: make(map[int]bool)}
+	cs := &connState{
+		held:       make(map[outstandingKey]int),
+		registered: make(map[int]bool),
+		names:      make(map[int]string),
+	}
 	s.metrics.workersConnected.Inc()
 	defer s.metrics.workersConnected.Dec()
 	defer s.reclaim(cs)
@@ -458,26 +565,48 @@ func (s *Supervisor) serve(conn net.Conn) error {
 // resumed connection took ownership of — is left alone: ownership is
 // verified before abandoning.
 func (s *Supervisor) reclaim(cs *connState) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lease.mu.Lock()
+	reclaimed := 0
 	for key, holder := range cs.held {
-		info, ok := s.inflight[key]
+		info, ok := s.lease.inflight[key]
 		if !ok || info.participant != holder || info.owner != cs {
 			continue
 		}
-		delete(s.inflight, key)
-		s.queue.Abandon(info.a)
+		delete(s.lease.inflight, key)
+		s.lease.queue.Abandon(info.a)
+		reclaimed++
 		s.metrics.reclaimed.With("disconnect").Inc()
-		s.events.Emit(EvAssignmentReclaimed, map[string]any{
-			"task": info.a.TaskID, "copy": info.a.Copy,
-			"participant": info.participant, "reason": "disconnect",
-		})
+		if s.events != nil {
+			s.events.Emit(EvAssignmentReclaimed, map[string]any{
+				"task": info.a.TaskID, "copy": info.a.Copy,
+				"participant": info.participant, "reason": "disconnect",
+			})
+		}
 		s.logf("reclaimed task %d copy %d from departed participant %d",
 			info.a.TaskID, info.a.Copy, info.participant)
 	}
-	for id := range cs.registered {
-		s.events.Emit(EvWorkerLeft, map[string]any{"participant": id, "name": s.names[id]})
+	if reclaimed > 0 {
+		s.kickLeaseLocked() // abandoned copies are available again
 	}
+	s.lease.mu.Unlock()
+	if s.events != nil {
+		for id := range cs.registered {
+			s.events.Emit(EvWorkerLeft, map[string]any{"participant": id, "name": cs.names[id]})
+		}
+	}
+}
+
+// kickLeaseLocked wakes every parked get_work request; each re-checks the
+// queue under lease.mu. Called (with lease.mu held) wherever assignments
+// may have become available — completions that release held-back copies,
+// reclaims, plan revisions — and wherever parked requests must observe a
+// state change (draining, finished). Channels are closed exactly once:
+// the slice is emptied here and each parked request appends a fresh one.
+func (s *Supervisor) kickLeaseLocked() {
+	for _, ch := range s.lease.waiters {
+		close(ch)
+	}
+	s.lease.waiters = s.lease.waiters[:0]
 }
 
 // newToken mints an unguessable resume credential. Identity resumption is
@@ -499,20 +628,22 @@ func newToken() uint64 {
 // in-flight assignments so they are re-issued here instead of reclaimed
 // when the old connection's goroutine notices the drop.
 func (s *Supervisor) register(m Message, cs *connState) Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if m.Resume {
-		tok, ok := s.tokens[m.ParticipantID]
+		s.ident.mu.Lock()
+		tok, ok := s.ident.tokens[m.ParticipantID]
+		name := s.ident.names[m.ParticipantID]
+		s.ident.mu.Unlock()
 		if !ok || m.Token == 0 || m.Token != tok {
 			return Message{Type: MsgError, Reason: ReasonResumeRefused,
 				Error: "unknown participant or bad token"}
 		}
-		if s.collector.Convicted(m.ParticipantID) {
+		if s.convicted(m.ParticipantID) {
 			return Message{Type: MsgError, Reason: ReasonBlacklisted,
 				Error: "participant is blacklisted"}
 		}
 		moved := 0
-		for key, info := range s.inflight {
+		s.lease.mu.Lock()
+		for key, info := range s.lease.inflight {
 			if info.participant != m.ParticipantID {
 				continue
 			}
@@ -520,42 +651,57 @@ func (s *Supervisor) register(m Message, cs *connState) Message {
 				delete(info.owner.held, key)
 			}
 			info.owner = cs
-			s.inflight[key] = info
+			s.lease.inflight[key] = info
 			cs.held[key] = m.ParticipantID
 			moved++
 		}
+		s.lease.mu.Unlock()
 		cs.registered[m.ParticipantID] = true
+		cs.names[m.ParticipantID] = name
 		s.metrics.workersResumed.Inc()
-		s.events.Emit(EvWorkerResumed, map[string]any{
-			"participant": m.ParticipantID, "name": s.names[m.ParticipantID], "inflight": moved,
-		})
+		if s.events != nil {
+			s.events.Emit(EvWorkerResumed, map[string]any{
+				"participant": m.ParticipantID, "name": name, "inflight": moved,
+			})
+		}
 		s.logf("participant %d (%s) resumed with %d in-flight assignment(s)",
-			m.ParticipantID, s.names[m.ParticipantID], moved)
+			m.ParticipantID, name, moved)
 		return Message{Type: MsgRegistered, ParticipantID: m.ParticipantID, Token: tok}
 	}
-	id := s.nextID
-	s.nextID++
-	s.names[id] = m.Name
+	s.ident.mu.Lock()
+	id := s.ident.nextID
+	s.ident.nextID++
+	s.ident.names[id] = m.Name
 	tok := newToken()
-	s.tokens[id] = tok
+	s.ident.tokens[id] = tok
+	s.ident.mu.Unlock()
 	cs.registered[id] = true
+	cs.names[id] = m.Name
 	s.metrics.workersRegistered.Inc()
-	s.events.Emit(EvWorkerJoined, map[string]any{"participant": id, "name": m.Name})
+	if s.events != nil {
+		s.events.Emit(EvWorkerJoined, map[string]any{"participant": id, "name": m.Name})
+	}
 	s.logf("registered participant %d (%s)", id, m.Name)
 	return Message{Type: MsgRegistered, ParticipantID: id, Token: tok}
 }
 
+// convicted answers the blacklist question under audit.mu. Only
+// conclusive (ringer) evidence denies further work: a 2-way mismatch
+// cannot say which party lied, and refusing every suspect would let an
+// adversary starve the computation by framing honest participants.
+func (s *Supervisor) convicted(participant int) bool {
+	s.audit.mu.Lock()
+	defer s.audit.mu.Unlock()
+	return s.audit.collector.Convicted(participant)
+}
+
 func (s *Supervisor) assign(m Message, cs *connState) Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Only conclusive (ringer) evidence denies further work: a 2-way
-	// mismatch cannot say which party lied, and refusing every suspect
-	// would let an adversary starve the computation by framing honest
-	// participants.
-	if s.collector.Convicted(m.ParticipantID) {
+	if s.convicted(m.ParticipantID) {
 		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
 	}
-	if s.finished {
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	if s.lease.finished {
 		return Message{Type: MsgDone}
 	}
 	// Re-issue before popping fresh work: a resumed connection first gets
@@ -563,7 +709,7 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 	// queue state. Entries whose in-flight record is gone (swept, or
 	// re-issued elsewhere) are stale and dropped.
 	for key, holder := range cs.held {
-		info, ok := s.inflight[key]
+		info, ok := s.lease.inflight[key]
 		if !ok || info.participant != holder || info.owner != cs {
 			delete(cs.held, key)
 			continue
@@ -572,12 +718,14 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 			continue
 		}
 		info.issuedAt = time.Now()
-		s.inflight[key] = info
+		s.lease.inflight[key] = info
 		s.metrics.reissued.Inc()
-		s.events.Emit(EvAssignmentIssued, map[string]any{
-			"task": info.a.TaskID, "copy": info.a.Copy,
-			"participant": m.ParticipantID, "ringer": info.a.Ringer, "reissue": true,
-		})
+		if s.events != nil {
+			s.events.Emit(EvAssignmentIssued, map[string]any{
+				"task": info.a.TaskID, "copy": info.a.Copy,
+				"participant": m.ParticipantID, "ringer": info.a.Ringer, "reissue": true,
+			})
+		}
 		return Message{
 			Type:   MsgWork,
 			TaskID: info.a.TaskID,
@@ -587,25 +735,27 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 			Iters:  s.cfg.Iters,
 		}
 	}
-	if s.draining {
+	if s.lease.draining {
 		// Shutdown in progress: in-flight work may still land, but nothing
 		// new goes out.
 		return Message{Type: MsgNoWork, Wait: 0.2}
 	}
-	a, ok := s.queue.Next()
+	a, ok := s.lease.queue.Next()
 	if !ok {
-		if s.queue.Done() {
+		if s.lease.queue.Done() {
 			return Message{Type: MsgDone}
 		}
 		// Policy is holding copies back; ask the worker to retry.
 		return Message{Type: MsgNoWork, Wait: 0.05}
 	}
-	s.outstanding(m.ParticipantID, a, cs)
+	s.trackLocked(m.ParticipantID, a, cs)
 	cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
 	s.metrics.assignmentsIssued.Inc()
-	s.events.Emit(EvAssignmentIssued, map[string]any{
-		"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID, "ringer": a.Ringer,
-	})
+	if s.events != nil {
+		s.events.Emit(EvAssignmentIssued, map[string]any{
+			"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID, "ringer": a.Ringer,
+		})
+	}
 	return Message{
 		Type:   MsgWork,
 		TaskID: a.TaskID,
@@ -616,35 +766,49 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 	}
 }
 
-// assignBatch serves a get_work request: under one lock acquisition it
-// first re-issues every surviving assignment this participant already
-// holds — the whole lease comes back after a resume, so a reconnect never
-// duplicates queue state — then fills the remainder of the lease with
-// fresh queue pops, up to min(requested, MaxBatch). Amortizing the mutex
-// and the round trip over the lease is the batched hot path; the
-// single-assignment handlers above are untouched so -batch 1 clients see
-// today's wire behavior byte-for-byte.
+// assignBatch serves a get_work request (the batched hot path) and
+// observes the lease-wait histogram — the time the request spent inside
+// the supervisor, queue wait and parking included.
 func (s *Supervisor) assignBatch(m Message, cs *connState) Message {
+	start := time.Now()
+	reply := s.leaseBatch(m, cs)
+	s.metrics.leaseWait.Observe(time.Since(start).Seconds())
+	return reply
+}
+
+// leaseBatch fills one get_work lease: under lease.mu it first re-issues
+// every surviving assignment this participant already holds — the whole
+// lease comes back after a resume, so a reconnect never duplicates queue
+// state — then fills the remainder with fresh queue pops, up to
+// min(requested, MaxBatch). A request that finds the queue empty parks on
+// a waiter channel (up to leaseParkMax) instead of immediately bouncing a
+// no_work/sleep/retry cycle off the supervisor; completions, reclaims,
+// and revisions kick parked requests awake. The single-assignment
+// handlers above are untouched so -batch 1 clients see the legacy wire
+// behavior byte-for-byte.
+func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
+	if s.convicted(m.ParticipantID) {
+		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
+	}
 	want := m.Batch
 	if want < 1 {
 		want = 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.collector.Convicted(m.ParticipantID) {
-		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
-	}
-	if s.finished {
-		return Message{Type: MsgDone}
-	}
 	if want > s.cfg.MaxBatch {
 		want = s.cfg.MaxBatch
 	}
-	items := make([]WorkItem, 0, want)
+	items := cs.items[:0]
+	fresh, reissues := 0, 0
+	var deadline time.Time // parking budget; set on first empty pass
+	s.lease.mu.Lock()
+	if s.lease.finished {
+		s.lease.mu.Unlock()
+		return Message{Type: MsgDone}
+	}
 	// Re-issues are not capped by want: the worker must learn about every
 	// assignment it still holds, or a resumed lease could silently shrink.
 	for key, holder := range cs.held {
-		info, ok := s.inflight[key]
+		info, ok := s.lease.inflight[key]
 		if !ok || info.participant != holder || info.owner != cs {
 			delete(cs.held, key)
 			continue
@@ -653,50 +817,93 @@ func (s *Supervisor) assignBatch(m Message, cs *connState) Message {
 			continue
 		}
 		info.issuedAt = time.Now()
-		s.inflight[key] = info
-		s.metrics.reissued.Inc()
-		s.events.Emit(EvAssignmentIssued, map[string]any{
-			"task": info.a.TaskID, "copy": info.a.Copy,
-			"participant": m.ParticipantID, "ringer": info.a.Ringer, "reissue": true,
-		})
+		s.lease.inflight[key] = info
+		reissues++
+		if s.events != nil {
+			s.events.Emit(EvAssignmentIssued, map[string]any{
+				"task": info.a.TaskID, "copy": info.a.Copy,
+				"participant": m.ParticipantID, "ringer": info.a.Ringer, "reissue": true,
+			})
+		}
 		items = append(items, WorkItem{TaskID: info.a.TaskID, Copy: info.a.Copy, Seed: TaskSeed(info.a.TaskID)})
 	}
-	for !s.draining && len(items) < want {
-		a, ok := s.queue.Next()
-		if !ok {
+	for {
+		if !s.lease.draining && len(items) < want {
+			fill := s.lease.queue.NextBatch(cs.fill[:0], want-len(items))
+			cs.fill = fill[:0]
+			for _, a := range fill {
+				s.trackLocked(m.ParticipantID, a, cs)
+				cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
+				fresh++
+				if s.events != nil {
+					s.events.Emit(EvAssignmentIssued, map[string]any{
+						"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID, "ringer": a.Ringer,
+					})
+				}
+				items = append(items, WorkItem{TaskID: a.TaskID, Copy: a.Copy, Seed: TaskSeed(a.TaskID)})
+			}
+		}
+		if len(items) > 0 {
 			break
 		}
-		s.outstanding(m.ParticipantID, a, cs)
-		cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
-		s.metrics.assignmentsIssued.Inc()
-		s.events.Emit(EvAssignmentIssued, map[string]any{
-			"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID, "ringer": a.Ringer,
-		})
-		items = append(items, WorkItem{TaskID: a.TaskID, Copy: a.Copy, Seed: TaskSeed(a.TaskID)})
-	}
-	if len(items) == 0 {
-		if s.draining {
+		if s.lease.draining {
+			s.lease.mu.Unlock()
 			return Message{Type: MsgNoWork, Wait: 0.2}
 		}
-		if s.queue.Done() {
+		if s.lease.queue.Done() {
+			s.lease.mu.Unlock()
 			return Message{Type: MsgDone}
 		}
-		return Message{Type: MsgNoWork, Wait: 0.05}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(leaseParkMax)
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			s.lease.mu.Unlock()
+			return Message{Type: MsgNoWork, Wait: 0.05}
+		}
+		ch := make(chan struct{})
+		s.lease.waiters = append(s.lease.waiters, ch)
+		s.lease.mu.Unlock()
+		t := time.NewTimer(wait)
+		stopped := false
+		select {
+		case <-ch:
+		case <-t.C:
+		case <-s.stop:
+			stopped = true
+		}
+		t.Stop()
+		if stopped {
+			// Teardown in progress; the connection is about to be closed.
+			return Message{Type: MsgNoWork, Wait: 0.2}
+		}
+		s.lease.mu.Lock()
+		if s.lease.finished {
+			s.lease.mu.Unlock()
+			return Message{Type: MsgDone}
+		}
+	}
+	s.lease.mu.Unlock()
+	cs.items = items // keep the grown backing array for the next lease
+	if reissues > 0 {
+		s.metrics.reissued.Add(uint64(reissues))
+	}
+	if fresh > 0 {
+		s.metrics.assignmentsIssued.Add(uint64(fresh))
 	}
 	s.metrics.batchesIssued.Inc()
 	s.metrics.batchSize.Observe(float64(len(items)))
 	return Message{Type: MsgWorkBatch, Kind: s.cfg.WorkKind, Iters: s.cfg.Iters, Work: items}
 }
 
-// outstanding records who holds which assignment so results can be matched
+// outstandingKey identifies one issued copy so results can be matched
 // back. Keyed by (task, copy).
 type outstandingKey struct{ task, copy int }
 
-func (s *Supervisor) outstanding(participant int, a sched.Assignment, cs *connState) {
-	if s.inflight == nil {
-		s.inflight = make(map[outstandingKey]inflightInfo)
-	}
-	s.inflight[outstandingKey{a.TaskID, a.Copy}] = inflightInfo{participant, a, time.Now(), cs}
+// trackLocked records who holds which assignment. Callers hold lease.mu.
+func (s *Supervisor) trackLocked(participant int, a sched.Assignment, cs *connState) {
+	s.lease.inflight[outstandingKey{a.TaskID, a.Copy}] = inflightInfo{participant, a, time.Now(), cs}
 }
 
 type inflightInfo struct {
@@ -723,33 +930,40 @@ func (s *Supervisor) sweepLoop() {
 }
 
 func (s *Supervisor) sweepExpired() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	cutoff := time.Now().Add(-s.cfg.Deadline)
-	for key, info := range s.inflight {
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	swept := 0
+	for key, info := range s.lease.inflight {
 		if info.issuedAt.Before(cutoff) {
-			delete(s.inflight, key)
+			delete(s.lease.inflight, key)
 			if info.owner != nil {
 				delete(info.owner.held, key)
 			}
-			s.queue.Abandon(info.a)
+			s.lease.queue.Abandon(info.a)
+			swept++
 			s.metrics.reclaimed.With("deadline").Inc()
-			s.events.Emit(EvAssignmentReclaimed, map[string]any{
-				"task": info.a.TaskID, "copy": info.a.Copy,
-				"participant": info.participant, "reason": "deadline",
-			})
+			if s.events != nil {
+				s.events.Emit(EvAssignmentReclaimed, map[string]any{
+					"task": info.a.TaskID, "copy": info.a.Copy,
+					"participant": info.participant, "reason": "deadline",
+				})
+			}
 			s.logf("deadline exceeded: reclaimed task %d copy %d from participant %d",
 				info.a.TaskID, info.a.Copy, info.participant)
 		}
+	}
+	if swept > 0 {
+		s.kickLeaseLocked()
 	}
 }
 
 // applyRevisionLocked applies one plan revision to the supervisor's live
 // state — plan, queue, and verification expectations — in that order. It
 // does NOT journal; the caller either just wrote the record (live tick) or
-// is replaying one (restore). Callers hold s.mu. Revisions are validated
-// against the plan before anything mutates, so a failure leaves state
-// untouched.
+// is replaying one (restore). Callers hold lease.mu and audit.mu (or are
+// single-threaded construction). Revisions are validated against the plan
+// before anything mutates, so a failure leaves state untouched.
 func (s *Supervisor) applyRevisionLocked(rev plan.Revision) error {
 	if err := s.cfg.Plan.ValidateRevision(rev); err != nil {
 		return err
@@ -759,7 +973,7 @@ func (s *Supervisor) applyRevisionLocked(rev plan.Revision) error {
 	// still queued. The controller only proposes such tasks; this guards
 	// replay against a journal that disagrees with the queue.
 	for _, pr := range rev.Promotions {
-		if s.queue.EverIssued(pr.TaskID) {
+		if s.lease.queue.EverIssued(pr.TaskID) {
 			return fmt.Errorf("platform: revision promotes issued task %d", pr.TaskID)
 		}
 	}
@@ -767,18 +981,18 @@ func (s *Supervisor) applyRevisionLocked(rev plan.Revision) error {
 		return err
 	}
 	for _, pr := range rev.Promotions {
-		if err := s.queue.Promote(pr.TaskID, pr.From, pr.To); err != nil {
-			return fmt.Errorf("platform: revision %d: %w", s.revApplied, err)
+		if err := s.lease.queue.Promote(pr.TaskID, pr.From, pr.To); err != nil {
+			return fmt.Errorf("platform: revision %d: %w", s.audit.revApplied, err)
 		}
-		s.collector.Expect(pr.TaskID, pr.To)
+		s.audit.collector.Expect(pr.TaskID, pr.To)
 	}
 	for _, m := range rev.Minted {
-		if err := s.queue.AddTask(plan.TaskSpec{ID: m.TaskID, Copies: m.Copies, Ringer: true}); err != nil {
-			return fmt.Errorf("platform: revision %d: %w", s.revApplied, err)
+		if err := s.lease.queue.AddTask(plan.TaskSpec{ID: m.TaskID, Copies: m.Copies, Ringer: true}); err != nil {
+			return fmt.Errorf("platform: revision %d: %w", s.audit.revApplied, err)
 		}
-		s.collector.Expect(m.TaskID, m.Copies)
+		s.audit.collector.Expect(m.TaskID, m.Copies)
 	}
-	s.revApplied++
+	s.audit.revApplied++
 	return nil
 }
 
@@ -803,21 +1017,25 @@ func (s *Supervisor) adaptLoop() {
 // target ε, journal and apply a revision. Journal-first ordering makes the
 // crash cases safe: a torn revision line is dropped on restore and no
 // later record can depend on it (revised copies are only issued after the
-// apply), while a fully written line replays exactly.
+// apply), while a fully written line replays exactly. This is the one
+// steady-state site that nests locks (lease.mu → audit.mu): a revision
+// must re-shape the queue and the verification expectations atomically.
 func (s *Supervisor) adaptTick() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	est := s.est.Estimate()
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	s.audit.mu.Lock()
+	defer s.audit.mu.Unlock()
+	est := s.audit.est.Estimate()
 	s.metrics.adaptPHat.Set(est.PHat)
 	s.metrics.adaptIntervalWidth.Set(est.Width())
-	if est.Samples < float64(s.adaptCfg.MinSamples) || s.finished || s.draining {
+	if est.Samples < float64(s.adaptCfg.MinSamples) || s.lease.finished || s.lease.draining {
 		return
 	}
 	var tasks []adapt.TaskState
 	for _, sp := range s.cfg.Plan.Tasks() {
 		tasks = append(tasks, adapt.TaskState{
 			ID: sp.ID, Copies: sp.Copies, Ringer: sp.Ringer,
-			Eligible: !sp.Ringer && !s.queue.EverIssued(sp.ID),
+			Eligible: !sp.Ringer && !s.lease.queue.EverIssued(sp.ID),
 		})
 	}
 	rev, ok := adapt.Replan(tasks, s.cfg.Plan.NextTaskID(), s.adaptCfg.TargetEpsilon, est.Upper)
@@ -830,24 +1048,22 @@ func (s *Supervisor) adaptTick() {
 	}
 	if s.cfg.Journal != nil {
 		rec := revisionRecord{
-			Seq: s.revApplied, PHat: est.PHat, Upper: est.Upper,
+			Seq: s.audit.revApplied, PHat: est.PHat, Upper: est.Upper,
 			Promotions: rev.Promotions, Minted: rev.Minted,
 		}
-		if err := appendJournalRevision(s.cfg.Journal, rec); err != nil {
+		if err := s.appendRevision(rec); err != nil {
 			s.logf("adapt: journal write failed, revision deferred: %v", err)
 			return
 		}
-		if s.cfg.JournalSync {
-			s.syncJournal()
-		}
 	}
-	seq := s.revApplied
+	seq := s.audit.revApplied
 	if err := s.applyRevisionLocked(rev); err != nil {
 		// Pre-validated, so this is a genuine bug; surface loudly but keep
 		// serving — the journal record will replay (and fail) identically.
 		s.logf("adapt: BUG: journaled revision failed to apply: %v", err)
 		return
 	}
+	s.kickLeaseLocked() // the revision queued new copies
 	promoted, minted := 0, 0
 	for _, pr := range rev.Promotions {
 		promoted += pr.To - pr.From
@@ -858,180 +1074,325 @@ func (s *Supervisor) adaptTick() {
 	s.metrics.adaptRevisions.Inc()
 	s.metrics.adaptPromoted.Add(uint64(promoted))
 	s.metrics.adaptMinted.Add(uint64(len(rev.Minted)))
-	s.events.Emit(EvPlanRevised, map[string]any{
-		"seq": seq, "phat": est.PHat, "upper": est.Upper,
-		"promotions": len(rev.Promotions), "promoted_copies": promoted,
-		"minted": len(rev.Minted), "minted_copies": minted, "satisfied": ok,
-	})
+	if s.events != nil {
+		s.events.Emit(EvPlanRevised, map[string]any{
+			"seq": seq, "phat": est.PHat, "upper": est.Upper,
+			"promotions": len(rev.Promotions), "promoted_copies": promoted,
+			"minted": len(rev.Minted), "minted_copies": minted, "satisfied": ok,
+		})
+	}
 	s.logf("adapt: revision %d applied (p̂=%.4f upper=%.4f): %d promotion(s), %d minted ringer(s), %d new assignments",
 		seq, est.PHat, est.Upper, len(rev.Promotions), len(rev.Minted), rev.CopiesAdded())
+}
+
+// appendRevision writes one revision record under jnlMu, syncing inline
+// when JournalSync is on. Revisions bypass the group committer on purpose:
+// the caller holds lease.mu, so the record hits the file before any
+// revised copy can be issued — and therefore before any result depending
+// on it can reach the committer — preserving journal-first ordering in
+// both journal modes (the committer's writes take jnlMu too, so interior
+// interleaving is impossible).
+func (s *Supervisor) appendRevision(rec revisionRecord) error {
+	s.jnlMu.Lock()
+	err := appendJournalRevision(s.cfg.Journal, rec)
+	s.jnlMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.cfg.JournalSync {
+		s.syncJournal()
+	}
+	return nil
 }
 
 // AdaptiveEstimate returns the current p̂ estimate and true when the
 // adaptive control plane is enabled.
 func (s *Supervisor) AdaptiveEstimate() (adapt.Estimate, bool) {
-	if s.est == nil {
+	if s.audit.est == nil {
 		return adapt.Estimate{}, false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.est.Estimate(), true
+	s.audit.mu.Lock()
+	defer s.audit.mu.Unlock()
+	return s.audit.est.Estimate(), true
 }
 
 // RevisionsApplied reports how many plan revisions this supervisor has
 // applied, including revisions restored from the journal.
 func (s *Supervisor) RevisionsApplied() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.revApplied
+	s.audit.mu.Lock()
+	defer s.audit.mu.Unlock()
+	return s.audit.revApplied
 }
 
 func (s *Supervisor) result(m Message, cs *connState) Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var recs []journalRecord
-	reason, detail := s.acceptResult(m.ParticipantID, m.TaskID, m.Copy, m.Value, cs, &recs)
+	s.lease.mu.Lock()
+	info, reason, detail := s.claimLocked(m.ParticipantID, m.TaskID, m.Copy, cs)
+	s.lease.mu.Unlock()
 	if reason != "" {
 		return s.rejectResult(m, reason, detail)
 	}
-	for _, rec := range recs {
-		if err := appendJournal(s.cfg.Journal, rec); err != nil {
-			s.logf("journal write failed: %v", err)
-		} else {
-			s.metrics.journalRecords.Inc()
-			if s.cfg.JournalSync {
-				s.syncJournal()
-			}
-		}
+	s.audit.mu.Lock()
+	reason, detail = s.adjudicateLocked(info, m.Value)
+	s.audit.mu.Unlock()
+	if reason != "" {
+		return s.rejectResult(m, reason, detail)
+	}
+	s.lease.mu.Lock()
+	s.lease.queue.Complete(info.a)
+	if s.events != nil {
+		s.events.Emit(EvResultAccepted, map[string]any{
+			"task": m.TaskID, "copy": m.Copy, "participant": m.ParticipantID,
+		})
+	}
+	s.finishCheckLocked()
+	s.lease.mu.Unlock()
+	s.metrics.resultsAccepted.Inc()
+	s.metrics.turnaround.With(cs.names[m.ParticipantID]).
+		Observe(time.Since(info.issuedAt).Seconds())
+	if s.cfg.Journal != nil {
+		cs.recs = append(cs.recs[:0], journalRecord{
+			TaskID:      m.TaskID,
+			Copy:        m.Copy,
+			Ringer:      info.a.Ringer,
+			Participant: m.ParticipantID,
+			Value:       m.Value,
+		})
+		s.commitRecords(cs.recs, false)
 	}
 	return Message{Type: MsgAck}
 }
 
-// resultBatch serves a result_batch: every result is verified and credited
-// under a single lock acquisition, their journal records are appended with
-// one buffered write (a crash can tear only the final record, which replay
-// tolerates), and — the other half of the batched hot path — JournalSync
-// mode pays one fsync for the whole batch, after the lock is released.
-// The fsync still precedes the ack, so the durability contract (an acked
-// result survives a crash) is unchanged; Sync flushes everything written
-// so far, and writes are ordered under s.mu, so syncing outside the lock
-// cannot miss this batch's records.
+// pendingResult carries one claimed result between resultBatch's phases.
+type pendingResult struct {
+	idx    int // index of this result's ack in the reply
+	info   inflightInfo
+	value  uint64
+	failed bool // verification refused it in phase B
+}
+
+// resultBatch serves a result_batch in three phases so no phase holds
+// more than one lock and each critical section is the minimal mutation:
+//
+//	A (lease.mu)  claim — validate ownership and delete the in-flight
+//	              entries, so no other connection, sweep, or duplicate
+//	              submission can race on these copies;
+//	B (audit.mu)  adjudicate — feed each claimed result through the
+//	              verification pipeline and build its journal record;
+//	C (lease.mu)  complete — mark the queue, emit the accepted events
+//	              (under the lease lock, preserving the event-stream
+//	              serialization the chaos test replays), and wake parked
+//	              leases if copies were released or the run finished.
+//
+// Between A and C the copies are in no map and not in the queue's ready
+// pool, so nothing can issue, reclaim, or double-accept them. Journal
+// records are committed after C — one buffered write (and, with
+// JournalSync, one fsync, amortized over the whole batch on the legacy
+// path and over every concurrent batch in GroupCommit mode) — and the
+// acks are released only after that commit returns, so the durability
+// contract (an acked result survives a crash) is unchanged.
 func (s *Supervisor) resultBatch(m Message, cs *connState) Message {
-	acks := make([]ResultAck, 0, len(m.Results))
-	var recs []journalRecord
-	s.mu.Lock()
+	acks := cs.acks[:0]
+	pend := cs.pend[:0]
+	recs := cs.recs[:0]
+	s.lease.mu.Lock()
 	for _, r := range m.Results {
-		reason, detail := s.acceptResult(m.ParticipantID, r.TaskID, r.Copy, r.Value, cs, &recs)
+		info, reason, detail := s.claimLocked(m.ParticipantID, r.TaskID, r.Copy, cs)
 		ack := ResultAck{TaskID: r.TaskID, Copy: r.Copy, OK: reason == ""}
 		if reason != "" {
-			s.recordReject(r.TaskID, r.Copy, m.ParticipantID, reason)
 			ack.Reason = reason
 			ack.Error = detail
+		} else {
+			pend = append(pend, pendingResult{idx: len(acks), info: info, value: r.Value})
 		}
 		acks = append(acks, ack)
 	}
-	synced := false
-	if len(recs) > 0 {
-		if err := appendJournalBatch(s.cfg.Journal, recs); err != nil {
-			s.logf("journal write failed: %v", err)
-		} else {
-			s.metrics.journalRecords.Add(uint64(len(recs)))
-			synced = s.cfg.JournalSync
+	s.lease.mu.Unlock()
+	if len(pend) > 0 {
+		s.audit.mu.Lock()
+		for i := range pend {
+			p := &pend[i]
+			reason, detail := s.adjudicateLocked(p.info, p.value)
+			if reason != "" {
+				p.failed = true
+				acks[p.idx].OK = false
+				acks[p.idx].Reason = reason
+				acks[p.idx].Error = detail
+				continue
+			}
+			if s.cfg.Journal != nil {
+				recs = append(recs, journalRecord{
+					TaskID:      p.info.a.TaskID,
+					Copy:        p.info.a.Copy,
+					Ringer:      p.info.a.Ringer,
+					Participant: m.ParticipantID,
+					Value:       p.value,
+				})
+			}
+		}
+		s.audit.mu.Unlock()
+		accepted := 0
+		s.lease.mu.Lock()
+		for i := range pend {
+			p := &pend[i]
+			if p.failed {
+				continue
+			}
+			s.lease.queue.Complete(p.info.a)
+			accepted++
+			if s.events != nil {
+				s.events.Emit(EvResultAccepted, map[string]any{
+					"task": p.info.a.TaskID, "copy": p.info.a.Copy, "participant": m.ParticipantID,
+				})
+			}
+		}
+		s.finishCheckLocked()
+		s.lease.mu.Unlock()
+		if accepted > 0 {
+			s.metrics.resultsAccepted.Add(uint64(accepted))
+			tn := s.metrics.turnaround.With(cs.names[m.ParticipantID])
+			for i := range pend {
+				if !pend[i].failed {
+					tn.Observe(time.Since(pend[i].info.issuedAt).Seconds())
+				}
+			}
 		}
 	}
-	s.mu.Unlock()
-	if synced {
-		s.syncJournal()
-		s.metrics.batchedJournalSyncs.Inc()
+	for _, ack := range acks {
+		if !ack.OK {
+			s.recordReject(ack.TaskID, ack.Copy, m.ParticipantID, ack.Reason)
+		}
 	}
+	s.commitRecords(recs, true)
+	cs.acks, cs.pend, cs.recs = acks, pend, recs
 	return Message{Type: MsgBatchAck, Acks: acks}
 }
 
-// acceptResult verifies ownership of one submitted result and feeds it
-// into the verification pipeline, updating queue, credit, metrics, and
-// event state; on success it appends the result's journal record to *recs
-// (when journaling is on) and returns "", "" — writing the records is the
-// caller's business, so a batch can journal in one write. On refusal it
-// returns the rejection reason and detail and changes nothing. Callers
-// hold s.mu.
-func (s *Supervisor) acceptResult(participant, taskID, copy int, value uint64, cs *connState, recs *[]journalRecord) (reason, detail string) {
+// claimLocked validates ownership of one submitted result and removes its
+// in-flight entry, transferring the copy into the caller's exclusive
+// hands: after it returns success, no sweep, disconnect, resume, or
+// duplicate submission can touch this (task, copy). On refusal it returns
+// the rejection reason and detail and changes nothing. Callers hold
+// lease.mu.
+func (s *Supervisor) claimLocked(participant, taskID, copy int, cs *connState) (inflightInfo, string, string) {
 	key := outstandingKey{taskID, copy}
-	info, ok := s.inflight[key]
+	info, ok := s.lease.inflight[key]
 	if !ok {
-		return ReasonUnassigned, "result for unassigned work"
+		return inflightInfo{}, ReasonUnassigned, "result for unassigned work"
 	}
 	if info.participant != participant {
-		return ReasonWrongParticipant, "result from wrong participant"
+		return inflightInfo{}, ReasonWrongParticipant, "result from wrong participant"
 	}
-	delete(s.inflight, key)
+	delete(s.lease.inflight, key)
 	delete(cs.held, key)
 	if info.owner != nil && info.owner != cs {
 		delete(info.owner.held, key)
 	}
-	v, adjudicated, err := s.collector.Submit(verify.Result{
+	return info, "", ""
+}
+
+// adjudicateLocked feeds one claimed result through the verification
+// pipeline (credits and the adaptive estimator update inside the verdict
+// callback) and handles mismatch fallout. Callers hold audit.mu.
+func (s *Supervisor) adjudicateLocked(info inflightInfo, value uint64) (reason, detail string) {
+	v, adjudicated, err := s.audit.collector.Submit(verify.Result{
 		Assignment:  info.a,
-		Participant: participant,
+		Participant: info.participant,
 		Value:       value,
 	})
 	if err != nil {
 		return ReasonVerification, err.Error()
-	}
-	s.queue.Complete(info.a)
-	s.metrics.resultsAccepted.Inc()
-	s.metrics.turnaround.With(s.names[info.participant]).
-		Observe(time.Since(info.issuedAt).Seconds())
-	s.events.Emit(EvResultAccepted, map[string]any{
-		"task": taskID, "copy": copy, "participant": participant,
-	})
-	if s.cfg.Journal != nil {
-		*recs = append(*recs, journalRecord{
-			TaskID:      taskID,
-			Copy:        copy,
-			Ringer:      info.a.Ringer,
-			Participant: participant,
-			Value:       value,
-		})
 	}
 	if adjudicated && v.MismatchDetected {
 		s.logf("CHEAT DETECTED on task %d (suspects %v)", v.TaskID, v.Suspects)
 		if s.cfg.ResolveMismatches && !v.Ringer {
 			// Reactive measure: the supervisor recomputes the disputed
 			// task on trusted hardware.
-			s.resolved[v.TaskID] = s.work(TaskSeed(v.TaskID), s.cfg.Iters)
+			s.audit.resolved[v.TaskID] = s.work(TaskSeed(v.TaskID), s.cfg.Iters)
 			s.logf("task %d resolved by supervisor recomputation", v.TaskID)
 		}
-	}
-	if s.queue.Done() && !s.finished {
-		s.finished = true
-		close(s.done)
 	}
 	return "", ""
 }
 
-// recordReject counts and reports a refused result. Callers hold s.mu.
+// finishCheckLocked closes done (and wakes every parked lease) when the
+// queue just completed, and kicks parked leases whenever completions may
+// have released held-back copies. Callers hold lease.mu.
+func (s *Supervisor) finishCheckLocked() {
+	if s.lease.queue.Done() && !s.lease.finished {
+		s.lease.finished = true
+		close(s.done)
+		s.kickLeaseLocked()
+	} else if len(s.lease.waiters) > 0 && s.lease.queue.Available() {
+		s.kickLeaseLocked()
+	}
+}
+
+// recordReject counts and reports a refused result.
 func (s *Supervisor) recordReject(taskID, copy, participant int, reason string) {
 	s.metrics.resultsRejected.With(reason).Inc()
-	s.events.Emit(EvResultRejected, map[string]any{
-		"task": taskID, "copy": copy, "participant": participant, "reason": reason,
-	})
+	if s.events != nil {
+		s.events.Emit(EvResultRejected, map[string]any{
+			"task": taskID, "copy": copy, "participant": participant, "reason": reason,
+		})
+	}
 }
 
 // rejectResult records a refused result (metrics + events) and builds the
-// error reply. Callers hold s.mu.
+// error reply.
 func (s *Supervisor) rejectResult(m Message, reason, detail string) Message {
 	s.recordReject(m.TaskID, m.Copy, m.ParticipantID, reason)
 	return Message{Type: MsgError, Reason: reason, Error: detail}
+}
+
+// commitRecords makes recs durable under the configured journal
+// discipline and returns only when they are (or the failure is logged —
+// a journal write failure has never blocked an ack; it costs replay, not
+// liveness). GroupCommit mode hands the records to the committer
+// goroutine and blocks until the commit window covering them is written
+// and fsynced; the legacy path writes inline under jnlMu. batched selects
+// the legacy framing: one buffered write and one amortized fsync for a
+// whole result_batch (counted by batched_journal_syncs_total) versus the
+// single-record append the legacy result path has always used.
+func (s *Supervisor) commitRecords(recs []journalRecord, batched bool) {
+	if s.cfg.Journal == nil || len(recs) == 0 {
+		return
+	}
+	if s.committer != nil {
+		if err := s.committer.commit(recs); err != nil {
+			s.logf("journal write failed: %v", err)
+		}
+		return
+	}
+	s.jnlMu.Lock()
+	var err error
+	if batched {
+		err = appendJournalBatch(s.cfg.Journal, recs)
+	} else {
+		err = appendJournal(s.cfg.Journal, recs[0])
+	}
+	s.jnlMu.Unlock()
+	if err != nil {
+		s.logf("journal write failed: %v", err)
+		return
+	}
+	s.metrics.journalRecords.Add(uint64(len(recs)))
+	if s.cfg.JournalSync {
+		s.syncJournal()
+		if batched {
+			s.metrics.batchedJournalSyncs.Inc()
+		}
+	}
 }
 
 // syncer is the optional flushing facet of a journal writer (*os.File
 // implements it).
 type syncer interface{ Sync() error }
 
-// syncJournal fsyncs the journal if its writer supports it. Safe with or
-// without s.mu held: appends are ordered under s.mu, and Sync flushes
-// everything written before the call, so a batch handler syncing after
-// unlock still covers its own records (*os.File.Sync is goroutine-safe,
-// logf and the counter guard themselves).
+// syncJournal fsyncs the journal if its writer supports it. Safe without
+// any lock: appends are ordered under jnlMu (or by the committer), and
+// Sync flushes everything written before the call, so a caller syncing
+// after its write still covers its own records (*os.File.Sync is
+// goroutine-safe, logf and the counter guard themselves).
 func (s *Supervisor) syncJournal() {
 	sy, ok := s.cfg.Journal.(syncer)
 	if !ok {
@@ -1044,6 +1405,18 @@ func (s *Supervisor) syncJournal() {
 	s.metrics.journalSyncs.Inc()
 }
 
+// flushJournal ends the journal's write pipeline at teardown: the group
+// committer (when present) is drained and stopped, then a final fsync
+// covers anything still in the page cache.
+func (s *Supervisor) flushJournal() {
+	if s.committer != nil {
+		s.committer.close()
+	}
+	if s.cfg.Journal != nil {
+		s.syncJournal()
+	}
+}
+
 // Wait blocks until every task has been adjudicated.
 func (s *Supervisor) Wait() { <-s.done }
 
@@ -1054,9 +1427,10 @@ func (s *Supervisor) Wait() { <-s.done }
 // error if the deadline cut it short (state is still consistent — the
 // journal has every accepted result).
 func (s *Supervisor) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.lease.mu.Lock()
+	s.lease.draining = true
+	s.kickLeaseLocked() // parked leases must observe the drain
+	s.lease.mu.Unlock()
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -1064,9 +1438,8 @@ func (s *Supervisor) Shutdown(ctx context.Context) error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.closeConns()
 	s.connWG.Wait()
-	s.mu.Lock()
-	s.syncJournal()
-	s.mu.Unlock()
+	s.loopWG.Wait()
+	s.flushJournal()
 	if drained {
 		return nil
 	}
@@ -1076,9 +1449,9 @@ func (s *Supervisor) Shutdown(ctx context.Context) error {
 // awaitDrain polls until no assignment is in flight or ctx expires.
 func (s *Supervisor) awaitDrain(ctx context.Context) bool {
 	for {
-		s.mu.Lock()
-		n := len(s.inflight)
-		s.mu.Unlock()
+		s.lease.mu.Lock()
+		n := len(s.lease.inflight)
+		s.lease.mu.Unlock()
 		if n == 0 {
 			return true
 		}
@@ -1102,16 +1475,15 @@ func (s *Supervisor) Close() error {
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.mu.Lock()
-	finished := s.finished
-	s.mu.Unlock()
+	s.lease.mu.Lock()
+	finished := s.lease.finished
+	s.lease.mu.Unlock()
 	if !finished {
 		s.closeConns()
 	}
 	s.connWG.Wait()
-	s.mu.Lock()
-	s.syncJournal()
-	s.mu.Unlock()
+	s.loopWG.Wait()
+	s.flushJournal()
 	return err
 }
 
@@ -1138,22 +1510,25 @@ type Summary struct {
 
 // Summary reports current progress; safe to call at any time.
 func (s *Supervisor) Summary() Summary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ident.mu.Lock()
+	participants := s.ident.nextID
+	s.ident.mu.Unlock()
+	s.audit.mu.Lock()
+	defer s.audit.mu.Unlock()
 	sum := Summary{
-		Participants: s.nextID,
-		Verify:       s.collector.Stats(),
-		Blacklist:    s.collector.Blacklist(),
-		Convicted:    s.collector.ConvictedList(),
-		Credits:      s.credits.Leaderboard(),
-		Resolved:     len(s.resolved),
+		Participants: participants,
+		Verify:       s.audit.collector.Stats(),
+		Blacklist:    s.audit.collector.Blacklist(),
+		Convicted:    s.audit.collector.ConvictedList(),
+		Credits:      s.audit.credits.Leaderboard(),
+		Resolved:     len(s.audit.resolved),
 		Restored:     s.restored,
 	}
 	var cmp verify.Comparator = verify.Exact{}
 	if s.cfg.ResultDigits > 0 {
 		cmp = verify.Quantize{Digits: s.cfg.ResultDigits}
 	}
-	for _, v := range s.collector.Verdicts() {
+	for _, v := range s.audit.collector.Verdicts() {
 		truth := s.work(TaskSeed(v.TaskID), s.cfg.Iters)
 		if v.Accepted && cmp.Canonical(v.Value) != cmp.Canonical(truth) {
 			sum.WrongResults++
@@ -1166,12 +1541,12 @@ func (s *Supervisor) Summary() Summary {
 // the redundancy-certified value, or the supervisor's own recomputation for
 // resolved disputes.
 func (s *Supervisor) CertifiedValue(taskID int) (uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if v, ok := s.resolved[taskID]; ok {
+	s.audit.mu.Lock()
+	defer s.audit.mu.Unlock()
+	if v, ok := s.audit.resolved[taskID]; ok {
 		return v, true
 	}
-	for _, v := range s.collector.Verdicts() {
+	for _, v := range s.audit.collector.Verdicts() {
 		if v.TaskID == taskID && v.Accepted {
 			return v.Value, true
 		}

@@ -141,6 +141,47 @@ func (q *Queue) Next() (a Assignment, ok bool) {
 	return a, true
 }
 
+// NextBatch appends up to n assignments to dst and returns it — one
+// release decision amortized over a whole lease. Free-policy queues (the
+// platform's batched hot path) hand out a contiguous prefix of the ready
+// pool with one cut instead of n header pops; policies that hold copies
+// back fall through to Next per item, so release semantics are identical.
+func (q *Queue) NextBatch(dst []Assignment, n int) []Assignment {
+	if q.policy == Free {
+		k := n
+		if k > len(q.ready) {
+			k = len(q.ready)
+		}
+		for _, a := range q.ready[:k] {
+			q.everIssued[a.TaskID] = true
+		}
+		dst = append(dst, q.ready[:k]...)
+		q.ready = q.ready[k:]
+		q.outstanding += k
+		q.issued += k
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		a, ok := q.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, a)
+	}
+	return dst
+}
+
+// Available reports whether Next would currently hand out an assignment —
+// the queue has ready copies, or a phase turn is due to release some.
+// Callers use it to decide whether waking parked work requests is worth
+// anything.
+func (q *Queue) Available() bool {
+	if len(q.ready) > 0 {
+		return true
+	}
+	return q.policy == TwoPhase && q.outstanding == 0 && len(q.phase2) > 0
+}
+
 // Complete reports that the result for a has been returned, releasing any
 // copies the policy was holding back.
 func (q *Queue) Complete(a Assignment) {
