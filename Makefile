@@ -1,19 +1,21 @@
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-save bench-smoke figures fmt vet check chaos fuzz clean
+.PHONY: all build test race cover cover-check bench bench-save bench-smoke figures fmt vet check chaos fuzz snapshot-smoke clean
 
 all: build test
 
 # The full verification gate CI runs: compile everything, vet, the whole
 # test suite under the race detector (the chaos soak included), an
 # uncached race pass over the concurrency-heavy platform package, the
-# per-package coverage floor, a quick contention-benchmark smoke run,
-# and a short fuzz burst on the wire codec.
+# compaction-restore timing smoke, the per-package coverage floor, a
+# quick contention-benchmark smoke run, and short fuzz bursts on both
+# wire codecs.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/platform/...
+	$(MAKE) snapshot-smoke
 	$(MAKE) cover-check
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
@@ -54,10 +56,14 @@ bench:
 # concurrent-worker sweep (1, 8, 32, 128 workers at lease size 16) against
 # the recorded pre-group-commit 32-worker baseline of ~40000
 # assignments/sec; the acceptance bar is a >=2x speedup at 32 workers.
+# BENCH_pr6 sweeps both wire codecs at a task count large enough to
+# amortize setup; the bar is binary >= 2x the recorded PR5 batch-64 JSON
+# baseline of ~292000 assignments/sec.
 bench-save:
 	$(GO) run ./cmd/platformbench -out BENCH_pr3.json
 	$(GO) run ./cmd/platformbench -adapt -out BENCH_pr4.json
 	$(GO) run ./cmd/platformbench -adapt -workers 1,8,32,128 -baseline-aps32 40000 -out BENCH_pr5.json
+	$(GO) run ./cmd/platformbench -protos json,bin -batches 1,16,64 -n 80000 -baseline-aps 291955 -out BENCH_pr6.json
 
 # A fast CI-sized version of the contention benchmark: tiny task count,
 # 8 concurrent workers, no artifact. Catches a supervisor that deadlocks,
@@ -72,10 +78,20 @@ bench-smoke:
 chaos:
 	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/platform
 
-# Short-fuzz the wire codec against hostile bytes (seed corpus runs in
-# every plain `go test`; this explores further for 30s).
+# Short-fuzz both wire codecs (seed corpora run in every plain `go
+# test`; this explores further for 30s each): FuzzCodecRecv throws
+# hostile bytes at the JSON framing, FuzzBinaryCodec at the binary
+# decoder plus the differential binary-equals-JSON-round-trip property.
 fuzz:
 	$(GO) test -fuzz=FuzzCodecRecv -fuzztime=30s -run '^$$' ./internal/platform
+	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=30s -run '^$$' ./internal/platform
+
+# The compaction-restore timing smoke, not under the race detector (the
+# race run above scales the soak down): replays a >=100k-result journal
+# in full and from a snapshot, and fails unless the snapshot restore is
+# byte-identical and faster.
+snapshot-smoke:
+	$(GO) test -run TestSnapshotSoakRestoreEquivalence -count=1 -v ./internal/platform
 
 # Regenerate every paper table/figure (see EXPERIMENTS.md).
 figures:

@@ -41,6 +41,7 @@ import (
 
 type result struct {
 	Batch             int     `json:"batch"`
+	Proto             string  `json:"proto,omitempty"`
 	Assignments       int     `json:"assignments"`
 	Seconds           float64 `json:"seconds"`
 	AssignmentsPerSec float64 `json:"assignments_per_sec"`
@@ -75,6 +76,15 @@ type report struct {
 	Results    []result `json:"results"`
 	SpeedupVs1 float64  `json:"speedup_max_batch_vs_1"`
 	Speedup16  float64  `json:"speedup_batch16_vs_1"`
+	// BinVsJSONMaxBatch divides the binary codec's throughput by JSON's at
+	// the largest lease size the -protos sweep ran both codecs at.
+	BinVsJSONMaxBatch float64 `json:"bin_vs_json_speedup_max_batch,omitempty"`
+	// BaselineAPS is a recorded pre-change assignments/sec figure at the
+	// largest lease size (passed in via -baseline-aps so the artifact
+	// carries both sides of the comparison); SpeedupVsBaseline divides the
+	// binary codec's max-batch throughput by it.
+	BaselineAPS       float64 `json:"baseline_assignments_per_sec,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 	// WorkerSweep scales concurrent workers at a fixed lease size; one
 	// entry per -workers value, with lease-latency percentiles.
 	WorkerSweep []sweepResult `json:"worker_sweep,omitempty"`
@@ -110,8 +120,10 @@ func main() {
 	workersFlag := flag.String("workers", "1", "comma-separated concurrent-worker counts; the first runs the batch sweep, the full list runs the worker sweep")
 	batches := flag.String("batches", "1,16,64", "comma-separated lease sizes for the batch sweep")
 	sweepBatch := flag.Int("sweep-batch", 16, "lease size held fixed during the worker sweep")
+	protosFlag := flag.String("protos", "json", "comma-separated wire codecs for the batch sweep (json, bin)")
 	adaptRun := flag.Bool("adapt", false, "also measure a run with the adaptive control plane ticking (at the largest lease size)")
 	baselineAPS32 := flag.Float64("baseline-aps32", 0, "pre-change assignments/sec at 32 workers, recorded in the artifact for comparison")
+	baselineAPS := flag.Float64("baseline-aps", 0, "pre-change assignments/sec at the largest lease size; the binary codec's throughput is compared against it")
 	journal := flag.String("journal", "", "journal accepted results to this file during every run (exercises the group-commit path; file is truncated per run)")
 	journalSync := flag.Bool("journal-sync", false, "fsync journal records before acking (requires -journal)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
@@ -120,6 +132,14 @@ func main() {
 
 	sizes := parseIntList("-batches", *batches)
 	workerCounts := parseIntList("-workers", *workersFlag)
+	var protos []string
+	for _, p := range strings.Split(*protosFlag, ",") {
+		p = strings.TrimSpace(p)
+		if p != "json" && p != "bin" {
+			log.Fatalf("platformbench: bad -protos entry %q (want json or bin)", p)
+		}
+		protos = append(protos, p)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -139,23 +159,30 @@ func main() {
 		Tasks:  *n, Iters: *iters, Workers: workerCounts[0],
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
-	fmt.Printf("%-8s %-14s %-10s %s\n", "batch", "assignments", "seconds", "assignments/sec")
-	for _, b := range sizes {
-		r, _, err := rc.run(*n, *iters, workerCounts[0], b, false)
-		if err != nil {
-			log.Fatalf("platformbench: batch %d: %v", b, err)
+	fmt.Printf("%-8s %-8s %-14s %-10s %s\n", "proto", "batch", "assignments", "seconds", "assignments/sec")
+	for _, proto := range protos {
+		for _, b := range sizes {
+			r, _, err := rc.run(*n, *iters, workerCounts[0], b, proto, false)
+			if err != nil {
+				log.Fatalf("platformbench: proto %s batch %d: %v", proto, b, err)
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-8s %-8d %-14d %-10.3f %.0f\n", r.Proto, r.Batch, r.Assignments, r.Seconds, r.AssignmentsPerSec)
 		}
-		rep.Results = append(rep.Results, r)
-		fmt.Printf("%-8d %-14d %-10.3f %.0f\n", r.Batch, r.Assignments, r.Seconds, r.AssignmentsPerSec)
 	}
 
+	// Speedups within the first codec's sweep (batch-amortization trend,
+	// comparable to earlier BENCH_pr*.json artifacts).
 	base := rep.Results[0]
 	for _, r := range rep.Results {
-		if r.Batch == 1 {
+		if r.Batch == 1 && r.Proto == protos[0] {
 			base = r
 		}
 	}
 	for _, r := range rep.Results {
+		if r.Proto != protos[0] {
+			continue
+		}
 		if s := r.AssignmentsPerSec / base.AssignmentsPerSec; s > rep.SpeedupVs1 {
 			rep.SpeedupVs1 = s
 		}
@@ -165,11 +192,36 @@ func main() {
 	}
 	fmt.Printf("\nspeedup vs batch 1: %.2fx (batch 16: %.2fx)\n", rep.SpeedupVs1, rep.Speedup16)
 
+	// Codec comparison at the largest shared lease size.
+	maxBatch := sizes[len(sizes)-1]
+	var jsonAPS, binAPS float64
+	for _, r := range rep.Results {
+		if r.Batch != maxBatch {
+			continue
+		}
+		switch r.Proto {
+		case "json":
+			jsonAPS = r.AssignmentsPerSec
+		case "bin":
+			binAPS = r.AssignmentsPerSec
+		}
+	}
+	if jsonAPS > 0 && binAPS > 0 {
+		rep.BinVsJSONMaxBatch = binAPS / jsonAPS
+		fmt.Printf("binary vs JSON at batch %d: %.2fx\n", maxBatch, rep.BinVsJSONMaxBatch)
+	}
+	if *baselineAPS > 0 && binAPS > 0 {
+		rep.BaselineAPS = *baselineAPS
+		rep.SpeedupVsBaseline = binAPS / *baselineAPS
+		fmt.Printf("binary at batch %d vs recorded baseline (%.0f/sec): %.2fx\n",
+			maxBatch, rep.BaselineAPS, rep.SpeedupVsBaseline)
+	}
+
 	if len(workerCounts) > 1 {
 		fmt.Printf("\n%-8s %-8s %-14s %-16s %-12s %s\n",
 			"workers", "batch", "assignments", "assignments/sec", "p50 lease", "p99 lease")
 		for _, w := range workerCounts {
-			r, lat, err := rc.run(*n, *iters, w, *sweepBatch, false)
+			r, lat, err := rc.run(*n, *iters, w, *sweepBatch, protos[0], false)
 			if err != nil {
 				log.Fatalf("platformbench: %d workers: %v", w, err)
 			}
@@ -195,7 +247,7 @@ func main() {
 
 	if *adaptRun {
 		ab := sizes[len(sizes)-1]
-		r, _, err := rc.run(*n, *iters, workerCounts[0], ab, true)
+		r, _, err := rc.run(*n, *iters, workerCounts[0], ab, protos[0], true)
 		if err != nil {
 			log.Fatalf("platformbench: adaptive batch %d: %v", ab, err)
 		}
@@ -263,7 +315,7 @@ type runConfig struct {
 // percentiles. With adaptive set, the control plane ticks throughout the
 // run: honest workers keep p̂ near zero, so this measures the
 // estimator/controller overhead on the hot path, not re-planning.
-func (rc runConfig) run(n, iters, workers, batch int, adaptive bool) (result, latencySummary, error) {
+func (rc runConfig) run(n, iters, workers, batch int, proto string, adaptive bool) (result, latencySummary, error) {
 	p, err := plan.FromDistribution(dist.Simple(float64(n)), 0.5)
 	if err != nil {
 		return result{}, latencySummary{}, err
@@ -304,11 +356,15 @@ func (rc runConfig) run(n, iters, workers, batch int, adaptive bool) (result, la
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, err := redundancy.RunWorker(redundancy.WorkerConfig{
+			wc := redundancy.WorkerConfig{
 				Addr: addr, Name: fmt.Sprintf("bench-%d", i),
 				BatchSize: batch, Seed: uint64(i + 1),
 				OnLeaseRTT: lat.observe,
-			})
+			}
+			if proto == "bin" {
+				wc.Proto = proto
+			}
+			_, err := redundancy.RunWorker(wc)
 			if err != nil {
 				errs <- err
 			}
@@ -325,6 +381,7 @@ func (rc runConfig) run(n, iters, workers, batch int, adaptive bool) (result, la
 	total := p.TotalAssignments() // includes copies a revision added mid-run
 	return result{
 		Batch:             batch,
+		Proto:             proto,
 		Assignments:       total,
 		Seconds:           elapsed.Seconds(),
 		AssignmentsPerSec: float64(total) / elapsed.Seconds(),

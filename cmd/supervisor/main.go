@@ -93,6 +93,8 @@ func main() {
 	journal := flag.String("journal", "", "append accepted results to this file and resume from it if it exists")
 	journalSync := flag.Bool("journal-sync", false, "fsync the journal after every accepted result (crash-safe, slower)")
 	groupCommit := flag.Bool("group-commit", false, "coalesce journal appends from all connections into one write (and, with -journal-sync, one fsync) per commit window; acks still wait for their fsync")
+	snapshotInterval := flag.Int("snapshot-interval", 0, "write a state snapshot into the journal every N appended records (0 = off; requires -journal and the free policy)")
+	compact := flag.Bool("compact", false, "with -snapshot-interval, each snapshot atomically replaces the journal instead of extending it, keeping journal size and restart cost proportional to live state")
 	profile := flag.Bool("profile", false, "enable mutex and block contention profiling (served at /debug/pprof on -metrics-addr)")
 	ioTimeout := flag.Duration("io-timeout", 2*time.Minute, "per-message read/write deadline on worker connections (0 = none)")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "on SIGINT/SIGTERM, wait this long for in-flight results before closing")
@@ -171,18 +173,22 @@ func main() {
 		}
 		cfg.Adapt = &redundancy.AdaptConfig{TargetEpsilon: te, Interval: *adaptInterval}
 	}
-	var journalFile *os.File
+	var journalFile *redundancy.JournalFile
 	if *journal != "" {
 		if prev, err := os.ReadFile(*journal); err == nil && len(prev) > 0 {
 			cfg.Restore = bytes.NewReader(prev)
 		}
-		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := redundancy.OpenJournalFile(*journal)
 		if err != nil {
 			log.Fatal("supervisor: ", err)
 		}
 		defer f.Close()
 		cfg.Journal = f
 		journalFile = f
+		cfg.SnapshotInterval = *snapshotInterval
+		cfg.Compact = *compact
+	} else if *snapshotInterval > 0 || *compact {
+		log.Fatal("supervisor: -snapshot-interval and -compact require -journal")
 	}
 	if *chaos != "" {
 		fc, err := redundancy.ParseFaultConfig(*chaos)
@@ -223,12 +229,12 @@ func main() {
 	// the fragment and turn it into unrecoverable interior corruption on
 	// the restart after this one. Cut it off before accepting results.
 	if journalFile != nil && cfg.Restore != nil {
-		if fi, err := journalFile.Stat(); err == nil {
-			if valid := sup.RestoredJournalBytes(); valid < fi.Size() {
+		if size, err := journalFile.Size(); err == nil {
+			if valid := sup.RestoredJournalBytes(); valid < size {
 				if err := journalFile.Truncate(valid); err != nil {
 					log.Fatal("supervisor: truncating torn journal tail: ", err)
 				}
-				logf("journal: dropped torn tail (%d -> %d bytes)", fi.Size(), valid)
+				logf("journal: dropped torn tail (%d -> %d bytes)", size, valid)
 			}
 		}
 	}

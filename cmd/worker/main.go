@@ -46,6 +46,7 @@ func main() {
 	maxAssign := flag.Int("max", 0, "stop after this many assignments (0 = run to completion)")
 	throttle := flag.Duration("throttle", 0, "fixed extra delay per assignment")
 	batch := flag.Int("batch", redundancy.DefaultMaxBatch, "assignments to lease per get_work round trip (1 = single-assignment protocol)")
+	proto := flag.String("proto", redundancy.ProtoJSON, "wire codec to request at registration: json | bin (binary falls back to JSON against supervisors that do not speak it)")
 	reconnect := flag.Bool("reconnect", true, "survive connection failures: redial with backoff and resume the same identity")
 	maxReconnects := flag.Int("max-reconnects", 8, "consecutive failed sessions before giving up (with -reconnect)")
 	chaos := flag.String("chaos", "", `inject faults into this worker's connections, e.g. "seed=7,drop=0.02,corrupt=0.01,latency=2ms" (empty = off)`)
@@ -56,6 +57,10 @@ func main() {
 	if *batch < 1 {
 		log.Fatalf("worker: -batch must be at least 1 (got %d)", *batch)
 	}
+	if *proto != redundancy.ProtoJSON && *proto != redundancy.ProtoBinary {
+		log.Fatalf("worker: -proto must be %q or %q (got %q)",
+			redundancy.ProtoJSON, redundancy.ProtoBinary, *proto)
+	}
 
 	cfg := redundancy.WorkerConfig{
 		Addr:           *addr,
@@ -65,6 +70,9 @@ func main() {
 		Throttle:       *throttle,
 		Reconnect:      *reconnect,
 		MaxReconnects:  *maxReconnects,
+	}
+	if *proto == redundancy.ProtoBinary {
+		cfg.Proto = redundancy.ProtoBinary
 	}
 	if *cheat > 0 {
 		cfg.Cheat = redundancy.NewWorkerCoalition(*cheat, *cheatSeed).CheatFunc()

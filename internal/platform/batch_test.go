@@ -450,20 +450,23 @@ func TestAppendJournalBatchTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored, _, valid, err := replayJournal(strings.NewReader(torn),
+	st, err := replayJournal(strings.NewReader(torn),
 		collectorQueueReplayer{collector, queue})
 	if err != nil {
 		t.Fatalf("torn batch tail not tolerated: %v", err)
 	}
-	if restored != len(recs)-1 {
-		t.Errorf("restored %d of a torn batch, want %d", restored, len(recs)-1)
+	if st.restored != len(recs)-1 {
+		t.Errorf("restored %d of a torn batch, want %d", st.restored, len(recs)-1)
 	}
 	wantValid := int64(0)
 	for _, line := range strings.SplitAfter(buf.String(), "\n")[:len(recs)-1] {
 		wantValid += int64(len(line))
 	}
-	if valid != wantValid {
-		t.Errorf("valid prefix %d bytes, want %d", valid, wantValid)
+	if st.validBytes != wantValid {
+		t.Errorf("valid prefix %d bytes, want %d", st.validBytes, wantValid)
+	}
+	if st.lines != len(recs)-1 {
+		t.Errorf("replay counted %d lines, want %d", st.lines, len(recs)-1)
 	}
 }
 
@@ -485,4 +488,8 @@ func (r collectorQueueReplayer) replayResult(a sched.Assignment, participant int
 
 func (r collectorQueueReplayer) replayRevision(rec revisionRecord) error {
 	return fmt.Errorf("unexpected revision record seq=%d", rec.Seq)
+}
+
+func (r collectorQueueReplayer) replaySnapshot(rec snapshotRecord) error {
+	return fmt.Errorf("unexpected snapshot record (%d results)", rec.Results)
 }

@@ -40,6 +40,13 @@ type WorkerConfig struct {
 	// Throttle adds a fixed delay per assignment (simulates slow hosts,
 	// and exercises the platform's asynchrony in tests).
 	Throttle time.Duration
+	// Proto selects the wire codec to request at registration: "" or
+	// ProtoJSON keeps newline-delimited JSON; ProtoBinary asks for the
+	// length-prefixed binary framing (PROTOCOL.md). The register exchange
+	// itself is always JSON; the connection switches only after the
+	// supervisor echoes the capability, so a worker requesting bin from an
+	// older supervisor degrades to JSON instead of failing.
+	Proto string
 	// Reconnect makes session failures survivable: instead of returning the
 	// first network error, the worker redials with exponential backoff,
 	// resumes its identity (and any in-flight assignment) via a resume
@@ -244,7 +251,7 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 	// Register — or, after a reconnect, resume the identity we already hold
 	// so credit accrues to one participant and the supervisor can hand back
 	// the assignment this worker still owes.
-	reg := Message{Type: MsgRegister, Name: cfg.Name}
+	reg := Message{Type: MsgRegister, Name: cfg.Name, Proto: cfg.Proto}
 	if st.id >= 0 {
 		reg.Resume, reg.ParticipantID, reg.Token = true, st.id, st.token
 	}
@@ -256,8 +263,10 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 		// The supervisor does not know us — typically it restarted and
 		// resume tokens are in-memory. Start over with a fresh identity;
 		// the pending result names an assignment that no longer exists.
+		// (Refusals arrive in JSON: the codec only switches on a registered
+		// reply, so the fresh register below re-negotiates from scratch.)
 		st.id, st.token, st.pending = -1, 0, nil
-		welcome, err = roundTrip(Message{Type: MsgRegister, Name: cfg.Name})
+		welcome, err = roundTrip(Message{Type: MsgRegister, Name: cfg.Name, Proto: cfg.Proto})
 		if err != nil {
 			return err
 		}
@@ -268,6 +277,11 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 			return &terminalError{err}
 		}
 		return err
+	}
+	if welcome.Proto == ProtoBinary {
+		// The supervisor granted proto=bin and switched after sending this
+		// reply; everything from here on is binary-framed.
+		codec.EnableBinary()
 	}
 	st.id = welcome.ParticipantID
 	st.token = welcome.Token

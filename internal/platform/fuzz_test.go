@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -31,3 +33,46 @@ func FuzzCodecRecv(f *testing.F) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// FuzzBinaryCodec hardens the binary codec from both directions. The raw
+// fuzz bytes are fed to the payload decoder, which must error or decode
+// but never panic. Then, when the bytes parse as a JSON Message, the
+// differential property is checked: binary encode→decode must equal the
+// JSON round trip of the same message — the two codecs are required to
+// agree on semantics (presence bits mirror omitempty) for every
+// reachable Message, not just the golden set.
+func FuzzBinaryCodec(f *testing.F) {
+	f.Add([]byte{1, 0x11, 5, 'a', 'l', 'i', 'c', 'e', 3, 'b', 'i', 'n'})
+	f.Add([]byte{9, 0})
+	f.Add([]byte{0, 2, 'x', 'y', 0})
+	f.Add([]byte(`{"type":"result_batch","participant_id":3,"results":[{"task_id":7,"copy":0,"value":99}]}`))
+	f.Add([]byte(`{"type":"work","task_id":-1,"iters":-5,"seed":18446744073709551615}`))
+	f.Add([]byte(`{"type":"no_work","wait_seconds":0.25}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Codec
+		var m Message
+		_ = c.decodeBinMessage(data, &m) // must not panic on hostile bytes
+
+		m = Message{}
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		jb, err := json.Marshal(m)
+		if err != nil {
+			return // e.g. a string that does not survive re-marshaling
+		}
+		var want Message
+		if err := json.Unmarshal(jb, &want); err != nil {
+			t.Fatalf("JSON round trip: %v", err)
+		}
+		payload := appendBinMessage(nil, &m)
+		var got Message
+		var c2 Codec
+		if err := c2.decodeBinMessage(payload, &got); err != nil {
+			t.Fatalf("binary decode of own encoding failed: %v\nmessage: %+v", err, m)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("codec disagreement\nbinary: %+v\njson:   %+v", got, want)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/*.wire.golden from the current codecs")
+
+// goldenMessages is one representative message per protocol verb (plus an
+// explicit-type frame, verb tag 0), with every field populated somewhere.
+// A verb added to wireVerbs without a row here fails TestWireGolden.
+func goldenMessages() []struct {
+	label string
+	m     Message
+} {
+	return []struct {
+		label string
+		m     Message
+	}{
+		{"register", Message{Type: MsgRegister, Name: "alice", Proto: ProtoBinary}},
+		{"register_resume", Message{Type: MsgRegister, Name: "alice", Resume: true, ParticipantID: 3, Token: 0xdeadbeefcafe}},
+		{"registered", Message{Type: MsgRegistered, ParticipantID: 3, Token: 0x1234abcd5678, Proto: ProtoBinary}},
+		{"request_work", Message{Type: MsgRequestWork, ParticipantID: 3}},
+		{"work", Message{Type: MsgWork, TaskID: 41, Copy: 2, Kind: "collatz", Seed: 0x9e3779b97f4a7c15, Iters: 100000}},
+		{"no_work", Message{Type: MsgNoWork, Wait: 0.25}},
+		{"result", Message{Type: MsgResult, ParticipantID: 3, TaskID: 41, Copy: 2, Value: 0xfeedface}},
+		{"ack", Message{Type: MsgAck, TaskID: 41, Copy: 2}},
+		{"done", Message{Type: MsgDone}},
+		{"error", Message{Type: MsgError, Error: "participant 3 is blacklisted", Reason: ReasonBlacklisted}},
+		{"get_work", Message{Type: MsgGetWork, ParticipantID: 3, Batch: 64}},
+		{"work_batch", Message{Type: MsgWorkBatch, Kind: "collatz", Iters: 100000,
+			Work: []WorkItem{{TaskID: 7, Copy: 0, Seed: 11}, {TaskID: 8, Copy: 1, Seed: 12}}}},
+		{"result_batch", Message{Type: MsgResultBatch, ParticipantID: 3,
+			Results: []ResultItem{{TaskID: 7, Copy: 0, Value: 99}, {TaskID: 8, Copy: 1, Value: 100}}}},
+		{"batch_ack", Message{Type: MsgBatchAck,
+			Acks: []ResultAck{{TaskID: 7, Copy: 0, OK: true}, {TaskID: 8, Copy: 1, OK: false, Reason: ReasonUnassigned, Error: "no outstanding copy"}}}},
+		{"explicit_type", Message{Type: "x-experimental", Name: "n", Ringer: true}},
+	}
+}
+
+// encodeGolden renders every golden message through one codec into a
+// human-diffable byte pin: raw JSON lines, or hex dumps of binary frames.
+func encodeGolden(t *testing.T, binary bool) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, g := range goldenMessages() {
+		var wire bytes.Buffer
+		c := NewCodec(&wire)
+		if binary {
+			c.EnableBinary()
+		}
+		if err := c.Send(g.m); err != nil {
+			t.Fatalf("%s: encode: %v", g.label, err)
+		}
+		fmt.Fprintf(&out, "-- %s\n", g.label)
+		if binary {
+			out.WriteString(hex.Dump(wire.Bytes()))
+		} else {
+			out.Write(wire.Bytes())
+		}
+	}
+	return out.Bytes()
+}
+
+// TestWireGolden pins the exact bytes both codecs put on the wire for a
+// representative message of every verb. A diff here is a wire-format
+// change: if it is intentional, bump PROTOCOL.md to match and regenerate
+// with go test ./internal/platform -run TestWireGolden -update.
+func TestWireGolden(t *testing.T) {
+	// Every verb must have a golden row, so new verbs cannot ship unpinned.
+	covered := map[string]bool{}
+	for _, g := range goldenMessages() {
+		covered[g.m.Type] = true
+	}
+	for _, verb := range wireVerbs {
+		if !covered[verb] {
+			t.Errorf("verb %q has no golden message; add one to goldenMessages", verb)
+		}
+	}
+
+	for _, codec := range []struct {
+		name   string
+		binary bool
+	}{{"json", false}, {"bin", true}} {
+		t.Run(codec.name, func(t *testing.T) {
+			got := encodeGolden(t, codec.binary)
+			path := filepath.Join("testdata", codec.name+".wire.golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s wire bytes changed; if intentional, update PROTOCOL.md and rerun with -update\ngot:\n%s\nwant:\n%s", codec.name, got, want)
+			}
+		})
+	}
+}
+
+// TestWireGoldenRoundTrip proves both codecs decode their own golden
+// frames back to the same message, field for field. The reference is the
+// JSON round trip of the original, which canonicalizes omitempty zeroes
+// exactly as the binary presence bitmap does.
+func TestWireGoldenRoundTrip(t *testing.T) {
+	for _, g := range goldenMessages() {
+		jb, err := json.Marshal(g.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want Message
+		if err := json.Unmarshal(jb, &want); err != nil {
+			t.Fatal(err)
+		}
+		for _, binary := range []bool{false, true} {
+			var wire bytes.Buffer
+			c := NewCodec(&wire)
+			if binary {
+				c.EnableBinary()
+			}
+			if err := c.Send(g.m); err != nil {
+				t.Fatalf("%s: encode: %v", g.label, err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("%s (binary=%v): decode: %v", g.label, binary, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s (binary=%v): round trip mismatch\ngot  %+v\nwant %+v", g.label, binary, got, want)
+			}
+		}
+	}
+}

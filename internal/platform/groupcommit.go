@@ -130,6 +130,9 @@ encode:
 	if err == nil {
 		s.jnlMu.Lock()
 		_, err = s.cfg.Journal.Write(buf.Bytes())
+		if err == nil {
+			s.jnlLines += int64(n)
+		}
 		s.jnlMu.Unlock()
 	}
 	bufPool.Put(buf)
@@ -143,5 +146,12 @@ encode:
 	}
 	for _, req := range batch {
 		req.done <- err
+	}
+	// Snapshot trigger, after the requesters are released: takeSnapshot
+	// takes lease.mu → audit.mu, which no commit() caller holds, and
+	// running it here keeps the committer single-threaded with respect to
+	// its own journal writes.
+	if err == nil {
+		s.noteJournaled(n)
 	}
 }

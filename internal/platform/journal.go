@@ -45,12 +45,59 @@ type revisionRecord struct {
 	Minted     []plan.Mint      `json:"minted,omitempty"`
 }
 
+// snapshotVerdict is one adjudicated task inside a snapshot, carrying
+// exactly the fields RestoreVerdict needs to reinstate the verdict (and
+// its downstream effects: credits, blacklist, estimator evidence) without
+// re-running the per-copy results through the pipeline.
+type snapshotVerdict struct {
+	TaskID       int    `json:"task"`
+	Ringer       bool   `json:"ringer,omitempty"`
+	Copies       int    `json:"copies"`
+	Accepted     bool   `json:"accepted,omitempty"`
+	Value        uint64 `json:"value"`
+	Mismatch     bool   `json:"mismatch,omitempty"`
+	Suspects     []int  `json:"suspects,omitempty"`
+	Contributors []int  `json:"contributors"`
+}
+
+// snapshotRecord is a point-in-time capture of everything journal replay
+// would reconstruct: applied revisions, issued verdicts (in adjudication
+// order, so estimator and credit updates replay in the exact sequence the
+// live process performed them), and the partial results of still-pending
+// tasks. A snapshot at the head of a journal replaces the replay of its
+// covered prefix — compaction truncates that prefix away — turning
+// restore cost from O(run history) into O(live state). Its canonical JSON
+// encoding doubles as a state digest: two supervisors are in the same
+// certification state iff their captures encode to the same bytes.
+type snapshotRecord struct {
+	// Results is the number of journaled result records the snapshot
+	// covers: the restored count a full replay of the prefix would report.
+	Results int `json:"results"`
+	// MaxParticipant is the highest participant ID among covered records
+	// (-1 if none) — replay parity for the ID-allocation high-water mark.
+	MaxParticipant int `json:"max_participant"`
+	// Revisions are the applied plan revisions, in sequence order.
+	Revisions []revisionRecord `json:"revisions,omitempty"`
+	// Verdicts are the adjudicated tasks, in adjudication order.
+	Verdicts []snapshotVerdict `json:"verdicts,omitempty"`
+	// Pending are the results of partially-collected tasks, ordered by
+	// task ID then submission — a deterministic enumeration, so equal
+	// states encode to equal bytes.
+	Pending []journalRecord `json:"pending,omitempty"`
+}
+
 // journalLine is the union read shape: a result record, or — when the
-// Revision pointer is set — a plan revision.
+// corresponding pointer is set — a plan revision or a snapshot.
 type journalLine struct {
 	journalRecord
 	Revision *revisionRecord `json:"revision,omitempty"`
+	Snapshot *snapshotRecord `json:"snapshot,omitempty"`
 }
+
+// journalRecordKinds names every record type a journal line can carry.
+// PROTOCOL.md's enforcement test diffs its journal-format section against
+// this list, so adding a kind without documenting it fails the build.
+var journalRecordKinds = []string{"result", "revision", "snapshot"}
 
 // appendJournal writes one record; callers hold the supervisor's journal
 // lock so records are totally ordered.
@@ -89,55 +136,132 @@ func appendJournalBatch(w io.Writer, recs []journalRecord) error {
 	return err
 }
 
+// appendJournalSnapshot encodes one snapshot record as a journal line
+// into dst (the caller writes or installs the bytes under the journal
+// lock). Encoding is canonical — encoding/json with deterministic field
+// and element order — which is what lets the snapshot double as a state
+// digest.
+func appendJournalSnapshot(dst *bytes.Buffer, rec *snapshotRecord) error {
+	return json.NewEncoder(dst).Encode(struct {
+		Snapshot *snapshotRecord `json:"snapshot"`
+	}{rec})
+}
+
 // journalReplayer is what replaying a journal needs from its owner: the
-// verification/queue state every result feeds, plus a hook for applying
-// plan revisions at their recorded position. The supervisor implements it;
-// tests may substitute pieces.
+// verification/queue state every result feeds, plus hooks for applying
+// plan revisions at their recorded position and installing a snapshot.
+// The supervisor implements it; tests may substitute pieces.
 type journalReplayer interface {
 	replayResult(a sched.Assignment, participant int, value uint64) error
 	replayRevision(rec revisionRecord) error
+	replaySnapshot(rec snapshotRecord) error
+}
+
+// replayStats summarizes one journal replay.
+type replayStats struct {
+	// restored counts result records the journal accounts for, including
+	// results a head snapshot covers.
+	restored int
+	// maxParticipant is the highest participant ID seen (-1 if none).
+	maxParticipant int
+	// validBytes is the length of the journal prefix that replayed
+	// cleanly: a caller that will keep appending to the same file should
+	// truncate it to validBytes first, so a torn tail does not glue
+	// itself onto the next record and turn into interior corruption at a
+	// later restore. (A final valid line missing its newline counts the
+	// newline anyway; clamp to the file size before truncating.)
+	validBytes int64
+	// lines counts the record lines consumed (blank lines excluded) —
+	// the journal's current length in records, which compaction
+	// accounting needs exactly (replayer callbacks undercount: covered
+	// duplicates and mid-stream snapshots never reach them).
+	lines int
 }
 
 // replayJournal feeds every journaled line back through rp. Torn trailing
 // lines (a crash mid-write) are tolerated; corrupt interior records abort
-// with an error. It returns the number of results restored and validBytes,
-// the length of the journal prefix that replayed cleanly: a caller that
-// will keep appending to the same file should truncate it to validBytes
-// first, so a torn tail does not glue itself onto the next record and turn
-// into interior corruption at a later restore. (A final valid line missing
-// its newline counts the newline anyway; clamp to the file size before
-// truncating.)
-func replayJournal(r io.Reader, rp journalReplayer) (restored, maxParticipant int, validBytes int64, err error) {
+// with an error.
+func replayJournal(r io.Reader, rp journalReplayer) (replayStats, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	maxParticipant = -1
+	// Result and revision lines are tiny, but a snapshot line scales with
+	// the live state it captures (a 50k-verdict snapshot runs to several
+	// MB), so the line cap is far above the wire protocol's maxFrame.
+	sc.Buffer(make([]byte, 0, 4096), 1<<30)
+	st := replayStats{maxParticipant: -1}
 	var pendingErr error
+	// covered, set when a head snapshot installs, holds the (task, copy)
+	// keys the snapshot already accounts for. A result record is appended
+	// only after its apply step, so a record applied before the capture
+	// can land after the snapshot line; replaying it would double-submit,
+	// so covered duplicates are skipped (each appears at most once).
+	var covered map[[2]int]bool
+	first := true
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
-			validBytes++ // a blank line consumed one newline byte
+			st.validBytes++ // a blank line consumed one newline byte
 			continue
 		}
 		if pendingErr != nil {
 			// A bad record followed by more data is real corruption, not
 			// a torn tail.
-			return restored, maxParticipant, validBytes, pendingErr
+			return st, pendingErr
 		}
 		var rec journalLine
 		if err := json.Unmarshal(line, &rec); err != nil {
 			pendingErr = fmt.Errorf("platform: corrupt journal record: %w", err)
 			continue
 		}
+		if rec.Snapshot != nil {
+			// Only a snapshot heading the journal installs: it is the
+			// compacted stand-in for the truncated prefix. A snapshot
+			// mid-stream is a periodic capture of state the records before
+			// it already rebuilt — skip it. (A torn snapshot at the tail
+			// never reaches here: it fails the JSON parse above and is
+			// tolerated like any torn final line.)
+			if first {
+				if err := rp.replaySnapshot(*rec.Snapshot); err != nil {
+					return st, fmt.Errorf("platform: journal snapshot: %w", err)
+				}
+				s := rec.Snapshot
+				covered = make(map[[2]int]bool, 2*len(s.Verdicts)+len(s.Pending))
+				for _, v := range s.Verdicts {
+					for c := 0; c < v.Copies; c++ {
+						covered[[2]int{v.TaskID, c}] = true
+					}
+				}
+				for _, p := range s.Pending {
+					covered[[2]int{p.TaskID, p.Copy}] = true
+				}
+				st.restored += s.Results
+				if s.MaxParticipant > st.maxParticipant {
+					st.maxParticipant = s.MaxParticipant
+				}
+			}
+			first = false
+			st.validBytes += int64(len(line)) + 1
+			st.lines++
+			continue
+		}
+		first = false
 		if rec.Revision != nil {
 			// Revisions are load-bearing plan state: an inapplicable one is
 			// interior corruption even at the tail, because the write
 			// preceded the apply — a revision that once applied cleanly
 			// always replays cleanly.
 			if err := rp.replayRevision(*rec.Revision); err != nil {
-				return restored, maxParticipant, validBytes,
-					fmt.Errorf("platform: journal revision %d: %w", rec.Revision.Seq, err)
+				return st, fmt.Errorf("platform: journal revision %d: %w", rec.Revision.Seq, err)
 			}
-			validBytes += int64(len(line)) + 1
+			st.validBytes += int64(len(line)) + 1
+			st.lines++
+			continue
+		}
+		if covered[[2]int{rec.TaskID, rec.Copy}] {
+			// Applied before the snapshot's capture, appended after its
+			// line: the snapshot already carries this result.
+			delete(covered, [2]int{rec.TaskID, rec.Copy})
+			st.validBytes += int64(len(line)) + 1
+			st.lines++
 			continue
 		}
 		a := sched.Assignment{TaskID: rec.TaskID, Copy: rec.Copy, Ringer: rec.Ringer}
@@ -146,18 +270,19 @@ func replayJournal(r io.Reader, rp journalReplayer) (restored, maxParticipant in
 				pendingErr = torn.err
 				continue
 			}
-			return restored, maxParticipant, validBytes, err
+			return st, err
 		}
-		if rec.Participant > maxParticipant {
-			maxParticipant = rec.Participant
+		if rec.Participant > st.maxParticipant {
+			st.maxParticipant = rec.Participant
 		}
-		restored++
-		validBytes += int64(len(line)) + 1
+		st.restored++
+		st.validBytes += int64(len(line)) + 1
+		st.lines++
 	}
 	if err := sc.Err(); err != nil {
-		return restored, maxParticipant, validBytes, err
+		return st, err
 	}
-	return restored, maxParticipant, validBytes, nil
+	return st, nil
 }
 
 // replayTornError wraps a replay failure that should be tolerated when it
@@ -191,5 +316,11 @@ func (r supReplayer) replayRevision(rec revisionRecord) error {
 	if rec.Seq != s.audit.revApplied {
 		return fmt.Errorf("revision sequence %d out of order (want %d)", rec.Seq, s.audit.revApplied)
 	}
-	return s.applyRevisionLocked(plan.Revision{Promotions: rec.Promotions, Minted: rec.Minted})
+	if err := s.applyRevisionLocked(plan.Revision{Promotions: rec.Promotions, Minted: rec.Minted}); err != nil {
+		return err
+	}
+	// Retained for future snapshots, exactly as the live tick retains the
+	// revisions it applies.
+	s.audit.revisions = append(s.audit.revisions, rec)
+	return nil
 }

@@ -60,12 +60,20 @@ type supMetrics struct {
 	adaptRevisions     *obs.Counter
 	adaptPromoted      *obs.Counter
 	adaptMinted        *obs.Counter
+
+	wireBytes     *obs.CounterVec // codec
+	wireBytesJSON *obs.Counter    // cached wireBytes.With(ProtoJSON)
+	wireBytesBin  *obs.Counter    // cached wireBytes.With(ProtoBinary)
+
+	journalSnapshots        *obs.Counter
+	journalCompactedRecords *obs.Counter
+	journalRestoreSeconds   *obs.Gauge
 }
 
 // newSupMetrics registers the supervisor's metric families on r
 // (idempotently, so several supervisors may share one registry).
 func newSupMetrics(r *obs.Registry) *supMetrics {
-	return &supMetrics{
+	m := &supMetrics{
 		assignmentsIssued: r.Counter("redundancy_assignments_issued_total",
 			"Assignments handed to workers, including re-issues of reclaimed copies."),
 		resultsAccepted: r.Counter("redundancy_results_accepted_total",
@@ -124,7 +132,20 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 			"Additional assignment copies created by promoting queued tasks to higher multiplicity classes."),
 		adaptMinted: r.Counter("redundancy_adapt_ringers_minted_total",
 			"Ringer tasks minted mid-run by the adaptive controller."),
+		wireBytes: r.CounterVec("redundancy_wire_bytes_total",
+			"Bytes sent and received on worker connections, by wire codec (framing overhead included).", "codec"),
+		journalSnapshots: r.Counter("redundancy_journal_snapshots_total",
+			"Journal snapshot records written (periodic captures and compactions)."),
+		journalCompactedRecords: r.Counter("redundancy_journal_compacted_records_total",
+			"Journal lines discarded by compaction (replaced by the covering snapshot)."),
+		journalRestoreSeconds: r.Gauge("redundancy_journal_restore_seconds",
+			"Seconds the last startup spent replaying the journal (snapshot install included)."),
 	}
+	// Resolve the per-codec wire-byte counters once so the serve loop never
+	// does a label lookup per request.
+	m.wireBytesJSON = m.wireBytes.With(ProtoJSON)
+	m.wireBytesBin = m.wireBytes.With(ProtoBinary)
+	return m
 }
 
 // workerMetrics bundles every metric a worker client emits.

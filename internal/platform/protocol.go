@@ -4,14 +4,18 @@
 // results, certifies them by redundancy, checks ringers against
 // precomputed values, and blacklists implicated participants.
 //
-// The wire protocol is newline-delimited JSON — one object per line in each
-// direction — chosen so a worker can be driven by hand with netcat while
-// debugging. The unit of work ("assignment": code + data, §2) is a named
-// work function plus a payload; workers execute the computation for real.
+// The default wire protocol is newline-delimited JSON — one object per
+// line in each direction — chosen so a worker can be driven by hand with
+// netcat while debugging. Workers may negotiate the length-prefixed binary
+// framing (binproto.go) at registration with the proto=bin capability;
+// PROTOCOL.md specifies both codecs byte for byte. The unit of work
+// ("assignment": code + data, §2) is a named work function plus a payload;
+// workers execute the computation for real.
 package platform
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +45,13 @@ type Message struct {
 	// register. Without it any client could hijack a participant — and
 	// its credit — by guessing a small ID (registered, register).
 	Token uint64 `json:"token,omitempty"`
+	// Proto negotiates the wire codec. A register carrying ProtoBinary
+	// asks to switch to the length-prefixed binary framing; a registered
+	// reply echoing it confirms, and both sides switch immediately after
+	// that exchange. Absent or unrecognized values keep newline-delimited
+	// JSON, so old workers and supervisors interoperate unchanged
+	// (register, registered).
+	Proto string `json:"proto,omitempty"`
 
 	// TaskID numbers the task, 0-based; ringer tasks continue after the
 	// last real task (work, result).
@@ -182,34 +193,144 @@ const (
 	MsgBatchAck = "batch_ack"
 )
 
-// Codec frames Messages over a byte stream, one JSON object per line. The
-// zero Codec is not usable (nil encoder and scanner); construct with
+// wireVerbs lists every protocol verb in binary-tag order: the binary
+// codec's verb tag is the 1-based index into this table (tag 0 carries an
+// explicit type string, for messages whose type is not a protocol verb).
+// Append only — reordering changes tags on the wire. PROTOCOL.md's verb
+// tables are diffed against this slice by the protocol documentation test.
+var wireVerbs = []string{
+	MsgRegister,    // tag 1
+	MsgRequestWork, // tag 2
+	MsgResult,      // tag 3
+	MsgGetWork,     // tag 4
+	MsgResultBatch, // tag 5
+	MsgRegistered,  // tag 6
+	MsgWork,        // tag 7
+	MsgNoWork,      // tag 8
+	MsgDone,        // tag 9
+	MsgAck,         // tag 10
+	MsgError,       // tag 11
+	MsgWorkBatch,   // tag 12
+	MsgBatchAck,    // tag 13
+}
+
+// Wire codec names carried in Message.Proto during negotiation.
+const (
+	// ProtoJSON is the default newline-delimited JSON framing; never sent
+	// on the wire (absence means JSON).
+	ProtoJSON = "json"
+	// ProtoBinary is the length-prefixed binary framing (binproto.go).
+	ProtoBinary = "bin"
+)
+
+// maxFrame bounds one inbound frame in either codec: a JSON line or a
+// binary payload. A hostile or broken peer, never a legitimate message.
+const maxFrame = 1 << 20
+
+// ErrFrameTooLong reports an inbound frame over the codec's 1 MiB frame
+// limit — a hostile or broken peer, never a legitimate message.
+var ErrFrameTooLong = errors.New("platform: frame exceeds 1 MiB")
+
+// Codec frames Messages over a byte stream: one JSON object per line by
+// default, or length-prefixed binary frames after EnableBinary (the
+// proto=bin negotiation). The zero Codec is not usable; construct with
 // NewCodec. A Codec is not safe for concurrent use by multiple goroutines.
+//
+// In binary mode the Work/Results/Acks slices of a received Message alias
+// codec-owned scratch buffers: they are valid until the next Recv, which
+// is exactly the lifetime the serve and worker loops need. Copy them to
+// retain a message across receives.
 type Codec struct {
+	w   io.Writer
 	enc *json.Encoder
-	sc  *bufio.Scanner
+	br  *bufio.Reader
+
+	binary bool  // binary framing active (both directions)
+	err    error // sticky framing error; the stream is unrecoverable
+
+	line []byte // inbound scratch: JSON line / binary payload
+	ebuf []byte // outbound scratch: one whole binary frame
+
+	// decoded-slice scratch, reused across binary Recvs.
+	work    []WorkItem
+	results []ResultItem
+	acks    []ResultAck
+
+	// wire accounting, split by the codec in effect at the time: bytes
+	// sent plus received, including newlines and frame headers. Read via
+	// WireBytes; feeds redundancy_wire_bytes_total.
+	jsonBytes int64
+	binBytes  int64
 }
 
 // NewCodec wraps a bidirectional stream; inbound frames may be up to
 // 1 MiB long.
 func NewCodec(rw io.ReadWriter) *Codec {
-	sc := bufio.NewScanner(rw)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	return &Codec{enc: json.NewEncoder(rw), sc: sc}
+	c := &Codec{w: rw, br: bufio.NewReaderSize(rw, 4096)}
+	c.enc = json.NewEncoder(jsonCountWriter{c})
+	return c
 }
 
-// ErrFrameTooLong reports an inbound line over the codec's 1 MiB frame
-// limit — a hostile or broken peer, never a legitimate message.
-var ErrFrameTooLong = errors.New("platform: frame exceeds 1 MiB")
+// jsonCountWriter counts the JSON encoder's output bytes on the way to
+// the underlying stream.
+type jsonCountWriter struct{ c *Codec }
 
-// Send writes one message (json.Encoder appends the newline).
-func (c *Codec) Send(m Message) error { return c.enc.Encode(m) }
+func (jw jsonCountWriter) Write(p []byte) (int, error) {
+	n, err := jw.c.w.Write(p)
+	jw.c.jsonBytes += int64(n)
+	return n, err
+}
 
-// Recv reads the next message, skipping blank lines, and returns io.EOF
-// at a clean end of stream. Oversized frames surface as ErrFrameTooLong.
+// EnableBinary switches both directions to the binary framing. Call it
+// exactly at the negotiated point in the stream — after the registered
+// reply that echoed proto=bin has been sent (supervisor) or received
+// (worker) — or the two sides will disagree on the framing.
+func (c *Codec) EnableBinary() { c.binary = true }
+
+// Binary reports whether the binary framing is active.
+func (c *Codec) Binary() bool { return c.binary }
+
+// WireBytes returns the bytes sent plus received so far, split by codec:
+// JSON lines (newlines included) and binary frames (length headers
+// included).
+func (c *Codec) WireBytes() (jsonBytes, binBytes int64) {
+	return c.jsonBytes, c.binBytes
+}
+
+// Send writes one message: a JSON line (json.Encoder appends the
+// newline), or one binary frame in a single Write.
+func (c *Codec) Send(m Message) error {
+	if !c.binary {
+		return c.enc.Encode(m)
+	}
+	buf := append(c.ebuf[:0], 0, 0, 0, 0) // length prefix, patched below
+	buf = appendBinMessage(buf, &m)
+	c.ebuf = buf
+	if len(buf)-4 > maxFrame {
+		return ErrFrameTooLong
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	n, err := c.w.Write(buf)
+	c.binBytes += int64(n)
+	return err
+}
+
+// Recv reads the next message and returns io.EOF at a clean end of
+// stream. In JSON mode blank lines are skipped; oversized frames surface
+// as ErrFrameTooLong in both modes. Framing errors are sticky: once the
+// stream position is unrecoverable every further Recv fails the same way.
 func (c *Codec) Recv() (Message, error) {
-	for c.sc.Scan() {
-		line := c.sc.Bytes()
+	if c.err != nil {
+		return Message{}, c.err
+	}
+	if c.binary {
+		return c.recvBinary()
+	}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return Message{}, err
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -219,11 +340,82 @@ func (c *Codec) Recv() (Message, error) {
 		}
 		return m, nil
 	}
-	if err := c.sc.Err(); err != nil {
-		if errors.Is(err, bufio.ErrTooLong) {
-			return Message{}, ErrFrameTooLong
+}
+
+// readLine reads one newline-terminated line (the trailing \n, and a \r
+// before it, stripped), tolerating a final line without a newline. Lines
+// over maxFrame surface as a sticky ErrFrameTooLong.
+func (c *Codec) readLine() ([]byte, error) {
+	buf := c.line[:0]
+	for {
+		frag, err := c.br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		c.line = buf
+		if len(buf) > maxFrame+1 { // +1: the newline is not part of the frame
+			c.err = ErrFrameTooLong
+			return nil, ErrFrameTooLong
+		}
+		switch err {
+		case nil:
+			c.jsonBytes += int64(len(buf))
+			return trimEOL(buf), nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(buf) > 0 {
+				// A torn final line: parse what is there, exactly as
+				// bufio.Scanner used to.
+				c.jsonBytes += int64(len(buf))
+				return trimEOL(buf), nil
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// trimEOL strips one trailing \n and a \r preceding it.
+func trimEOL(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+// recvBinary reads one length-prefixed frame. io.EOF between frames is a
+// clean end of stream; EOF inside a frame is io.ErrUnexpectedEOF.
+func (c *Codec) recvBinary() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			c.err = err
 		}
 		return Message{}, err
 	}
-	return Message{}, io.EOF
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		c.err = ErrFrameTooLong
+		return Message{}, ErrFrameTooLong
+	}
+	if cap(c.line) < n {
+		c.line = make([]byte, n)
+	}
+	c.line = c.line[:n]
+	if _, err := io.ReadFull(c.br, c.line); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		c.err = err
+		return Message{}, err
+	}
+	c.binBytes += int64(4 + n)
+	var m Message
+	if err := c.decodeBinMessage(c.line, &m); err != nil {
+		return Message{}, fmt.Errorf("platform: bad frame: %w", err)
+	}
+	return m, nil
 }

@@ -1,0 +1,112 @@
+package platform
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestProtocolDocCoversEveryVerb keeps PROTOCOL.md authoritative for the
+// wire protocol: every verb in wireVerbs must have a verb-table row
+// (| `verb` | tag | ...) carrying its exact binary tag, and every
+// documented verb must still exist in code with that tag. Adding,
+// removing, or renumbering a verb without touching PROTOCOL.md fails
+// here.
+func TestProtocolDocCoversEveryVerb(t *testing.T) {
+	doc, err := os.ReadFile("../../PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A verb row is | `verb` | tag | ... — the numeric second column
+	// distinguishes verb-table rows from every other backticked table in
+	// the document.
+	row := regexp.MustCompile("(?m)^\\| `([a-z_]+)` \\| ([0-9]+) \\|")
+	documented := map[string]int{}
+	for _, m := range row.FindAllStringSubmatch(string(doc), -1) {
+		tag, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("verb row %q: %v", m[0], err)
+		}
+		if prev, dup := documented[m[1]]; dup && prev != tag {
+			t.Errorf("verb %q documented with conflicting tags %d and %d", m[1], prev, tag)
+		}
+		documented[m[1]] = tag
+	}
+	if len(documented) == 0 {
+		t.Fatal("no verb table rows found in PROTOCOL.md")
+	}
+
+	var missing, stale, wrong []string
+	for i, verb := range wireVerbs {
+		tag, ok := documented[verb]
+		switch {
+		case !ok:
+			missing = append(missing, verb)
+		case tag != i+1:
+			wrong = append(wrong, verb+": documented tag "+strconv.Itoa(tag)+", wire tag "+strconv.Itoa(i+1))
+		}
+	}
+	inCode := map[string]bool{}
+	for _, verb := range wireVerbs {
+		inCode[verb] = true
+	}
+	for verb := range documented {
+		if !inCode[verb] {
+			stale = append(stale, verb)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	sort.Strings(wrong)
+	if len(missing) > 0 {
+		t.Errorf("wire verbs missing from PROTOCOL.md's verb tables: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("verbs documented in PROTOCOL.md but gone from wireVerbs: %v", stale)
+	}
+	if len(wrong) > 0 {
+		t.Errorf("binary tag mismatches between PROTOCOL.md and wireVerbs: %v", wrong)
+	}
+}
+
+// TestProtocolDocCoversJournalFormat holds PROTOCOL.md's journal section
+// to the same standard: every journal record kind must have a table row
+// inside the journal section, and the frame-limit error must be named
+// where its wire mapping is specified.
+func TestProtocolDocCoversJournalFormat(t *testing.T) {
+	doc, err := os.ReadFile("../../PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scope to the journal section so the `result` record kind is not
+	// satisfied by the `result` wire verb.
+	_, section, found := strings.Cut(string(doc), "## Journal")
+	if !found {
+		t.Fatal("PROTOCOL.md has no \"## Journal\" section")
+	}
+	if rest, _, cut := strings.Cut(section, "\n## "); cut {
+		section = rest
+	}
+	row := regexp.MustCompile("(?m)^\\| `([a-z_]+)` \\|")
+	documented := map[string]bool{}
+	for _, m := range row.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+	var missing []string
+	for _, kind := range journalRecordKinds {
+		if !documented[kind] {
+			missing = append(missing, kind)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("journal record kinds missing from PROTOCOL.md's journal section: %v", missing)
+	}
+
+	if !strings.Contains(string(doc), "ErrFrameTooLong") {
+		t.Error("PROTOCOL.md does not specify the ErrFrameTooLong frame-limit mapping")
+	}
+}

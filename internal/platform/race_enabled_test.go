@@ -1,0 +1,7 @@
+//go:build race
+
+package platform
+
+// raceEnabled scales soak-style tests down under the race detector, whose
+// instrumentation multiplies the cost of the tight replay loops they time.
+const raceEnabled = true

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redundancy/internal/adapt"
@@ -65,6 +66,21 @@ type SupervisorConfig struct {
 	// concurrent result batches cost one fsync instead of N. Off, every
 	// handler writes (and syncs) inline, the pre-group-commit behavior.
 	GroupCommit bool
+	// SnapshotInterval, when positive, captures a snapshot of the
+	// supervisor's certification state into the journal after every
+	// SnapshotInterval appended records (counted, not timed, so behavior
+	// is deterministic under test). A snapshot heading a journal replaces
+	// the replay of everything it covers. Requires Journal and the Free
+	// policy (snapshot restore bulk-completes the queue, which the
+	// holdback policies cannot express). 0 disables snapshots.
+	SnapshotInterval int
+	// Compact, when set (requires SnapshotInterval), makes each snapshot
+	// atomically *replace* the journal instead of extending it: the
+	// journal then holds one snapshot line plus the records appended
+	// since, keeping its size — and the next restore's cost — O(live
+	// state) instead of O(run history). Requires a Journal that supports
+	// crash-atomic replacement (*JournalFile).
+	Compact bool
 	// Restore, when non-nil, is replayed at construction (see Journal).
 	Restore io.Reader
 	// WrapListener, when non-nil, wraps the listener Start creates before
@@ -159,6 +175,10 @@ type auditState struct {
 	resolved   map[int]uint64 // taskID → supervisor-recomputed value
 	est        *adapt.Estimator
 	revApplied int
+	// revisions retains every applied revision record (live and replayed),
+	// in sequence order — snapshots carry them so a compacted journal can
+	// still rebuild the revised plan.
+	revisions []revisionRecord
 }
 
 // identState guards the participant directory: ID allocation, names, and
@@ -198,10 +218,17 @@ type Supervisor struct {
 	restoredBytes int64 // clean journal prefix length, for tail truncation
 
 	// jnlMu orders journal appends across goroutines (handlers on the
-	// legacy path, adaptTick's revision records, and the group committer
-	// all write under it), so interleaved torn interior writes are
-	// impossible. It is a leaf lock below every state lock.
+	// legacy path, adaptTick's revision records, the snapshotter, and the
+	// group committer all write under it), so interleaved torn interior
+	// writes are impossible. It is a leaf lock below every state lock.
 	jnlMu sync.Mutex
+	// jnlLines counts the records currently in the journal file (guarded
+	// by jnlMu) — what compaction replaces, for exact accounting.
+	jnlLines int64
+	// jnlSince counts records appended since the last snapshot; snapBusy
+	// keeps concurrent trigger crossings from stacking snapshots.
+	jnlSince atomic.Int64
+	snapBusy atomic.Bool
 	// committer is the group-commit goroutine (GroupCommit mode), nil on
 	// the legacy inline-write path.
 	committer *journalCommitter
@@ -250,6 +277,25 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	work, err := Work(cfg.WorkKind)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SnapshotInterval < 0 {
+		return nil, errors.New("platform: negative SnapshotInterval")
+	}
+	if cfg.SnapshotInterval > 0 {
+		if cfg.Journal == nil {
+			return nil, errors.New("platform: SnapshotInterval requires a Journal")
+		}
+		if cfg.Policy != sched.Free {
+			return nil, fmt.Errorf("platform: journal snapshots require the free policy, have %v", cfg.Policy)
+		}
+	}
+	if cfg.Compact {
+		if cfg.SnapshotInterval <= 0 {
+			return nil, errors.New("platform: Compact requires SnapshotInterval")
+		}
+		if _, ok := cfg.Journal.(journalReplacer); !ok {
+			return nil, errors.New("platform: Compact requires a journal supporting atomic replacement (use OpenJournalFile)")
+		}
 	}
 	var adaptCfg adapt.Config
 	if cfg.Adapt != nil {
@@ -345,20 +391,23 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		return nil, err
 	}
 	if cfg.Restore != nil {
+		start := time.Now()
 		s.replaying = true
-		n, maxP, valid, err := replayJournal(cfg.Restore, supReplayer{s})
+		st, err := replayJournal(cfg.Restore, supReplayer{s})
 		s.replaying = false
 		if err != nil {
 			return nil, err
 		}
-		s.restored = n
-		s.restoredBytes = valid
-		s.metrics.journalRestored.Add(uint64(n))
-		if maxP >= s.ident.nextID {
-			s.ident.nextID = maxP + 1 // never reuse a journaled participant ID
+		s.observeRestore(start)
+		s.restored = st.restored
+		s.restoredBytes = st.validBytes
+		s.jnlLines = int64(st.lines)
+		s.metrics.journalRestored.Add(uint64(st.restored))
+		if st.maxParticipant >= s.ident.nextID {
+			s.ident.nextID = st.maxParticipant + 1 // never reuse a journaled participant ID
 		}
 		s.logf("restored %d results from journal (%d assignments remain)",
-			n, s.lease.queue.Total()-s.lease.queue.Issued())
+			st.restored, s.lease.queue.Total()-s.lease.queue.Issued())
 		if s.lease.queue.Done() {
 			s.lease.finished = true
 			close(s.done)
@@ -506,6 +555,22 @@ func (s *Supervisor) serve(conn net.Conn) error {
 	s.metrics.workersConnected.Inc()
 	defer s.metrics.workersConnected.Dec()
 	defer s.reclaim(cs)
+	// Wire-byte accounting: fold the codec's running totals into the
+	// per-codec counters as deltas, once per request round and once at
+	// disconnect, so /metrics lags a connection by at most one reply.
+	var seenJSON, seenBin int64
+	flushWire := func() {
+		j, b := codec.WireBytes()
+		if d := j - seenJSON; d > 0 {
+			s.metrics.wireBytesJSON.Add(uint64(d))
+			seenJSON = j
+		}
+		if d := b - seenBin; d > 0 {
+			s.metrics.wireBytesBin.Add(uint64(d))
+			seenBin = b
+		}
+	}
+	defer flushWire()
 	for {
 		if s.cfg.IOTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
@@ -556,6 +621,12 @@ func (s *Supervisor) serve(conn net.Conn) error {
 		if err := codec.Send(reply); err != nil {
 			return err
 		}
+		// Codec negotiation: the registered reply that echoes proto=bin is
+		// the last JSON frame on the connection; both sides switch after it.
+		if reply.Type == MsgRegistered && reply.Proto == ProtoBinary && !codec.Binary() {
+			codec.EnableBinary()
+		}
+		flushWire()
 	}
 }
 
@@ -666,7 +737,8 @@ func (s *Supervisor) register(m Message, cs *connState) Message {
 		}
 		s.logf("participant %d (%s) resumed with %d in-flight assignment(s)",
 			m.ParticipantID, name, moved)
-		return Message{Type: MsgRegistered, ParticipantID: m.ParticipantID, Token: tok}
+		return Message{Type: MsgRegistered, ParticipantID: m.ParticipantID, Token: tok,
+			Proto: negotiateProto(m.Proto)}
 	}
 	s.ident.mu.Lock()
 	id := s.ident.nextID
@@ -682,7 +754,20 @@ func (s *Supervisor) register(m Message, cs *connState) Message {
 		s.events.Emit(EvWorkerJoined, map[string]any{"participant": id, "name": m.Name})
 	}
 	s.logf("registered participant %d (%s)", id, m.Name)
-	return Message{Type: MsgRegistered, ParticipantID: id, Token: tok}
+	return Message{Type: MsgRegistered, ParticipantID: id, Token: tok,
+		Proto: negotiateProto(m.Proto)}
+}
+
+// negotiateProto maps a register request's proto capability to the codec
+// the supervisor will speak after the registered reply. Only proto=bin is
+// recognized; anything else — absent, "json", or a capability from the
+// future — keeps the connection on newline-delimited JSON, so old and new
+// peers interoperate in both directions.
+func negotiateProto(requested string) string {
+	if requested == ProtoBinary {
+		return ProtoBinary
+	}
+	return ""
 }
 
 // convicted answers the blacklist question under audit.mu. Only
@@ -1046,11 +1131,11 @@ func (s *Supervisor) adaptTick() {
 		}
 		return
 	}
+	rec := revisionRecord{
+		Seq: s.audit.revApplied, PHat: est.PHat, Upper: est.Upper,
+		Promotions: rev.Promotions, Minted: rev.Minted,
+	}
 	if s.cfg.Journal != nil {
-		rec := revisionRecord{
-			Seq: s.audit.revApplied, PHat: est.PHat, Upper: est.Upper,
-			Promotions: rev.Promotions, Minted: rev.Minted,
-		}
 		if err := s.appendRevision(rec); err != nil {
 			s.logf("adapt: journal write failed, revision deferred: %v", err)
 			return
@@ -1063,7 +1148,8 @@ func (s *Supervisor) adaptTick() {
 		s.logf("adapt: BUG: journaled revision failed to apply: %v", err)
 		return
 	}
-	s.kickLeaseLocked() // the revision queued new copies
+	s.audit.revisions = append(s.audit.revisions, rec) // retained for snapshots
+	s.kickLeaseLocked()                                // the revision queued new copies
 	promoted, minted := 0, 0
 	for _, pr := range rev.Promotions {
 		promoted += pr.To - pr.From
@@ -1095,6 +1181,9 @@ func (s *Supervisor) adaptTick() {
 func (s *Supervisor) appendRevision(rec revisionRecord) error {
 	s.jnlMu.Lock()
 	err := appendJournalRevision(s.cfg.Journal, rec)
+	if err == nil {
+		s.jnlLines++
+	}
 	s.jnlMu.Unlock()
 	if err != nil {
 		return err
@@ -1102,6 +1191,10 @@ func (s *Supervisor) appendRevision(rec revisionRecord) error {
 	if s.cfg.JournalSync {
 		s.syncJournal()
 	}
+	// Count toward the snapshot trigger but never fire it here: the caller
+	// holds lease.mu, which takeSnapshot must acquire. The next
+	// result-driven noteJournaled sweeps the revision up.
+	s.jnlSince.Add(1)
 	return nil
 }
 
@@ -1370,6 +1463,9 @@ func (s *Supervisor) commitRecords(recs []journalRecord, batched bool) {
 	} else {
 		err = appendJournal(s.cfg.Journal, recs[0])
 	}
+	if err == nil {
+		s.jnlLines += int64(len(recs))
+	}
 	s.jnlMu.Unlock()
 	if err != nil {
 		s.logf("journal write failed: %v", err)
@@ -1382,6 +1478,7 @@ func (s *Supervisor) commitRecords(recs []journalRecord, batched bool) {
 			s.metrics.batchedJournalSyncs.Inc()
 		}
 	}
+	s.noteJournaled(len(recs))
 }
 
 // syncer is the optional flushing facet of a journal writer (*os.File

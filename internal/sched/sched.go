@@ -72,16 +72,33 @@ type Queue struct {
 	total       int
 
 	// everIssued marks tasks at least one copy of which has ever been
-	// handed out. Abandon does not clear it: once any copy has touched a
-	// participant the task is no longer safely re-plannable (Promote).
-	everIssued map[int]bool
+	// handed out, indexed by task ID (dense, like verify's task table — a
+	// map here cost a hash per assignment on the batched lease path).
+	// Abandon does not clear it: once any copy has touched a participant
+	// the task is no longer safely re-plannable (Promote).
+	everIssued []bool
+}
+
+// markIssued records that a copy of taskID has been handed out, growing
+// the table geometrically when minted tasks extend the ID range.
+func (q *Queue) markIssued(taskID int) {
+	if taskID >= len(q.everIssued) {
+		want := taskID + 1
+		if min := 2 * len(q.everIssued); want < min {
+			want = min
+		}
+		grown := make([]bool, want)
+		copy(grown, q.everIssued)
+		q.everIssued = grown
+	}
+	q.everIssued[taskID] = true
 }
 
 // NewQueue builds a queue over the tasks of a plan, shuffled with r.
 // Under TwoPhase every task must have exactly two copies (the Appendix-A
 // setting); other multiplicities cause an error.
 func NewQueue(specs []plan.TaskSpec, policy Policy, r *rng.Source) (*Queue, error) {
-	q := &Queue{policy: policy, pending: make(map[int][]Assignment), everIssued: make(map[int]bool)}
+	q := &Queue{policy: policy, pending: make(map[int][]Assignment)}
 	switch policy {
 	case Free:
 		for _, s := range specs {
@@ -137,7 +154,7 @@ func (q *Queue) Next() (a Assignment, ok bool) {
 	q.ready = q.ready[1:]
 	q.outstanding++
 	q.issued++
-	q.everIssued[a.TaskID] = true
+	q.markIssued(a.TaskID)
 	return a, true
 }
 
@@ -153,7 +170,7 @@ func (q *Queue) NextBatch(dst []Assignment, n int) []Assignment {
 			k = len(q.ready)
 		}
 		for _, a := range q.ready[:k] {
-			q.everIssued[a.TaskID] = true
+			q.markIssued(a.TaskID)
 		}
 		dst = append(dst, q.ready[:k]...)
 		q.ready = q.ready[k:]
@@ -232,9 +249,37 @@ func (q *Queue) MarkCompleted(a Assignment) bool {
 	}
 	q.issued++
 	q.outstanding++
-	q.everIssued[a.TaskID] = true
+	q.markIssued(a.TaskID)
 	q.Complete(a)
 	return true
+}
+
+// MarkCompletedBulk removes every ready assignment for which done returns
+// true and applies completion accounting, in one pass over the ready pool
+// — the snapshot-restore counterpart of MarkCompleted, which costs a
+// linear pool scan per call and makes restoring k of n assignments
+// O(k·n). Free policy only (snapshot restore is gated to it; the other
+// policies hold copies back and need MarkCompleted's release logic). It
+// returns how many assignments were completed.
+func (q *Queue) MarkCompletedBulk(done func(Assignment) bool) (int, error) {
+	if q.policy != Free {
+		return 0, fmt.Errorf("sched: MarkCompletedBulk requires the free policy, have %v", q.policy)
+	}
+	kept := q.ready[:0]
+	n := 0
+	for _, a := range q.ready {
+		if done(a) {
+			q.markIssued(a.TaskID)
+			n++
+			continue
+		}
+		kept = append(kept, a)
+	}
+	q.ready = kept
+	// Each removal is an issue immediately followed by a completion; under
+	// Free the net accounting is issued++ with outstanding unchanged.
+	q.issued += n
+	return n, nil
 }
 
 func removeAssignment(pool *[]Assignment, a Assignment) bool {
@@ -250,7 +295,9 @@ func removeAssignment(pool *[]Assignment, a Assignment) bool {
 // EverIssued reports whether any copy of the task has ever been handed
 // out (including copies later abandoned). Tasks for which this is false
 // are the ones the adaptive controller may still re-plan.
-func (q *Queue) EverIssued(taskID int) bool { return q.everIssued[taskID] }
+func (q *Queue) EverIssued(taskID int) bool {
+	return taskID >= 0 && taskID < len(q.everIssued) && q.everIssued[taskID]
+}
 
 // Promote raises a never-issued task's multiplicity from from to to under
 // the Free policy: the task's existing queued copies stay where the
@@ -264,7 +311,7 @@ func (q *Queue) Promote(taskID, from, to int) error {
 	if to <= from {
 		return fmt.Errorf("sched: Promote task %d: %d -> %d is not a raise", taskID, from, to)
 	}
-	if q.everIssued[taskID] {
+	if q.EverIssued(taskID) {
 		return fmt.Errorf("sched: Promote task %d: copies already issued", taskID)
 	}
 	queued := 0
@@ -292,7 +339,7 @@ func (q *Queue) AddTask(spec plan.TaskSpec) error {
 	if spec.Copies < 1 {
 		return fmt.Errorf("sched: AddTask task %d: invalid multiplicity %d", spec.ID, spec.Copies)
 	}
-	if q.everIssued[spec.ID] {
+	if q.EverIssued(spec.ID) {
 		return fmt.Errorf("sched: AddTask task %d: ID already in use", spec.ID)
 	}
 	for c := 0; c < spec.Copies; c++ {

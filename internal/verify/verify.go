@@ -43,6 +43,21 @@ type Verdict struct {
 	Contributors []int
 }
 
+// taskState is one task's collection state, indexed by task ID. Task IDs
+// are dense (plans number from 0 and minted ringers extend the range), so
+// a flat slice replaces the three per-task maps an earlier version kept —
+// Submit is the supervisor's hottest non-I/O call and paid for map
+// lookups on every result.
+type taskState struct {
+	// expected copies, registered up front; 0 means unregistered.
+	expected int
+	// done marks adjudicated tasks so late or duplicate results are
+	// rejected rather than silently restarting collection.
+	done bool
+	// results collected so far (nil once adjudicated).
+	results []Result
+}
+
 // Collector accumulates results and adjudicates tasks as their final copy
 // arrives. It is not safe for concurrent use.
 type Collector struct {
@@ -50,12 +65,10 @@ type Collector struct {
 	truth func(taskID int) uint64
 	// cmp canonicalizes values before matching (Exact by default).
 	cmp Comparator
-	// expected copies per task, registered up front.
-	expected map[int]int
-	pending  map[int][]Result
-	// done marks adjudicated tasks so late or duplicate results are
-	// rejected rather than silently restarting collection.
-	done map[int]bool
+	// tasks holds per-task collection state, indexed by task ID.
+	tasks []taskState
+	// partial counts tasks with some but not all expected results.
+	partial int
 
 	verdicts  []Verdict
 	blacklist map[int]bool
@@ -75,12 +88,24 @@ func NewCollector(truth func(taskID int) uint64) *Collector {
 	return &Collector{
 		truth:     truth,
 		cmp:       Exact{},
-		expected:  make(map[int]int),
-		pending:   make(map[int][]Result),
-		done:      make(map[int]bool),
 		blacklist: make(map[int]bool),
 		convicted: make(map[int]bool),
 	}
+}
+
+// task returns the state slot for taskID, growing the table as needed
+// (geometrically, so registering n tasks one by one stays O(n)).
+func (c *Collector) task(taskID int) *taskState {
+	if taskID >= len(c.tasks) {
+		want := taskID + 1
+		if min := 2 * len(c.tasks); want < min {
+			want = min
+		}
+		grown := make([]taskState, want)
+		copy(grown, c.tasks)
+		c.tasks = grown // tail slots read as unregistered (expected 0)
+	}
+	return &c.tasks[taskID]
 }
 
 // Expect registers that taskID will receive copies results. It must be
@@ -89,7 +114,10 @@ func (c *Collector) Expect(taskID, copies int) {
 	if copies < 1 {
 		panic("verify: task must expect at least one copy")
 	}
-	c.expected[taskID] = copies
+	if taskID < 0 {
+		panic("verify: negative task ID")
+	}
+	c.task(taskID).expected = copies
 }
 
 // OnVerdict registers a callback invoked for every adjudicated task.
@@ -107,21 +135,27 @@ func (c *Collector) SetComparator(cmp Comparator) {
 // Submit records one result. When the final expected copy of the task
 // arrives the task is adjudicated and the verdict returned with done=true.
 func (c *Collector) Submit(r Result) (v Verdict, done bool, err error) {
-	want, ok := c.expected[r.Assignment.TaskID]
-	if !ok {
-		return Verdict{}, false, fmt.Errorf("verify: result for unregistered task %d", r.Assignment.TaskID)
+	id := r.Assignment.TaskID
+	if id < 0 || id >= len(c.tasks) || c.tasks[id].expected == 0 {
+		return Verdict{}, false, fmt.Errorf("verify: result for unregistered task %d", id)
 	}
-	if c.done[r.Assignment.TaskID] {
-		return Verdict{}, false, fmt.Errorf("verify: task %d already adjudicated", r.Assignment.TaskID)
+	ts := &c.tasks[id]
+	if ts.done {
+		return Verdict{}, false, fmt.Errorf("verify: task %d already adjudicated", id)
 	}
-	got := append(c.pending[r.Assignment.TaskID], r)
-	if len(got) < want {
-		c.pending[r.Assignment.TaskID] = got
+	if ts.results == nil {
+		ts.results = make([]Result, 0, ts.expected)
+		c.partial++
+	}
+	ts.results = append(ts.results, r)
+	if len(ts.results) < ts.expected {
 		return Verdict{}, false, nil
 	}
-	delete(c.pending, r.Assignment.TaskID)
-	c.done[r.Assignment.TaskID] = true
-	v = c.adjudicate(r.Assignment.TaskID, r.Assignment.Ringer, got)
+	got := ts.results
+	ts.results = nil
+	ts.done = true
+	c.partial--
+	v = c.adjudicate(id, r.Assignment.Ringer, got)
 	c.verdicts = append(c.verdicts, v)
 	for _, s := range v.Suspects {
 		c.blacklist[s] = true
@@ -137,8 +171,9 @@ func (c *Collector) Submit(r Result) (v Verdict, done bool, err error) {
 
 func (c *Collector) adjudicate(taskID int, ringer bool, results []Result) Verdict {
 	v := Verdict{TaskID: taskID, Ringer: ringer, Copies: len(results)}
-	for _, r := range results {
-		v.Contributors = append(v.Contributors, r.Participant)
+	v.Contributors = make([]int, len(results))
+	for i, r := range results {
+		v.Contributors[i] = r.Participant
 	}
 
 	if ringer {
@@ -159,15 +194,25 @@ func (c *Collector) adjudicate(taskID int, ringer bool, results []Result) Verdic
 		return v
 	}
 
-	// Regular task: majority vote over canonicalized values.
-	counts := make(map[uint64]int)
-	for _, r := range results {
-		counts[c.cmp.Canonical(r.Value)]++
+	// Regular task: majority vote over canonicalized values. Unanimity is
+	// the overwhelmingly common outcome, so check it with one pass before
+	// paying for the per-task vote map.
+	first := c.cmp.Canonical(results[0].Value)
+	unanimous := true
+	for _, r := range results[1:] {
+		if c.cmp.Canonical(r.Value) != first {
+			unanimous = false
+			break
+		}
 	}
-	if len(counts) == 1 {
+	if unanimous {
 		v.Accepted = true
 		v.Value = results[0].Value
 		return v
+	}
+	counts := make(map[uint64]int)
+	for _, r := range results {
+		counts[c.cmp.Canonical(r.Value)]++
 	}
 	v.MismatchDetected = true
 	// Find the majority canonical value; prefer the numerically smallest
@@ -191,6 +236,50 @@ func (c *Collector) adjudicate(taskID int, ringer bool, results []Result) Verdic
 
 // Verdicts returns all verdicts issued so far, in adjudication order.
 func (c *Collector) Verdicts() []Verdict { return c.verdicts }
+
+// RestoreVerdict reinstates a previously-issued verdict during snapshot
+// restore: the task is marked adjudicated and every downstream effect of
+// the original adjudication — verdict list, blacklist, convictions, the
+// OnVerdict callback (credits, estimator evidence) — replays exactly as
+// the live Submit performed it, without the per-copy results. The task
+// must be registered (Expect) and not yet collected.
+func (c *Collector) RestoreVerdict(v Verdict) error {
+	if v.TaskID < 0 || v.TaskID >= len(c.tasks) || c.tasks[v.TaskID].expected == 0 {
+		return fmt.Errorf("verify: restored verdict for unregistered task %d", v.TaskID)
+	}
+	ts := &c.tasks[v.TaskID]
+	if ts.done {
+		return fmt.Errorf("verify: restored verdict for already-adjudicated task %d", v.TaskID)
+	}
+	if ts.results != nil {
+		return fmt.Errorf("verify: restored verdict for task %d with partial results", v.TaskID)
+	}
+	ts.done = true
+	c.verdicts = append(c.verdicts, v)
+	for _, s := range v.Suspects {
+		c.blacklist[s] = true
+		if v.Ringer {
+			c.convicted[s] = true
+		}
+	}
+	if c.onVerdict != nil {
+		c.onVerdict(v)
+	}
+	return nil
+}
+
+// PendingResults returns every partial result — tasks submitted to but
+// not yet adjudicated — ordered by task ID, then submission order within
+// a task. The deterministic enumeration is what snapshot capture encodes.
+func (c *Collector) PendingResults() []Result {
+	out := make([]Result, 0, c.partial)
+	for i := range c.tasks {
+		if !c.tasks[i].done {
+			out = append(out, c.tasks[i].results...)
+		}
+	}
+	return out
+}
 
 // Blacklisted reports whether a participant has been implicated.
 func (c *Collector) Blacklisted(participant int) bool { return c.blacklist[participant] }
@@ -220,7 +309,7 @@ func (c *Collector) ConvictedList() []int {
 }
 
 // PendingTasks returns the number of tasks with partial results.
-func (c *Collector) PendingTasks() int { return len(c.pending) }
+func (c *Collector) PendingTasks() int { return c.partial }
 
 // Stats summarizes the verdicts issued so far.
 type Stats struct {

@@ -72,6 +72,25 @@ func NewWorkerCoalition(cheatProbability float64, seed uint64) *WorkerCoalition 
 // ("hashchain", "primecount", "collatz").
 func WorkKinds() []string { return platform.WorkKinds() }
 
+// JournalFile is a file-backed journal writer for SupervisorConfig.Journal
+// that additionally supports the crash-atomic whole-file replacement
+// journal compaction needs (SupervisorConfig.Compact).
+type JournalFile = platform.JournalFile
+
+// OpenJournalFile opens (creating if absent) a journal file for appending.
+func OpenJournalFile(path string) (*JournalFile, error) {
+	return platform.OpenJournalFile(path)
+}
+
+// Wire protocol names for WorkerConfig.Proto and the daemons' -proto flag:
+// newline-delimited JSON (the default, and always the registration format)
+// or the negotiated length-prefixed binary framing. PROTOCOL.md specifies
+// both.
+const (
+	ProtoJSON   = platform.ProtoJSON
+	ProtoBinary = platform.ProtoBinary
+)
+
 // MetricsRegistry collects the platform's runtime metrics — counters,
 // gauges, and latency histograms. Serve it over HTTP with Handler (the
 // /metrics endpoint, Prometheus text format) or read it in-process with
