@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-save bench-smoke figures fmt vet check chaos fuzz snapshot-smoke clean
+.PHONY: all build test race cover cover-check bench bench-save bench-smoke straggler-smoke figures fmt vet check chaos fuzz snapshot-smoke clean
 
 all: build test
 
@@ -16,6 +16,7 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/platform/...
 	$(MAKE) snapshot-smoke
+	$(MAKE) straggler-smoke
 	$(MAKE) cover-check
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
@@ -39,7 +40,7 @@ cover:
 COVER_FLOOR ?= 75.0
 
 cover-check:
-	@for pkg in ./internal/dist ./internal/platform ./internal/adapt; do \
+	@for pkg in ./internal/dist ./internal/platform ./internal/adapt ./internal/health; do \
 		$(GO) test -coverprofile=cover-check.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover-check.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
@@ -59,11 +60,15 @@ bench:
 # BENCH_pr6 sweeps both wire codecs at a task count large enough to
 # amortize setup; the bar is binary >= 2x the recorded PR5 batch-64 JSON
 # baseline of ~292000 assignments/sec.
+# BENCH_pr7 is the latency mode: completion-latency p50/p99/p999 per
+# redundancy scheme with a straggler-mixed fleet, speculative reissue off
+# vs on; the bar is speculation cutting p99 by well over half.
 bench-save:
 	$(GO) run ./cmd/platformbench -out BENCH_pr3.json
 	$(GO) run ./cmd/platformbench -adapt -out BENCH_pr4.json
 	$(GO) run ./cmd/platformbench -adapt -workers 1,8,32,128 -baseline-aps32 40000 -out BENCH_pr5.json
 	$(GO) run ./cmd/platformbench -protos json,bin -batches 1,16,64 -n 80000 -baseline-aps 291955 -out BENCH_pr6.json
+	$(GO) run ./cmd/platformbench -latency -n 600 -workers 6 -out BENCH_pr7.json
 
 # A fast CI-sized version of the contention benchmark: tiny task count,
 # 8 concurrent workers, no artifact. Catches a supervisor that deadlocks,
@@ -71,6 +76,13 @@ bench-save:
 # would ever run.
 bench-smoke:
 	$(GO) run ./cmd/platformbench -n 600 -iters 10 -workers 1,8 -batches 16 -sweep-batch 16
+
+# The straggler/health acceptance tests alone, under the race detector:
+# speculative first-result-wins, the disconnect/deadline reclaim overlap,
+# the quarantine lifecycle, the ringer-starved probation-expiry deadlock
+# regression, and the stall-mode chaos soak.
+straggler-smoke:
+	$(GO) test -race -run 'TestSpeculative|TestDisconnectDeadlineReclaimOverlap|TestQuarantine|TestProbationExpires|TestStallChaosSoak' -count=1 -v ./internal/platform
 
 # The crash-tolerance acceptance test alone, under the race detector:
 # full plan to certification with every fault mode injected and the

@@ -49,6 +49,28 @@ type result struct {
 	Revisions         int     `json:"revisions,omitempty"`
 }
 
+// latencyResult is one run of the latency mode: a full computation under
+// a straggler-mixed fleet, reporting completion-latency percentiles (the
+// copy's first issue to its acceptance, the supervisor-side view) with
+// speculative reissue off or on.
+type latencyResult struct {
+	Scheme      string  `json:"scheme"`
+	Speculative bool    `json:"speculative"`
+	Assignments int     `json:"assignments"`
+	Seconds     float64 `json:"seconds"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	// Clone accounting for the speculative runs: issued duplicates, races
+	// the clone won, and duplicate results adjudicated as wasted.
+	SpeculativeIssued float64 `json:"speculative_issued,omitempty"`
+	SpeculativeWins   float64 `json:"speculative_wins,omitempty"`
+	SpeculativeWasted float64 `json:"speculative_wasted,omitempty"`
+	// P99CutPct, on speculative rows, is how much of the off-run's p99 the
+	// speculative run removed (positive = faster).
+	P99CutPct float64 `json:"p99_cut_vs_off_pct,omitempty"`
+}
+
 // sweepResult is one step of the worker sweep: the same workload run with
 // a given number of concurrent workers, with lease-latency percentiles
 // observed from the worker side (WorkerConfig.OnLeaseRTT).
@@ -99,7 +121,15 @@ type report struct {
 	// throughput against the plain run at the same lease size.
 	Adaptive            *result `json:"adaptive,omitempty"`
 	AdaptiveOverheadPct float64 `json:"adaptive_overhead_pct,omitempty"`
-	GeneratedAt         string  `json:"generated_at"`
+	// LatencySweep, when -latency is set, holds per-scheme completion
+	// latency percentiles under a straggler mix, speculation off vs on.
+	LatencySweep []latencyResult `json:"latency_sweep,omitempty"`
+	// Latency-mode knobs, recorded so the artifact is self-describing.
+	StragglerP       float64 `json:"straggler_p,omitempty"`
+	StragglerDelayMs float64 `json:"straggler_delay_ms,omitempty"`
+	SpeculatePct     float64 `json:"speculate_pct,omitempty"`
+	DeadlineMs       float64 `json:"deadline_ms,omitempty"`
+	GeneratedAt      string  `json:"generated_at"`
 }
 
 func parseIntList(flagName, s string) []int {
@@ -124,6 +154,14 @@ func main() {
 	adaptRun := flag.Bool("adapt", false, "also measure a run with the adaptive control plane ticking (at the largest lease size)")
 	baselineAPS32 := flag.Float64("baseline-aps32", 0, "pre-change assignments/sec at 32 workers, recorded in the artifact for comparison")
 	baselineAPS := flag.Float64("baseline-aps", 0, "pre-change assignments/sec at the largest lease size; the binary codec's throughput is compared against it")
+	latency := flag.Bool("latency", false, "latency mode: completion-latency percentiles per -schemes under a straggler mix, speculation off vs on (skips the throughput sweeps)")
+	schemesFlag := flag.String("schemes", "simple,balanced", "comma-separated redundancy schemes for -latency (simple, balanced)")
+	stragglerP := flag.Float64("straggler-p", 0.02, "latency mode: per-assignment straggler probability in the worker speed model")
+	stragglerDelay := flag.Duration("straggler-delay", 600*time.Millisecond, "latency mode: extra delay a straggler episode adds")
+	speedBase := flag.Duration("speed-base", 2*time.Millisecond, "latency mode: base compute time per assignment")
+	speedJitter := flag.Duration("speed-jitter", time.Millisecond, "latency mode: uniform extra delay in [0, jitter) per assignment")
+	deadlineFlag := flag.Duration("deadline", 800*time.Millisecond, "latency mode: supervisor lease deadline (the sweeper that drives speculation runs at a quarter of it)")
+	speculatePct := flag.Float64("speculate-pct", 0.85, "latency mode: completion-time percentile past which a live lease is speculatively cloned (for the spec-on runs)")
 	journal := flag.String("journal", "", "journal accepted results to this file during every run (exercises the group-commit path; file is truncated per run)")
 	journalSync := flag.Bool("journal-sync", false, "fsync journal records before acking (requires -journal)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
@@ -159,6 +197,47 @@ func main() {
 		Tasks:  *n, Iters: *iters, Workers: workerCounts[0],
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
+	if *latency {
+		lc := latencyConfig{
+			stragglerP: *stragglerP, stragglerDelay: *stragglerDelay,
+			base: *speedBase, jitter: *speedJitter,
+			deadline: *deadlineFlag, speculatePct: *speculatePct,
+		}
+		rep.StragglerP = lc.stragglerP
+		rep.StragglerDelayMs = lc.stragglerDelay.Seconds() * 1e3
+		rep.SpeculatePct = lc.speculatePct
+		rep.DeadlineMs = lc.deadline.Seconds() * 1e3
+		fmt.Printf("%-10s %-6s %-14s %-10s %-10s %-10s %-10s %s\n",
+			"scheme", "spec", "assignments", "seconds", "p50 ms", "p99 ms", "p999 ms", "clones (won/wasted)")
+		for _, scheme := range strings.Split(*schemesFlag, ",") {
+			scheme = strings.TrimSpace(scheme)
+			var off latencyResult
+			for _, spec := range []bool{false, true} {
+				r, err := lc.run(scheme, *n, *iters, workerCounts[0], spec)
+				if err != nil {
+					log.Fatalf("platformbench: latency %s spec=%v: %v", scheme, spec, err)
+				}
+				if spec {
+					if off.P99Ms > 0 {
+						r.P99CutPct = (1 - r.P99Ms/off.P99Ms) * 100
+					}
+				} else {
+					off = r
+				}
+				rep.LatencySweep = append(rep.LatencySweep, r)
+				fmt.Printf("%-10s %-6v %-14d %-10.3f %-10.2f %-10.2f %-10.2f %.0f (%.0f/%.0f)\n",
+					r.Scheme, r.Speculative, r.Assignments, r.Seconds,
+					r.P50Ms, r.P99Ms, r.P999Ms,
+					r.SpeculativeIssued, r.SpeculativeWins, r.SpeculativeWasted)
+				if spec && r.P99CutPct != 0 {
+					fmt.Printf("%-10s speculation cut p99 by %.1f%%\n", r.Scheme, r.P99CutPct)
+				}
+			}
+		}
+		writeReport(*out, rep)
+		return
+	}
+
 	fmt.Printf("%-8s %-8s %-14s %-10s %s\n", "proto", "batch", "assignments", "seconds", "assignments/sec")
 	for _, proto := range protos {
 		for _, b := range sizes {
@@ -261,16 +340,129 @@ func main() {
 			r.Batch, r.Assignments, r.Seconds, r.AssignmentsPerSec, r.Revisions, rep.AdaptiveOverheadPct)
 	}
 
-	if *out != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *out)
+	writeReport(*out, rep)
+}
+
+func writeReport(path string, rep report) {
+	if path == "" {
+		return
 	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// latencyConfig carries the latency-mode knobs: the fleet's heterogeneous
+// speed model and the supervisor's speculation settings.
+type latencyConfig struct {
+	stragglerP     float64
+	stragglerDelay time.Duration
+	base, jitter   time.Duration
+	deadline       time.Duration
+	speculatePct   float64
+}
+
+// run drives one full computation with a straggler-mixed fleet and
+// returns supervisor-side completion-latency percentiles. The off and on
+// runs differ only in SpeculatePct, so the p99 delta is the speculative
+// tier's doing; the deadline sweeper (a cruder straggler remedy) runs in
+// both.
+func (lc latencyConfig) run(scheme string, n, iters, workers int, spec bool) (latencyResult, error) {
+	var p *plan.Plan
+	var err error
+	switch scheme {
+	case "simple":
+		p, err = plan.FromDistribution(dist.Simple(float64(n)), 0.5)
+	case "balanced":
+		p, err = plan.Balanced(n, 0.5)
+	default:
+		return latencyResult{}, fmt.Errorf("unknown scheme %q (want simple or balanced)", scheme)
+	}
+	if err != nil {
+		return latencyResult{}, err
+	}
+	reg := redundancy.NewMetricsRegistry()
+	cfg := redundancy.SupervisorConfig{
+		Plan: p, WorkKind: "hashchain", Iters: iters, Seed: 1, MaxBatch: 2,
+		Metrics:  reg,
+		Deadline: lc.deadline,
+		// The health roster's latency window is the percentile source; size
+		// it to hold every completion so p999 is exact, not windowed.
+		Health: &redundancy.HealthConfig{LatencyWindow: p.TotalAssignments() + 1024},
+	}
+	if spec {
+		cfg.SpeculatePct = lc.speculatePct
+	}
+	sup, err := redundancy.NewSupervisor(cfg)
+	if err != nil {
+		return latencyResult{}, err
+	}
+	defer sup.Close()
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		return latencyResult{}, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wc := redundancy.WorkerConfig{
+				Addr: addr, Name: fmt.Sprintf("bench-%d", i),
+				BatchSize: 2, Seed: uint64(i + 1),
+				// Tolerate a lease reclaimed mid-straggle (the copy is someone
+				// else's now) instead of dying on the rejected ack.
+				Reconnect: true,
+				Speed: &redundancy.SpeedModel{
+					Base: lc.base, Jitter: lc.jitter,
+					StragglerP: lc.stragglerP, StragglerDelay: lc.stragglerDelay,
+				},
+			}
+			if _, err := redundancy.RunWorker(wc); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	sup.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return latencyResult{}, err
+	}
+
+	quant := func(q float64) float64 {
+		d, ok := sup.CompletionQuantile(q)
+		if !ok {
+			return 0
+		}
+		return d.Seconds() * 1e3
+	}
+	snap := reg.Snapshot()
+	counter := func(name string) float64 {
+		v, _ := snap.Value(name)
+		return v
+	}
+	return latencyResult{
+		Scheme:            scheme,
+		Speculative:       spec,
+		Assignments:       p.TotalAssignments(),
+		Seconds:           elapsed.Seconds(),
+		P50Ms:             quant(0.50),
+		P99Ms:             quant(0.99),
+		P999Ms:            quant(0.999),
+		SpeculativeIssued: counter("redundancy_speculative_issued_total"),
+		SpeculativeWins:   counter("redundancy_speculative_wins_total"),
+		SpeculativeWasted: counter("redundancy_speculative_wasted_total"),
+	}, nil
 }
 
 // latencySummary holds lease-latency percentiles over one run.

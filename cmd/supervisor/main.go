@@ -106,6 +106,12 @@ func main() {
 	adaptive := flag.Bool("adapt", false, "estimate the adversary share p̂ online and revise the plan mid-run to keep detection at the target ε (free policy only)")
 	targetEps := flag.Float64("target-eps", 0, "detection threshold the adaptive controller defends (0 = the plan's ε)")
 	adaptInterval := flag.Duration("adapt-interval", 0, "how often the adaptive controller re-evaluates p̂ (0 = 250ms)")
+	deadline := flag.Duration("deadline", 0, "reclaim assignments still out after this long and reissue them (0 = never; required by -speculate-pct)")
+	speculatePct := flag.Float64("speculate-pct", 0, "speculative reissue percentile in (0,1): duplicate a still-leased copy to a second participant once it exceeds this completion-time percentile; first result wins (0 = off; requires -deadline and the free policy)")
+	quarSuspects := flag.Int("quarantine-suspects", 0, "quarantine a participant after this many circumstantial suspect verdicts (0 = quarantine off; free policy only)")
+	quarFailRate := flag.Float64("quarantine-failure-rate", 0, "quarantine a participant whose deadline-reclaim rate exceeds this fraction of issued work (0 = default 0.5; needs -quarantine-suspects)")
+	quarProbation := flag.Duration("quarantine-probation", 0, "how long a quarantined participant waits before probationary re-admission (0 = default 10s)")
+	quarRingers := flag.Int("quarantine-ringers", 0, "clean ringer results a probationary participant must return before full re-admission (0 = default 3)")
 	flag.Parse()
 	if *batch < 1 {
 		log.Fatalf("supervisor: -batch must be at least 1 (got %d)", *batch)
@@ -159,12 +165,24 @@ func main() {
 		Iters:             *iters,
 		Seed:              *seed,
 		MaxBatch:          *batch,
+		Deadline:          *deadline,
+		SpeculatePct:      *speculatePct,
 		IOTimeout:         *ioTimeout,
 		JournalSync:       *journalSync,
 		GroupCommit:       *groupCommit,
 		ResolveMismatches: *resolve,
 		ResultDigits:      *digits,
 		Logf:              logf,
+	}
+	if *quarSuspects > 0 {
+		cfg.Health = &redundancy.HealthConfig{
+			SuspectLimit:     *quarSuspects,
+			FailureRate:      *quarFailRate,
+			Probation:        *quarProbation,
+			ProbationRingers: *quarRingers,
+		}
+	} else if *quarFailRate != 0 || *quarProbation != 0 || *quarRingers != 0 {
+		log.Fatal("supervisor: -quarantine-failure-rate/-probation/-ringers need -quarantine-suspects")
 	}
 	if *adaptive {
 		te := *targetEps

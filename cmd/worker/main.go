@@ -45,6 +45,11 @@ func main() {
 	cheatSeed := flag.Uint64("cheatseed", 1, "coalition seed; workers sharing it collude")
 	maxAssign := flag.Int("max", 0, "stop after this many assignments (0 = run to completion)")
 	throttle := flag.Duration("throttle", 0, "fixed extra delay per assignment")
+	speedBase := flag.Duration("speed-base", 0, "heterogeneous speed model: base compute time per assignment (overrides -throttle when any -speed-*/-straggler-* flag is set)")
+	speedJitter := flag.Duration("speed-jitter", 0, "heterogeneous speed model: uniform extra delay in [0, jitter) per assignment")
+	stragglerP := flag.Float64("straggler-p", 0, "heterogeneous speed model: per-assignment probability of a straggler episode")
+	stragglerDelay := flag.Duration("straggler-delay", 0, "heterogeneous speed model: extra delay a straggler episode adds")
+	speedSeed := flag.Uint64("speed-seed", 0, "seed for the worker's jitter and speed draws (0 = derive from -name)")
 	batch := flag.Int("batch", redundancy.DefaultMaxBatch, "assignments to lease per get_work round trip (1 = single-assignment protocol)")
 	proto := flag.String("proto", redundancy.ProtoJSON, "wire codec to request at registration: json | bin (binary falls back to JSON against supervisors that do not speak it)")
 	reconnect := flag.Bool("reconnect", true, "survive connection failures: redial with backoff and resume the same identity")
@@ -68,8 +73,20 @@ func main() {
 		MaxAssignments: *maxAssign,
 		BatchSize:      *batch,
 		Throttle:       *throttle,
+		Seed:           *speedSeed,
 		Reconnect:      *reconnect,
 		MaxReconnects:  *maxReconnects,
+	}
+	if *speedBase != 0 || *speedJitter != 0 || *stragglerP != 0 || *stragglerDelay != 0 {
+		if *stragglerP < 0 || *stragglerP > 1 {
+			log.Fatalf("worker: -straggler-p must be in [0,1] (got %v)", *stragglerP)
+		}
+		cfg.Speed = &redundancy.SpeedModel{
+			Base:           *speedBase,
+			Jitter:         *speedJitter,
+			StragglerP:     *stragglerP,
+			StragglerDelay: *stragglerDelay,
+		}
 	}
 	if *proto == redundancy.ProtoBinary {
 		cfg.Proto = redundancy.ProtoBinary

@@ -4,8 +4,10 @@
 // internal/platform must be provoked on demand, not waited for. This
 // package wraps net.Conn and net.Listener with seeded, configurable
 // failure modes: connection drops (at dial, mid-read, mid-write), added
-// latency and jitter, short writes that tear a frame in half, and
-// single-byte corruption. Tests and the -chaos flags of cmd/worker and
+// latency and jitter, short writes that tear a frame in half,
+// single-byte corruption, and stalls — the connection goes silent
+// without disconnecting, the zombie-host behavior speculative reissue
+// exists to beat. Tests and the -chaos flags of cmd/worker and
 // cmd/supervisor use it to replay the same failure schedule from a seed.
 //
 // Determinism: every dial or accepted connection draws its faults from a
@@ -61,12 +63,21 @@ type Config struct {
 	Latency time.Duration
 	// Jitter adds a uniform random extra delay in [0, Jitter).
 	Jitter time.Duration
+	// Stall is the probability an operation freezes the connection: it
+	// and every later Read/Write block — silently, without closing the
+	// socket, so the peer sees a live but unresponsive host — until
+	// StallFor elapses or the connection is closed locally.
+	Stall float64
+	// StallFor bounds a stall's duration. Zero means the stall holds
+	// until the connection is closed (a permanent zombie).
+	StallFor time.Duration
 }
 
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.DialDrop > 0 || c.ReadDrop > 0 || c.WriteDrop > 0 ||
-		c.Corrupt > 0 || c.ShortWrite > 0 || c.Latency > 0 || c.Jitter > 0
+		c.Corrupt > 0 || c.ShortWrite > 0 || c.Latency > 0 || c.Jitter > 0 ||
+		c.Stall > 0
 }
 
 func (c Config) validate() error {
@@ -75,7 +86,7 @@ func (c Config) validate() error {
 		v    float64
 	}{
 		{"dialdrop", c.DialDrop}, {"readdrop", c.ReadDrop}, {"writedrop", c.WriteDrop},
-		{"corrupt", c.Corrupt}, {"shortwrite", c.ShortWrite},
+		{"corrupt", c.Corrupt}, {"shortwrite", c.ShortWrite}, {"stall", c.Stall},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faults: %s probability %v outside [0,1]", p.name, p.v)
@@ -84,13 +95,17 @@ func (c Config) validate() error {
 	if c.Latency < 0 || c.Jitter < 0 {
 		return errors.New("faults: negative latency or jitter")
 	}
+	if c.StallFor < 0 {
+		return errors.New("faults: negative stall duration")
+	}
 	return nil
 }
 
 // Parse reads a -chaos flag value: comma-separated key=value pairs.
-// Keys: seed (uint64), dialdrop, readdrop, writedrop, corrupt, shortwrite
-// (probabilities in [0,1]), drop (shorthand setting dialdrop, readdrop,
-// and writedrop at once), latency, jitter (Go durations, e.g. "5ms").
+// Keys: seed (uint64), dialdrop, readdrop, writedrop, corrupt, shortwrite,
+// stall (probabilities in [0,1]), drop (shorthand setting dialdrop,
+// readdrop, and writedrop at once), latency, jitter, stallfor (Go
+// durations, e.g. "5ms").
 //
 //	-chaos "seed=7,drop=0.02,corrupt=0.01,latency=2ms,jitter=3ms"
 func Parse(s string) (Config, error) {
@@ -126,6 +141,10 @@ func Parse(s string) (Config, error) {
 			c.Latency, err = time.ParseDuration(v)
 		case "jitter":
 			c.Jitter, err = time.ParseDuration(v)
+		case "stall":
+			c.Stall, err = strconv.ParseFloat(v, 64)
+		case "stallfor":
+			c.StallFor, err = time.ParseDuration(v)
 		default:
 			return Config{}, fmt.Errorf("faults: unknown key %q", k)
 		}
@@ -158,6 +177,10 @@ func (c Config) String() string {
 	}
 	if c.Jitter > 0 {
 		parts = append(parts, "jitter="+c.Jitter.String())
+	}
+	add("stall", c.Stall)
+	if c.StallFor > 0 {
+		parts = append(parts, "stallfor="+c.StallFor.String())
 	}
 	return strings.Join(parts, ",")
 }
@@ -204,13 +227,17 @@ func (in *Injector) Dial(network, addr string) (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultConn{Conn: conn, in: in, r: r}, nil
+	return newFaultConn(conn, in, r), nil
 }
 
 // Wrap returns conn with the injector's fault modes applied to every
 // Read and Write.
 func (in *Injector) Wrap(conn net.Conn) net.Conn {
-	return &faultConn{Conn: conn, in: in, r: in.stream()}
+	return newFaultConn(conn, in, in.stream())
+}
+
+func newFaultConn(conn net.Conn, in *Injector, r *rng.Source) *faultConn {
+	return &faultConn{Conn: conn, in: in, r: r, closed: make(chan struct{})}
 }
 
 // Listener wraps ln so every accepted connection is fault-wrapped —
@@ -240,6 +267,11 @@ type faultConn struct {
 
 	mu sync.Mutex // guards r (a Source is not concurrency-safe)
 	r  *rng.Source
+
+	closed    chan struct{} // closed by Close; unblocks a stalled op
+	closeOnce sync.Once
+	stallMu   sync.Mutex
+	stallCh   chan struct{} // non-nil while stalled; closed when the stall lifts
 }
 
 // opFaults is one operation's pre-drawn fate. Every decision is drawn
@@ -250,6 +282,7 @@ type opFaults struct {
 	kill   bool
 	aux    bool    // corrupt (reads) / short write (writes)
 	auxPos float64 // which byte to corrupt, as a fraction of the payload
+	stall  bool
 }
 
 func (c *faultConn) draw(killP, auxP float64) opFaults {
@@ -263,11 +296,63 @@ func (c *faultConn) draw(killP, auxP float64) opFaults {
 	f.kill = c.r.Bernoulli(killP)
 	f.aux = c.r.Bernoulli(auxP)
 	f.auxPos = c.r.Float64()
+	f.stall = c.r.Bernoulli(cfg.Stall)
 	return f
+}
+
+// enterStall freezes the connection. Idempotent: a second stall draw while
+// already stalled neither restarts the timer nor double-counts.
+func (c *faultConn) enterStall() {
+	c.stallMu.Lock()
+	defer c.stallMu.Unlock()
+	if c.stallCh != nil {
+		return
+	}
+	ch := make(chan struct{})
+	c.stallCh = ch
+	c.in.injected.Add(1)
+	if d := c.in.cfg.StallFor; d > 0 {
+		time.AfterFunc(d, func() { close(ch) })
+	}
+}
+
+// stallGate blocks while the connection is stalled. It returns nil once the
+// stall lifts (StallFor elapsed) and an injected error if the connection was
+// closed first. The socket stays open throughout: the peer sees silence, not
+// a disconnect.
+func (c *faultConn) stallGate() error {
+	c.stallMu.Lock()
+	ch := c.stallCh
+	c.stallMu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		c.stallMu.Lock()
+		if c.stallCh == ch {
+			c.stallCh = nil
+		}
+		c.stallMu.Unlock()
+		return nil
+	case <-c.closed:
+		return fmt.Errorf("faults: connection closed during injected stall: %w", ErrInjected)
+	}
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {
 	f := c.draw(c.in.cfg.ReadDrop, c.in.cfg.Corrupt)
+	if f.stall {
+		c.enterStall()
+	}
+	if err := c.stallGate(); err != nil {
+		return 0, err
+	}
 	if f.delay > 0 {
 		time.Sleep(f.delay)
 	}
@@ -286,6 +371,12 @@ func (c *faultConn) Read(p []byte) (int, error) {
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	f := c.draw(c.in.cfg.WriteDrop, c.in.cfg.ShortWrite)
+	if f.stall {
+		c.enterStall()
+	}
+	if err := c.stallGate(); err != nil {
+		return 0, err
+	}
 	if f.delay > 0 {
 		time.Sleep(f.delay)
 	}

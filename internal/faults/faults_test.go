@@ -259,3 +259,97 @@ func TestListenerWrapsAcceptedConns(t *testing.T) {
 		t.Fatal("server never observed the injected read drop")
 	}
 }
+
+func TestParseStallRoundTrip(t *testing.T) {
+	c, err := Parse("seed=3,stall=0.5,stallfor=40ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stall != 0.5 || c.StallFor != 40*time.Millisecond {
+		t.Fatalf("parsed %+v", c)
+	}
+	if !c.Enabled() {
+		t.Error("stall-only config reports disabled")
+	}
+	back, err := Parse(c.String())
+	if err != nil || back != c {
+		t.Errorf("round trip: %+v -> %+v (%v)", c, back, err)
+	}
+	for _, bad := range []string{"stall=2", "stall=-0.1", "stallfor=-1s", "stallfor=zzz"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStallFreezesThenLifts(t *testing.T) {
+	in, err := New(Config{Seed: 1, Stall: 1, StallFor: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeConn{r: bytes.NewReader([]byte("hello world"))}
+	conn := in.Wrap(fake)
+	buf := make([]byte, 5)
+	start := time.Now()
+	n, err := conn.Read(buf)
+	if err != nil || n != 5 {
+		t.Fatalf("read after stall lifted: n=%d err=%v", n, err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("stall lifted after %v, want >= 30ms", elapsed)
+	}
+	if got := in.Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1 (stall counted once)", got)
+	}
+	// The socket was never closed: the peer saw silence, not a disconnect.
+	if fake.closed {
+		t.Error("stall closed the underlying connection")
+	}
+}
+
+func TestPermanentStallUnblockedByClose(t *testing.T) {
+	in, err := New(Config{Seed: 1, Stall: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeConn{r: bytes.NewReader([]byte("data"))}
+	conn := in.Wrap(fake)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 4))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("permanent stall returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	conn.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("close during stall: %v, want ErrInjected", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock the stalled read")
+	}
+}
+
+func TestStallFreezesWritesToo(t *testing.T) {
+	in, err := New(Config{Seed: 9, Stall: 1, StallFor: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeConn{}
+	conn := in.Wrap(fake)
+	start := time.Now()
+	if _, err := conn.Write([]byte("frame")); err != nil {
+		t.Fatalf("write after stall: %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("write did not wait out the stall")
+	}
+	if fake.w.String() != "frame" {
+		t.Errorf("payload after stall = %q", fake.w.String())
+	}
+}

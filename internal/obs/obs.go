@@ -177,6 +177,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.child(nil, func() any { return &Gauge{} }).(*Gauge)
 }
 
+// GaugeVec registers (or returns) a gauge family partitioned by the given
+// label names; obtain children with With.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, labelNames, nil)}
+}
+
 // Histogram registers (or returns) an unlabeled histogram with the given
 // bucket upper bounds (ascending; an implicit +Inf bucket is always
 // appended). Nil or empty buckets fall back to DefBuckets.
@@ -246,6 +252,18 @@ type CounterVec struct {
 // name, in registration order), creating it on first use.
 func (v *CounterVec) With(labelValues ...string) *Counter {
 	return v.f.child(labelValues, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by labels (e.g. per-participant
+// health scores).
+type GaugeVec struct {
+	f *family
+}
+
+// With returns the child gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() any { return &Gauge{} }).(*Gauge)
 }
 
 // Gauge is a value that can rise and fall (e.g. connected workers). The

@@ -55,6 +55,25 @@ func TestVecLabels(t *testing.T) {
 	}
 }
 
+func TestGaugeVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("health", "help", "participant")
+	v.With("1").Set(0.75)
+	v.With("2").Set(0.25)
+	v.With("1").Set(0.5)
+	snap := r.Snapshot()
+	if got, ok := snap.Value("health", "1"); !ok || got != 0.5 {
+		t.Errorf("health{1} = %v,%v want 0.5,true", got, ok)
+	}
+	if got, ok := snap.Value("health", "2"); !ok || got != 0.25 {
+		t.Errorf("health{2} = %v,%v want 0.25,true", got, ok)
+	}
+	// Re-registration is idempotent; a shape conflict panics like other vecs.
+	if r.GaugeVec("health", "help", "participant").With("1") != v.With("1") {
+		t.Error("re-registration returned a different child")
+	}
+}
+
 func TestRegistryPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("ok_total", "help")

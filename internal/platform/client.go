@@ -20,6 +20,35 @@ import (
 // incorrect values match.
 type CheatFunc func(taskID int, honest uint64) uint64
 
+// SpeedModel makes a worker's per-assignment compute time heterogeneous: a
+// base duration, uniform jitter, and a straggler mixture — with probability
+// StragglerP an assignment takes StragglerDelay extra. Draws come from the
+// worker's own deterministic jitter stream, so a seeded run reproduces the
+// same straggler pattern. It is the client half of the speculative-execution
+// story: the supervisor's percentile tier exists to cut exactly this tail.
+type SpeedModel struct {
+	// Base is the fixed per-assignment compute time.
+	Base time.Duration
+	// Jitter widens Base uniformly to [Base, Base+Jitter).
+	Jitter time.Duration
+	// StragglerP is the per-assignment probability of a straggler episode.
+	StragglerP float64
+	// StragglerDelay is the extra time a straggler episode adds.
+	StragglerDelay time.Duration
+}
+
+// delay draws one assignment's compute time from the model.
+func (m *SpeedModel) delay(r *rng.Source) time.Duration {
+	d := m.Base
+	if m.Jitter > 0 {
+		d += time.Duration(r.Float64() * float64(m.Jitter))
+	}
+	if m.StragglerP > 0 && r.Float64() < m.StragglerP {
+		d += m.StragglerDelay
+	}
+	return d
+}
+
 // WorkerConfig parameterizes a worker client.
 type WorkerConfig struct {
 	// Addr is the supervisor's TCP address.
@@ -40,6 +69,10 @@ type WorkerConfig struct {
 	// Throttle adds a fixed delay per assignment (simulates slow hosts,
 	// and exercises the platform's asynchrony in tests).
 	Throttle time.Duration
+	// Speed, when non-nil, replaces Throttle with a heterogeneous
+	// per-assignment compute-time model (base + jitter + straggler
+	// mixture), drawn from the worker's seeded jitter stream.
+	Speed *SpeedModel
 	// Proto selects the wire codec to request at registration: "" or
 	// ProtoJSON keeps newline-delimited JSON; ProtoBinary asks for the
 	// length-prefixed binary framing (PROTOCOL.md). The register exchange
@@ -142,6 +175,19 @@ func reconnectDelay(attempt int, base, max time.Duration, r *rng.Source) time.Du
 		d = max
 	}
 	return d/2 + time.Duration(r.Float64()*float64(d))
+}
+
+// workDelay sleeps for one assignment's simulated compute time: the Speed
+// model when configured, else the fixed Throttle.
+func workDelay(cfg WorkerConfig, r *rng.Source) {
+	switch {
+	case cfg.Speed != nil:
+		if d := cfg.Speed.delay(r); d > 0 {
+			time.Sleep(d)
+		}
+	case cfg.Throttle > 0:
+		time.Sleep(cfg.Throttle)
+	}
 }
 
 // workerSeq decorrelates the jitter streams of same-named workers started
@@ -370,9 +416,7 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 			// assignment re-issued intact, so this is not terminal.
 			return err
 		}
-		if cfg.Throttle > 0 {
-			time.Sleep(cfg.Throttle)
-		}
+		workDelay(cfg, r)
 		value := work(m.Seed, m.Iters)
 		cheated := false
 		if cfg.Cheat != nil {
@@ -493,9 +537,7 @@ func batchLoop(cfg WorkerConfig, wm *workerMetrics, st *workerState, roundTrip f
 				})
 			}
 			st.progressed = true
-			if cfg.Throttle > 0 {
-				time.Sleep(cfg.Throttle)
-			}
+			workDelay(cfg, r)
 			value := work(item.Seed, m.Iters)
 			cheated := false
 			if cfg.Cheat != nil {

@@ -16,6 +16,14 @@ const (
 	EvWorkerLeft          = "worker_left"
 	EvWorkerResumed       = "worker_resumed"
 	EvPlanRevised         = "plan_revised"
+	// EvAssignmentSpeculated is deliberately distinct from
+	// EvAssignmentIssued: a speculative clone duplicates a live lease, so
+	// folding it into assignment_issued would break the event-stream
+	// invariant that an issue implies the copy was not already out.
+	EvAssignmentSpeculated   = "assignment_speculated"
+	EvParticipantQuarantined = "participant_quarantined"
+	EvParticipantProbation   = "participant_probation"
+	EvParticipantReadmitted  = "participant_readmitted"
 )
 
 // Event names written to a worker's event sink (WorkerConfig.Events).
@@ -55,6 +63,13 @@ type supMetrics struct {
 	journalCommitBatch  *obs.Histogram
 	leaseWait           *obs.Histogram
 
+	speculativeIssued  *obs.Counter
+	speculativeWins    *obs.Counter
+	speculativeWasted  *obs.Counter
+	quarantinesEntered *obs.Counter
+	quarantinesExited  *obs.Counter
+	participantHealth  *obs.GaugeVec // participant
+
 	adaptPHat          *obs.Gauge
 	adaptIntervalWidth *obs.Gauge
 	adaptRevisions     *obs.Counter
@@ -89,7 +104,19 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 		convictions: r.Counter("redundancy_convictions_total",
 			"Participants convicted by conclusive ringer evidence (conviction events; a twice-caught participant counts twice)."),
 		reclaimed: r.CounterVec("redundancy_assignments_reclaimed_total",
-			"Assignments taken back for re-issue, by reason (disconnect or deadline).", "reason"),
+			"Assignments taken back for re-issue, by reason (disconnect, deadline, quarantine, or speculative — an expired clone).", "reason"),
+		speculativeIssued: r.Counter("redundancy_speculative_issued_total",
+			"Speculative clones issued: still-leased copies duplicated to a second participant after exceeding the completion-time percentile."),
+		speculativeWins: r.Counter("redundancy_speculative_wins_total",
+			"Speculative races won by the clone (its result arrived before the straggling primary's)."),
+		speculativeWasted: r.Counter("redundancy_speculative_wasted_total",
+			"Duplicate completions discarded: the race's loser finished anyway and its result was rejected as a duplicate."),
+		quarantinesEntered: r.Counter("redundancy_quarantines_entered_total",
+			"Participants moved into quarantine (suspect history or deadline-failure rate crossed a threshold)."),
+		quarantinesExited: r.Counter("redundancy_quarantines_exited_total",
+			"Participants re-admitted to regular work after a clean ringer-only probation."),
+		participantHealth: r.GaugeVec("redundancy_participant_health",
+			"Per-participant health score in [0,1]: 0 quarantined, at most 0.5 on probation, 1 a clean fast record.", "participant"),
 		workersRegistered: r.Counter("redundancy_workers_registered_total",
 			"Participant registrations accepted."),
 		workersResumed: r.Counter("redundancy_workers_resumed_total",

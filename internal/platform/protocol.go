@@ -144,6 +144,11 @@ const (
 	ReasonWrongParticipant = "wrong_participant"
 	// ReasonVerification rejects a result the verifier refused.
 	ReasonVerification = "verification"
+	// ReasonDuplicate rejects the losing side of a speculative race: the
+	// copy was deliberately issued twice and the other racer's result was
+	// already accepted. Not an error on the worker's part — just wasted
+	// duplicate work, counted but never credited.
+	ReasonDuplicate = "duplicate"
 	// ReasonUnknownType refuses a frame whose type is not part of the
 	// protocol (possibly corruption in transit).
 	ReasonUnknownType = "unknown_type"

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"redundancy/internal/adapt"
+	"redundancy/internal/health"
 	"redundancy/internal/obs"
 	"redundancy/internal/plan"
 	"redundancy/internal/rng"
@@ -114,6 +116,34 @@ type SupervisorConfig struct {
 	// platform event (assignment_issued, result_accepted,
 	// mismatch_detected, ...; see OBSERVABILITY.md). Nil discards events.
 	Events *obs.Sink
+	// Health, when non-nil, turns on participant quarantine: workers whose
+	// suspect history or deadline-failure rate crosses the configured
+	// thresholds stop receiving regular work, have their outstanding leases
+	// reclaimed, and must earn re-admission through a probation of
+	// ringer-only assignments (internal/health). Requires the Free policy
+	// (probation serves ringers out of order) and, for the probation clock
+	// to advance, a positive Deadline (the sweeper drives time-based
+	// transitions). Quarantine entries also feed the adaptive p̂ estimator
+	// when Adapt is enabled, so the plan and the roster react to the same
+	// evidence.
+	Health *health.Config
+	// SpeculatePct, when in (0,1), enables speculative reissue: the
+	// deadline sweeper offers a still-leased copy to a second participant
+	// once the lease's age exceeds this percentile of observed completion
+	// latency (the "clone at the right moment" policy of arXiv 2402.12584).
+	// First result wins; the loser is rejected with reason "duplicate" and
+	// never double-credited. Requires a positive Deadline and the Free
+	// policy. Latency tracking uses Health's window settings when Health is
+	// set, defaults otherwise.
+	SpeculatePct float64
+	// OnTurnaround, when set, receives each accepted copy's completion
+	// latency measured from the copy's *first* issue — a speculative win
+	// reports the full time since the original (straggling) issue, so the
+	// hook measures what a client actually waited. Called from connection
+	// goroutines concurrently (outside supervisor locks); keep it cheap
+	// and goroutine-safe. platformbench's latency mode uses it to build
+	// completion-time percentiles.
+	OnTurnaround func(time.Duration)
 	// Adapt, when non-nil, turns on the adaptive redundancy control plane
 	// (internal/adapt): the supervisor estimates the adversary share p̂
 	// from its verification verdicts and, whenever the estimate's upper
@@ -162,6 +192,25 @@ type leaseState struct {
 	// or revisions may have made assignments available. Parking replaces
 	// most of the no_work/sleep/retry polling near queue exhaustion.
 	waiters []chan struct{}
+
+	// Speculative reissue (SpeculatePct): spec holds at most one duplicate
+	// per outstanding copy, issued to a *different* participant than the
+	// primary in inflight. Duplicates live entirely outside the queue's
+	// accounting — no pop, no Abandon, no Complete — so first-result-wins
+	// adjudication never disturbs outstanding/issued counters. specq holds
+	// copies the sweeper flagged as straggling, waiting for a second
+	// participant to lease them; specLosers remembers, for a grace window,
+	// which participant lost each race so a late duplicate submission gets
+	// a precise "duplicate" rejection instead of "unassigned".
+	spec       map[outstandingKey]inflightInfo
+	specq      []outstandingKey
+	specLosers map[outstandingKey]specLoser
+}
+
+// specLoser records the losing side of a resolved speculative race.
+type specLoser struct {
+	participant int
+	at          time.Time
 }
 
 // auditState guards verification and everything verdicts feed: the
@@ -213,6 +262,24 @@ type Supervisor struct {
 
 	// adaptCfg is immutable after construction (cfg.Adapt != nil).
 	adaptCfg adapt.Config
+
+	// roster is the participant health subsystem (nil when neither Health
+	// nor SpeculatePct is configured). It locks itself and sits below every
+	// state lock, so any handler may feed it observations directly.
+	// quarantine gates the state machine: latency tracking runs whenever
+	// roster is non-nil, but verdict/reclaim evidence only accumulates (and
+	// participants only quarantine) when cfg.Health was given.
+	roster     *health.Roster
+	quarantine bool
+
+	// qmu guards qpend, the queue of health transitions awaiting their
+	// lease-level consequences. Transitions are produced under audit.mu
+	// (verdict evidence) where lease.mu cannot be taken (lock order), so
+	// entering Quarantined parks here until the next holder of lease.mu
+	// drains it and reclaims the participant's outstanding leases. qmu is a
+	// leaf lock: taken under audit.mu and lease.mu, never above them.
+	qmu   sync.Mutex
+	qpend []health.Transition
 
 	restored      int   // results recovered from the journal
 	restoredBytes int64 // clean journal prefix length, for tail truncation
@@ -297,6 +364,28 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 			return nil, errors.New("platform: Compact requires a journal supporting atomic replacement (use OpenJournalFile)")
 		}
 	}
+	if cfg.SpeculatePct != 0 {
+		if cfg.SpeculatePct < 0 || cfg.SpeculatePct >= 1 {
+			return nil, fmt.Errorf("platform: SpeculatePct %v outside (0,1)", cfg.SpeculatePct)
+		}
+		if cfg.Deadline <= 0 {
+			return nil, errors.New("platform: SpeculatePct requires a positive Deadline")
+		}
+	}
+	if (cfg.Health != nil || cfg.SpeculatePct > 0) && cfg.Policy != sched.Free {
+		return nil, fmt.Errorf("platform: participant health requires the free policy, have %v", cfg.Policy)
+	}
+	var roster *health.Roster
+	if cfg.Health != nil || cfg.SpeculatePct > 0 {
+		hcfg := health.Config{}
+		if cfg.Health != nil {
+			hcfg = *cfg.Health
+		}
+		roster, err = health.NewRoster(hcfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var adaptCfg adapt.Config
 	if cfg.Adapt != nil {
 		if cfg.Policy != sched.Free {
@@ -322,6 +411,12 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.lease.inflight = make(map[outstandingKey]inflightInfo)
+	s.roster = roster
+	s.quarantine = cfg.Health != nil
+	if cfg.SpeculatePct > 0 {
+		s.lease.spec = make(map[outstandingKey]inflightInfo)
+		s.lease.specLosers = make(map[outstandingKey]specLoser)
+	}
 	s.audit.credits = NewCreditLedger()
 	s.audit.resolved = make(map[int]uint64)
 	s.ident.names = make(map[int]string)
@@ -356,6 +451,24 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		if v.Ringer && v.MismatchDetected {
 			for _, p := range v.Suspects {
 				s.audit.credits.Revoke(p)
+			}
+		}
+		if s.roster != nil && s.quarantine {
+			// Health evidence: every contributor gets one verdict
+			// observation, implicated or clean. Fed during replay too, so a
+			// participant quarantined before a crash is still quarantined
+			// after restore — pushTransition suppresses the side effects
+			// (events, metrics, estimator, lease reclaim) while replaying,
+			// and there are no outstanding leases to reclaim then anyway.
+			now := time.Now()
+			suspect := make(map[int]bool, len(v.Suspects))
+			for _, p := range v.Suspects {
+				suspect[p] = true
+			}
+			for _, p := range v.Contributors {
+				if tr := s.roster.ObserveVerdict(p, suspect[p], v.Ringer, now); tr != nil {
+					s.pushTransition(*tr, true)
+				}
 			}
 		}
 		if s.replaying {
@@ -459,7 +572,7 @@ func (s *Supervisor) Start(addr string) (string, error) {
 	}
 	s.ln = ln
 	go s.acceptLoop()
-	if s.cfg.Deadline > 0 {
+	if s.cfg.Deadline > 0 || s.roster != nil {
 		s.loopWG.Add(1)
 		go func() { defer s.loopWG.Done(); s.sweepLoop() }()
 	}
@@ -644,8 +757,6 @@ func (s *Supervisor) reclaim(cs *connState) {
 			continue
 		}
 		delete(s.lease.inflight, key)
-		s.lease.queue.Abandon(info.a)
-		reclaimed++
 		s.metrics.reclaimed.With("disconnect").Inc()
 		if s.events != nil {
 			s.events.Emit(EvAssignmentReclaimed, map[string]any{
@@ -653,8 +764,34 @@ func (s *Supervisor) reclaim(cs *connState) {
 				"participant": info.participant, "reason": "disconnect",
 			})
 		}
+		if twin, dup := s.lease.spec[key]; dup {
+			// The departed primary had a live speculative clone: hand the
+			// copy to the clone instead of re-queueing it. Abandoning here
+			// would put the copy back in the ready pool while the clone is
+			// still out — a third issue, and broken accounting when both
+			// complete.
+			delete(s.lease.spec, key)
+			twin.speculated = false
+			s.lease.inflight[key] = twin
+			reclaimed++
+			continue
+		}
+		s.lease.queue.Abandon(info.a)
+		reclaimed++
 		s.logf("reclaimed task %d copy %d from departed participant %d",
 			info.a.TaskID, info.a.Copy, info.participant)
+	}
+	// Speculative clones are tracked only in the spec map (never cs.held);
+	// drop any this connection was running and let the primary try again.
+	for key, twin := range s.lease.spec {
+		if twin.owner != cs {
+			continue
+		}
+		delete(s.lease.spec, key)
+		if info, ok := s.lease.inflight[key]; ok {
+			info.speculated = false
+			s.lease.inflight[key] = info
+		}
 	}
 	if reclaimed > 0 {
 		s.kickLeaseLocked() // abandoned copies are available again
@@ -726,6 +863,14 @@ func (s *Supervisor) register(m Message, cs *connState) Message {
 			cs.held[key] = m.ParticipantID
 			moved++
 		}
+		for key, twin := range s.lease.spec {
+			if twin.participant != m.ParticipantID {
+				continue
+			}
+			twin.owner = cs
+			s.lease.spec[key] = twin
+			moved++
+		}
 		s.lease.mu.Unlock()
 		cs.registered[m.ParticipantID] = true
 		cs.names[m.ParticipantID] = name
@@ -783,6 +928,22 @@ func (s *Supervisor) convicted(participant int) bool {
 func (s *Supervisor) assign(m Message, cs *connState) Message {
 	if s.convicted(m.ParticipantID) {
 		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
+	}
+	// Unhealthy participants get nothing on the legacy path (probation's
+	// ringer-only feed is a batched-lease feature), so probation here can
+	// only end on the clock: ObserveRingerStarved re-admits once a full
+	// extra Probation period has passed with no ringer served.
+	if s.roster != nil && s.roster.AnyUnhealthy() {
+		switch s.roster.State(m.ParticipantID) {
+		case health.Quarantined:
+			return Message{Type: MsgNoWork, Wait: 0.5}
+		case health.Probation:
+			tr := s.roster.ObserveRingerStarved(m.ParticipantID, time.Now())
+			if tr == nil {
+				return Message{Type: MsgNoWork, Wait: 0.5}
+			}
+			s.pushTransition(*tr, false)
+		}
 	}
 	s.lease.mu.Lock()
 	defer s.lease.mu.Unlock()
@@ -875,6 +1036,19 @@ func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
 	if s.convicted(m.ParticipantID) {
 		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
 	}
+	// Health gate: quarantined participants lease nothing; probationary
+	// ones lease only ringers (work whose answer the supervisor already
+	// knows), so re-admission can be earned without risking real results.
+	// AnyUnhealthy keeps the all-healthy hot path to one atomic-free check.
+	probation := false
+	if s.roster != nil && s.roster.AnyUnhealthy() {
+		switch s.roster.State(m.ParticipantID) {
+		case health.Quarantined:
+			return Message{Type: MsgNoWork, Wait: 0.5}
+		case health.Probation:
+			probation = true
+		}
+	}
 	want := m.Batch
 	if want < 1 {
 		want = 1
@@ -883,7 +1057,7 @@ func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
 		want = s.cfg.MaxBatch
 	}
 	items := cs.items[:0]
-	fresh, reissues := 0, 0
+	fresh, reissues, specIssued := 0, 0, 0
 	var deadline time.Time // parking budget; set on first empty pass
 	s.lease.mu.Lock()
 	if s.lease.finished {
@@ -913,7 +1087,14 @@ func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
 		items = append(items, WorkItem{TaskID: info.a.TaskID, Copy: info.a.Copy, Seed: TaskSeed(info.a.TaskID)})
 	}
 	for {
-		if !s.lease.draining && len(items) < want {
+		// Straggler clones go out ahead of fresh queue pops — a flagged copy
+		// is the work blocking a task's certification, so it is the most
+		// valuable lease in the system. Healthy requesters only, and never
+		// back to the straggler itself.
+		if !s.lease.draining && !probation && len(items) < want {
+			specIssued += s.fillSpeculativeLocked(m.ParticipantID, cs, want, &items)
+		}
+		if !s.lease.draining && len(items) < want && !probation {
 			fill := s.lease.queue.NextBatch(cs.fill[:0], want-len(items))
 			cs.fill = fill[:0]
 			for _, a := range fill {
@@ -928,8 +1109,43 @@ func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
 				items = append(items, WorkItem{TaskID: a.TaskID, Copy: a.Copy, Seed: TaskSeed(a.TaskID)})
 			}
 		}
+		if !s.lease.draining && len(items) < want && probation {
+			for len(items) < want {
+				a, ok := s.lease.queue.NextRinger()
+				if !ok {
+					break
+				}
+				s.trackLocked(m.ParticipantID, a, cs)
+				cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
+				fresh++
+				if s.events != nil {
+					s.events.Emit(EvAssignmentIssued, map[string]any{
+						"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID,
+						"ringer": true, "probation": true,
+					})
+				}
+				items = append(items, WorkItem{TaskID: a.TaskID, Copy: a.Copy, Seed: TaskSeed(a.TaskID)})
+			}
+		}
 		if len(items) > 0 {
 			break
+		}
+		if probation {
+			// No ringer ready and none held. Probation is time-bounded:
+			// when the ringer supply is spent (some plans mint none at
+			// all), a participant that has sat out a full extra Probation
+			// period re-admits on the clock — otherwise a fleet-wide
+			// quarantine deadlocks the run with work still queued. On
+			// re-admission, fall through to the regular pool this pass.
+			if tr := s.roster.ObserveRingerStarved(m.ParticipantID, time.Now()); tr != nil {
+				s.pushTransition(*tr, false)
+				probation = false
+				continue
+			}
+			// Still on the clock; do not park a probationary worker against
+			// the regular pool, just have it retry.
+			s.lease.mu.Unlock()
+			return Message{Type: MsgNoWork, Wait: 0.5}
 		}
 		if s.lease.draining {
 			s.lease.mu.Unlock()
@@ -977,9 +1193,62 @@ func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
 	if fresh > 0 {
 		s.metrics.assignmentsIssued.Add(uint64(fresh))
 	}
+	if specIssued > 0 {
+		s.metrics.speculativeIssued.Add(uint64(specIssued))
+	}
 	s.metrics.batchesIssued.Inc()
 	s.metrics.batchSize.Observe(float64(len(items)))
 	return Message{Type: MsgWorkBatch, Kind: s.cfg.WorkKind, Iters: s.cfg.Iters, Work: items}
+}
+
+// fillSpeculativeLocked serves flagged straggler copies to a second
+// participant, up to the lease's capacity and ahead of fresh queue work
+// (leaseBatch calls it first). A clone is recorded only
+// in the spec map — never cs.held, never the queue — so every existing
+// invariant over inflight+queue is untouched; the clone either wins the
+// claim race (claimLocked) or evaporates. Stale candidates (resolved,
+// reclaimed, or already cloned since flagging) are dropped; candidates
+// this participant cannot take (its own straggling lease) are kept for
+// other requesters. Callers hold lease.mu. Returns the number of clones
+// issued.
+func (s *Supervisor) fillSpeculativeLocked(pid int, cs *connState, want int, items *[]WorkItem) int {
+	if len(s.lease.specq) == 0 {
+		return 0
+	}
+	issued := 0
+	kept := s.lease.specq[:0]
+	for _, key := range s.lease.specq {
+		if len(*items) >= want {
+			kept = append(kept, key)
+			continue
+		}
+		info, ok := s.lease.inflight[key]
+		if !ok || !info.speculated {
+			continue
+		}
+		if _, dup := s.lease.spec[key]; dup {
+			continue
+		}
+		if info.participant == pid {
+			kept = append(kept, key)
+			continue
+		}
+		now := time.Now()
+		s.lease.spec[key] = inflightInfo{
+			participant: pid, a: info.a, issuedAt: now,
+			firstIssued: info.firstIssued, owner: cs,
+		}
+		issued++
+		if s.events != nil {
+			s.events.Emit(EvAssignmentSpeculated, map[string]any{
+				"task": info.a.TaskID, "copy": info.a.Copy,
+				"participant": pid, "straggler": info.participant,
+			})
+		}
+		*items = append(*items, WorkItem{TaskID: info.a.TaskID, Copy: info.a.Copy, Seed: TaskSeed(info.a.TaskID)})
+	}
+	s.lease.specq = kept
+	return issued
 }
 
 // outstandingKey identifies one issued copy so results can be matched
@@ -988,19 +1257,38 @@ type outstandingKey struct{ task, copy int }
 
 // trackLocked records who holds which assignment. Callers hold lease.mu.
 func (s *Supervisor) trackLocked(participant int, a sched.Assignment, cs *connState) {
-	s.lease.inflight[outstandingKey{a.TaskID, a.Copy}] = inflightInfo{participant, a, time.Now(), cs}
+	now := time.Now()
+	s.lease.inflight[outstandingKey{a.TaskID, a.Copy}] = inflightInfo{
+		participant: participant, a: a, issuedAt: now, firstIssued: now, owner: cs,
+	}
 }
 
 type inflightInfo struct {
 	participant int
 	a           sched.Assignment
 	issuedAt    time.Time
+	// firstIssued survives reissues and speculative promotion: it is when
+	// this copy first left the supervisor, so completion-latency hooks see
+	// the straggler's delay, not the winner's sprint.
+	firstIssued time.Time
 	owner       *connState // connection the assignment is currently attached to
+	// speculated marks a primary that has (or had) a duplicate flagged or
+	// issued; at most one clone exists per copy, and a dropped clone
+	// clears the flag so the sweeper may try again.
+	speculated bool
 }
 
-// sweepLoop periodically reclaims assignments held past the deadline.
+// sweepLoop periodically reclaims assignments held past the deadline,
+// flags straggling leases for speculative reissue, and advances the
+// health roster's time-driven transitions. With no Deadline configured
+// (health-only supervisors) it still ticks at a fixed cadence so
+// probation clocks advance.
 func (s *Supervisor) sweepLoop() {
-	tick := time.NewTicker(s.cfg.Deadline / 4)
+	interval := s.cfg.Deadline / 4
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {
@@ -1015,18 +1303,27 @@ func (s *Supervisor) sweepLoop() {
 }
 
 func (s *Supervisor) sweepExpired() {
-	cutoff := time.Now().Add(-s.cfg.Deadline)
+	now := time.Now()
 	s.lease.mu.Lock()
 	defer s.lease.mu.Unlock()
 	swept := 0
-	for key, info := range s.lease.inflight {
-		if info.issuedAt.Before(cutoff) {
+	if s.cfg.Deadline > 0 {
+		cutoff := now.Add(-s.cfg.Deadline)
+		for key, info := range s.lease.inflight {
+			if !info.issuedAt.Before(cutoff) {
+				continue
+			}
 			delete(s.lease.inflight, key)
 			if info.owner != nil {
 				delete(info.owner.held, key)
 			}
-			s.lease.queue.Abandon(info.a)
-			swept++
+			if s.roster != nil && s.quarantine {
+				// A hard-deadline expiry is the health signal (silent lease
+				// holding); disconnect churn deliberately is not.
+				if tr := s.roster.ObserveReclaim(info.participant, now); tr != nil {
+					s.pushTransition(*tr, false)
+				}
+			}
 			s.metrics.reclaimed.With("deadline").Inc()
 			if s.events != nil {
 				s.events.Emit(EvAssignmentReclaimed, map[string]any{
@@ -1034,11 +1331,224 @@ func (s *Supervisor) sweepExpired() {
 					"participant": info.participant, "reason": "deadline",
 				})
 			}
+			if twin, ok := s.lease.spec[key]; ok && !twin.issuedAt.Before(cutoff) {
+				// The straggling primary expired but its speculative clone is
+				// still within deadline: promote the clone to primary. The
+				// copy never touches the queue — it stays leased, only the
+				// holder changes — so accounting sees no reclaim/reissue.
+				delete(s.lease.spec, key)
+				twin.speculated = false
+				s.lease.inflight[key] = twin
+				s.logf("deadline exceeded: task %d copy %d promoted from participant %d to speculative holder %d",
+					info.a.TaskID, info.a.Copy, info.participant, twin.participant)
+				continue
+			}
+			if _, ok := s.lease.spec[key]; ok {
+				// Both the primary and its clone expired: one queue reclaim,
+				// and the duplicate evaporates without queue effect.
+				delete(s.lease.spec, key)
+				s.metrics.reclaimed.With("speculative").Inc()
+			}
+			s.lease.queue.Abandon(info.a)
+			swept++
 			s.logf("deadline exceeded: reclaimed task %d copy %d from participant %d",
 				info.a.TaskID, info.a.Copy, info.participant)
 		}
+		// Expired clones whose primary is still live: drop the duplicate and
+		// make the primary eligible for a fresh one.
+		for key, twin := range s.lease.spec {
+			if !twin.issuedAt.Before(cutoff) {
+				continue
+			}
+			delete(s.lease.spec, key)
+			if info, ok := s.lease.inflight[key]; ok {
+				info.speculated = false
+				s.lease.inflight[key] = info
+			}
+			if s.roster != nil && s.quarantine {
+				if tr := s.roster.ObserveReclaim(twin.participant, now); tr != nil {
+					s.pushTransition(*tr, false)
+				}
+			}
+			s.metrics.reclaimed.With("speculative").Inc()
+			if s.events != nil {
+				s.events.Emit(EvAssignmentReclaimed, map[string]any{
+					"task": twin.a.TaskID, "copy": twin.a.Copy,
+					"participant": twin.participant, "reason": "speculative",
+				})
+			}
+		}
+		// Resolved speculative races older than two deadlines can no longer
+		// produce a meaningful "duplicate" rejection; forget them.
+		if len(s.lease.specLosers) > 0 {
+			gc := now.Add(-2 * s.cfg.Deadline)
+			for key, l := range s.lease.specLosers {
+				if l.at.Before(gc) {
+					delete(s.lease.specLosers, key)
+				}
+			}
+		}
+	}
+	// Speculative tier: flag still-leased copies whose age exceeds the
+	// configured completion-time percentile as candidates for a duplicate
+	// issue to a different participant (served by leaseBatch).
+	if s.cfg.SpeculatePct > 0 && !s.lease.draining && !s.lease.finished {
+		if q, ok := s.roster.Quantile(s.cfg.SpeculatePct); ok {
+			specCutoff := now.Add(-q)
+			flagged := 0
+			for key, info := range s.lease.inflight {
+				if info.speculated || !info.issuedAt.Before(specCutoff) {
+					continue
+				}
+				info.speculated = true
+				s.lease.inflight[key] = info
+				s.lease.specq = append(s.lease.specq, key)
+				flagged++
+			}
+			if flagged > 0 {
+				swept++ // parked leases can serve the new candidates
+			}
+		}
+	}
+	if s.roster != nil {
+		if s.quarantine {
+			for _, tr := range s.roster.Tick(now) {
+				s.pushTransition(tr, false)
+			}
+		}
+		s.drainHealthLocked()
+		for _, ph := range s.roster.Snapshot() {
+			s.metrics.participantHealth.With(strconv.Itoa(ph.Participant)).Set(ph.Score)
+		}
 	}
 	if swept > 0 {
+		s.kickLeaseLocked()
+	}
+}
+
+// pushTransition reacts to one health-state transition: metrics, events,
+// the adaptive estimator (quarantine is cheat/stall evidence the planner
+// should see), and — for quarantine entries — parking the lease-level
+// reclaim on qpend until a lease.mu holder drains it. underAudit says
+// whether the caller already holds audit.mu (the verdict callback does;
+// the sweeper holds lease.mu instead, and lease.mu → audit.mu is the
+// legal nesting order). During journal replay the roster still moves but
+// every side effect is suppressed: counters describe live observations,
+// and a restored supervisor has no outstanding leases to reclaim.
+func (s *Supervisor) pushTransition(tr health.Transition, underAudit bool) {
+	if s.replaying {
+		return
+	}
+	switch tr.To {
+	case health.Quarantined:
+		s.metrics.quarantinesEntered.Inc()
+		if s.audit.est != nil {
+			if underAudit {
+				s.audit.est.Observe(1, 1)
+			} else {
+				s.audit.mu.Lock()
+				s.audit.est.Observe(1, 1)
+				s.audit.mu.Unlock()
+			}
+		}
+		s.qmu.Lock()
+		s.qpend = append(s.qpend, tr)
+		s.qmu.Unlock()
+		if s.events != nil {
+			s.events.Emit(EvParticipantQuarantined, map[string]any{
+				"participant": tr.Participant, "reason": tr.Reason, "from": tr.From.String(),
+			})
+		}
+	case health.Probation:
+		if s.events != nil {
+			s.events.Emit(EvParticipantProbation, map[string]any{
+				"participant": tr.Participant,
+			})
+		}
+	case health.Healthy:
+		s.metrics.quarantinesExited.Inc()
+		if s.events != nil {
+			// reason distinguishes a ringer-proven re-admission
+			// ("readmitted") from the ringer-starved clock fallback
+			// ("probation_expired").
+			s.events.Emit(EvParticipantReadmitted, map[string]any{
+				"participant": tr.Participant, "reason": tr.Reason,
+			})
+		}
+	}
+	s.metrics.participantHealth.With(strconv.Itoa(tr.Participant)).Set(s.roster.Score(tr.Participant))
+	s.logf("participant %d: %s -> %s (%s)", tr.Participant, tr.From, tr.To, tr.Reason)
+}
+
+// drainHealthLocked applies the lease-level consequence of pending
+// quarantine transitions: every outstanding lease (and speculative
+// duplicate) of a newly quarantined participant is reclaimed. Callers
+// hold lease.mu.
+func (s *Supervisor) drainHealthLocked() {
+	if s.roster == nil {
+		return
+	}
+	s.qmu.Lock()
+	pend := s.qpend
+	s.qpend = nil
+	s.qmu.Unlock()
+	for _, tr := range pend {
+		if tr.To == health.Quarantined {
+			s.reclaimParticipantLocked(tr.Participant)
+		}
+	}
+}
+
+// reclaimParticipantLocked takes back everything one participant holds:
+// primaries go back to the queue (or hand off to a live speculative
+// clone), duplicates evaporate without queue effect. Callers hold
+// lease.mu.
+func (s *Supervisor) reclaimParticipantLocked(pid int) {
+	reclaimed := 0
+	for key, info := range s.lease.inflight {
+		if info.participant != pid {
+			continue
+		}
+		delete(s.lease.inflight, key)
+		if info.owner != nil {
+			delete(info.owner.held, key)
+		}
+		if twin, ok := s.lease.spec[key]; ok {
+			delete(s.lease.spec, key)
+			twin.speculated = false
+			s.lease.inflight[key] = twin
+		} else {
+			s.lease.queue.Abandon(info.a)
+		}
+		reclaimed++
+		s.metrics.reclaimed.With("quarantine").Inc()
+		if s.events != nil {
+			s.events.Emit(EvAssignmentReclaimed, map[string]any{
+				"task": info.a.TaskID, "copy": info.a.Copy,
+				"participant": pid, "reason": "quarantine",
+			})
+		}
+	}
+	for key, twin := range s.lease.spec {
+		if twin.participant != pid {
+			continue
+		}
+		delete(s.lease.spec, key)
+		if info, ok := s.lease.inflight[key]; ok {
+			info.speculated = false
+			s.lease.inflight[key] = info
+		}
+		reclaimed++
+		s.metrics.reclaimed.With("quarantine").Inc()
+		if s.events != nil {
+			s.events.Emit(EvAssignmentReclaimed, map[string]any{
+				"task": twin.a.TaskID, "copy": twin.a.Copy,
+				"participant": pid, "reason": "quarantine",
+			})
+		}
+	}
+	if reclaimed > 0 {
+		s.logf("quarantine: reclaimed %d outstanding lease(s) from participant %d", reclaimed, pid)
 		s.kickLeaseLocked()
 	}
 }
@@ -1209,6 +1719,27 @@ func (s *Supervisor) AdaptiveEstimate() (adapt.Estimate, bool) {
 	return s.audit.est.Estimate(), true
 }
 
+// HealthSnapshot returns the health roster's per-participant view (state,
+// score, counters), or nil when neither Health nor SpeculatePct is
+// configured. The roster locks itself, so this is safe from any goroutine.
+func (s *Supervisor) HealthSnapshot() []health.ParticipantHealth {
+	if s.roster == nil {
+		return nil
+	}
+	return s.roster.Snapshot()
+}
+
+// CompletionQuantile reports the q-th quantile of the health subsystem's
+// global completion-latency window — the observable the speculative tier
+// triggers on. It returns false until enough completions have accumulated,
+// or when neither Health nor SpeculatePct is configured.
+func (s *Supervisor) CompletionQuantile(q float64) (time.Duration, bool) {
+	if s.roster == nil {
+		return 0, false
+	}
+	return s.roster.Quantile(q)
+}
+
 // RevisionsApplied reports how many plan revisions this supervisor has
 // applied, including revisions restored from the journal.
 func (s *Supervisor) RevisionsApplied() int {
@@ -1242,6 +1773,12 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 	s.metrics.resultsAccepted.Inc()
 	s.metrics.turnaround.With(cs.names[m.ParticipantID]).
 		Observe(time.Since(info.issuedAt).Seconds())
+	if s.roster != nil {
+		s.roster.ObserveCompletion(m.ParticipantID, time.Since(info.issuedAt))
+	}
+	if s.cfg.OnTurnaround != nil {
+		s.cfg.OnTurnaround(time.Since(info.firstIssued))
+	}
 	if s.cfg.Journal != nil {
 		cs.recs = append(cs.recs[:0], journalRecord{
 			TaskID:      m.TaskID,
@@ -1344,8 +1881,15 @@ func (s *Supervisor) resultBatch(m Message, cs *connState) Message {
 			s.metrics.resultsAccepted.Add(uint64(accepted))
 			tn := s.metrics.turnaround.With(cs.names[m.ParticipantID])
 			for i := range pend {
-				if !pend[i].failed {
-					tn.Observe(time.Since(pend[i].info.issuedAt).Seconds())
+				if pend[i].failed {
+					continue
+				}
+				tn.Observe(time.Since(pend[i].info.issuedAt).Seconds())
+				if s.roster != nil {
+					s.roster.ObserveCompletion(m.ParticipantID, time.Since(pend[i].info.issuedAt))
+				}
+				if s.cfg.OnTurnaround != nil {
+					s.cfg.OnTurnaround(time.Since(pend[i].info.firstIssued))
 				}
 			}
 		}
@@ -1364,23 +1908,54 @@ func (s *Supervisor) resultBatch(m Message, cs *connState) Message {
 // in-flight entry, transferring the copy into the caller's exclusive
 // hands: after it returns success, no sweep, disconnect, resume, or
 // duplicate submission can touch this (task, copy). On refusal it returns
-// the rejection reason and detail and changes nothing. Callers hold
-// lease.mu.
+// the rejection reason and detail and changes nothing (beyond loser
+// bookkeeping for speculative races). Callers hold lease.mu.
+//
+// With speculative reissue a copy may be out twice — the primary in
+// inflight and a clone in spec, held by different participants. The first
+// of the two to submit wins here: the winner's claim deletes BOTH
+// entries, so exactly one result per copy can ever reach adjudication
+// (phase B), and the race's loser is remembered so its late submission is
+// rejected as a duplicate, not double-credited.
 func (s *Supervisor) claimLocked(participant, taskID, copy int, cs *connState) (inflightInfo, string, string) {
 	key := outstandingKey{taskID, copy}
 	info, ok := s.lease.inflight[key]
+	if ok && info.participant == participant {
+		delete(s.lease.inflight, key)
+		delete(cs.held, key)
+		if info.owner != nil && info.owner != cs {
+			delete(info.owner.held, key)
+		}
+		if twin, dup := s.lease.spec[key]; dup {
+			// The primary beat its clone: record the loser.
+			delete(s.lease.spec, key)
+			s.lease.specLosers[key] = specLoser{participant: twin.participant, at: time.Now()}
+		}
+		return info, "", ""
+	}
+	if twin, dup := s.lease.spec[key]; dup && twin.participant == participant {
+		// The clone beat the straggling primary: it wins the claim and the
+		// primary becomes the loser. Queue accounting is untouched either
+		// way — exactly one Complete will follow for this copy.
+		delete(s.lease.spec, key)
+		if ok {
+			delete(s.lease.inflight, key)
+			if info.owner != nil {
+				delete(info.owner.held, key)
+			}
+			s.lease.specLosers[key] = specLoser{participant: info.participant, at: time.Now()}
+		}
+		s.metrics.speculativeWins.Inc()
+		return twin, "", ""
+	}
 	if !ok {
+		if l, lost := s.lease.specLosers[key]; lost && l.participant == participant {
+			s.metrics.speculativeWasted.Inc()
+			return inflightInfo{}, ReasonDuplicate, "copy already completed by the other racer"
+		}
 		return inflightInfo{}, ReasonUnassigned, "result for unassigned work"
 	}
-	if info.participant != participant {
-		return inflightInfo{}, ReasonWrongParticipant, "result from wrong participant"
-	}
-	delete(s.lease.inflight, key)
-	delete(cs.held, key)
-	if info.owner != nil && info.owner != cs {
-		delete(info.owner.held, key)
-	}
-	return info, "", ""
+	return inflightInfo{}, ReasonWrongParticipant, "result from wrong participant"
 }
 
 // adjudicateLocked feeds one claimed result through the verification

@@ -188,6 +188,29 @@ func (q *Queue) NextBatch(dst []Assignment, n int) []Assignment {
 	return dst
 }
 
+// NextRinger hands out the first ready ringer copy, skipping regular work.
+// It is how probationary participants are fed: they get only pre-computed
+// tasks whose answers the supervisor already knows, so a lapse costs nothing
+// and a clean streak earns re-admission. Only the Free policy keeps its whole
+// pool in the ready slice, so other policies report no ringer available
+// rather than guess at release semantics.
+func (q *Queue) NextRinger() (Assignment, bool) {
+	if q.policy != Free {
+		return Assignment{}, false
+	}
+	for i, a := range q.ready {
+		if !a.Ringer {
+			continue
+		}
+		q.ready = append(q.ready[:i], q.ready[i+1:]...)
+		q.outstanding++
+		q.issued++
+		q.markIssued(a.TaskID)
+		return a, true
+	}
+	return Assignment{}, false
+}
+
 // Available reports whether Next would currently hand out an assignment —
 // the queue has ready copies, or a phase turn is due to release some.
 // Callers use it to decide whether waking parked work requests is worth

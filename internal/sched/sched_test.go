@@ -515,3 +515,57 @@ func TestAddTaskRefusals(t *testing.T) {
 		t.Fatal("AddTask accepted under one-outstanding policy")
 	}
 }
+
+func TestNextRingerSkipsRegularWork(t *testing.T) {
+	s := []plan.TaskSpec{
+		{ID: 0, Copies: 2},
+		{ID: 1, Copies: 1, Ringer: true},
+		{ID: 2, Copies: 1},
+		{ID: 3, Copies: 1, Ringer: true},
+	}
+	q, err := NewQueue(s, Free, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := q.NextRinger()
+	if !ok || !a.Ringer {
+		t.Fatalf("NextRinger = %+v, %v", a, ok)
+	}
+	b, ok := q.NextRinger()
+	if !ok || !b.Ringer || b.TaskID == a.TaskID {
+		t.Fatalf("second NextRinger = %+v, %v (first was task %d)", b, ok, a.TaskID)
+	}
+	if q.Issued() != 2 || q.Outstanding() != 2 {
+		t.Errorf("issued=%d outstanding=%d, want 2,2", q.Issued(), q.Outstanding())
+	}
+	// Ringers exhausted: only regular copies remain.
+	if _, ok := q.NextRinger(); ok {
+		t.Error("NextRinger handed out regular work")
+	}
+	q.Complete(a)
+	q.Complete(b)
+	// The regular copies are all still there and the queue drains clean.
+	rest := drain(t, q)
+	if len(rest) != 3 {
+		t.Fatalf("remaining copies = %d, want 3", len(rest))
+	}
+	for _, r := range rest {
+		if r.Ringer {
+			t.Errorf("drained a ringer twice: %+v", r)
+		}
+	}
+	if !q.Done() {
+		t.Error("queue not done after full drain")
+	}
+}
+
+func TestNextRingerNonFreePolicy(t *testing.T) {
+	s := []plan.TaskSpec{{ID: 0, Copies: 1, Ringer: true}, {ID: 1, Copies: 1}}
+	q, err := NewQueue(s, OneOutstanding, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.NextRinger(); ok {
+		t.Error("NextRinger served work under OneOutstanding")
+	}
+}

@@ -147,6 +147,15 @@ func (c *Collector) Submit(r Result) (v Verdict, done bool, err error) {
 		ts.results = make([]Result, 0, ts.expected)
 		c.partial++
 	}
+	// Speculative reissue can legitimately produce two answers for the same
+	// copy index; only the claim winner may reach adjudication. Rejecting the
+	// second here keeps a duplicate from ever counting toward the expected
+	// quorum, whatever the caller's bookkeeping missed.
+	for _, prev := range ts.results {
+		if prev.Assignment.Copy == r.Assignment.Copy {
+			return Verdict{}, false, fmt.Errorf("verify: duplicate copy %d for task %d", r.Assignment.Copy, id)
+		}
+	}
 	ts.results = append(ts.results, r)
 	if len(ts.results) < ts.expected {
 		return Verdict{}, false, nil

@@ -221,3 +221,24 @@ func TestConvictionRequiresRingerEvidence(t *testing.T) {
 		t.Errorf("ConvictedList = %v", got)
 	}
 }
+
+func TestDuplicateCopyRejected(t *testing.T) {
+	c := NewCollector(nil)
+	c.Expect(5, 2)
+	if _, _, err := c.Submit(res(5, 0, 1, 42, false)); err != nil {
+		t.Fatal(err)
+	}
+	// A speculative duplicate of copy 0 from a different participant must not
+	// count toward the quorum, even with a matching value.
+	if _, done, err := c.Submit(res(5, 0, 2, 42, false)); err == nil || done {
+		t.Fatalf("duplicate copy accepted: done=%v err=%v", done, err)
+	}
+	// The legitimate second copy still adjudicates normally.
+	v, done, err := c.Submit(res(5, 1, 3, 42, false))
+	if err != nil || !done || !v.Accepted {
+		t.Fatalf("legitimate copy after duplicate: %+v done=%v err=%v", v, done, err)
+	}
+	if len(v.Contributors) != 2 {
+		t.Errorf("contributors = %v, want the two distinct copies", v.Contributors)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"redundancy/internal/adapt"
 	"redundancy/internal/faults"
+	"redundancy/internal/health"
 	"redundancy/internal/obs"
 	"redundancy/internal/platform"
 )
@@ -41,6 +42,25 @@ type AdaptConfig = adapt.Config
 // the Wilson confidence interval around it, and the evidence weight
 // behind it. Returned by Supervisor.AdaptiveEstimate.
 type AdaptEstimate = adapt.Estimate
+
+// HealthConfig enables the supervisor's participant-health subsystem when
+// assigned to SupervisorConfig.Health: per-participant latency and verdict
+// tracking, quarantine when suspect history or deadline-failure rate
+// crosses a threshold, and probationary ringer-only re-admission. The zero
+// value selects the documented defaults. Requires the free scheduling
+// policy; quarantine events feed the adaptive p̂ estimator when -adapt is
+// on. See DESIGN.md's participant-health section.
+type HealthConfig = health.Config
+
+// ParticipantHealth is one participant's row in the health roster
+// snapshot: state, score, and the counters behind them.
+type ParticipantHealth = health.ParticipantHealth
+
+// SpeedModel makes a worker's per-assignment compute time heterogeneous
+// (base + uniform jitter + a straggler mixture) when assigned to
+// WorkerConfig.Speed. It is how benchmarks and tests model slow hosts for
+// the supervisor's speculative-reissue tier to cut.
+type SpeedModel = platform.SpeedModel
 
 // WorkerConfig parameterizes a platform worker (see RunWorker).
 type WorkerConfig = platform.WorkerConfig
