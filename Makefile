@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-save bench-smoke straggler-smoke figures fmt vet check chaos fuzz snapshot-smoke clean
+.PHONY: all build test race cover cover-check bench bench-save bench-smoke straggler-smoke scenarios-smoke scenarios-scale figures fmt vet check chaos fuzz snapshot-smoke clean
 
 all: build test
 
@@ -17,6 +17,7 @@ check:
 	$(GO) test -race -count=1 ./internal/platform/...
 	$(MAKE) snapshot-smoke
 	$(MAKE) straggler-smoke
+	$(MAKE) scenarios-smoke
 	$(MAKE) cover-check
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
@@ -40,7 +41,7 @@ cover:
 COVER_FLOOR ?= 75.0
 
 cover-check:
-	@for pkg in ./internal/dist ./internal/platform ./internal/adapt ./internal/health; do \
+	@for pkg in ./internal/dist ./internal/platform ./internal/adapt ./internal/health ./internal/sim ./internal/adversary; do \
 		$(GO) test -coverprofile=cover-check.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover-check.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
@@ -84,19 +85,34 @@ bench-smoke:
 straggler-smoke:
 	$(GO) test -race -run 'TestSpeculative|TestDisconnectDeadlineReclaimOverlap|TestQuarantine|TestProbationExpires|TestStallChaosSoak' -count=1 -v ./internal/platform
 
+# The scenario lab's five pathological adversary templates at the fast
+# smoke tier (10^4 tasks each): every expected counter bound, the
+# seed-determinism property, and the golden counter reports. The plain
+# `go test ./internal/sim` run exercises the same suite at 10^5;
+# scenarios-scale pushes it to 10^6.
+scenarios-smoke:
+	$(GO) test -run 'TestScenario' -count=1 ./internal/sim -args -scenario-tasks 10000
+
+scenarios-scale:
+	$(GO) test -run 'TestScenarioTemplates' -count=1 -v -timeout 30m ./internal/sim -args -scale
+
 # The crash-tolerance acceptance test alone, under the race detector:
 # full plan to certification with every fault mode injected and the
 # supervisor killed and restored mid-run (see DESIGN.md §8).
 chaos:
 	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/platform
 
-# Short-fuzz both wire codecs (seed corpora run in every plain `go
-# test`; this explores further for 30s each): FuzzCodecRecv throws
-# hostile bytes at the JSON framing, FuzzBinaryCodec at the binary
-# decoder plus the differential binary-equals-JSON-round-trip property.
+# Short-fuzz the wire codecs and the scenario-config surface (seed
+# corpora run in every plain `go test`; this explores further for 30s
+# each): FuzzCodecRecv throws hostile bytes at the JSON framing,
+# FuzzBinaryCodec at the binary decoder plus the differential
+# binary-equals-JSON-round-trip property, and FuzzScenarioConfig hostile
+# parameters (NaN, infinities, negatives) at the scenario lab — which
+# must error, never panic or hang.
 fuzz:
 	$(GO) test -fuzz=FuzzCodecRecv -fuzztime=30s -run '^$$' ./internal/platform
 	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=30s -run '^$$' ./internal/platform
+	$(GO) test -fuzz=FuzzScenarioConfig -fuzztime=30s -run '^$$' ./internal/sim
 
 # The compaction-restore timing smoke, not under the race detector (the
 # race run above scales the soak down): replays a >=100k-result journal

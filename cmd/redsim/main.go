@@ -14,11 +14,20 @@
 // compares the weakest per-class detection guarantee of the untouched
 // static plan against a plan revised online by the adaptive controller
 // (internal/adapt) from the same evidence stream.
+//
+// With -scenario <name> it runs one of the scenario lab's pathological
+// adversary templates (use `-scenario list` for the vocabulary) and emits
+// the JSON counter report; the exit status is nonzero when any of the
+// template's expected counter bounds was violated:
+//
+//	redsim -scenario sleeper-agents -scenario-tasks 100000
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"redundancy"
@@ -40,7 +49,23 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	drift := flag.Bool("drift", false, "run the drifting-adversary scenario instead: a static vs adaptive min_k P(k,p) comparison table")
 	driftDecay := flag.Float64("drift-decay", 0.998, "estimator decay per observed assignment in -drift mode")
+	scenario := flag.String("scenario", "", "run a scenario-lab template and emit its JSON counter report ('list' shows names)")
+	scenarioTasks := flag.Int("scenario-tasks", 0, "override the scenario scale (0 = template default)")
+	scenarioParticipants := flag.Int("scenario-participants", 0, "override the scenario population (0 = same as -scenario-tasks)")
 	flag.Parse()
+
+	if *scenario != "" {
+		violations, err := runScenario(*scenario, *scenarioTasks, *scenarioParticipants, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "redsim: scenario %q violated %d expected counter bound(s)\n",
+				*scenario, violations)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *drift {
 		tbl, err := experiments.DriftTable(int(*n), *eps,
@@ -107,6 +132,42 @@ func main() {
 	fmt.Printf("blacklisted members:  %d (honest implicated: %d)\n",
 		rep.BlacklistedMembers, rep.HonestBlacklisted)
 	fmt.Printf("virtual makespan:     %.2f   mean task time: %.2f\n", rep.Makespan, rep.MeanTaskTime)
+}
+
+// runScenario executes one scenario-lab template and writes its JSON
+// counter report to w, returning the number of violated counter bounds.
+// tasks/participants of 0 keep the template's default scale.
+func runScenario(name string, tasks, participants int, w io.Writer) (violations int, err error) {
+	if name == "list" {
+		for _, n := range redundancy.ScenarioNames() {
+			fmt.Fprintln(w, n)
+		}
+		return 0, nil
+	}
+	sc, ok := redundancy.ScenarioByName(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown scenario %q (try -scenario list)", name)
+	}
+	if tasks > 0 {
+		if participants <= 0 {
+			participants = tasks
+		}
+		sc = sc.WithScale(tasks, participants)
+	} else if participants > 0 {
+		sc = sc.WithScale(sc.Config.Tasks, participants)
+	}
+	rep, err := redundancy.RunScenario(sc)
+	if err != nil {
+		return 0, err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+		return 0, err
+	}
+	return len(rep.Violations), nil
 }
 
 func buildScheme(scheme string, n, eps float64, m int) (*redundancy.Distribution, error) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"redundancy"
@@ -56,5 +58,54 @@ func TestParseStrategy(t *testing.T) {
 	only, _ := parseStrategy("only-k", 3, 0.5, d, 0.1)
 	if only.ShouldCheat(2) || !only.ShouldCheat(3) {
 		t.Error("only-k did not honor -k")
+	}
+}
+
+func TestRunScenarioList(t *testing.T) {
+	var buf strings.Builder
+	violations, err := runScenario("list", 0, 0, &buf)
+	if err != nil || violations != 0 {
+		t.Fatalf("list: %d violations, err %v", violations, err)
+	}
+	got := strings.Fields(buf.String())
+	want := redundancy.ScenarioNames()
+	if len(got) != len(want) {
+		t.Fatalf("listed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("listed[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunScenarioEmitsJSONReport(t *testing.T) {
+	var buf strings.Builder
+	violations, err := runScenario("colluding-pocket", 5000, 0, &buf)
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	if violations != 0 {
+		t.Errorf("%d unexpected violations", violations)
+	}
+	var rep redundancy.ScenarioReport
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("output is not a JSON report: %v", err)
+	}
+	if rep.Scenario != "colluding-pocket" {
+		t.Errorf("report names %q", rep.Scenario)
+	}
+	if rep.Config.Tasks != 5000 || rep.Config.Participants != 5000 {
+		t.Errorf("scale override ignored: %d/%d", rep.Config.Tasks, rep.Config.Participants)
+	}
+	if rep.CheatedTasks == 0 || rep.DetectedCheats != 0 {
+		t.Errorf("pocket counters off: cheated %d, detected %d", rep.CheatedTasks, rep.DetectedCheats)
+	}
+}
+
+func TestRunScenarioUnknownName(t *testing.T) {
+	var buf strings.Builder
+	if _, err := runScenario("no-such-template", 0, 0, &buf); err == nil {
+		t.Fatal("unknown scenario accepted")
 	}
 }

@@ -23,6 +23,10 @@ type Estimator struct {
 	decay float64
 	bad   float64
 	total float64
+
+	// observer, when set, sees the refreshed estimate after every Observe
+	// (SetObserver).
+	observer func(Estimate)
 }
 
 // NewEstimator returns an estimator with z-score z and per-assignment
@@ -52,7 +56,16 @@ func (e *Estimator) Observe(copies, bad int) {
 	}
 	e.bad += float64(bad)
 	e.total += float64(copies)
+	if e.observer != nil {
+		e.observer(e.Estimate())
+	}
 }
+
+// SetObserver installs a callback invoked with the refreshed estimate after
+// every effective Observe (zero-copy observations are dropped before it
+// fires). The scenario lab (internal/sim) uses it to record the p̂
+// convergence trajectory without polling; pass nil to detach.
+func (e *Estimator) SetObserver(fn func(Estimate)) { e.observer = fn }
 
 // Estimate is a snapshot of the estimator's state.
 type Estimate struct {

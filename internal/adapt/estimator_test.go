@@ -138,3 +138,34 @@ func TestEstimatorDecayTracksDrift(t *testing.T) {
 		t.Fatalf("decayed sample mass %v exceeds saturation bound %v", tr.Samples, 1/(1-0.995))
 	}
 }
+
+// TestEstimatorObserver verifies the SetObserver hook: it fires once per
+// effective observation with the same estimate a fresh Estimate() call
+// returns, skips zero-copy observations, and detaches on nil.
+func TestEstimatorObserver(t *testing.T) {
+	e := NewEstimator(DefaultZ, 1)
+	var seen []Estimate
+	e.SetObserver(func(s Estimate) { seen = append(seen, s) })
+
+	e.Observe(0, 0) // dropped before the hook
+	e.Observe(10, 2)
+	e.Observe(5, 0)
+	if len(seen) != 2 {
+		t.Fatalf("observer fired %d times, want 2", len(seen))
+	}
+	if got, want := seen[1], e.Estimate(); got != want {
+		t.Errorf("observer saw %+v, Estimate() says %+v", got, want)
+	}
+	if seen[0].Samples != 10 || seen[1].Samples != 15 {
+		t.Errorf("trajectory samples = %v, %v; want 10, 15", seen[0].Samples, seen[1].Samples)
+	}
+	if seen[0].PHat != 0.2 {
+		t.Errorf("first observed p̂ = %v, want 0.2", seen[0].PHat)
+	}
+
+	e.SetObserver(nil)
+	e.Observe(10, 1)
+	if len(seen) != 2 {
+		t.Error("detached observer still fired")
+	}
+}

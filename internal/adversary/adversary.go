@@ -117,6 +117,10 @@ type Coalition struct {
 	holdings map[int][]sched.Assignment
 
 	decided map[int]bool // memoized cheat decision per task
+
+	// ctxFn, when set, supplies the run-time observables handed to a
+	// ContextStrategy at decision time (SetContext).
+	ctxFn func(taskID, held int) Context
 }
 
 // NewCoalition creates an empty coalition driven by the given strategy.
@@ -134,6 +138,14 @@ func NewCoalition(strategy Strategy) *Coalition {
 
 // Strategy returns the coalition's strategy.
 func (c *Coalition) Strategy() Strategy { return c.strategy }
+
+// SetContext installs a provider of run-time observables for context-aware
+// strategies. When the coalition's strategy implements ContextStrategy,
+// every cheat decision calls fn(taskID, copiesHeld) and routes the result
+// through ShouldCheatCtx; with no provider installed the strategy sees the
+// minimal context (task identity and holding only). Plain strategies are
+// unaffected.
+func (c *Coalition) SetContext(fn func(taskID, held int) Context) { c.ctxFn = fn }
 
 // AddMember enrolls a participant (a real colluder or a Sybil identity).
 func (c *Coalition) AddMember(participant int) { c.members[participant] = true }
@@ -174,7 +186,18 @@ func (c *Coalition) CheatsOn(taskID int) bool {
 		return v
 	}
 	held := len(c.holdings[taskID])
-	v := held > 0 && c.strategy.ShouldCheat(held)
+	var v bool
+	if held > 0 {
+		if cs, ok := c.strategy.(ContextStrategy); ok {
+			ctx := Context{TaskID: taskID, CopiesHeld: held}
+			if c.ctxFn != nil {
+				ctx = c.ctxFn(taskID, held)
+			}
+			v = cs.ShouldCheatCtx(ctx)
+		} else {
+			v = c.strategy.ShouldCheat(held)
+		}
+	}
 	c.decided[taskID] = v
 	return v
 }

@@ -1,0 +1,294 @@
+package adversary
+
+import (
+	"testing"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/sched"
+)
+
+// TestStrategyNamesPinned pins the Name() string of every strategy in the
+// package. Scenario reports, golden files, and redsim output key on these
+// names; changing one is a report-format change and must show up here.
+func TestStrategyNamesPinned(t *testing.T) {
+	d := dist.Simple(100)
+	for _, tc := range []struct {
+		strategy Strategy
+		want     string
+	}{
+		{Always{}, "always"},
+		{Never{}, "never"},
+		{OnlyK{K: 3}, "only-3"},
+		{AtLeast{MinCopies: 2}, "at-least-2"},
+		{NewRational(d, 0.1, 0.25), "rational(max=0.250)"},
+		{Drifting{StartRate: 0.02, EndRate: 0.4}, "drifting(0.02->0.4)"},
+		{Probabilistic{Rate: 0.3}, "probabilistic(0.3)"},
+		{Sleeper{TriggerK: 3}, "sleeper(k=3)"},
+		{Sleeper{}, "sleeper(k=2)"},
+		{StragglerCover{MinHeld: 2}, "straggler-cover(min=2)"},
+		{StragglerCover{}, "straggler-cover(min=1)"},
+		{Pocket{Lo: 0, Hi: 0.25}, "pocket(0-0.25)"},
+	} {
+		if got := tc.strategy.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestShouldCheatTruthTables drives every plain-interface decision rule
+// through an explicit truth table over holdings 0..5.
+func TestShouldCheatTruthTables(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		strategy Strategy
+		// want[h-1] is the decision when holding h copies, h = 1..6
+		// (the interface contract starts at one copy held).
+		want [6]bool
+	}{
+		{"always", Always{}, [6]bool{true, true, true, true, true, true}},
+		{"never", Never{}, [6]bool{false, false, false, false, false, false}},
+		{"only-2", OnlyK{K: 2}, [6]bool{false, true, false, false, false, false}},
+		{"at-least-3", AtLeast{MinCopies: 3}, [6]bool{false, false, true, true, true, true}},
+		// Context-aware strategies degrade to their documented minimal
+		// view: Drifting at Progress 0 cheats per the start rate (here 0),
+		// Sleeper never learns it is armed, Pocket cannot locate its
+		// slice, StragglerCover sees no honest returns and cheats on any
+		// qualifying holding.
+		{"drifting-unstarted", Drifting{StartRate: 0, EndRate: 1}, [6]bool{false, false, false, false, false, false}},
+		{"probabilistic-certain", Probabilistic{Rate: 1}, [6]bool{true, true, true, true, true, true}},
+		{"probabilistic-never", Probabilistic{Rate: 0}, [6]bool{false, false, false, false, false, false}},
+		{"sleeper", Sleeper{TriggerK: 2}, [6]bool{false, false, false, false, false, false}},
+		{"straggler-cover-2", StragglerCover{MinHeld: 2}, [6]bool{false, true, true, true, true, true}},
+		{"pocket", Pocket{Lo: 0, Hi: 1}, [6]bool{false, false, false, false, false, false}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for h := 1; h <= len(tc.want); h++ {
+				if got := tc.strategy.ShouldCheat(h); got != tc.want[h-1] {
+					t.Errorf("ShouldCheat(%d) = %v, want %v", h, got, tc.want[h-1])
+				}
+			}
+		})
+	}
+}
+
+// TestDriftingRamp checks the time-awareness of the drifting coalition:
+// the same task flips from honest to cheating as progress crosses its coin.
+func TestDriftingRamp(t *testing.T) {
+	s := Drifting{StartRate: 0, EndRate: 1}
+	// Find a task whose coin lands mid-range so both phases are visible.
+	task := -1
+	for id := 0; id < 1000; id++ {
+		if u := hashUnit(id, 0); u > 0.4 && u < 0.6 {
+			task = id
+			break
+		}
+	}
+	if task < 0 {
+		t.Fatal("no mid-range coin in 1000 tasks (hashUnit broken?)")
+	}
+	early := s.ShouldCheatCtx(Context{TaskID: task, CopiesHeld: 1, Progress: 0.1})
+	late := s.ShouldCheatCtx(Context{TaskID: task, CopiesHeld: 1, Progress: 0.9})
+	if early || !late {
+		t.Errorf("ramp did not flip task %d: early=%v late=%v", task, early, late)
+	}
+	// The ramp clamps outside [0,1].
+	if s.ShouldCheatCtx(Context{TaskID: task, CopiesHeld: 1, Progress: -5}) {
+		t.Error("negative progress should clamp to the start rate")
+	}
+	if !s.ShouldCheatCtx(Context{TaskID: task, CopiesHeld: 1, Progress: 5}) {
+		t.Error("overflowing progress should clamp to the end rate")
+	}
+	if s.ShouldCheatCtx(Context{TaskID: task, CopiesHeld: 0, Progress: 1}) {
+		t.Error("cannot cheat holding no copies")
+	}
+}
+
+// TestDriftingRateIsMonotone samples the empirical cheat rate over many
+// tasks at three progress points; it must track the ramp.
+func TestDriftingRateIsMonotone(t *testing.T) {
+	s := Drifting{StartRate: 0.05, EndRate: 0.8}
+	const n = 20000
+	rate := func(progress float64) float64 {
+		cheats := 0
+		for id := 0; id < n; id++ {
+			if s.ShouldCheatCtx(Context{TaskID: id, CopiesHeld: 1, Progress: progress}) {
+				cheats++
+			}
+		}
+		return float64(cheats) / n
+	}
+	r0, r5, r10 := rate(0), rate(0.5), rate(1)
+	if !(r0 < r5 && r5 < r10) {
+		t.Fatalf("rates not monotone: %.3f, %.3f, %.3f", r0, r5, r10)
+	}
+	for _, p := range []struct{ got, want float64 }{
+		{r0, 0.05}, {r5, 0.425}, {r10, 0.8},
+	} {
+		if diff := p.got - p.want; diff < -0.02 || diff > 0.02 {
+			t.Errorf("empirical rate %.3f, want ≈%.3f", p.got, p.want)
+		}
+	}
+}
+
+// TestSleeperArmsAndStrikes walks the sleeper truth table over the arming
+// observable.
+func TestSleeperArmsAndStrikes(t *testing.T) {
+	s := Sleeper{TriggerK: 3}
+	for _, tc := range []struct {
+		maxHeld, held int
+		want          bool
+	}{
+		{0, 1, false}, // asleep
+		{2, 2, false}, // still below trigger
+		{3, 1, false}, // armed, but this holding is not worth a strike
+		{3, 2, false},
+		{3, 3, true}, // armed and striking
+		{5, 4, true},
+	} {
+		got := s.ShouldCheatCtx(Context{CopiesHeld: tc.held, MaxHeldAnyTask: tc.maxHeld})
+		if got != tc.want {
+			t.Errorf("maxHeld=%d held=%d: got %v, want %v", tc.maxHeld, tc.held, got, tc.want)
+		}
+	}
+}
+
+// TestStragglerCoverTable pins the cover condition: cheat only while no
+// honest copy of the task has returned.
+func TestStragglerCoverTable(t *testing.T) {
+	s := StragglerCover{MinHeld: 2}
+	for _, tc := range []struct {
+		held, honest int
+		want         bool
+	}{
+		{1, 0, false}, // below the holding floor
+		{2, 0, true},  // covered
+		{2, 1, false}, // an honest result already landed
+		{3, 2, false},
+		{4, 0, true},
+	} {
+		got := s.ShouldCheatCtx(Context{CopiesHeld: tc.held, HonestReturned: tc.honest})
+		if got != tc.want {
+			t.Errorf("held=%d honest=%d: got %v, want %v", tc.held, tc.honest, got, tc.want)
+		}
+	}
+}
+
+// TestPocketSlice pins the slice arithmetic, including both boundary ends.
+func TestPocketSlice(t *testing.T) {
+	s := Pocket{Lo: 0.2, Hi: 0.5}
+	const tasks = 1000
+	for _, tc := range []struct {
+		id   int
+		want bool
+	}{
+		{0, false},
+		{199, false},
+		{200, true}, // inclusive lower bound
+		{350, true},
+		{499, true},
+		{500, false}, // exclusive upper bound
+		{999, false},
+	} {
+		got := s.ShouldCheatCtx(Context{TaskID: tc.id, CopiesHeld: 1, Tasks: tasks})
+		if got != tc.want {
+			t.Errorf("id=%d: got %v, want %v", tc.id, got, tc.want)
+		}
+	}
+	if s.ShouldCheatCtx(Context{TaskID: 300, CopiesHeld: 0, Tasks: tasks}) {
+		t.Error("cannot cheat holding no copies")
+	}
+	if s.ShouldCheatCtx(Context{TaskID: 300, CopiesHeld: 1, Tasks: 0}) {
+		t.Error("pocket with unknown task-space extent must stay honest")
+	}
+}
+
+// TestProbabilisticDecisionIsOrderIndependent verifies the per-task coin:
+// the same task always draws the same decision, whatever the progress or
+// holdings, and the empirical rate over many tasks matches Rate.
+func TestProbabilisticDecisionIsOrderIndependent(t *testing.T) {
+	s := Probabilistic{Rate: 0.3, Salt: 7}
+	cheats := 0
+	const n = 20000
+	for id := 0; id < n; id++ {
+		a := s.ShouldCheatCtx(Context{TaskID: id, CopiesHeld: 1, Progress: 0.1})
+		b := s.ShouldCheatCtx(Context{TaskID: id, CopiesHeld: 4, Progress: 0.9, MaxHeldAnyTask: 5})
+		if a != b {
+			t.Fatalf("task %d decision depends on context beyond identity", id)
+		}
+		if a {
+			cheats++
+		}
+	}
+	rate := float64(cheats) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("empirical rate %.3f, want ≈0.3", rate)
+	}
+	// Distinct salts decorrelate the coins.
+	other := Probabilistic{Rate: 0.3, Salt: 8}
+	same := 0
+	for id := 0; id < n; id++ {
+		x := s.ShouldCheatCtx(Context{TaskID: id, CopiesHeld: 1})
+		y := other.ShouldCheatCtx(Context{TaskID: id, CopiesHeld: 1})
+		if x == y {
+			same++
+		}
+	}
+	// Independent 0.3-coins agree with probability 0.3·0.3+0.7·0.7 = 0.58.
+	if frac := float64(same) / n; frac < 0.53 || frac > 0.63 {
+		t.Errorf("salted coins agree at %.3f, want ≈0.58", frac)
+	}
+}
+
+// TestCoalitionRoutesContextStrategies verifies the Coalition decision
+// path: a ContextStrategy receives the installed provider's observables,
+// falls back to the minimal context without one, and memoizes the decision
+// (context changes after the first call do not flip it).
+func TestCoalitionRoutesContextStrategies(t *testing.T) {
+	c := NewCoalition(Pocket{Lo: 0, Hi: 1})
+	c.Observe(sched.Assignment{TaskID: 4, Copy: 0})
+	// Minimal context has Tasks=0: the pocket stays honest.
+	if c.CheatsOn(4) {
+		t.Fatal("pocket cheated under the minimal context")
+	}
+
+	c2 := NewCoalition(Pocket{Lo: 0, Hi: 1})
+	honest := 3
+	c2.SetContext(func(taskID, held int) Context {
+		return Context{TaskID: taskID, CopiesHeld: held, Tasks: 10, HonestReturned: honest}
+	})
+	c2.Observe(sched.Assignment{TaskID: 4, Copy: 0})
+	if !c2.CheatsOn(4) {
+		t.Fatal("pocket declined a task inside its slice")
+	}
+	// Decisions memoize: mutating the observables afterwards cannot flip a
+	// committed value (the coalition already returned it on a copy).
+	c3 := NewCoalition(StragglerCover{})
+	returned := 0
+	c3.SetContext(func(taskID, held int) Context {
+		return Context{TaskID: taskID, CopiesHeld: held, HonestReturned: returned}
+	})
+	c3.Observe(sched.Assignment{TaskID: 9, Copy: 0})
+	if !c3.CheatsOn(9) {
+		t.Fatal("straggler-cover should cheat with no honest returns")
+	}
+	returned = 2
+	if !c3.CheatsOn(9) {
+		t.Error("memoized decision flipped when the context changed")
+	}
+}
+
+// TestHashUnitRange samples the coin for range and rough uniformity.
+func TestHashUnitRange(t *testing.T) {
+	var sum float64
+	const n = 10000
+	for id := -n / 2; id < n/2; id++ {
+		u := hashUnit(id, 42)
+		if u < 0 || u >= 1 {
+			t.Fatalf("hashUnit(%d) = %v out of [0,1)", id, u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.47 || mean > 0.53 {
+		t.Errorf("coin mean %.3f, want ≈0.5", mean)
+	}
+}

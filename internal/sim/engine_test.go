@@ -35,6 +35,42 @@ func TestEngineTiesRunInScheduleOrder(t *testing.T) {
 	}
 }
 
+// TestEngineTiesStableUnderInterleavedScheduling stresses the
+// insertion-order guarantee the scenario lab's determinism rests on:
+// equal-timestamp events pop in the exact order they were scheduled, even
+// when ties are enqueued from inside running events and interleaved with
+// earlier and later timestamps.
+func TestEngineTiesStableUnderInterleavedScheduling(t *testing.T) {
+	var e Engine
+	var got []int
+	// Three waves at t=1, t=2, t=3; each wave's members are scheduled
+	// round-robin (wave-major insertion within each timestamp), and the
+	// t=1 handler injects extra t=2 ties mid-run.
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() {
+			got = append(got, 100+i)
+			e.Schedule(1, func() { got = append(got, 200+5+i) }) // lands at t=2, after pre-scheduled ties
+		})
+		e.Schedule(3, func() { got = append(got, 300+i) })
+		e.Schedule(2, func() { got = append(got, 200+i) })
+	}
+	e.Run()
+	want := []int{
+		100, 101, 102, 103, 104,
+		200, 201, 202, 203, 204, 205, 206, 207, 208, 209,
+		300, 301, 302, 303, 304,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie order broken at %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
 func TestEngineNestedScheduling(t *testing.T) {
 	var e Engine
 	var trace []float64

@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Scenario-lab test knobs:
+//
+//	go test ./internal/sim                                  # N = 10^5 per template
+//	go test ./internal/sim -args -scale                     # N = 10^6 per template
+//	go test ./internal/sim -args -scenario-tasks 10000      # smoke tier
+//	go test ./internal/sim -args -update                    # rewrite goldens
+var (
+	scale = flag.Bool("scale", false,
+		"run the scenario templates at 10^6 tasks instead of 10^5")
+	scenarioTasks = flag.Int("scenario-tasks", 0,
+		"override the scenario template size (0 = default tier)")
+	update = flag.Bool("update", false,
+		"rewrite testdata/*.golden from current output")
+)
+
+// scenarioScale resolves the size tier for TestScenarioTemplates.
+func scenarioScale() int {
+	if *scenarioTasks > 0 {
+		return *scenarioTasks
+	}
+	if *scale {
+		return 1_000_000
+	}
+	return DefaultScenarioTasks
+}
+
+// TestScenarioTemplates runs every registry template at the selected tier
+// and requires a clean counter report: every expectation derived from the
+// template's threat model (Proposition 2/3 detection bounds, churn and
+// strike counters, estimator envelopes, full-quorum invariants) must hold.
+func TestScenarioTemplates(t *testing.T) {
+	n := scenarioScale()
+	for _, sc := range Scenarios() {
+		sc := sc.WithScale(n, n)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunScenario(sc)
+			if err != nil {
+				t.Fatalf("RunScenario: %v", err)
+			}
+			if rep.Scenario != sc.Name {
+				t.Errorf("report names %q, want %q", rep.Scenario, sc.Name)
+			}
+			if rep.Tasks != rep.PlannedTasks {
+				t.Errorf("adjudicated %d of %d tasks", rep.Tasks, rep.PlannedTasks)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violated: %s", v)
+			}
+		})
+	}
+}
+
+// reportJSON renders a report exactly as cmd/redsim -scenario emits it.
+func reportJSON(t *testing.T, rep *ScenarioReport) string {
+	t.Helper()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b) + "\n"
+}
+
+// TestScenarioSeedDeterminism reruns every template with an identical
+// config and requires byte-identical counter reports: the lab's decisions
+// are per-task hashes and seeded rng streams, so nothing about event
+// interleaving may leak into the output.
+func TestScenarioSeedDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc.WithScale(3_000, 3_000)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			first, err := RunScenario(sc)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := RunScenario(sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			a, b := reportJSON(t, first), reportJSON(t, second)
+			if a != b {
+				t.Fatalf("same config+seed produced different reports:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestScenarioSeedSensitivity is the complement: a different seed must
+// actually change the run (guards against the seed being ignored).
+func TestScenarioSeedSensitivity(t *testing.T) {
+	sc := mustScenario(t, TemplateDrifting).WithScale(3_000, 3_000)
+	base, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Config.Seed++
+	moved, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan == moved.Makespan && base.CheatedTasks == moved.CheatedTasks {
+		t.Error("changing the seed changed nothing")
+	}
+}
+
+func mustScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, ok := ScenarioByName(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	return sc
+}
+
+// checkGolden compares got against testdata/<name>, or rewrites it under
+// -update (same convention as internal/dist).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with `go test ./internal/sim -args -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestScenarioGoldenReports pins the full JSON counter report of every
+// template at a small fixed scale. Any behavioral drift in the scheduler,
+// verifier, estimator, or adversary strategies shows up as a golden diff.
+func TestScenarioGoldenReports(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc.WithScale(5_000, 5_000)
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := RunScenario(sc)
+			if err != nil {
+				t.Fatalf("RunScenario: %v", err)
+			}
+			checkGolden(t, "scenario_"+sc.Name+".golden", reportJSON(t, rep))
+		})
+	}
+}
+
+// TestScenarioRegistry pins the registry vocabulary and the WithScale
+// contract.
+func TestScenarioRegistry(t *testing.T) {
+	wantOrder := []string{
+		"drifting-coalition", "sybil-churn", "sleeper-agents",
+		"stragglers-as-cover", "colluding-pocket",
+	}
+	names := ScenarioNames()
+	if len(names) != len(wantOrder) {
+		t.Fatalf("registry has %d templates, want %d", len(names), len(wantOrder))
+	}
+	for i, want := range wantOrder {
+		if names[i] != want {
+			t.Errorf("registry[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+	for _, sc := range Scenarios() {
+		if sc.Config.Template != sc.Name {
+			t.Errorf("scenario %q config names template %q", sc.Name, sc.Config.Template)
+		}
+		if sc.Config.Tasks != DefaultScenarioTasks || sc.Config.Participants != DefaultScenarioParticipants {
+			t.Errorf("scenario %q default scale is %d/%d", sc.Name, sc.Config.Tasks, sc.Config.Participants)
+		}
+		if err := sc.Config.Validate(); err != nil {
+			t.Errorf("registry scenario %q invalid: %v", sc.Name, err)
+		}
+		scaled := sc.WithScale(1234, 567)
+		if scaled.Config.Tasks != 1234 || scaled.Config.Participants != 567 {
+			t.Errorf("WithScale(%q) = %d/%d", sc.Name, scaled.Config.Tasks, scaled.Config.Participants)
+		}
+		if scaled.Config.Template != sc.Config.Template {
+			t.Errorf("WithScale(%q) changed template to %q", sc.Name, scaled.Config.Template)
+		}
+	}
+	if _, ok := ScenarioByName("no-such-template"); ok {
+		t.Error("ScenarioByName accepted an unknown name")
+	}
+}
+
+// TestScenarioConfigValidate tables hostile configurations: every one must
+// return an error (and, implicitly, not panic).
+func TestScenarioConfigValidate(t *testing.T) {
+	valid := func() ScenarioConfig {
+		sc, _ := ScenarioByName(TemplateDrifting)
+		return sc.Config
+	}
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name    string
+		mutate  func(*ScenarioConfig)
+		wantSub string
+	}{
+		{"unknown template", func(c *ScenarioConfig) { c.Template = "nope" }, "unknown template"},
+		{"zero tasks", func(c *ScenarioConfig) { c.Tasks = 0 }, "tasks"},
+		{"negative tasks", func(c *ScenarioConfig) { c.Tasks = -5 }, "tasks"},
+		{"absurd tasks", func(c *ScenarioConfig) { c.Tasks = maxScenarioTasks + 1 }, "tasks"},
+		{"zero participants", func(c *ScenarioConfig) { c.Participants = 0 }, "participants"},
+		{"epsilon zero", func(c *ScenarioConfig) { c.Epsilon = 0 }, "epsilon"},
+		{"epsilon one", func(c *ScenarioConfig) { c.Epsilon = 1 }, "epsilon"},
+		{"epsilon NaN", func(c *ScenarioConfig) { c.Epsilon = nan }, "epsilon"},
+		{"proportion one", func(c *ScenarioConfig) { c.AdversaryProportion = 1 }, "proportion"},
+		{"proportion NaN", func(c *ScenarioConfig) { c.AdversaryProportion = nan }, "proportion"},
+		{"proportion negative", func(c *ScenarioConfig) { c.AdversaryProportion = -0.1 }, "proportion"},
+		{"service time inf", func(c *ScenarioConfig) { c.MeanServiceTime = inf }, "service time"},
+		{"service time NaN", func(c *ScenarioConfig) { c.MeanServiceTime = nan }, "service time"},
+		{"unknown service", func(c *ScenarioConfig) { c.Service = 99 }, "service distribution"},
+		{"shape NaN", func(c *ScenarioConfig) { c.ServiceShape = nan }, "shape"},
+		{"pareto shape 1", func(c *ScenarioConfig) { c.Service = ServicePareto; c.ServiceShape = 1 }, "Pareto"},
+		{"deal fraction NaN", func(c *ScenarioConfig) { c.DealFraction = nan }, "deal fraction"},
+		{"deal fraction 2", func(c *ScenarioConfig) { c.DealFraction = 2 }, "deal fraction"},
+		{"drift rate NaN", func(c *ScenarioConfig) { c.StartRate = nan }, "drift"},
+		{"drift rate negative", func(c *ScenarioConfig) { c.EndRate = -0.2 }, "drift"},
+		{"cheat rate inf", func(c *ScenarioConfig) { c.CheatRate = inf }, "cheat rate"},
+		{"churn negative", func(c *ScenarioConfig) { c.MaxChurn = -1 }, "churn"},
+		{"trigger negative", func(c *ScenarioConfig) { c.TriggerK = -1 }, "trigger"},
+		{"trigger huge", func(c *ScenarioConfig) { c.TriggerK = 65 }, "trigger"},
+		{"min held negative", func(c *ScenarioConfig) { c.MinHeld = -2 }, "min held"},
+		{"pocket NaN", func(c *ScenarioConfig) { c.PocketLo = nan }, "pocket"},
+		{"pocket inverted", func(c *ScenarioConfig) {
+			c.Template = TemplatePocket
+			c.PocketLo, c.PocketHi = 0.8, 0.2
+		}, "pocket"},
+		{"z NaN", func(c *ScenarioConfig) { c.EstimatorZ = nan }, "estimator z"},
+		{"z negative", func(c *ScenarioConfig) { c.EstimatorZ = -1 }, "estimator z"},
+		{"decay above one", func(c *ScenarioConfig) { c.EstimatorDecay = 1.5 }, "decay"},
+		{"decay NaN", func(c *ScenarioConfig) { c.EstimatorDecay = nan }, "decay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if _, err := RunScenario(Scenario{Name: "hostile", Config: cfg}); err == nil {
+				t.Error("RunScenario accepted an invalid config")
+			}
+		})
+	}
+}
+
+// TestRunScenarioRejectsInvalid covers the error path end to end.
+func TestRunScenarioRejectsInvalid(t *testing.T) {
+	if _, err := RunScenario(Scenario{}); err == nil {
+		t.Fatal("empty scenario must not run")
+	}
+}
+
+// TestScenarioChurnBudget pins the Sybil-churn mechanics at small scale:
+// identities churn, the cap holds, and the final population grew by
+// exactly the churn count.
+func TestScenarioChurnBudget(t *testing.T) {
+	sc := mustScenario(t, TemplateSybilChurn).WithScale(5_000, 5_000)
+	rep, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChurnedIdentities == 0 {
+		t.Error("no identities churned")
+	}
+	if rep.ChurnedIdentities > sc.Config.MaxChurn {
+		t.Errorf("churned %d identities, cap is %d", rep.ChurnedIdentities, sc.Config.MaxChurn)
+	}
+	if rep.Participants != sc.Config.Participants+rep.ChurnedIdentities {
+		t.Errorf("final population %d, want %d+%d",
+			rep.Participants, sc.Config.Participants, rep.ChurnedIdentities)
+	}
+}
+
+// FuzzScenarioConfig feeds hostile parameters through Validate and — when
+// a (size-clamped) config validates — through a full RunScenario. Neither
+// path may panic or hang; invalid inputs must come back as errors.
+func FuzzScenarioConfig(f *testing.F) {
+	for _, sc := range Scenarios() {
+		c := sc.Config
+		f.Add(c.Template, int64(c.Tasks), int64(c.Participants), c.Epsilon,
+			c.AdversaryProportion, c.MeanServiceTime, int64(c.Service), c.ServiceShape,
+			c.DealFraction, c.StartRate, c.EndRate, c.CheatRate,
+			int64(c.MaxChurn), int64(c.TriggerK), int64(c.MinHeld),
+			c.PocketLo, c.PocketHi, c.EstimatorZ, c.EstimatorDecay, c.Seed)
+	}
+	f.Add("", int64(-1), int64(0), math.NaN(), math.Inf(1), -1.0, int64(99), math.NaN(),
+		2.0, -1.0, math.Inf(-1), 1.5, int64(-7), int64(1 << 40), int64(-3),
+		0.9, 0.1, -2.0, math.NaN(), uint64(0))
+	f.Fuzz(func(t *testing.T, template string, tasks, participants int64,
+		eps, prop, mean float64, service int64, shape,
+		dealFrac, start, end, cheatRate float64,
+		maxChurn, triggerK, minHeld int64,
+		lo, hi, z, decay float64, seed uint64) {
+		cfg := ScenarioConfig{
+			Template:            template,
+			Tasks:               int(tasks),
+			Participants:        int(participants),
+			Epsilon:             eps,
+			AdversaryProportion: prop,
+			Seed:                seed,
+			MeanServiceTime:     mean,
+			Service:             ServiceDist(service),
+			ServiceShape:        shape,
+			DealFraction:        dealFrac,
+			StartRate:           start,
+			EndRate:             end,
+			CheatRate:           cheatRate,
+			MaxChurn:            int(maxChurn),
+			TriggerK:            int(triggerK),
+			MinHeld:             int(minHeld),
+			PocketLo:            lo,
+			PocketHi:            hi,
+			EstimatorZ:          z,
+			EstimatorDecay:      decay,
+		}
+		// Validate must classify anything without panicking.
+		err := cfg.Validate()
+
+		// Clamp the sizes (never the hostile parameters) so a validating
+		// config runs in milliseconds, then the full pipeline must either
+		// run clean or error — a panic or hang is the failure mode under
+		// test.
+		cfg.Tasks = 1 + abs64(tasks)%500
+		cfg.Participants = 1 + abs64(participants)%500
+		if cfg.MaxChurn > 5_000 {
+			cfg.MaxChurn = 5_000
+		}
+		if cfg.MeanServiceTime > 1e6 {
+			cfg.MeanServiceTime = 1e6
+		}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		// A clean error (e.g. plan.Balanced rejecting a tiny N for the
+		// given epsilon) is acceptable; a panic, hang, or inconsistent
+		// report is not.
+		rep, err := RunScenario(Scenario{Name: "fuzz", Config: cfg})
+		if err != nil {
+			return
+		}
+		if rep.Tasks != rep.PlannedTasks {
+			t.Fatalf("adjudicated %d of %d tasks\nconfig: %+v", rep.Tasks, rep.PlannedTasks, cfg)
+		}
+	})
+}
+
+func abs64(x int64) int {
+	if x < 0 {
+		x = -x
+	}
+	if x < 0 || x > 1<<31 {
+		return 0
+	}
+	return int(x)
+}

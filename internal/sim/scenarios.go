@@ -1,0 +1,231 @@
+package sim
+
+// The scenario registry: five named pathological templates, each built at
+// any scale by its constructor so WithScale re-derives the scale-dependent
+// knobs (churn budgets, minimum-cheat floors) instead of carrying stale
+// absolute numbers.
+
+// scenarioBuilders maps template name to its constructor, in registry
+// order.
+var scenarioOrder = []string{
+	TemplateDrifting,
+	TemplateSybilChurn,
+	TemplateSleeper,
+	TemplateStragglerCover,
+	TemplatePocket,
+}
+
+var scenarioBuilders = map[string]func(tasks, participants int) Scenario{
+	TemplateDrifting:       driftingScenario,
+	TemplateSybilChurn:     sybilChurnScenario,
+	TemplateSleeper:        sleeperScenario,
+	TemplateStragglerCover: stragglerCoverScenario,
+	TemplatePocket:         pocketScenario,
+}
+
+// Scenarios returns the five registry templates at the default scale, in
+// stable order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, 0, len(scenarioOrder))
+	for _, name := range scenarioOrder {
+		out = append(out, scenarioBuilders[name](DefaultScenarioTasks, DefaultScenarioParticipants))
+	}
+	return out
+}
+
+// ScenarioNames returns the registry template names in stable order.
+func ScenarioNames() []string {
+	out := make([]string, len(scenarioOrder))
+	copy(out, scenarioOrder)
+	return out
+}
+
+// ScenarioByName looks up a registry template at the default scale.
+func ScenarioByName(name string) (Scenario, bool) {
+	b, ok := scenarioBuilders[name]
+	if !ok {
+		return Scenario{}, false
+	}
+	return b(DefaultScenarioTasks, DefaultScenarioParticipants), true
+}
+
+// WithScale rebuilds the scenario at a different size. Scale-dependent
+// knobs and expectations are re-derived by the template's constructor;
+// the seed and threat model are unchanged.
+func (s Scenario) WithScale(tasks, participants int) Scenario {
+	if b, ok := scenarioBuilders[s.Config.Template]; ok {
+		return b(tasks, participants)
+	}
+	s.Config.Tasks = tasks
+	s.Config.Participants = participants
+	return s
+}
+
+// driftingScenario: the coalition's cheat rate ramps linearly from 2% to
+// 60% over the run. The adaptive estimator sees a harmless pool while it
+// converges, then watches p̂ climb; detection within each tuple size must
+// still clear the Proposition 2/3 bound because the per-task cheat coin is
+// independent of the holdings.
+func driftingScenario(tasks, participants int) Scenario {
+	return Scenario{
+		Name:   TemplateDrifting,
+		Threat: "coalition ramps its cheat rate mid-run to outlive estimator convergence",
+		Config: ScenarioConfig{
+			Template:            TemplateDrifting,
+			Tasks:               tasks,
+			Participants:        participants,
+			Epsilon:             0.5,
+			AdversaryProportion: 0.10,
+			Seed:                0xD81F7A11,
+			StartRate:           0.02,
+			EndRate:             0.60,
+			EstimatorDecay:      0.9995,
+		},
+		Expect: Expectations{
+			MinCheatedTasks:          tasks / 50,
+			TupleBoundSlack:          0.06,
+			MinCheatsPerK:            200,
+			MaxWrongFrac:             0.05,
+			MaxHonestBlacklistedFrac: 0.05,
+			PHatRises:                true,
+		},
+	}
+}
+
+// sybilChurnScenario: every implicated identity is blocked by the
+// supervisor and the coalition re-registers a fresh Sybil in its place,
+// keeping its share constant. Detection per tuple size must still clear
+// the bound — churn launders identities, not tuples.
+func sybilChurnScenario(tasks, participants int) Scenario {
+	return Scenario{
+		Name:   TemplateSybilChurn,
+		Threat: "implicated identities re-register as fresh Sybils after every block",
+		Config: ScenarioConfig{
+			Template:            TemplateSybilChurn,
+			Tasks:               tasks,
+			Participants:        participants,
+			Epsilon:             0.5,
+			AdversaryProportion: 0.10,
+			Seed:                0x5B11C0DE,
+			CheatRate:           0.5,
+			MaxChurn:            participants / 10,
+			DealFraction:        0.25,
+		},
+		Expect: Expectations{
+			MinCheatedTasks:          tasks / 40,
+			TupleBoundSlack:          0.06,
+			MinCheatsPerK:            200,
+			MaxWrongFrac:             0.06,
+			MaxHonestBlacklistedFrac: 0.05,
+			MinChurned:               minChurnFloor(participants),
+		},
+	}
+}
+
+func minChurnFloor(participants int) int {
+	if participants >= 10_000 {
+		return 50
+	}
+	return 1
+}
+
+// sleeperScenario: the coalition behaves perfectly until it first holds a
+// full 2-tuple, then strikes on every task it holds at least two copies
+// of. The throttled deal window is what gives it a genuine sleep phase —
+// holdings accrue over virtual time instead of all at t=0.
+func sleeperScenario(tasks, participants int) Scenario {
+	return Scenario{
+		Name:   TemplateSleeper,
+		Threat: "coalition stays honest until it first holds a winnable tuple, then strikes",
+		Config: ScenarioConfig{
+			Template:            TemplateSleeper,
+			Tasks:               tasks,
+			Participants:        participants,
+			Epsilon:             0.5,
+			AdversaryProportion: 0.15,
+			Seed:                0x51EE9E12,
+			TriggerK:            2,
+			DealFraction:        0.25,
+		},
+		Expect: Expectations{
+			MinCheatedTasks:          1,
+			TupleBoundSlack:          0.08,
+			MinCheatsPerK:            200,
+			MaxWrongFrac:             0.02,
+			MaxHonestBlacklistedFrac: 0.02,
+			RequireStrike:            true,
+			// The arming time shrinks like 1/sqrt(tasks) (a birthday
+			// collision over the member-held copies), so the sleep floor
+			// scales down with the run.
+			MinStrikeProgress: 20.0 / float64(tasks),
+		},
+	}
+}
+
+// stragglerCoverScenario: heavy-tailed (Pareto) service times delay honest
+// copies; the coalition cheats exactly on tasks none of whose honest
+// copies have returned yet, betting the lie lands first. Full-quorum
+// adjudication nullifies the bet: the universal partial-tuple invariant
+// (every cheat on a tuple with an honest copy is detected when that copy
+// eventually arrives) is this scenario's central assertion.
+func stragglerCoverScenario(tasks, participants int) Scenario {
+	return Scenario{
+		Name:   TemplateStragglerCover,
+		Threat: "coalition cheats only where honest copies are still delayed, using stragglers as cover",
+		Config: ScenarioConfig{
+			Template:            TemplateStragglerCover,
+			Tasks:               tasks,
+			Participants:        participants,
+			Epsilon:             0.5,
+			AdversaryProportion: 0.10,
+			Seed:                0x57A661E5,
+			MinHeld:             1,
+			Service:             ServicePareto,
+			ServiceShape:        1.8,
+		},
+		Expect: Expectations{
+			MinCheatedTasks:          tasks / 50,
+			MaxWrongFrac:             0.10,
+			MinWrongFrac:             0.03,
+			MaxHonestBlacklistedFrac: 0.05,
+			// Timing conditioning enriches the cheats with 1-copy tasks
+			// (they never have an honest copy to wait for), so detection
+			// at k=1 sits well below the unconditional P(1,p) ≈ 0.46 —
+			// the evasion this template documents.
+			MaxDetectionAtK1: 0.35,
+			MinCheatsPerK:    200,
+		},
+	}
+}
+
+// pocketScenario: the coalition concentrates all cheating on the low 35%
+// of the task-ID space. Balanced plans lay tasks out in multiplicity
+// order, so that slice is (almost) entirely the 1-copy class: the pocket
+// evades the unconditional P(1,p) bound nearly completely. The scenario
+// pins this evasion — the regression test documents the ID-ordering leak
+// rather than pretending the average-case bound holds against a
+// position-aware adversary.
+func pocketScenario(tasks, participants int) Scenario {
+	return Scenario{
+		Name:   TemplatePocket,
+		Threat: "coalition concentrates on a low-multiplicity slice of task space, exploiting ID-order leakage",
+		Config: ScenarioConfig{
+			Template:            TemplatePocket,
+			Tasks:               tasks,
+			Participants:        participants,
+			Epsilon:             0.5,
+			AdversaryProportion: 0.15,
+			Seed:                0x90C4E7,
+			PocketLo:            0.0,
+			PocketHi:            0.35,
+		},
+		Expect: Expectations{
+			MinCheatedTasks:          tasks / 100,
+			MaxHonestBlacklistedFrac: 0.02,
+			MinWrongFrac:             0.01,
+			NoOutsidePocketCheats:    true,
+			MaxDetectionAtK1:         0.05,
+			MinCheatsPerK:            200,
+		},
+	}
+}

@@ -113,8 +113,87 @@ func (r *Report) DetectionRate(k int) (rate float64, ok bool) {
 	return float64(pt.Detected) / float64(pt.Cheated), true
 }
 
+// simWorker is the per-participant state of a run: a FIFO backlog each;
+// busy participants have a completion event in flight.
+type simWorker struct {
+	backlog []sched.Assignment
+	busy    bool
+}
+
+// runtime is the live state of one discrete-event run, exposed to the
+// scenario lab's hooks. It wires the real production components together:
+// the engine clock, the sched queue, the verify collector, and the
+// adversary coalition — the scenario layer only observes and steers.
+type runtime struct {
+	cfg       Config
+	eng       *Engine
+	queue     *sched.Queue
+	collector *verify.Collector
+	coalition *adversary.Coalition
+	report    *Report
+	workers   []simWorker
+
+	// submitted counts results returned to the supervisor so far; with
+	// queue.Total() it is the coalition's progress clock.
+	submitted int
+	// honestReturned[taskID] counts results returned by non-coalition
+	// participants, the straggler-cover observable.
+	honestReturned []int
+	// maxHeld is the coalition's largest holding of any single task, the
+	// sleeper-agent trigger observable.
+	maxHeld int
+
+	rDeal *rng.Source
+	deal  func()
+}
+
+// addParticipant registers a fresh identity mid-run (Sybil churn) and
+// returns its ID. The new participant is idle with an empty backlog; the
+// caller decides whether it joins the coalition and whether the supervisor
+// will deal to it.
+func (rt *runtime) addParticipant() int {
+	rt.workers = append(rt.workers, simWorker{})
+	return len(rt.workers) - 1
+}
+
+// progress returns the fraction of all assignments already submitted.
+func (rt *runtime) progress() float64 {
+	if t := rt.queue.Total(); t > 0 {
+		return float64(rt.submitted) / float64(t)
+	}
+	return 0
+}
+
+// hooks are the scenario lab's observation and steering points. Every hook
+// is optional; the zero value reproduces plain Run exactly (same rng
+// streams, same event order).
+type hooks struct {
+	// pickWorker selects the recipient of an assignment. Default: uniform
+	// over the configured participant count.
+	pickWorker func(rt *runtime) int
+	// dealGate, when set, is consulted before each hand-out; returning
+	// false pauses dealing until the next completion re-opens the loop.
+	// Scenarios use it to throttle the supervisor's release window so
+	// holdings accrue over virtual time instead of all at t=0.
+	dealGate func(rt *runtime) bool
+	// onDeal observes every assignment hand-out, after coalition
+	// bookkeeping.
+	onDeal func(rt *runtime, w int, a sched.Assignment)
+	// onSubmit observes every returned result; cheated reports whether
+	// the returned value differs from the honest one.
+	onSubmit func(rt *runtime, w int, a sched.Assignment, cheated bool)
+	// onVerdict observes every adjudication, after the report's standard
+	// bookkeeping.
+	onVerdict func(rt *runtime, v verify.Verdict)
+}
+
 // Run executes one full discrete-event simulation.
-func Run(cfg Config) (*Report, error) {
+func Run(cfg Config) (*Report, error) { return runWithHooks(cfg, hooks{}) }
+
+// runWithHooks is the instrumented core shared by Run and the scenario
+// lab. The hot path is identical to the historical Run loop; hooks add
+// observability without forking the logic.
+func runWithHooks(cfg Config, h hooks) (*Report, error) {
 	if cfg.Plan == nil {
 		return nil, fmt.Errorf("sim: nil plan")
 	}
@@ -170,16 +249,36 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	// Participant state: a FIFO backlog each; busy participants have a
-	// completion event in flight.
-	type worker struct {
-		backlog []sched.Assignment
-		busy    bool
-	}
-	workers := make([]worker, cfg.Participants)
-
 	eng := &Engine{}
 	report := &Report{Assignments: queue.Total(), FirstDetectionTime: -1}
+	rt := &runtime{
+		cfg:            cfg,
+		eng:            eng,
+		queue:          queue,
+		collector:      collector,
+		coalition:      coalition,
+		report:         report,
+		workers:        make([]simWorker, cfg.Participants),
+		honestReturned: make([]int, len(specs)),
+		rDeal:          rDeal,
+	}
+	// Context-aware strategies (the scenario lab's pathological templates)
+	// see the run-time observables; plain strategies ignore the provider.
+	coalition.SetContext(func(taskID, held int) adversary.Context {
+		honest := 0
+		if taskID >= 0 && taskID < len(rt.honestReturned) {
+			honest = rt.honestReturned[taskID]
+		}
+		return adversary.Context{
+			TaskID:         taskID,
+			CopiesHeld:     held,
+			Tasks:          len(specs),
+			Progress:       rt.progress(),
+			HonestReturned: honest,
+			MaxHeldAnyTask: rt.maxHeld,
+		}
+	})
+
 	var taskTimeSum float64
 	adjudicated := 0
 	collector.OnVerdict(func(v verify.Verdict) {
@@ -188,6 +287,9 @@ func Run(cfg Config) (*Report, error) {
 		if v.MismatchDetected && report.FirstDetectionTime < 0 {
 			report.FirstDetectionTime = eng.Now()
 			report.TasksBeforeFirstDetection = adjudicated - 1
+		}
+		if h.onVerdict != nil {
+			h.onVerdict(rt, v)
 		}
 	})
 
@@ -210,7 +312,14 @@ func Run(cfg Config) (*Report, error) {
 		honest := HonestValue(a.TaskID)
 		value := honest
 		if coalition.Controls(w) {
-			value = coalition.Value(a, honest)
+			value = coalition.Value(a, honest) // cheat decision point
+		}
+		rt.submitted++
+		if a.TaskID < len(rt.honestReturned) && !coalition.Controls(w) {
+			rt.honestReturned[a.TaskID]++
+		}
+		if h.onSubmit != nil {
+			h.onSubmit(rt, w, a, value != honest)
 		}
 		if _, _, err := collector.Submit(verify.Result{Assignment: a, Participant: w, Value: value}); err != nil {
 			panic("sim: " + err.Error()) // invariant: plan and queue agree
@@ -221,24 +330,39 @@ func Run(cfg Config) (*Report, error) {
 	// deal drains every currently-available assignment to random workers.
 	deal := func() {
 		for {
+			if h.dealGate != nil && !h.dealGate(rt) {
+				return
+			}
 			a, ok := queue.Next()
 			if !ok {
 				return
 			}
-			w := rDeal.Intn(cfg.Participants)
+			var w int
+			if h.pickWorker != nil {
+				w = h.pickWorker(rt)
+			} else {
+				w = rDeal.Intn(cfg.Participants)
+			}
 			if coalition.Controls(w) {
 				coalition.Observe(a)
 				report.AdversaryAssignments++
+				if held := coalition.CopiesHeld(a.TaskID); held > rt.maxHeld {
+					rt.maxHeld = held
+				}
 			}
-			workers[w].backlog = append(workers[w].backlog, a)
-			if !workers[w].busy {
+			if h.onDeal != nil {
+				h.onDeal(rt, w, a)
+			}
+			rt.workers[w].backlog = append(rt.workers[w].backlog, a)
+			if !rt.workers[w].busy {
 				startNext(w)
 			}
 		}
 	}
+	rt.deal = deal
 
 	startNext = func(w int) {
-		wk := &workers[w]
+		wk := &rt.workers[w]
 		if len(wk.backlog) == 0 {
 			wk.busy = false
 			return

@@ -36,6 +36,16 @@ type (
 	StrategyOnlyK = adversary.OnlyK
 	// StrategyAtLeast cheats when holding at least MinCopies copies.
 	StrategyAtLeast = adversary.AtLeast
+	// StrategyDrifting ramps the cheat rate over the run (scenario lab).
+	StrategyDrifting = adversary.Drifting
+	// StrategyProbabilistic cheats per task with a fixed probability.
+	StrategyProbabilistic = adversary.Probabilistic
+	// StrategySleeper behaves until it first holds a full tuple.
+	StrategySleeper = adversary.Sleeper
+	// StrategyStragglerCover cheats only where honest copies are delayed.
+	StrategyStragglerCover = adversary.StragglerCover
+	// StrategyPocket concentrates cheating on a slice of task space.
+	StrategyPocket = adversary.Pocket
 )
 
 // NewRationalStrategy builds the paper's intelligent adversary: knowing
@@ -76,6 +86,29 @@ type PerTuple = sim.PerTuple
 // verifier adjudicates every task. The report carries ground-truth
 // detection statistics per tuple size for comparison with DetectionAt.
 func Simulate(cfg SimConfig) (*SimReport, error) { return sim.Run(cfg) }
+
+// Scenario is one named pathological adversary template of the scenario
+// lab, with its counter expectations.
+type Scenario = sim.Scenario
+
+// ScenarioConfig parameterizes a scenario run.
+type ScenarioConfig = sim.ScenarioConfig
+
+// ScenarioReport is the JSON counter report of one scenario run.
+type ScenarioReport = sim.ScenarioReport
+
+// Scenarios returns the five registry templates at their default scale.
+func Scenarios() []Scenario { return sim.Scenarios() }
+
+// ScenarioNames lists the registry template names in stable order.
+func ScenarioNames() []string { return sim.ScenarioNames() }
+
+// ScenarioByName looks up a registry template.
+func ScenarioByName(name string) (Scenario, bool) { return sim.ScenarioByName(name) }
+
+// RunScenario executes one scenario end to end; the returned report's
+// Violations list is empty when every expected counter bound held.
+func RunScenario(sc Scenario) (*ScenarioReport, error) { return sim.RunScenario(sc) }
 
 // CampaignConfig parameterizes a multi-round campaign (see Campaign).
 type CampaignConfig = sim.CampaignConfig
