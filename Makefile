@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-save bench-smoke straggler-smoke scenarios-smoke scenarios-scale figures fmt vet check chaos fuzz snapshot-smoke clean
+.PHONY: all build test race cover cover-check bench bench-save bench-smoke straggler-smoke scenarios-smoke scenarios-scale shard-smoke figures fmt vet check chaos fuzz snapshot-smoke clean
 
 all: build test
 
@@ -18,6 +18,7 @@ check:
 	$(MAKE) snapshot-smoke
 	$(MAKE) straggler-smoke
 	$(MAKE) scenarios-smoke
+	$(MAKE) shard-smoke
 	$(MAKE) cover-check
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
@@ -41,7 +42,7 @@ cover:
 COVER_FLOOR ?= 75.0
 
 cover-check:
-	@for pkg in ./internal/dist ./internal/platform ./internal/adapt ./internal/health ./internal/sim ./internal/adversary; do \
+	@for pkg in ./internal/dist ./internal/platform ./internal/adapt ./internal/health ./internal/sim ./internal/adversary ./internal/ring; do \
 		$(GO) test -coverprofile=cover-check.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover-check.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
@@ -64,12 +65,20 @@ bench:
 # BENCH_pr7 is the latency mode: completion-latency p50/p99/p999 per
 # redundancy scheme with a straggler-mixed fleet, speculative reissue off
 # vs on; the bar is speculation cutting p99 by well over half.
+# BENCH_pr9 is the shard sweep: the same workload and worker fleet served
+# by 1, 2, and 4 consistent-hash supervisor shards with every shard
+# journaling against a modeled slow durable store (3ms commit latency —
+# a synchronously replicated cross-zone journal), the regime where each
+# shard is an independent commit stream; the bar is 4-shard aggregate
+# assignments/sec >= 2.5x the 1-shard figure at the same total worker
+# count with per-shard imbalance <= 15%.
 bench-save:
 	$(GO) run ./cmd/platformbench -out BENCH_pr3.json
 	$(GO) run ./cmd/platformbench -adapt -out BENCH_pr4.json
 	$(GO) run ./cmd/platformbench -adapt -workers 1,8,32,128 -baseline-aps32 40000 -out BENCH_pr5.json
 	$(GO) run ./cmd/platformbench -protos json,bin -batches 1,16,64 -n 80000 -baseline-aps 291955 -out BENCH_pr6.json
 	$(GO) run ./cmd/platformbench -latency -n 600 -workers 6 -out BENCH_pr7.json
+	$(GO) run ./cmd/platformbench -shards 1,2,4 -workers 64 -n 8000 -iters 10 -sweep-batch 16 -ring-vnodes 512 -commit-latency 3ms -out BENCH_pr9.json
 
 # A fast CI-sized version of the contention benchmark: tiny task count,
 # 8 concurrent workers, no artifact. Catches a supervisor that deadlocks,
@@ -96,6 +105,14 @@ scenarios-smoke:
 scenarios-scale:
 	$(GO) test -run 'TestScenarioTemplates' -count=1 -v -timeout 30m ./internal/sim -args -scale
 
+# The sharded-cluster acceptance tests at reduced scale, under the race
+# detector: the 2-shard routed smoke (epoch propagation, per-shard
+# counters, exact aggregation), the kill/restore chaos soak with its
+# byte-identical replay and unsharded-reference equality checks, and the
+# cross-shard blacklist propagation case.
+shard-smoke:
+	$(GO) test -race -run 'TestShardedSmoke|TestShardChaosSoak|TestShardedWorkerBanned|TestClusterPartition' -count=1 -v ./internal/platform
+
 # The crash-tolerance acceptance test alone, under the race detector:
 # full plan to certification with every fault mode injected and the
 # supervisor killed and restored mid-run (see DESIGN.md §8).
@@ -106,13 +123,16 @@ chaos:
 # corpora run in every plain `go test`; this explores further for 30s
 # each): FuzzCodecRecv throws hostile bytes at the JSON framing,
 # FuzzBinaryCodec at the binary decoder plus the differential
-# binary-equals-JSON-round-trip property, and FuzzScenarioConfig hostile
+# binary-equals-JSON-round-trip property, FuzzScenarioConfig hostile
 # parameters (NaN, infinities, negatives) at the scenario lab — which
-# must error, never panic or hang.
+# must error, never panic or hang — and FuzzRingLookup hostile member
+# sets and arbitrary keys at the consistent-hash ring, whose lookup must
+# stay total and deterministic.
 fuzz:
 	$(GO) test -fuzz=FuzzCodecRecv -fuzztime=30s -run '^$$' ./internal/platform
 	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=30s -run '^$$' ./internal/platform
 	$(GO) test -fuzz=FuzzScenarioConfig -fuzztime=30s -run '^$$' ./internal/sim
+	$(GO) test -fuzz=FuzzRingLookup -fuzztime=30s -run '^$$' ./internal/ring
 
 # The compaction-restore timing smoke, not under the race detector (the
 # race run above scales the soak down): replays a >=100k-result journal

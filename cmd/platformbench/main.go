@@ -84,6 +84,21 @@ type sweepResult struct {
 	LeaseP99Micros    float64 `json:"lease_p99_us"`
 }
 
+// shardResult is one step of the shard sweep: the same plan and total
+// worker count served by a consistent-hash cluster of the given shard
+// count, with the per-shard adjudicated-assignment imbalance from the
+// aggregator's merged export.
+type shardResult struct {
+	Shards            int     `json:"shards"`
+	Workers           int     `json:"workers"`
+	Batch             int     `json:"batch"`
+	Assignments       int     `json:"assignments"`
+	Seconds           float64 `json:"seconds"`
+	AssignmentsPerSec float64 `json:"assignments_per_sec"`
+	ImbalancePct      float64 `json:"per_shard_imbalance_pct"`
+	SpeedupVs1Shard   float64 `json:"speedup_vs_1_shard,omitempty"`
+}
+
 type report struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
@@ -121,6 +136,19 @@ type report struct {
 	// throughput against the plain run at the same lease size.
 	Adaptive            *result `json:"adaptive,omitempty"`
 	AdaptiveOverheadPct float64 `json:"adaptive_overhead_pct,omitempty"`
+	// ShardSweep, when -shards is set, holds the sharded-cluster scaling
+	// runs: the same workload and total worker count served by 1..N
+	// supervisor shards on a consistent-hash ring.
+	ShardSweep []shardResult `json:"shard_sweep,omitempty"`
+	// ShardSpeedupMaxVs1 divides the largest shard count's aggregate
+	// throughput by the 1-shard run's (both measured in this sweep).
+	ShardSpeedupMaxVs1 float64 `json:"shard_speedup_max_vs_1,omitempty"`
+	RingVNodes         int     `json:"ring_vnodes,omitempty"`
+	// CommitLatencyMS, when nonzero, is the modeled journal commit
+	// latency every shard (including the 1-shard baseline) ran with:
+	// the sweep then measures durability-bound coordination throughput,
+	// the regime where per-shard journals are independent commit streams.
+	CommitLatencyMS float64 `json:"shard_commit_latency_ms,omitempty"`
 	// LatencySweep, when -latency is set, holds per-scheme completion
 	// latency percentiles under a straggler mix, speculation off vs on.
 	LatencySweep []latencyResult `json:"latency_sweep,omitempty"`
@@ -162,6 +190,9 @@ func main() {
 	speedJitter := flag.Duration("speed-jitter", time.Millisecond, "latency mode: uniform extra delay in [0, jitter) per assignment")
 	deadlineFlag := flag.Duration("deadline", 800*time.Millisecond, "latency mode: supervisor lease deadline (the sweeper that drives speculation runs at a quarter of it)")
 	speculatePct := flag.Float64("speculate-pct", 0.85, "latency mode: completion-time percentile past which a live lease is speculatively cloned (for the spec-on runs)")
+	shardsFlag := flag.String("shards", "", "shard mode: comma-separated supervisor shard counts (e.g. 1,2,4); runs the whole workload per count with the first -workers entry as the TOTAL worker count, skipping the other sweeps")
+	ringVNodes := flag.Int("ring-vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = library default)")
+	commitLatency := flag.Duration("commit-latency", 0, "shard mode: journal every shard (inline appends, no group commit) and model this much commit latency per append — a slow durable store; the regime where shards are independent commit streams")
 	journal := flag.String("journal", "", "journal accepted results to this file during every run (exercises the group-commit path; file is truncated per run)")
 	journalSync := flag.Bool("journal-sync", false, "fsync journal records before acking (requires -journal)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
@@ -197,6 +228,37 @@ func main() {
 		Tasks:  *n, Iters: *iters, Workers: workerCounts[0],
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
+	if *shardsFlag != "" {
+		rep.RingVNodes = *ringVNodes
+		rep.CommitLatencyMS = float64(commitLatency.Microseconds()) / 1000
+		fmt.Printf("%-8s %-8s %-8s %-14s %-10s %-16s %-12s %s\n",
+			"shards", "workers", "batch", "assignments", "seconds", "assignments/sec", "imbalance%", "speedup vs 1")
+		for _, w := range workerCounts {
+			var oneShard float64
+			for _, s := range parseIntList("-shards", *shardsFlag) {
+				r, err := runShardCluster(*n, *iters, w, *sweepBatch, s, *ringVNodes, *commitLatency)
+				if err != nil {
+					log.Fatalf("platformbench: %d shards x %d workers: %v", s, w, err)
+				}
+				if s == 1 {
+					oneShard = r.AssignmentsPerSec
+				}
+				if oneShard > 0 && s > 1 {
+					r.SpeedupVs1Shard = r.AssignmentsPerSec / oneShard
+					if r.SpeedupVs1Shard > rep.ShardSpeedupMaxVs1 {
+						rep.ShardSpeedupMaxVs1 = r.SpeedupVs1Shard
+					}
+				}
+				rep.ShardSweep = append(rep.ShardSweep, r)
+				fmt.Printf("%-8d %-8d %-8d %-14d %-10.3f %-16.0f %-12.1f %.2fx\n",
+					r.Shards, r.Workers, r.Batch, r.Assignments, r.Seconds,
+					r.AssignmentsPerSec, r.ImbalancePct, r.SpeedupVs1Shard)
+			}
+		}
+		writeReport(*out, rep)
+		return
+	}
+
 	if *latency {
 		lc := latencyConfig{
 			stragglerP: *stragglerP, stragglerDelay: *stragglerDelay,
@@ -580,4 +642,75 @@ func (rc runConfig) run(n, iters, workers, batch int, proto string, adaptive boo
 		Adaptive:          adaptive,
 		Revisions:         sup.RevisionsApplied(),
 	}, lat.summary(), nil
+}
+
+// runShardCluster drives one full computation through a consistent-hash
+// cluster of the given shard count: the plan's task IDs partition across
+// shards by ring lookup, the worker fleet routes with RunShardedWorker
+// (home shard first), and the aggregator's merged export supplies the
+// per-shard adjudicated-assignment imbalance. The total worker count is
+// held fixed across shard counts, so the sweep isolates what sharding
+// itself buys: less contention per supervisor, same fleet, same work.
+func runShardCluster(n, iters, workers, batch, shards, vnodes int, commitLatency time.Duration) (shardResult, error) {
+	p, err := plan.FromDistribution(dist.Simple(float64(n)), 0.5)
+	if err != nil {
+		return shardResult{}, err
+	}
+	ccfg := redundancy.ClusterConfig{
+		Plan: p, Shards: shards, VNodes: vnodes, Seed: 1,
+		WorkKind: "hashchain", Iters: iters, MaxBatch: batch,
+	}
+	if commitLatency > 0 {
+		dir, err := os.MkdirTemp("", "platformbench-shards")
+		if err != nil {
+			return shardResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		ccfg.JournalDir = dir
+		ccfg.CommitLatency = commitLatency
+	}
+	c, err := redundancy.NewCluster(ccfg)
+	if err != nil {
+		return shardResult{}, err
+	}
+	defer c.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := redundancy.RunShardedWorker(redundancy.WorkerConfig{
+				Name: fmt.Sprintf("bench-%d", i), BatchSize: batch,
+				Seed: uint64(i + 1), Proto: redundancy.ProtoBinary,
+			}, c.ShardMap)
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	c.Wait()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return shardResult{}, err
+	}
+
+	merged := c.Aggregate()
+	total := p.TotalAssignments()
+	if merged.Assignments != total {
+		return shardResult{}, fmt.Errorf("cluster adjudicated %d of %d assignments", merged.Assignments, total)
+	}
+	return shardResult{
+		Shards:            shards,
+		Workers:           workers,
+		Batch:             batch,
+		Assignments:       total,
+		Seconds:           elapsed.Seconds(),
+		AssignmentsPerSec: float64(total) / elapsed.Seconds(),
+		ImbalancePct:      merged.ImbalancePct,
+	}, nil
 }

@@ -103,6 +103,7 @@ func main() {
 	digits := flag.Int("digits", 0, "match float64 results to this many significant digits (0 = exact)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on http://ADDR/metrics (empty = off)")
 	events := flag.String("events", "", "append one JSON line per platform event to this file (empty = off)")
+	shardID := flag.String("shard-id", "", "label this supervisor as one shard of a consistent-hash cluster: hot-path counters gain a shard_id label and the shard's audit export carries the name (empty = unsharded)")
 	adaptive := flag.Bool("adapt", false, "estimate the adversary share p̂ online and revise the plan mid-run to keep detection at the target ε (free policy only)")
 	targetEps := flag.Float64("target-eps", 0, "detection threshold the adaptive controller defends (0 = the plan's ε)")
 	adaptInterval := flag.Duration("adapt-interval", 0, "how often the adaptive controller re-evaluates p̂ (0 = 250ms)")
@@ -172,6 +173,7 @@ func main() {
 		GroupCommit:       *groupCommit,
 		ResolveMismatches: *resolve,
 		ResultDigits:      *digits,
+		ShardID:           *shardID,
 		Logf:              logf,
 	}
 	if *quarSuspects > 0 {

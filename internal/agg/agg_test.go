@@ -1,0 +1,147 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"redundancy/internal/adapt"
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+)
+
+func TestMergeSumsAndWilsonExactness(t *testing.T) {
+	exports := []ShardExport{
+		{Shard: "0", Tasks: 40, Assignments: 90, Bad: 3, Accepted: 38, Mismatches: 2, RingersCaught: 1,
+			Credits: map[string]int{"alice": 30, "bob": 20}},
+		{Shard: "1", Tasks: 35, Assignments: 80, Bad: 1, Accepted: 34, Mismatches: 1, RingersCaught: 1,
+			Credits: map[string]int{"alice": 10, "carol": 25}},
+		{Shard: "2", Tasks: 25, Assignments: 70, Bad: 0, Accepted: 25,
+			Credits: map[string]int{"bob": 5}},
+	}
+	m := Merge(exports, adapt.DefaultZ)
+	if m.Shards != 3 || m.Tasks != 100 || m.Assignments != 240 || m.Bad != 4 ||
+		m.Accepted != 97 || m.Mismatches != 3 || m.RingersCaught != 2 {
+		t.Fatalf("bad sums: %+v", m)
+	}
+	if m.Credits["alice"] != 40 || m.Credits["bob"] != 25 || m.Credits["carol"] != 25 {
+		t.Fatalf("bad credit merge: %v", m.Credits)
+	}
+	// The merged interval must be bit-identical to an unsharded estimator
+	// fed the same totals — the exactness claim the chaos soak relies on.
+	ref := adapt.NewEstimator(adapt.DefaultZ, 1)
+	ref.Observe(240, 4)
+	want := ref.Estimate()
+	if m.Estimate != want {
+		t.Fatalf("merged estimate %+v != unsharded reference %+v", m.Estimate, want)
+	}
+	// And identical to the same estimator fed verdict-by-verdict in any
+	// order (decay 1 makes Observe order-independent).
+	ref2 := adapt.NewEstimator(adapt.DefaultZ, 1)
+	ref2.Observe(70, 0)
+	ref2.Observe(90, 3)
+	ref2.Observe(80, 1)
+	if got := ref2.Estimate(); m.Estimate != got {
+		t.Fatalf("merged estimate %+v != per-shard-fed reference %+v", m.Estimate, got)
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	a := ShardExport{Shard: "0", Tasks: 10, Assignments: 25, Bad: 2, Credits: map[string]int{"x": 1}}
+	b := ShardExport{Shard: "1", Tasks: 20, Assignments: 45, Bad: 1, Credits: map[string]int{"x": 2}}
+	m1 := Merge([]ShardExport{a, b}, adapt.DefaultZ)
+	m2 := Merge([]ShardExport{b, a}, adapt.DefaultZ)
+	if m1.Estimate != m2.Estimate || m1.Tasks != m2.Tasks || m1.ImbalancePct != m2.ImbalancePct {
+		t.Fatalf("merge is order-dependent: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestMergeImbalance(t *testing.T) {
+	m := Merge([]ShardExport{
+		{Shard: "0", Assignments: 100},
+		{Shard: "1", Assignments: 100},
+	}, adapt.DefaultZ)
+	if m.ImbalancePct != 0 {
+		t.Fatalf("balanced shards report %.2f%% imbalance", m.ImbalancePct)
+	}
+	m = Merge([]ShardExport{
+		{Shard: "0", Assignments: 150},
+		{Shard: "1", Assignments: 50},
+	}, adapt.DefaultZ)
+	if math.Abs(m.ImbalancePct-50) > 1e-9 {
+		t.Fatalf("150/50 split reports %.2f%% imbalance, want 50%%", m.ImbalancePct)
+	}
+	if one := Merge([]ShardExport{{Shard: "0", Assignments: 10}}, adapt.DefaultZ); one.ImbalancePct != 0 {
+		t.Fatalf("single shard reports %.2f%% imbalance", one.ImbalancePct)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge(nil, adapt.DefaultZ)
+	if m.Shards != 0 || m.Assignments != 0 {
+		t.Fatalf("empty merge: %+v", m)
+	}
+	// No evidence: the Wilson interval must be the vacuous [0, 1].
+	if m.Estimate.Lower != 0 || m.Estimate.Upper != 1 {
+		t.Fatalf("no-evidence estimate %+v, want [0,1]", m.Estimate)
+	}
+}
+
+func TestMinDetectionAndReplanTrigger(t *testing.T) {
+	p, err := plan.Balanced(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minP, worstK, ok := MinDetection(p, 0.2)
+	if !ok {
+		t.Fatal("MinDetection found no classes on a real plan")
+	}
+	if minP <= 0 || minP > 1 {
+		t.Fatalf("minP = %v out of range", minP)
+	}
+	if worstK < 1 {
+		t.Fatalf("worstK = %d", worstK)
+	}
+	// Simple redundancy's known blind spot: an adversary holding both
+	// copies of a task escapes, so min P is exactly 0 (the docstring on
+	// dist.Simple). The aggregator must report that honestly.
+	simple, err := plan.FromDistribution(dist.Simple(100), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minS, _, ok := MinDetection(simple, 0.2); !ok || minS != 0 {
+		t.Fatalf("Simple plan minP = %v ok=%v, want 0 true", minS, ok)
+	}
+	// The boundary clamp: an upper bound of exactly 1 (no evidence yet)
+	// must evaluate, not panic, and report near-zero detection on the
+	// regular classes.
+	if _, _, ok := MinDetection(p, 1.0); !ok {
+		t.Fatal("MinDetection at p=1 failed")
+	}
+	// A clean run (no bad copies over many samples) must not trigger a
+	// replan at the plan's own epsilon; a filthy one must.
+	clean := Merge([]ShardExport{{Assignments: 5000, Bad: 0}}, adapt.DefaultZ)
+	if _, needed := clean.ReplanNeeded(p, 0.5); needed {
+		t.Fatalf("clean evidence (upper %.4f) triggered a replan", clean.Estimate.Upper)
+	}
+	dirty := Merge([]ShardExport{{Assignments: 400, Bad: 200}}, adapt.DefaultZ)
+	if _, needed := dirty.ReplanNeeded(p, 0.5); !needed {
+		t.Fatalf("50%% bad copies (upper %.4f) did not trigger a replan", dirty.Estimate.Upper)
+	}
+}
+
+func TestLeaderboard(t *testing.T) {
+	m := Merge([]ShardExport{
+		{Credits: map[string]int{"bob": 5, "alice": 9}},
+		{Credits: map[string]int{"carol": 5, "alice": 1}},
+	}, adapt.DefaultZ)
+	rows := m.Leaderboard()
+	want := []CreditRow{{"alice", 10}, {"bob", 5}, {"carol", 5}}
+	if len(rows) != len(want) {
+		t.Fatalf("leaderboard %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("leaderboard %v, want %v", rows, want)
+		}
+	}
+}

@@ -60,8 +60,9 @@ const (
 	binFWork
 	binFResults
 	binFAcks
+	binFEpoch
 
-	binFKnown = binFAcks<<1 - 1 // every defined bit
+	binFKnown = binFEpoch<<1 - 1 // every defined bit
 )
 
 // appendBinMessage appends m's binary payload (no length prefix) to dst.
@@ -129,6 +130,9 @@ func appendBinMessage(dst []byte, m *Message) []byte {
 	}
 	if len(m.Acks) > 0 {
 		bits |= binFAcks
+	}
+	if m.Epoch != 0 {
+		bits |= binFEpoch
 	}
 	dst = binary.AppendUvarint(dst, bits)
 	if bits&binFName != 0 {
@@ -206,6 +210,9 @@ func appendBinMessage(dst []byte, m *Message) []byte {
 			dst = appendBinString(dst, a.Reason)
 			dst = appendBinString(dst, a.Error)
 		}
+	}
+	if bits&binFEpoch != 0 {
+		dst = binary.AppendUvarint(dst, m.Epoch)
 	}
 	return dst
 }
@@ -482,6 +489,11 @@ func (c *Codec) decodeBinMessage(payload []byte, m *Message) error {
 		c.acks = acks
 		if n > 0 {
 			m.Acks = acks
+		}
+	}
+	if bits&binFEpoch != 0 {
+		if m.Epoch, err = r.uvarint(); err != nil {
+			return err
 		}
 	}
 	if r.remaining() != 0 {

@@ -123,6 +123,10 @@ type WorkerStats struct {
 	ParticipantID int
 	Completed     int
 	Cheated       int
+	// Epoch is the highest shard-map epoch seen in any supervisor reply
+	// (0 against an unsharded supervisor). A sharded worker whose map is
+	// older than this re-resolves its routing (RunShardedWorker).
+	Epoch uint64
 }
 
 // workerState is what survives across sessions of one RunWorker call: the
@@ -144,6 +148,12 @@ type terminalError struct{ err error }
 
 func (e *terminalError) Error() string { return e.err.Error() }
 func (e *terminalError) Unwrap() error { return e.err }
+
+// ErrBlacklisted marks a refusal no reconnect can fix: the supervisor
+// convicted this participant and will never serve it again. RunWorker
+// returns an error wrapping it; sharded workers use errors.Is to stop
+// retrying a shard that has banned them (RunShardedWorker).
+var ErrBlacklisted = errors.New("participant blacklisted by supervisor")
 
 // maxNoWorkWait caps the supervisor-suggested no_work backoff: a corrupt or
 // absurd Wait must not park the worker for minutes.
@@ -291,6 +301,9 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 			return Message{}, err
 		}
 		wm.rtt.Observe(time.Since(start).Seconds())
+		if reply.Epoch > st.stats.Epoch {
+			st.stats.Epoch = reply.Epoch
+		}
 		return reply, nil
 	}
 
@@ -320,7 +333,7 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 	if welcome.Type != MsgRegistered {
 		err := fmt.Errorf("platform: unexpected registration reply %q: %s", welcome.Type, welcome.Error)
 		if welcome.Reason == ReasonBlacklisted {
-			return &terminalError{err}
+			return &terminalError{fmt.Errorf("%w: %v", ErrBlacklisted, err)}
 		}
 		return err
 	}
@@ -395,7 +408,7 @@ func runSession(cfg WorkerConfig, wm *workerMetrics, st *workerState, dial func(
 		case MsgError:
 			err := errors.New("platform: supervisor refused work: " + m.Error)
 			if m.Reason == ReasonBlacklisted {
-				return &terminalError{err}
+				return &terminalError{fmt.Errorf("%w: %v", ErrBlacklisted, err)}
 			}
 			return err
 		case MsgWork:
@@ -511,7 +524,7 @@ func batchLoop(cfg WorkerConfig, wm *workerMetrics, st *workerState, roundTrip f
 		case MsgError:
 			err := errors.New("platform: supervisor refused work: " + m.Error)
 			if m.Reason == ReasonBlacklisted {
-				return &terminalError{err}
+				return &terminalError{fmt.Errorf("%w: %v", ErrBlacklisted, err)}
 			}
 			return err
 		case MsgWorkBatch:

@@ -17,6 +17,7 @@ func TestObservabilityDocCoversEveryMetric(t *testing.T) {
 	reg := obs.NewRegistry()
 	newSupMetrics(reg)
 	newWorkerMetrics(reg)
+	newClusterMetrics(reg)
 	experiments.InstrumentMetrics(reg)
 
 	registered := map[string]bool{}

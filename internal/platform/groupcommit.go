@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"sync"
+	"time"
 )
 
 // bufPool recycles journal encode buffers across batches, commit windows,
@@ -140,6 +141,12 @@ encode:
 		s.metrics.journalRecords.Add(uint64(n))
 		if s.cfg.JournalSync {
 			s.syncJournal()
+		}
+		if s.cfg.CommitLatency > 0 {
+			// Modeled device latency, paid once per window: group commit
+			// amortizes it across the window's records exactly as it
+			// amortizes a real fsync.
+			time.Sleep(s.cfg.CommitLatency)
 		}
 		s.metrics.journalGroupCommits.Inc()
 		s.metrics.journalCommitBatch.Observe(float64(n))

@@ -83,6 +83,26 @@ type supMetrics struct {
 	journalSnapshots        *obs.Counter
 	journalCompactedRecords *obs.Counter
 	journalRestoreSeconds   *obs.Gauge
+
+	// Sharded-cluster families (internal/ring + Cluster). The vec
+	// families register unconditionally; the bound per-shard children
+	// below are nil on unsharded supervisors (SupervisorConfig.ShardID
+	// empty), keeping the unsharded hot path free of vec lookups.
+	shardIssuedVec   *obs.CounterVec // shard_id
+	shardAcceptedVec *obs.CounterVec // shard_id
+	shardRoutedVec   *obs.CounterVec // shard
+	shardIssued      *obs.Counter
+	shardAccepted    *obs.Counter
+	shardRouted      *obs.Counter
+}
+
+// bindShard resolves the shard-labeled children of the hot-path counter
+// mirrors for one shard (SupervisorConfig.ShardID), enabling the
+// per-shard series.
+func (m *supMetrics) bindShard(shardID string) {
+	m.shardIssued = m.shardIssuedVec.With(shardID)
+	m.shardAccepted = m.shardAcceptedVec.With(shardID)
+	m.shardRouted = m.shardRoutedVec.With(shardID)
 }
 
 // newSupMetrics registers the supervisor's metric families on r
@@ -167,12 +187,36 @@ func newSupMetrics(r *obs.Registry) *supMetrics {
 			"Journal lines discarded by compaction (replaced by the covering snapshot)."),
 		journalRestoreSeconds: r.Gauge("redundancy_journal_restore_seconds",
 			"Seconds the last startup spent replaying the journal (snapshot install included)."),
+		shardIssuedVec: r.CounterVec("redundancy_shard_assignments_issued_total",
+			"Assignments handed to workers by one shard of a sharded cluster (the shard-labeled mirror of redundancy_assignments_issued_total).", "shard_id"),
+		shardAcceptedVec: r.CounterVec("redundancy_shard_results_accepted_total",
+			"Results accepted into one shard's verification pipeline (the shard-labeled mirror of redundancy_results_accepted_total).", "shard_id"),
+		shardRoutedVec: r.CounterVec("redundancy_shard_routed_total",
+			"Work requests (get_work and request_work) served by one shard — what ring routing delivered to it.", "shard"),
 	}
 	// Resolve the per-codec wire-byte counters once so the serve loop never
 	// does a label lookup per request.
 	m.wireBytesJSON = m.wireBytes.With(ProtoJSON)
 	m.wireBytesBin = m.wireBytes.With(ProtoBinary)
 	return m
+}
+
+// clusterMetrics bundles the metrics owned by the sharded-cluster layer
+// itself (Cluster + the audit aggregator) rather than any one shard.
+type clusterMetrics struct {
+	ringRebalances *obs.Counter
+	aggregateMerge *obs.Histogram
+}
+
+// newClusterMetrics registers the cluster-level metric families on r.
+func newClusterMetrics(r *obs.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		ringRebalances: r.Counter("redundancy_ring_rebalances_total",
+			"Shard-map epoch bumps: ring membership changes (a shard killed or restored) that workers must re-route around."),
+		aggregateMerge: r.Histogram("redundancy_aggregator_merge_seconds",
+			"Seconds one aggregator pass took to export every live shard's audit state and merge it into the global p̂/P_k view.",
+			obs.DefBuckets),
+	}
 }
 
 // workerMetrics bundles every metric a worker client emits.

@@ -94,6 +94,14 @@ type Message struct {
 	Results []ResultItem `json:"results,omitempty"`
 	// Acks carries per-result outcomes, in submission order (batch_ack).
 	Acks []ResultAck `json:"acks,omitempty"`
+
+	// Epoch is the shard-map epoch of a sharded cluster: supervisors
+	// stamp it on every reply, and a worker seeing it exceed the epoch of
+	// its shard map knows the cluster rebalanced (a shard died or
+	// returned) and re-resolves its routing before the next lease.
+	// Absent (0) on unsharded supervisors, so the single-supervisor wire
+	// format is byte-identical to previous releases (all replies).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // WorkItem is one assignment inside a work_batch lease. Kind and Iters are

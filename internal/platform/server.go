@@ -68,6 +68,18 @@ type SupervisorConfig struct {
 	// concurrent result batches cost one fsync instead of N. Off, every
 	// handler writes (and syncs) inline, the pre-group-commit behavior.
 	GroupCommit bool
+	// CommitLatency, when positive, models the commit latency of the
+	// journal's backing store — networked block storage, an NFS export, a
+	// synchronous replica — by holding the journal pipeline for this long
+	// on every commit before the ack is released. Inline (non-GroupCommit)
+	// appends pay it per result batch under the journal lock, exactly
+	// where a slow device's fsync would sit; the group committer pays it
+	// once per commit window, so the windowing amortizes it the same way
+	// it amortizes a real fsync. A benchmarking and testing aid (the
+	// sharded platformbench sweep uses it to measure coordination
+	// throughput when durability, not CPU, is the bottleneck); leave zero
+	// to let the real device set the pace. Requires a Journal.
+	CommitLatency time.Duration
 	// SnapshotInterval, when positive, captures a snapshot of the
 	// supervisor's certification state into the journal after every
 	// SnapshotInterval appended records (counted, not timed, so behavior
@@ -144,6 +156,22 @@ type SupervisorConfig struct {
 	// and goroutine-safe. platformbench's latency mode uses it to build
 	// completion-time percentiles.
 	OnTurnaround func(time.Duration)
+	// Tasks, when non-nil, overrides Plan.Tasks() as the concrete task set
+	// this supervisor owns — the sharding hook: a cluster partitions the
+	// global plan's task IDs across shards by consistent-hash lookup
+	// (internal/ring) and hands each shard its subset, so global task IDs
+	// (and therefore TaskSeed inputs, ringer truth, and journal records)
+	// are preserved shard-locally. Plan is still required: it carries the
+	// run-wide ε bookkeeping the aggregator (internal/agg) evaluates.
+	// Incompatible with Adapt (one shard must not re-plan the global
+	// tail; the cluster's aggregator owns that trigger) and with
+	// SnapshotInterval (snapshots capture whole-plan state).
+	Tasks []plan.TaskSpec
+	// ShardID, when non-empty, marks this supervisor as one shard of a
+	// sharded cluster: hot-path counters gain shard_id-labeled series
+	// (redundancy_shard_* in OBSERVABILITY.md) and every reply carries
+	// the cluster's shard-map epoch once SetEpoch is called.
+	ShardID string
 	// Adapt, when non-nil, turns on the adaptive redundancy control plane
 	// (internal/adapt): the supervisor estimates the adversary share p̂
 	// from its verification verdicts and, whenever the estimate's upper
@@ -300,6 +328,11 @@ type Supervisor struct {
 	// the legacy inline-write path.
 	committer *journalCommitter
 
+	// epoch is the cluster's shard-map epoch (0 when unsharded): stamped
+	// on every reply so workers detect rebalances without polling, and
+	// bumped only by the cluster via SetEpoch.
+	epoch atomic.Uint64
+
 	done     chan struct{} // closed when every task is adjudicated
 	stop     chan struct{} // closed by Close/Shutdown; halts the loops
 	stopOnce sync.Once
@@ -348,6 +381,12 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.SnapshotInterval < 0 {
 		return nil, errors.New("platform: negative SnapshotInterval")
 	}
+	if cfg.CommitLatency < 0 {
+		return nil, errors.New("platform: negative CommitLatency")
+	}
+	if cfg.CommitLatency > 0 && cfg.Journal == nil {
+		return nil, errors.New("platform: CommitLatency requires a Journal")
+	}
 	if cfg.SnapshotInterval > 0 {
 		if cfg.Journal == nil {
 			return nil, errors.New("platform: SnapshotInterval requires a Journal")
@@ -384,6 +423,17 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		roster, err = health.NewRoster(hcfg)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if cfg.Tasks != nil {
+		if len(cfg.Tasks) == 0 {
+			return nil, errors.New("platform: Tasks override is empty (a shard owning no tasks should not be started)")
+		}
+		if cfg.Adapt != nil {
+			return nil, errors.New("platform: Tasks override is incompatible with Adapt (the cluster aggregator owns the global re-planning trigger)")
+		}
+		if cfg.SnapshotInterval > 0 {
+			return nil, errors.New("platform: Tasks override is incompatible with SnapshotInterval")
 		}
 	}
 	var adaptCfg adapt.Config
@@ -495,7 +545,13 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 			}
 		}
 	})
+	if cfg.ShardID != "" {
+		s.metrics.bindShard(cfg.ShardID)
+	}
 	specs := cfg.Plan.Tasks()
+	if cfg.Tasks != nil {
+		specs = cfg.Tasks
+	}
 	for _, sp := range specs {
 		s.audit.collector.Expect(sp.ID, sp.Copies)
 	}
@@ -552,6 +608,15 @@ func (s *Supervisor) logf(format string, args ...any) {
 // SupervisorConfig.Metrics, or the private registry created when that was
 // nil. Safe to call and scrape at any time.
 func (s *Supervisor) Metrics() *obs.Registry { return s.registry }
+
+// SetEpoch publishes the cluster's shard-map epoch: every subsequent
+// reply carries it, telling workers to re-resolve their routing when it
+// moves. The cluster bumps it on every shard kill/restore (rebalance);
+// unsharded supervisors leave it 0 and the field stays off the wire.
+func (s *Supervisor) SetEpoch(e uint64) { s.epoch.Store(e) }
+
+// Epoch reports the currently published shard-map epoch (0 = unsharded).
+func (s *Supervisor) Epoch() uint64 { return s.epoch.Load() }
 
 // RestoredJournalBytes reports the length of the journal prefix that
 // replayed cleanly at construction (0 without Restore). A caller reusing
@@ -727,6 +792,14 @@ func (s *Supervisor) serve(conn net.Conn) error {
 		default:
 			reply = Message{Type: MsgError, Reason: ReasonUnknownType,
 				Error: fmt.Sprintf("unknown message type %q", m.Type)}
+		}
+		// Shard-map epoch: every reply from a sharded supervisor carries
+		// the cluster's current epoch, so a worker learns of a rebalance
+		// on its very next round trip and re-resolves its routing. 0
+		// (unsharded, or a cluster that never rebalanced its bootstrap
+		// epoch) is omitted from the wire entirely.
+		if e := s.epoch.Load(); e != 0 {
+			reply.Epoch = e
 		}
 		if s.cfg.IOTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
@@ -926,6 +999,9 @@ func (s *Supervisor) convicted(participant int) bool {
 }
 
 func (s *Supervisor) assign(m Message, cs *connState) Message {
+	if s.metrics.shardRouted != nil {
+		s.metrics.shardRouted.Inc()
+	}
 	if s.convicted(m.ParticipantID) {
 		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
 	}
@@ -997,6 +1073,9 @@ func (s *Supervisor) assign(m Message, cs *connState) Message {
 	s.trackLocked(m.ParticipantID, a, cs)
 	cs.held[outstandingKey{a.TaskID, a.Copy}] = m.ParticipantID
 	s.metrics.assignmentsIssued.Inc()
+	if s.metrics.shardIssued != nil {
+		s.metrics.shardIssued.Inc()
+	}
 	if s.events != nil {
 		s.events.Emit(EvAssignmentIssued, map[string]any{
 			"task": a.TaskID, "copy": a.Copy, "participant": m.ParticipantID, "ringer": a.Ringer,
@@ -1033,6 +1112,9 @@ func (s *Supervisor) assignBatch(m Message, cs *connState) Message {
 // handlers above are untouched so -batch 1 clients see the legacy wire
 // behavior byte-for-byte.
 func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
+	if s.metrics.shardRouted != nil {
+		s.metrics.shardRouted.Inc()
+	}
 	if s.convicted(m.ParticipantID) {
 		return Message{Type: MsgError, Reason: ReasonBlacklisted, Error: "participant is blacklisted"}
 	}
@@ -1192,6 +1274,9 @@ func (s *Supervisor) leaseBatch(m Message, cs *connState) Message {
 	}
 	if fresh > 0 {
 		s.metrics.assignmentsIssued.Add(uint64(fresh))
+		if s.metrics.shardIssued != nil {
+			s.metrics.shardIssued.Add(uint64(fresh))
+		}
 	}
 	if specIssued > 0 {
 		s.metrics.speculativeIssued.Add(uint64(specIssued))
@@ -1771,6 +1856,9 @@ func (s *Supervisor) result(m Message, cs *connState) Message {
 	s.finishCheckLocked()
 	s.lease.mu.Unlock()
 	s.metrics.resultsAccepted.Inc()
+	if s.metrics.shardAccepted != nil {
+		s.metrics.shardAccepted.Inc()
+	}
 	s.metrics.turnaround.With(cs.names[m.ParticipantID]).
 		Observe(time.Since(info.issuedAt).Seconds())
 	if s.roster != nil {
@@ -1879,6 +1967,9 @@ func (s *Supervisor) resultBatch(m Message, cs *connState) Message {
 		s.lease.mu.Unlock()
 		if accepted > 0 {
 			s.metrics.resultsAccepted.Add(uint64(accepted))
+			if s.metrics.shardAccepted != nil {
+				s.metrics.shardAccepted.Add(uint64(accepted))
+			}
 			tn := s.metrics.turnaround.With(cs.names[m.ParticipantID])
 			for i := range pend {
 				if pend[i].failed {
@@ -2040,6 +2131,11 @@ func (s *Supervisor) commitRecords(recs []journalRecord, batched bool) {
 	}
 	if err == nil {
 		s.jnlLines += int64(len(recs))
+	}
+	if err == nil && s.cfg.CommitLatency > 0 {
+		// Modeled device latency: held under jnlMu so commits serialize
+		// per supervisor, the way a slow device serializes its queue.
+		time.Sleep(s.cfg.CommitLatency)
 	}
 	s.jnlMu.Unlock()
 	if err != nil {

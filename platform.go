@@ -149,3 +149,37 @@ func ParseFaultConfig(s string) (FaultConfig, error) { return faults.Parse(s) }
 
 // NewFaultInjector validates cfg and builds an injector.
 func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return faults.New(cfg) }
+
+// ClusterConfig parameterizes a sharded supervisor cluster: one supervisor
+// per shard over a consistent-hash partition (internal/ring) of a single
+// global plan's task IDs, sharing one metrics registry. See DESIGN.md §14.
+type ClusterConfig = platform.ClusterConfig
+
+// Cluster runs N supervisor shards, each owning its own queue, leases,
+// audit state, and journal. KillShard/RestoreShard exercise crash-recovery
+// of one shard while the others keep serving; Aggregate merges the
+// per-shard audit exports into the run-wide estimate (internal/agg).
+type Cluster = platform.Cluster
+
+// NewCluster partitions cfg.Plan across cfg.Shards supervisors and starts
+// each on a loopback address.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return platform.NewCluster(cfg) }
+
+// ShardMap is the routing table a sharded worker consumes: ring parameters
+// plus live shard endpoints, versioned by an epoch that increments on
+// every membership change.
+type ShardMap = platform.ShardMap
+
+// ShardInfo describes one shard of a running cluster.
+type ShardInfo = platform.ShardInfo
+
+// RunShardedWorker drives one worker across every shard of a cluster,
+// routing by a locally rebuilt consistent-hash ring and re-resolving the
+// shard map whenever a reply carries a newer epoch.
+func RunShardedWorker(cfg WorkerConfig, lookup func() ShardMap) (WorkerStats, error) {
+	return platform.RunShardedWorker(cfg, lookup)
+}
+
+// ErrBlacklisted marks the terminal refusal a convicted participant
+// receives; RunWorker's error wraps it (errors.Is).
+var ErrBlacklisted = platform.ErrBlacklisted
