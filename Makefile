@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover cover-check bench bench-save bench-smoke straggler-smoke scenarios-smoke scenarios-scale shard-smoke figures fmt vet check chaos fuzz snapshot-smoke clean
+.PHONY: all build test race cover cover-check bench bench-save bench-smoke straggler-smoke scenarios-smoke scenarios-scale tail-smoke shard-smoke figures fmt vet check chaos fuzz snapshot-smoke clean
 
 all: build test
 
@@ -18,6 +18,7 @@ check:
 	$(MAKE) snapshot-smoke
 	$(MAKE) straggler-smoke
 	$(MAKE) scenarios-smoke
+	$(MAKE) tail-smoke
 	$(MAKE) shard-smoke
 	$(MAKE) cover-check
 	$(MAKE) bench-smoke
@@ -42,7 +43,7 @@ cover:
 COVER_FLOOR ?= 75.0
 
 cover-check:
-	@for pkg in ./internal/dist ./internal/platform ./internal/adapt ./internal/health ./internal/sim ./internal/adversary ./internal/ring; do \
+	@for pkg in ./internal/dist ./internal/platform ./internal/adapt ./internal/health ./internal/sim ./internal/adversary ./internal/ring ./internal/stats; do \
 		$(GO) test -coverprofile=cover-check.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover-check.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
 		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
@@ -65,6 +66,12 @@ bench:
 # BENCH_pr7 is the latency mode: completion-latency p50/p99/p999 per
 # redundancy scheme with a straggler-mixed fleet, speculative reissue off
 # vs on; the bar is speculation cutting p99 by well over half.
+# BENCH_pr10 records the allocation-free tail engine: single-threaded
+# completions/sec at fleet sizes 256 and 1000 (the bar is >= 10^7 at 256),
+# the scheme-x-speculation sweep wall clock at 10^5/10^6/10^7 tasks, and
+# the five-template 10^6 scenario suite sequential vs fanned out, against
+# the recorded pre-arena PR 8 baseline of ~33s (the bar is >= 3x
+# sequential, plus near-linear fan-out where cores exist).
 # BENCH_pr9 is the shard sweep: the same workload and worker fleet served
 # by 1, 2, and 4 consistent-hash supervisor shards with every shard
 # journaling against a modeled slow durable store (3ms commit latency —
@@ -79,6 +86,7 @@ bench-save:
 	$(GO) run ./cmd/platformbench -protos json,bin -batches 1,16,64 -n 80000 -baseline-aps 291955 -out BENCH_pr6.json
 	$(GO) run ./cmd/platformbench -latency -n 600 -workers 6 -out BENCH_pr7.json
 	$(GO) run ./cmd/platformbench -shards 1,2,4 -workers 64 -n 8000 -iters 10 -sweep-batch 16 -ring-vnodes 512 -commit-latency 3ms -out BENCH_pr9.json
+	$(GO) run ./cmd/redsim -tail-bench BENCH_pr10.json -scale
 
 # A fast CI-sized version of the contention benchmark: tiny task count,
 # 8 concurrent workers, no artifact. Catches a supervisor that deadlocks,
@@ -104,6 +112,14 @@ scenarios-smoke:
 
 scenarios-scale:
 	$(GO) test -run 'TestScenarioTemplates' -count=1 -v -timeout 30m ./internal/sim -args -scale
+
+# The tail-latency sweep smoke: the pinned JSON golden of the small sweep
+# (regenerate with `go test ./internal/experiments -run TailSweepGolden
+# -args -update`), the byte-identical-across-workers property for both the
+# sweep and the parallel scenario suite, and the scenario lab's
+# per-task allocation budget.
+tail-smoke:
+	$(GO) test -run 'TestTailSweep|TestScenarioSuiteWorkerInvariance|TestScenarioAllocsPerTask' -count=1 ./internal/experiments ./internal/sim
 
 # The sharded-cluster acceptance tests at reduced scale, under the race
 # detector: the 2-shard routed smoke (epoch propagation, per-shard

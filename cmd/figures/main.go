@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|1|2|3|4|6|7|A|X|P2] [-trials N] [-seed S] [-csv]
+//	figures [-fig all|1|2|3|4|6|7|A|X|P2|T] [-trials N] [-seed S] [-csv]
 //
 // Figure/section identifiers follow the paper: 1-4 are its figures, 6 and
 // 7 its implementation and extension sections, A its appendix; X is this
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: all,1,2,3,4,6,7,A,X,P2,L,C")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: all,1,2,3,4,6,7,A,X,P2,L,C,T")
 	trials := flag.Int("trials", 200, "Monte-Carlo trials for A and X")
 	seed := flag.Uint64("seed", 2005, "random seed for Monte-Carlo experiments")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -114,8 +114,12 @@ func main() {
 		t, err := experiments.CampaignTable(5_000, 200, 12, *seed)
 		emit("campaign", t, err)
 	}
+	if all || wanted["T"] {
+		t, err := experiments.TailSweepTable(20_000, max(2, *trials/50), *seed)
+		emit("tail latency", t, err)
+	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "figures: nothing matched -fig=%s (use all,1,2,3,4,6,7,A,X,P2,L,C)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: nothing matched -fig=%s (use all,1,2,3,4,6,7,A,X,P2,L,C,T)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -110,9 +110,9 @@ type report struct {
 	// entry) — the field earlier BENCH_pr*.json artifacts carry, kept for
 	// trajectory comparison.
 	Workers    int      `json:"workers"`
-	Results    []result `json:"results"`
-	SpeedupVs1 float64  `json:"speedup_max_batch_vs_1"`
-	Speedup16  float64  `json:"speedup_batch16_vs_1"`
+	Results    []result `json:"results,omitempty"`
+	SpeedupVs1 float64  `json:"speedup_max_batch_vs_1,omitempty"`
+	Speedup16  float64  `json:"speedup_batch16_vs_1,omitempty"`
 	// BinVsJSONMaxBatch divides the binary codec's throughput by JSON's at
 	// the largest lease size the -protos sweep ran both codecs at.
 	BinVsJSONMaxBatch float64 `json:"bin_vs_json_speedup_max_batch,omitempty"`

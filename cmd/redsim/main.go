@@ -49,13 +49,36 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	drift := flag.Bool("drift", false, "run the drifting-adversary scenario instead: a static vs adaptive min_k P(k,p) comparison table")
 	driftDecay := flag.Float64("drift-decay", 0.998, "estimator decay per observed assignment in -drift mode")
-	scenario := flag.String("scenario", "", "run a scenario-lab template and emit its JSON counter report ('list' shows names)")
+	scenario := flag.String("scenario", "", "run a scenario-lab template and emit its JSON counter report ('list' shows names, 'all' fans the whole registry out over -workers)")
 	scenarioTasks := flag.Int("scenario-tasks", 0, "override the scenario scale (0 = template default)")
 	scenarioParticipants := flag.Int("scenario-participants", 0, "override the scenario population (0 = same as -scenario-tasks)")
+	workers := flag.Int("workers", 0, "worker pool for -scenario all and -tail (0 = all cores; output is identical for any value)")
+	tail := flag.Bool("tail", false, "run the tail-latency sweep: completion-time quantiles per scheme per redundancy factor, speculation off and on")
+	tailTasks := flag.Int("tail-tasks", 100_000, "tasks per trial in -tail mode")
+	tailTrials := flag.Int("tail-trials", 0, "Monte-Carlo trials per sweep cell (0 = default)")
+	tailParticipants := flag.Int("tail-participants", 0, "fleet size in -tail mode (0 = default)")
+	scale := flag.Bool("scale", false, "with -tail, run the 10^7-task tier; with -tail-bench, add the 10^7 sweep and the 10^6 scenario suite")
+	tailBench := flag.String("tail-bench", "", "write the tail-engine benchmark artifact to this file ('-' = stdout) instead of running a sweep")
+	scenarioBaseline := flag.Float64("scenario-baseline", 33, "recorded sequential five-template 10^6 suite seconds for the -tail-bench comparison (0 = omit)")
 	flag.Parse()
 
+	if *tailBench != "" {
+		if err := runTailBench(*tailBench, *scale, *scenarioBaseline); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *tail {
+		cfg := tailSweepConfig(*tailTasks, *tailTrials, *tailParticipants, *workers, *eps, *seed, *scale)
+		if err := runTail(cfg, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *scenario != "" {
-		violations, err := runScenario(*scenario, *scenarioTasks, *scenarioParticipants, os.Stdout)
+		violations, err := runScenario(*scenario, *scenarioTasks, *scenarioParticipants, *workers, os.Stdout)
 		if err != nil {
 			fail(err)
 		}
@@ -134,15 +157,19 @@ func main() {
 	fmt.Printf("virtual makespan:     %.2f   mean task time: %.2f\n", rep.Makespan, rep.MeanTaskTime)
 }
 
-// runScenario executes one scenario-lab template and writes its JSON
-// counter report to w, returning the number of violated counter bounds.
+// runScenario executes one scenario-lab template (or, for name "all", the
+// whole registry fanned out over a worker pool) and writes the JSON
+// counter report(s) to w, returning the number of violated counter bounds.
 // tasks/participants of 0 keep the template's default scale.
-func runScenario(name string, tasks, participants int, w io.Writer) (violations int, err error) {
+func runScenario(name string, tasks, participants, workers int, w io.Writer) (violations int, err error) {
 	if name == "list" {
 		for _, n := range redundancy.ScenarioNames() {
 			fmt.Fprintln(w, n)
 		}
 		return 0, nil
+	}
+	if name == "all" {
+		return runScenarioSuite(tasks, participants, workers, w)
 	}
 	sc, ok := redundancy.ScenarioByName(name)
 	if !ok {
@@ -168,6 +195,27 @@ func runScenario(name string, tasks, participants int, w io.Writer) (violations 
 		return 0, err
 	}
 	return len(rep.Violations), nil
+}
+
+// runScenarioSuite fans every registry template out over a worker pool and
+// prints the reports in registry order. The per-template runs are
+// single-threaded and seeded, so the concatenated output is byte-identical
+// for any worker count.
+func runScenarioSuite(tasks, participants, workers int, w io.Writer) (violations int, err error) {
+	for _, res := range redundancy.RunScenarioSuite(tasks, participants, workers) {
+		if res.Err != nil {
+			return violations, fmt.Errorf("scenario %q: %w", res.Name, res.Err)
+		}
+		b, err := json.MarshalIndent(res.Report, "", "  ")
+		if err != nil {
+			return violations, err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+			return violations, err
+		}
+		violations += len(res.Report.Violations)
+	}
+	return violations, nil
 }
 
 func buildScheme(scheme string, n, eps float64, m int) (*redundancy.Distribution, error) {

@@ -63,7 +63,7 @@ func TestParseStrategy(t *testing.T) {
 
 func TestRunScenarioList(t *testing.T) {
 	var buf strings.Builder
-	violations, err := runScenario("list", 0, 0, &buf)
+	violations, err := runScenario("list", 0, 0, 1, &buf)
 	if err != nil || violations != 0 {
 		t.Fatalf("list: %d violations, err %v", violations, err)
 	}
@@ -81,7 +81,7 @@ func TestRunScenarioList(t *testing.T) {
 
 func TestRunScenarioEmitsJSONReport(t *testing.T) {
 	var buf strings.Builder
-	violations, err := runScenario("colluding-pocket", 5000, 0, &buf)
+	violations, err := runScenario("colluding-pocket", 5000, 0, 1, &buf)
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}
@@ -105,7 +105,79 @@ func TestRunScenarioEmitsJSONReport(t *testing.T) {
 
 func TestRunScenarioUnknownName(t *testing.T) {
 	var buf strings.Builder
-	if _, err := runScenario("no-such-template", 0, 0, &buf); err == nil {
+	if _, err := runScenario("no-such-template", 0, 0, 1, &buf); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestRunScenarioAllWorkerInvariance pins the CLI's determinism contract:
+// `redsim -scenario all` must emit byte-identical concatenated reports for
+// any -workers value.
+func TestRunScenarioAllWorkerInvariance(t *testing.T) {
+	run := func(workers int) string {
+		var buf strings.Builder
+		violations, err := runScenario("all", 2_000, 0, workers, &buf)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if violations != 0 {
+			t.Errorf("workers=%d: %d violations", workers, violations)
+		}
+		return buf.String()
+	}
+	base := run(1)
+	if !strings.Contains(base, `"Scenario"`) {
+		t.Fatalf("suite output does not look like reports:\n%s", base)
+	}
+	for _, name := range redundancy.ScenarioNames() {
+		if !strings.Contains(base, name) {
+			t.Errorf("suite output missing template %q", name)
+		}
+	}
+	for _, workers := range []int{4, 16} {
+		if got := run(workers); got != base {
+			t.Errorf("workers=%d output differs from workers=1", workers)
+		}
+	}
+}
+
+// TestRunTailWorkerInvariance is the same contract for -tail: the sweep
+// table must be byte-identical for any -workers value.
+func TestRunTailWorkerInvariance(t *testing.T) {
+	run := func(workers int) string {
+		cfg := tailSweepConfig(2_000, 2, 64, workers, 0.5, 7, false)
+		var buf strings.Builder
+		if err := runTail(cfg, &buf); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.String()
+	}
+	base := run(1)
+	for _, want := range []string{"simple", "balanced", "gs", "p999", "RF"} {
+		if !strings.Contains(base, want) {
+			t.Errorf("tail table missing %q:\n%s", want, base)
+		}
+	}
+	for _, workers := range []int{4, 16} {
+		if got := run(workers); got != base {
+			t.Errorf("workers=%d output differs from workers=1", workers)
+		}
+	}
+}
+
+// TestTailSweepConfigScaleTier pins the -scale gate: the 10^7-task tier
+// with a single trial per cell unless the caller asked for more.
+func TestTailSweepConfigScaleTier(t *testing.T) {
+	cfg := tailSweepConfig(100, 0, 0, 0, 0.5, 1, true)
+	if cfg.Tasks != 10_000_000 || cfg.Trials != 1 {
+		t.Errorf("scale tier = %d tasks x %d trials, want 10^7 x 1", cfg.Tasks, cfg.Trials)
+	}
+	cfg = tailSweepConfig(100, 5, 0, 0, 0.5, 1, true)
+	if cfg.Trials != 5 {
+		t.Errorf("explicit trials overridden to %d", cfg.Trials)
+	}
+	cfg = tailSweepConfig(100, 0, 0, 0, 0.5, 1, false)
+	if cfg.Tasks != 100 {
+		t.Errorf("unscaled tasks = %d, want 100", cfg.Tasks)
 	}
 }

@@ -7,7 +7,6 @@ package adversary
 
 import (
 	"fmt"
-	"sort"
 
 	"redundancy/internal/dist"
 	"redundancy/internal/sched"
@@ -109,14 +108,22 @@ func (r *Rational) ShouldCheat(held int) bool {
 }
 
 // Coalition tracks the adversary's members and holdings for one run of a
-// computation.
+// computation. Participant and task IDs are dense (populations and plans
+// number from 0), so all state lives in flat slices grown geometrically —
+// an earlier version kept three maps here and million-task scenario runs
+// spent more time hashing than simulating.
 type Coalition struct {
 	strategy Strategy
-	members  map[int]bool
-	// holdings[taskID] = assignments of that task held by members.
-	holdings map[int][]sched.Assignment
-
-	decided map[int]bool // memoized cheat decision per task
+	// members[participant] reports coalition membership.
+	members  []bool
+	nMembers int
+	// held[taskID] counts copies of the task held by members. Only the
+	// count matters to every consumer (the strategies decide on tuple
+	// sizes); individual assignments are not retained.
+	held []int32
+	// decided[taskID] memoizes the cheat decision: 0 undecided, 1 cheat,
+	// 2 honest.
+	decided []uint8
 
 	// ctxFn, when set, supplies the run-time observables handed to a
 	// ContextStrategy at decision time (SetContext).
@@ -128,12 +135,22 @@ func NewCoalition(strategy Strategy) *Coalition {
 	if strategy == nil {
 		panic("adversary: nil strategy")
 	}
-	return &Coalition{
-		strategy: strategy,
-		members:  make(map[int]bool),
-		holdings: make(map[int][]sched.Assignment),
-		decided:  make(map[int]bool),
+	return &Coalition{strategy: strategy}
+}
+
+// grow extends s to cover index i, growing geometrically so n one-by-one
+// insertions stay O(n).
+func grow[T any](s []T, i int) []T {
+	if i < len(s) {
+		return s
 	}
+	want := i + 1
+	if min := 2 * len(s); want < min {
+		want = min
+	}
+	grown := make([]T, want)
+	copy(grown, s)
+	return grown
 }
 
 // Strategy returns the coalition's strategy.
@@ -148,18 +165,30 @@ func (c *Coalition) Strategy() Strategy { return c.strategy }
 func (c *Coalition) SetContext(fn func(taskID, held int) Context) { c.ctxFn = fn }
 
 // AddMember enrolls a participant (a real colluder or a Sybil identity).
-func (c *Coalition) AddMember(participant int) { c.members[participant] = true }
+func (c *Coalition) AddMember(participant int) {
+	if participant < 0 {
+		panic("adversary: negative participant ID")
+	}
+	c.members = grow(c.members, participant)
+	if !c.members[participant] {
+		c.members[participant] = true
+		c.nMembers++
+	}
+}
 
 // Controls reports whether the participant is a coalition member.
-func (c *Coalition) Controls(participant int) bool { return c.members[participant] }
+func (c *Coalition) Controls(participant int) bool {
+	return participant >= 0 && participant < len(c.members) && c.members[participant]
+}
 
 // Members returns the member IDs in ascending order.
 func (c *Coalition) Members() []int {
-	out := make([]int, 0, len(c.members))
-	for m := range c.members {
-		out = append(out, m)
+	out := make([]int, 0, c.nMembers)
+	for m, in := range c.members {
+		if in {
+			out = append(out, m)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -172,20 +201,34 @@ func (c *Coalition) Members() []int {
 // sticky — the coalition already committed to a value on an earlier copy
 // and must stay consistent — so late copies follow the recorded choice.
 func (c *Coalition) Observe(a sched.Assignment) {
-	c.holdings[a.TaskID] = append(c.holdings[a.TaskID], a)
+	if a.TaskID < 0 {
+		panic("adversary: negative task ID")
+	}
+	c.held = grow(c.held, a.TaskID)
+	c.held[a.TaskID]++
 }
 
 // CopiesHeld returns how many copies of the task the coalition holds.
-func (c *Coalition) CopiesHeld(taskID int) int { return len(c.holdings[taskID]) }
+func (c *Coalition) CopiesHeld(taskID int) int {
+	if taskID < 0 || taskID >= len(c.held) {
+		return 0
+	}
+	return int(c.held[taskID])
+}
 
 // CheatsOn decides (and memoizes) whether the coalition cheats on taskID.
 // The decision is made once, after all holdings are known, and every member
 // abides by it — returning the identical incorrect value.
 func (c *Coalition) CheatsOn(taskID int) bool {
-	if v, ok := c.decided[taskID]; ok {
-		return v
+	if taskID >= 0 && taskID < len(c.decided) {
+		switch c.decided[taskID] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
 	}
-	held := len(c.holdings[taskID])
+	held := c.CopiesHeld(taskID)
 	var v bool
 	if held > 0 {
 		if cs, ok := c.strategy.(ContextStrategy); ok {
@@ -198,7 +241,14 @@ func (c *Coalition) CheatsOn(taskID int) bool {
 			v = c.strategy.ShouldCheat(held)
 		}
 	}
-	c.decided[taskID] = v
+	if taskID >= 0 {
+		c.decided = grow(c.decided, taskID)
+		if v {
+			c.decided[taskID] = 1
+		} else {
+			c.decided[taskID] = 2
+		}
+	}
 	return v
 }
 
@@ -214,26 +264,35 @@ func (c *Coalition) Value(a sched.Assignment, honest uint64) uint64 {
 
 // HeldTasks returns the distinct task IDs held, ascending.
 func (c *Coalition) HeldTasks() []int {
-	out := make([]int, 0, len(c.holdings))
-	for t := range c.holdings {
-		out = append(out, t)
+	n := 0
+	for _, h := range c.held {
+		if h > 0 {
+			n++
+		}
 	}
-	sort.Ints(out)
+	out := make([]int, 0, n)
+	for t, h := range c.held {
+		if h > 0 {
+			out = append(out, t)
+		}
+	}
 	return out
 }
 
 // HoldingProfile returns counts[k] = number of tasks of which the coalition
 // holds exactly k+1 copies.
 func (c *Coalition) HoldingProfile() []int {
-	maxHeld := 0
-	for _, hs := range c.holdings {
-		if len(hs) > maxHeld {
-			maxHeld = len(hs)
+	maxHeld := int32(0)
+	for _, h := range c.held {
+		if h > maxHeld {
+			maxHeld = h
 		}
 	}
 	prof := make([]int, maxHeld)
-	for _, hs := range c.holdings {
-		prof[len(hs)-1]++
+	for _, h := range c.held {
+		if h > 0 {
+			prof[h-1]++
+		}
 	}
 	return prof
 }

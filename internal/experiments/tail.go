@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/plan"
+	"redundancy/internal/report"
+	"redundancy/internal/sim"
+)
+
+// The tail-latency sweep (ROADMAP item 2): the completion-time
+// distribution as a function of the redundancy factor. Each cell runs the
+// allocation-free tail engine (internal/sim.TailEngine) over Monte-Carlo
+// trials of one scheme's integer plan on a heterogeneous straggler-mixed
+// fleet, with the speculative-reissue tier off and on, and reduces the
+// per-task certification times into one quantile sketch. Under full-quorum
+// verification a task certifies when its LAST copy returns, so extra
+// redundancy buys detection probability at a direct tail-latency price —
+// the sweep quantifies that price per unit of redundancy.
+
+// TailSweepConfig parameterizes TailSweep. The zero value is not runnable;
+// start from DefaultTailSweepConfig.
+type TailSweepConfig struct {
+	// Tasks is the per-trial task count N of every scheme's plan.
+	Tasks int
+	// Epsilon is the detection threshold the balanced/GS plans target.
+	Epsilon float64
+	// Participants is the worker fleet size.
+	Participants int
+	// Trials is the Monte-Carlo trial count per (scheme, speculation) cell.
+	Trials int
+	// Workers bounds the trial fan-out (0 = all cores). The report is
+	// byte-identical for any value.
+	Workers int
+	// Seed roots every trial's RNG stream.
+	Seed uint64
+
+	// Fleet model, matching sim.TailConfig.
+	SpeedBase      float64
+	SpeedJitter    float64
+	SpeedSpread    float64
+	StragglerP     float64
+	StragglerDelay float64
+	SpeculatePct   float64
+}
+
+// DefaultTailSweepConfig returns the sweep configuration the experiments
+// and BENCH artifacts use: a moderately heterogeneous fleet where 2% of
+// copies straggle for 20x the base service time — enough mass in the tail
+// that redundancy and speculation both move p99/p999 visibly.
+func DefaultTailSweepConfig(tasks int) TailSweepConfig {
+	return TailSweepConfig{
+		Tasks:          tasks,
+		Epsilon:        0.5,
+		Participants:   256,
+		Trials:         8,
+		Workers:        0,
+		Seed:           2005,
+		SpeedBase:      1.0,
+		SpeedJitter:    0.5,
+		SpeedSpread:    0.5,
+		StragglerP:     0.02,
+		StragglerDelay: 20,
+		SpeculatePct:   0.95,
+	}
+}
+
+// TailRow is one (scheme, speculation) cell of the sweep.
+type TailRow struct {
+	Scheme    string
+	Speculate bool
+	// RedundancyFactor is the realized copies-per-task of the integer plan
+	// (ringers included — they are work the supervisor pays for).
+	RedundancyFactor float64
+	Copies           int // per trial
+	// Certification-time quantiles over all tasks of all trials.
+	P50  float64
+	P90  float64
+	P99  float64
+	P999 float64
+	// P99PerRF and P999PerRF divide the tail quantiles by the redundancy
+	// factor: latency paid per unit of redundancy spend, the sweep's
+	// comparison metric across schemes.
+	P99PerRF     float64
+	P999PerRF    float64
+	MeanMakespan float64
+	Completions  int
+	SpecIssued   int
+	SpecWins     int
+	SpecWasted   int
+}
+
+// TailSweepReport is the JSON artifact of one sweep. All floats are
+// rounded to 6 decimals so the marshaled report is a stable golden.
+type TailSweepReport struct {
+	Tasks        int
+	Epsilon      float64
+	Participants int
+	Trials       int
+	Seed         uint64
+	Rows         []TailRow
+}
+
+func roundTail6(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	return math.Round(x*1e6) / 1e6
+}
+
+// tailClasses flattens a deployable integer plan into the tail engine's
+// multiplicity histogram: the per-class counts, the tail partition, and
+// the ringers (extra real work racing through the same fleet).
+func tailClasses(p *plan.Plan) []sim.TailClass {
+	var out []sim.TailClass
+	for i, c := range p.Counts {
+		if c > 0 {
+			out = append(out, sim.TailClass{Copies: i + 1, Tasks: c})
+		}
+	}
+	if p.TailTasks > 0 {
+		out = append(out, sim.TailClass{Copies: p.TailMultiplicity, Tasks: p.TailTasks})
+	}
+	if p.Ringers > 0 {
+		out = append(out, sim.TailClass{Copies: p.RingerMultiplicity, Tasks: p.Ringers})
+	}
+	return out
+}
+
+// tailSchemes builds the sweep's three schemes at (n, eps): simple
+// redundancy (everything in duplicate), the paper's Balanced scheme, and
+// Golle-Stubblebine.
+func tailSchemes(n int, eps float64) ([]string, [][]sim.TailClass, []float64, error) {
+	build := func(d *dist.Distribution) (*plan.Plan, error) {
+		return plan.FromDistribution(d, eps)
+	}
+	balD, err := dist.Balanced(float64(n), eps)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gsD, err := dist.GolleStubblebineForThreshold(float64(n), eps)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names := []string{"simple", "balanced", "gs"}
+	dists := []*dist.Distribution{dist.Simple(float64(n)), balD, gsD}
+	classes := make([][]sim.TailClass, len(dists))
+	rf := make([]float64, len(dists))
+	for i, d := range dists {
+		p, err := build(d)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("experiments: %s plan: %w", names[i], err)
+		}
+		classes[i] = tailClasses(p)
+		rf[i] = float64(p.TotalAssignments()) / float64(n)
+	}
+	return names, classes, rf, nil
+}
+
+// TailSweep runs the full scheme x speculation grid and reduces each cell
+// over cfg.Trials trials. Rows come out in a fixed order (simple,
+// balanced, gs; speculation off then on) and every number is a function of
+// (cfg) alone — the worker count never leaks into the report.
+func TailSweep(cfg TailSweepConfig) (*TailSweepReport, error) {
+	if cfg.Tasks < 1 {
+		return nil, fmt.Errorf("experiments: tail sweep needs at least 1 task")
+	}
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiments: tail sweep needs at least 1 trial")
+	}
+	names, classes, rf, err := tailSchemes(cfg.Tasks, cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	out := &TailSweepReport{
+		Tasks:        cfg.Tasks,
+		Epsilon:      cfg.Epsilon,
+		Participants: cfg.Participants,
+		Trials:       cfg.Trials,
+		Seed:         cfg.Seed,
+	}
+	for i, name := range names {
+		for _, spec := range []bool{false, true} {
+			tc := sim.TailConfig{
+				Classes:        classes[i],
+				Participants:   cfg.Participants,
+				SpeedBase:      cfg.SpeedBase,
+				SpeedJitter:    cfg.SpeedJitter,
+				SpeedSpread:    cfg.SpeedSpread,
+				StragglerP:     cfg.StragglerP,
+				StragglerDelay: cfg.StragglerDelay,
+				Speculate:      spec,
+				SpeculatePct:   cfg.SpeculatePct,
+				Seed:           cfg.Seed,
+			}
+			res, err := sim.RunTailTrials(tc, cfg.Trials, cfg.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s tail trials: %w", name, err)
+			}
+			trialsDone("tail", cfg.Trials)
+			row := TailRow{
+				Scheme:           name,
+				Speculate:        spec,
+				RedundancyFactor: roundTail6(rf[i]),
+				Copies:           res.Copies,
+				P50:              roundTail6(res.Latency.Quantile(0.50)),
+				P90:              roundTail6(res.Latency.Quantile(0.90)),
+				P99:              roundTail6(res.Latency.Quantile(0.99)),
+				P999:             roundTail6(res.Latency.Quantile(0.999)),
+				MeanMakespan:     roundTail6(res.MeanMakespan()),
+				Completions:      res.Completions,
+				SpecIssued:       res.SpecIssued,
+				SpecWins:         res.SpecWins,
+				SpecWasted:       res.SpecWasted,
+			}
+			row.P99PerRF = roundTail6(row.P99 / rf[i])
+			row.P999PerRF = roundTail6(row.P999 / rf[i])
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Table renders the sweep as the ROADMAP-item-2 comparison table.
+func (r *TailSweepReport) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Tail latency vs redundancy factor (N=%d, ε=%g, %d participants, %d trials)",
+			r.Tasks, r.Epsilon, r.Participants, r.Trials),
+		"Scheme", "Spec", "RF", "p50", "p90", "p99", "p999", "p99/RF", "p999/RF",
+		"Makespan", "Clones", "Wins")
+	for _, row := range r.Rows {
+		spec := "off"
+		if row.Speculate {
+			spec = "on"
+		}
+		t.AddRowStrings(row.Scheme, spec,
+			fmt.Sprintf("%.3f", row.RedundancyFactor),
+			fmt.Sprintf("%.2f", row.P50), fmt.Sprintf("%.2f", row.P90),
+			fmt.Sprintf("%.2f", row.P99), fmt.Sprintf("%.2f", row.P999),
+			fmt.Sprintf("%.2f", row.P99PerRF), fmt.Sprintf("%.2f", row.P999PerRF),
+			fmt.Sprintf("%.2f", row.MeanMakespan),
+			fmt.Sprintf("%d", row.SpecIssued), fmt.Sprintf("%d", row.SpecWins))
+	}
+	return t
+}
+
+// TailSweepTable runs the default sweep at the given size and renders it.
+func TailSweepTable(tasks, trials int, seed uint64) (*report.Table, error) {
+	cfg := DefaultTailSweepConfig(tasks)
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	cfg.Seed = seed
+	rep, err := TailSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateTail = flag.Bool("update", false,
+	"rewrite testdata/*.golden from current output")
+
+// smallTailConfig is the CI-sized sweep: big enough that every scheme has
+// a non-degenerate plan and the speculation tier actually fires, small
+// enough to run in well under a second.
+func smallTailConfig() TailSweepConfig {
+	cfg := DefaultTailSweepConfig(2_000)
+	cfg.Participants = 64
+	cfg.Trials = 3
+	cfg.Workers = 1
+	return cfg
+}
+
+func sweepJSON(t *testing.T, rep *TailSweepReport) string {
+	t.Helper()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b) + "\n"
+}
+
+// TestTailSweepGolden pins the full JSON report of the small sweep. Any
+// behavioral drift in the tail engine (event ordering, RNG draw order,
+// sketch resolution, the speculation tier) shows up as a golden diff.
+// Regenerate with `go test ./internal/experiments -run TailSweepGolden
+// -args -update`.
+func TestTailSweepGolden(t *testing.T) {
+	rep, err := TailSweep(smallTailConfig())
+	if err != nil {
+		t.Fatalf("TailSweep: %v", err)
+	}
+	got := sweepJSON(t, rep)
+	path := filepath.Join("testdata", "tail_sweep.golden")
+	if *updateTail {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with -args -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestTailSweepWorkerInvariance is the determinism-under-parallelism
+// contract for the sweep: 1, 4, and 16 fan-out workers must produce
+// byte-identical reports. Trials derive their randomness from the trial
+// index alone and the sketch merge is associative, so the pool size can
+// only change wall clock.
+func TestTailSweepWorkerInvariance(t *testing.T) {
+	cfg := smallTailConfig()
+	run := func(workers int) string {
+		cfg.Workers = workers
+		rep, err := TailSweep(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sweepJSON(t, rep)
+	}
+	base := run(1)
+	for _, workers := range []int{4, 16} {
+		if got := run(workers); got != base {
+			t.Errorf("workers=%d produced a different report than workers=1", workers)
+		}
+	}
+}
+
+// TestTailSweepShape checks the fixed row grid and its internal
+// consistency: six rows in scheme-major order, monotone quantiles,
+// redundancy factors that match the schemes' theory (simple pays 2x;
+// balanced beats GS at ε=1/2), and a speculation tier that fires only
+// when enabled.
+func TestTailSweepShape(t *testing.T) {
+	rep, err := TailSweep(smallTailConfig())
+	if err != nil {
+		t.Fatalf("TailSweep: %v", err)
+	}
+	wantSchemes := []string{"simple", "simple", "balanced", "balanced", "gs", "gs"}
+	if len(rep.Rows) != len(wantSchemes) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(wantSchemes))
+	}
+	rf := map[string]float64{}
+	for i, row := range rep.Rows {
+		if row.Scheme != wantSchemes[i] {
+			t.Errorf("row %d scheme %q, want %q", i, row.Scheme, wantSchemes[i])
+		}
+		if wantSpec := i%2 == 1; row.Speculate != wantSpec {
+			t.Errorf("row %d Speculate = %v, want %v", i, row.Speculate, wantSpec)
+		}
+		if !(row.P50 <= row.P90 && row.P90 <= row.P99 && row.P99 <= row.P999) {
+			t.Errorf("row %d quantiles not monotone: %+v", i, row)
+		}
+		if row.Speculate && row.SpecIssued == 0 {
+			t.Errorf("row %d: speculation on but no clones issued", i)
+		}
+		if !row.Speculate && row.SpecIssued != 0 {
+			t.Errorf("row %d: speculation off but %d clones issued", i, row.SpecIssued)
+		}
+		if row.Completions < rep.Trials*row.Copies {
+			t.Errorf("row %d: %d completions < trials*copies = %d",
+				i, row.Completions, rep.Trials*row.Copies)
+		}
+		rf[row.Scheme] = row.RedundancyFactor
+	}
+	if rf["simple"] != 2 {
+		t.Errorf("simple redundancy factor %v, want 2", rf["simple"])
+	}
+	// At ε=1/2 Balanced's factor is well below Golle-Stubblebine's (the
+	// paper's Figure 3 crossover is far above 1/2).
+	if !(rf["balanced"] < rf["gs"]) {
+		t.Errorf("balanced RF %v not below gs RF %v at eps=1/2", rf["balanced"], rf["gs"])
+	}
+}
+
+// TestTailSweepRejectsInvalid covers the error paths.
+func TestTailSweepRejectsInvalid(t *testing.T) {
+	if _, err := TailSweep(TailSweepConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := smallTailConfig()
+	cfg.Trials = 0
+	if _, err := TailSweep(cfg); err == nil {
+		t.Error("zero trials accepted")
+	}
+	cfg = smallTailConfig()
+	cfg.Epsilon = 2
+	if _, err := TailSweep(cfg); err == nil {
+		t.Error("epsilon outside (0,1) accepted")
+	}
+}
+
+// TestTailSweepTableRenders exercises the renderer end to end.
+func TestTailSweepTableRenders(t *testing.T) {
+	tbl, err := TailSweepTable(2_000, 2, 7)
+	if err != nil {
+		t.Fatalf("TailSweepTable: %v", err)
+	}
+	if tbl.Rows() != 6 {
+		t.Errorf("table has %d rows, want 6", tbl.Rows())
+	}
+	if tbl.String() == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -31,15 +31,23 @@ func Workers(n int) int {
 // ForEach runs fn(i) for every i in [0, n) on a pool of workers. It blocks
 // until all calls return. workers <= 0 selects Workers(n).
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the pool slot exposed: fn(worker, i) is
+// called with worker in [0, Pool(n, workers)), and at most one call per
+// slot runs at a time. Callers use the slot to reuse per-worker scratch
+// state (arenas, simulation engines) without locking — which trial lands
+// on which slot still depends on scheduling, so fn must keep results a
+// function of i alone for the fan-out to stay deterministic.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = Workers(n)
-	}
+	workers = Pool(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -47,18 +55,33 @@ func ForEach(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(slot, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// Pool normalizes a caller-requested worker count for n tasks: non-positive
+// means Workers(n); otherwise the request is honored (capped at n so idle
+// goroutines are never spawned) — an explicit workers=16 on a 1-core box
+// still runs 16 interleaved slots, which is what the determinism-under-
+// parallelism tests exercise.
+func Pool(n, workers int) int {
+	if workers <= 0 {
+		return Workers(n)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
 }
 
 // MapSlice computes out[i] = fn(i) for i in [0, n) in parallel, returning

@@ -488,7 +488,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	// fires inside Collector.Submit, i.e. under audit.mu (or during
 	// single-threaded construction replay), which is what makes the
 	// estimator and ledger updates safe.
-	s.audit.collector.OnVerdict(func(v verify.Verdict) {
+	s.audit.collector.OnVerdict(func(v *verify.Verdict) {
 		if s.audit.est != nil {
 			// Adaptive evidence: every adjudicated copy is one Bernoulli
 			// observation, attributed copies are the bad ones. Fed during

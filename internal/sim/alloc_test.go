@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// TestScenarioAllocsPerTask guards the scenario lab's allocation budget:
+// the per-event hot path (event heap, backlogs, coalition bookkeeping,
+// verifier slabs) is arena-backed, so a run's allocation count is O(setup)
+// — plan construction, arena sizing — and amortizes to well under one
+// allocation per task. The pre-arena lab spent ~7.7 allocations per task;
+// a regression that reintroduces per-assignment allocation overshoots
+// this bound by two orders of magnitude.
+func TestScenarioAllocsPerTask(t *testing.T) {
+	sc, ok := ScenarioByName(TemplateDrifting)
+	if !ok {
+		t.Fatal("missing drifting template")
+	}
+	const tasks = 20_000
+	sc = sc.WithScale(tasks, tasks)
+	allocs := testing.AllocsPerRun(2, func() {
+		if _, err := RunScenario(sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perTask := allocs / tasks; perTask > 0.25 {
+		t.Errorf("scenario run allocates %.0f times for %d tasks (%.3f per task, budget 0.25)",
+			allocs, tasks, perTask)
+	}
+}
+
+// BenchmarkScenarioDrifting measures the full scenario pipeline (deal,
+// simulate, verify, adjudicate, report) per task.
+func BenchmarkScenarioDrifting(b *testing.B) {
+	sc, ok := ScenarioByName(TemplateDrifting)
+	if !ok {
+		b.Fatal("missing drifting template")
+	}
+	const tasks = 50_000
+	sc = sc.WithScale(tasks, tasks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Tasks != rep.PlannedTasks {
+			b.Fatalf("adjudicated %d of %d", rep.Tasks, rep.PlannedTasks)
+		}
+	}
+	b.ReportMetric(float64(b.N)*tasks/b.Elapsed().Seconds(), "tasks/s")
+}

@@ -449,10 +449,10 @@ func RunScenario(sc Scenario) (*ScenarioReport, error) {
 		lab.rt = rt
 		if cheated && lab.strikeProgress < 0 {
 			lab.strikeProgress = rt.progress()
-			lab.strikeTime = rt.eng.Now()
+			lab.strikeTime = rt.now
 		}
 	}
-	h.onVerdict = func(rt *runtime, v verify.Verdict) {
+	h.onVerdict = func(rt *runtime, v *verify.Verdict) {
 		lab.rt = rt
 		est.Observe(v.Copies, len(v.Suspects))
 		lab.credits += v.Copies

@@ -312,7 +312,7 @@ func FuzzScenarioConfig(f *testing.F) {
 			c.PocketLo, c.PocketHi, c.EstimatorZ, c.EstimatorDecay, c.Seed)
 	}
 	f.Add("", int64(-1), int64(0), math.NaN(), math.Inf(1), -1.0, int64(99), math.NaN(),
-		2.0, -1.0, math.Inf(-1), 1.5, int64(-7), int64(1 << 40), int64(-3),
+		2.0, -1.0, math.Inf(-1), 1.5, int64(-7), int64(1<<40), int64(-3),
 		0.9, 0.1, -2.0, math.NaN(), uint64(0))
 	f.Fuzz(func(t *testing.T, template string, tasks, participants int64,
 		eps, prop, mean float64, service int64, shape,

@@ -113,25 +113,33 @@ func (r *Report) DetectionRate(k int) (rate float64, ok bool) {
 	return float64(pt.Detected) / float64(pt.Cheated), true
 }
 
-// simWorker is the per-participant state of a run: a FIFO backlog each;
-// busy participants have a completion event in flight.
+// simWorker is the per-participant state of a run: a FIFO backlog each
+// (an intrusive list through the run's shared assignment arena, so a
+// million workers cost no per-worker allocations); busy participants have
+// a completion event in flight for the assignment in cur.
 type simWorker struct {
-	backlog []sched.Assignment
-	busy    bool
+	head, tail int32 // backlog list through runtime.nextOf (-1 = empty)
+	busy       bool
+	cur        sched.Assignment // assignment in service while busy
 }
 
 // runtime is the live state of one discrete-event run, exposed to the
 // scenario lab's hooks. It wires the real production components together:
-// the engine clock, the sched queue, the verify collector, and the
+// the virtual clock, the sched queue, the verify collector, and the
 // adversary coalition — the scenario layer only observes and steers.
 type runtime struct {
 	cfg       Config
-	eng       *Engine
+	now       float64 // virtual clock: the time of the event in progress
 	queue     *sched.Queue
 	collector *verify.Collector
 	coalition *adversary.Coalition
 	report    *Report
 	workers   []simWorker
+
+	// backlogA/nextOf form the shared backlog arena: dealt assignments
+	// append to backlogA, nextOf threads each worker's FIFO through it.
+	backlogA []sched.Assignment
+	nextOf   []int32
 
 	// submitted counts results returned to the supervisor so far; with
 	// queue.Total() it is the coalition's progress clock.
@@ -152,8 +160,36 @@ type runtime struct {
 // caller decides whether it joins the coalition and whether the supervisor
 // will deal to it.
 func (rt *runtime) addParticipant() int {
-	rt.workers = append(rt.workers, simWorker{})
+	rt.workers = append(rt.workers, simWorker{head: -1, tail: -1})
 	return len(rt.workers) - 1
+}
+
+// enqueue appends assignment a to worker w's backlog via the shared arena.
+func (rt *runtime) enqueue(w int, a sched.Assignment) {
+	idx := int32(len(rt.backlogA))
+	rt.backlogA = append(rt.backlogA, a)
+	rt.nextOf = append(rt.nextOf, -1)
+	wk := &rt.workers[w]
+	if wk.tail >= 0 {
+		rt.nextOf[wk.tail] = idx
+	} else {
+		wk.head = idx
+	}
+	wk.tail = idx
+}
+
+// dequeue pops the head of worker w's backlog; ok=false when empty.
+func (rt *runtime) dequeue(w int) (a sched.Assignment, ok bool) {
+	wk := &rt.workers[w]
+	if wk.head < 0 {
+		return sched.Assignment{}, false
+	}
+	a = rt.backlogA[wk.head]
+	wk.head = rt.nextOf[wk.head]
+	if wk.head < 0 {
+		wk.tail = -1
+	}
+	return a, true
 }
 
 // progress returns the fraction of all assignments already submitted.
@@ -184,7 +220,7 @@ type hooks struct {
 	onSubmit func(rt *runtime, w int, a sched.Assignment, cheated bool)
 	// onVerdict observes every adjudication, after the report's standard
 	// bookkeeping.
-	onVerdict func(rt *runtime, v verify.Verdict)
+	onVerdict func(rt *runtime, v *verify.Verdict)
 }
 
 // Run executes one full discrete-event simulation.
@@ -236,6 +272,10 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 	for _, s := range specs {
 		collector.Expect(s.ID, s.Copies)
 	}
+	// Pre-size the collector for the whole run: result storage, verdicts
+	// and contributor lists all come from single slabs instead of a
+	// million incremental allocations.
+	collector.Reserve(queue.Total())
 
 	strategy := cfg.Strategy
 	if strategy == nil {
@@ -249,18 +289,21 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 		}
 	}
 
-	eng := &Engine{}
 	report := &Report{Assignments: queue.Total(), FirstDetectionTime: -1}
 	rt := &runtime{
 		cfg:            cfg,
-		eng:            eng,
 		queue:          queue,
 		collector:      collector,
 		coalition:      coalition,
 		report:         report,
 		workers:        make([]simWorker, cfg.Participants),
+		backlogA:       make([]sched.Assignment, 0, queue.Total()),
+		nextOf:         make([]int32, 0, queue.Total()),
 		honestReturned: make([]int, len(specs)),
 		rDeal:          rDeal,
+	}
+	for w := range rt.workers {
+		rt.workers[w].head, rt.workers[w].tail = -1, -1
 	}
 	// Context-aware strategies (the scenario lab's pathological templates)
 	// see the run-time observables; plain strategies ignore the provider.
@@ -281,11 +324,11 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 
 	var taskTimeSum float64
 	adjudicated := 0
-	collector.OnVerdict(func(v verify.Verdict) {
-		taskTimeSum += eng.Now()
+	collector.OnVerdict(func(v *verify.Verdict) {
+		taskTimeSum += rt.now
 		adjudicated++
 		if v.MismatchDetected && report.FirstDetectionTime < 0 {
-			report.FirstDetectionTime = eng.Now()
+			report.FirstDetectionTime = rt.now
 			report.TasksBeforeFirstDetection = adjudicated - 1
 		}
 		if h.onVerdict != nil {
@@ -353,7 +396,7 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 			if h.onDeal != nil {
 				h.onDeal(rt, w, a)
 			}
-			rt.workers[w].backlog = append(rt.workers[w].backlog, a)
+			rt.enqueue(w, a)
 			if !rt.workers[w].busy {
 				startNext(w)
 			}
@@ -361,27 +404,57 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 	}
 	rt.deal = deal
 
+	// Completion events go through a typed min-heap keyed by worker id —
+	// the worker's in-service assignment lives in its simWorker.cur — so
+	// the hot loop schedules no closures and allocates nothing. Event
+	// order (time, then insertion seq) matches the Engine the historical
+	// loop ran on exactly.
+	events := newEventHeapUnindexed(256)
+	// replArmed marks that the root event has been consumed and the next
+	// scheduled completion may overwrite it via replaceTop — one sift
+	// instead of a pop and a push. Which worker's completion takes the
+	// slot is immaterial: seq order still follows push order, and pop
+	// order is the total (time, seq) order whatever the heap layout.
+	replArmed := false
 	startNext = func(w int) {
 		wk := &rt.workers[w]
-		if len(wk.backlog) == 0 {
+		a, ok := rt.dequeue(w)
+		if !ok {
 			wk.busy = false
 			return
 		}
-		a := wk.backlog[0]
-		wk.backlog = wk.backlog[1:]
 		wk.busy = true
-		eng.Schedule(serviceTime(), func() {
-			submit(w, a)
-			// Completion may release held-back copies (one-outstanding,
-			// phase two); hand them out before continuing.
-			deal()
-			startNext(w)
-		})
+		wk.cur = a
+		if replArmed {
+			replArmed = false
+			events.replaceTop(rt.now+serviceTime(), 0, int32(w))
+		} else {
+			events.push(rt.now+serviceTime(), 0, int32(w))
+		}
 	}
 
-	// Kick off: distribute everything the policy allows at t=0.
-	eng.Schedule(0, deal)
-	report.Makespan = eng.Run()
+	// Kick off: distribute everything the policy allows at t=0, then run
+	// the event loop dry.
+	deal()
+	for {
+		at, _, arg, ok := events.peekMin()
+		if !ok {
+			break
+		}
+		rt.now = at
+		w := int(arg)
+		replArmed = true
+		submit(w, rt.workers[w].cur)
+		// Completion may release held-back copies (one-outstanding,
+		// phase two); hand them out before continuing.
+		deal()
+		startNext(w)
+		if replArmed {
+			replArmed = false
+			events.dropMin()
+		}
+	}
+	report.Makespan = rt.now
 
 	if !queue.Done() {
 		return nil, fmt.Errorf("sim: queue not drained (%d of %d issued)", queue.Issued(), queue.Total())
@@ -390,9 +463,14 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 	// Ground-truth bookkeeping.
 	report.ControlledProportion =
 		float64(report.AdversaryAssignments) / float64(report.Assignments)
-	verdictByTask := make(map[int]verify.Verdict, len(specs))
+	// Task IDs are dense (plans number from 0), so a flat slice of the one
+	// fact PerTuple needs replaces the verdict map a 10^6-task run paid
+	// dearly for.
+	detectedByTask := make([]bool, len(specs))
 	for _, v := range collector.Verdicts() {
-		verdictByTask[v.TaskID] = v
+		if v.TaskID < len(detectedByTask) {
+			detectedByTask[v.TaskID] = v.MismatchDetected
+		}
 		report.Tasks++
 		if v.MismatchDetected {
 			report.MismatchDetections++
@@ -411,13 +489,9 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 		report.TasksBeforeFirstDetection = report.Tasks
 	}
 
-	maxHeld := 0
-	for _, t := range coalition.HeldTasks() {
-		if h := coalition.CopiesHeld(t); h > maxHeld {
-			maxHeld = h
-		}
-	}
-	report.PerTuple = make([]PerTuple, maxHeld)
+	// rt.maxHeld tracked the running maximum across every Observe, so the
+	// tuple table needs no extra pass to size itself.
+	report.PerTuple = make([]PerTuple, rt.maxHeld)
 	for k := range report.PerTuple {
 		report.PerTuple[k].K = k + 1
 	}
@@ -427,7 +501,7 @@ func runWithHooks(cfg Config, h hooks) (*Report, error) {
 		pt.Held++
 		if coalition.CheatsOn(t) {
 			pt.Cheated++
-			if verdictByTask[t].MismatchDetected {
+			if t < len(detectedByTask) && detectedByTask[t] {
 				pt.Detected++
 			} else {
 				pt.Undetected++

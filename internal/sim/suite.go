@@ -1,0 +1,43 @@
+package sim
+
+// The scenario suite runner: fans independent templates out across CPUs
+// via internal/par. Each template run is single-threaded and derives all
+// randomness from its own config seed, so report i is a function of
+// scs[i] alone — the fan-out returns byte-identical reports for any
+// worker count, which TestScenarioSuiteWorkerInvariance pins.
+
+import "redundancy/internal/par"
+
+// SuiteResult pairs one scenario's report (or error) with its input
+// index, in input order.
+type SuiteResult struct {
+	Name   string
+	Report *ScenarioReport
+	Err    error
+}
+
+// RunScenarios runs every scenario on a pool of workers and returns the
+// results in input order. workers <= 0 selects par.Workers; workers == 1
+// is exactly the sequential loop. A failing template does not abort its
+// siblings — its slot carries the error.
+func RunScenarios(scs []Scenario, workers int) []SuiteResult {
+	return par.MapSlice(len(scs), workers, func(i int) SuiteResult {
+		rep, err := RunScenario(scs[i])
+		return SuiteResult{Name: scs[i].Name, Report: rep, Err: err}
+	})
+}
+
+// RunScenarioSuite runs the full registry at the given scale (0 keeps the
+// template defaults) on a pool of workers, in registry order.
+func RunScenarioSuite(tasks, participants, workers int) []SuiteResult {
+	scs := Scenarios()
+	if tasks > 0 {
+		if participants <= 0 {
+			participants = tasks
+		}
+		for i := range scs {
+			scs[i] = scs[i].WithScale(tasks, participants)
+		}
+	}
+	return RunScenarios(scs, workers)
+}

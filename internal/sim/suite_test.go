@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// suiteJSON renders a suite's reports exactly as redsim -scenario all
+// prints them: concatenated indented JSON in registry order.
+func suiteJSON(t *testing.T, results []SuiteResult) string {
+	t.Helper()
+	var out []byte
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("scenario %q: %v", res.Name, res.Err)
+		}
+		b, err := json.MarshalIndent(res.Report, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		out = append(out, b...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// TestScenarioSuiteWorkerInvariance is the determinism-under-parallelism
+// contract for the scenario lab: fanning the registry out over 1, 4, or 16
+// workers must produce byte-identical concatenated reports. Each template
+// is single-threaded and seeded, so the pool size can only change wall
+// clock, never a counter.
+func TestScenarioSuiteWorkerInvariance(t *testing.T) {
+	base := suiteJSON(t, RunScenarioSuite(3_000, 3_000, 1))
+	if base == "" {
+		t.Fatal("suite produced no output")
+	}
+	for _, workers := range []int{4, 16} {
+		got := suiteJSON(t, RunScenarioSuite(3_000, 3_000, workers))
+		if got != base {
+			t.Errorf("workers=%d produced different suite output than workers=1", workers)
+		}
+	}
+}
+
+// TestRunScenariosOrder pins the suite contract: results come back in
+// input order with matching names, and a failing template fills its own
+// slot without aborting siblings.
+func TestRunScenariosOrder(t *testing.T) {
+	scs := Scenarios()
+	for i := range scs {
+		scs[i] = scs[i].WithScale(2_000, 2_000)
+	}
+	scs = append(scs, Scenario{Name: "broken"}) // empty config: must error
+
+	results := RunScenarios(scs, 4)
+	if len(results) != len(scs) {
+		t.Fatalf("got %d results for %d scenarios", len(results), len(scs))
+	}
+	for i, res := range results {
+		if res.Name != scs[i].Name {
+			t.Errorf("result[%d] names %q, want %q", i, res.Name, scs[i].Name)
+		}
+	}
+	for _, res := range results[:len(results)-1] {
+		if res.Err != nil {
+			t.Errorf("scenario %q failed: %v", res.Name, res.Err)
+		}
+		if res.Report == nil || res.Report.Scenario != res.Name {
+			t.Errorf("scenario %q report missing or misnamed", res.Name)
+		}
+	}
+	if results[len(results)-1].Err == nil {
+		t.Error("invalid scenario did not carry an error")
+	}
+}
+
+// TestRunScenariosEmpty covers the degenerate input.
+func TestRunScenariosEmpty(t *testing.T) {
+	if got := RunScenarios(nil, 8); len(got) != 0 {
+		t.Fatalf("empty input produced %d results", len(got))
+	}
+}

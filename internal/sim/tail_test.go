@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func tailCfg(tasks int) TailConfig {
+	return TailConfig{
+		Classes:        []TailClass{{Copies: 2, Tasks: tasks / 2}, {Copies: 3, Tasks: tasks / 2}},
+		Participants:   50,
+		SpeedBase:      1.0,
+		SpeedJitter:    0.5,
+		SpeedSpread:    0.3,
+		StragglerP:     0.02,
+		StragglerDelay: 20,
+		Seed:           42,
+	}
+}
+
+func TestTailConfigValidate(t *testing.T) {
+	bad := []TailConfig{
+		{},
+		{Classes: []TailClass{{Copies: 2, Tasks: 0}}, Participants: 1, SpeedBase: 1},
+		{Classes: []TailClass{{Copies: 0, Tasks: 5}}, Participants: 1, SpeedBase: 1},
+		{Classes: []TailClass{{Copies: 256, Tasks: 5}}, Participants: 1, SpeedBase: 1},
+		{Classes: []TailClass{{Copies: 1, Tasks: -5}}, Participants: 1, SpeedBase: 1},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 0, SpeedBase: 1},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: 0},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: math.NaN()},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: 1, StragglerP: 1.5},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: 1, SpeedJitter: math.Inf(1)},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: 1, StragglerDelay: -1},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: 1, Speculate: true},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: 1, Speculate: true, SpeculatePct: 1},
+		{Classes: []TailClass{{Copies: 1, Tasks: 5}}, Participants: 1, SpeedBase: 1, SpecMinSamples: -1},
+		{Classes: []TailClass{{Copies: 200, Tasks: 20_000_000}}, Participants: 1, SpeedBase: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	good := tailCfg(100)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+// TestTailExactTinyCase pins the model on a case small enough to work by
+// hand: one worker, deterministic service times, FIFO order.
+func TestTailExactTinyCase(t *testing.T) {
+	cfg := TailConfig{
+		Classes:      []TailClass{{Copies: 1, Tasks: 3}},
+		Participants: 1,
+		SpeedBase:    2.0,
+		Seed:         1,
+	}
+	e, err := NewTailEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := e.RunTrial(0)
+	// Three single-copy tasks on one worker at 2.0 each: completions at
+	// 2, 4, 6; makespan 6; mean latency 4.
+	if tr.Makespan != 6 {
+		t.Errorf("makespan: got %v want 6", tr.Makespan)
+	}
+	if tr.Latency.Count() != 3 {
+		t.Errorf("latency count: got %d want 3", tr.Latency.Count())
+	}
+	if got := tr.Latency.Mean(); got != 4 {
+		t.Errorf("mean latency: got %v want 4", got)
+	}
+	if got := tr.Latency.Max(); got != 6 {
+		t.Errorf("max latency: got %v want 6", got)
+	}
+	if tr.Completions != 3 {
+		t.Errorf("completions: got %d want 3", tr.Completions)
+	}
+
+	// Full-quorum rule: the same three tasks at multiplicity 2 on one
+	// worker certify when their LAST copy returns.
+	cfg.Classes = []TailClass{{Copies: 2, Tasks: 1}}
+	e2, err := NewTailEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := e2.RunTrial(0)
+	if tr2.Makespan != 4 || tr2.Latency.Max() != 4 {
+		t.Errorf("2-copy task on 1 worker: makespan %v latency %v, want 4 and 4", tr2.Makespan, tr2.Latency.Max())
+	}
+}
+
+// TestTailTrialDeterministicAndReusable checks that a trial's outcome
+// depends only on (config, trial index): rerunning it on a reused engine,
+// a fresh engine, or after other trials gives identical results.
+func TestTailTrialDeterministicAndReusable(t *testing.T) {
+	cfg := tailCfg(2000)
+	cfg.Speculate = true
+	cfg.SpeculatePct = 0.9
+	e1, err := NewTailEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e1.RunTrial(7)
+	// Pollute the engine with different trials, then rerun 7.
+	e1.RunTrial(3)
+	e1.RunTrial(11)
+	b := e1.RunTrial(7)
+	e2, _ := NewTailEngine(cfg)
+	c := e2.RunTrial(7)
+
+	for name, pair := range map[string][2]TailTrial{"reused": {a, b}, "fresh": {a, c}} {
+		x, y := pair[0], pair[1]
+		if x.Makespan != y.Makespan || x.Completions != y.Completions ||
+			x.SpecIssued != y.SpecIssued || x.SpecWins != y.SpecWins || x.SpecWasted != y.SpecWasted {
+			t.Errorf("%s: counters diverge: %+v vs %+v", name, x, y)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			if x.Latency.Quantile(q) != y.Latency.Quantile(q) {
+				t.Errorf("%s: q%v diverges", name, q)
+			}
+		}
+		if x.Latency.Sum() != y.Latency.Sum() {
+			t.Errorf("%s: latency sums diverge", name)
+		}
+	}
+	// Distinct trials must actually differ.
+	d := e1.RunTrial(8)
+	if d.Latency.Sum() == a.Latency.Sum() {
+		t.Errorf("trials 7 and 8 produced identical latency sums")
+	}
+}
+
+// TestTailParallelByteIdentical is the determinism-under-parallelism
+// guarantee: the reduced result is identical at workers 1, 4, and 16.
+func TestTailParallelByteIdentical(t *testing.T) {
+	cfg := tailCfg(2000)
+	cfg.Speculate = true
+	cfg.SpeculatePct = 0.9
+	const trials = 24
+	base, err := RunTailTrials(cfg, trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		got, err := RunTailTrials(cfg, trials, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MakespanSum != base.MakespanSum || got.Completions != base.Completions ||
+			got.SpecIssued != base.SpecIssued || got.SpecWins != base.SpecWins ||
+			got.SpecWasted != base.SpecWasted || got.Trials != base.Trials {
+			t.Errorf("workers=%d: counters diverge from workers=1", workers)
+		}
+		if got.Latency.Sum() != base.Latency.Sum() || got.Latency.Count() != base.Latency.Count() {
+			t.Errorf("workers=%d: merged sketch diverges", workers)
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if got.Latency.Quantile(q) != base.Latency.Quantile(q) {
+				t.Errorf("workers=%d: q%v diverges", workers, q)
+			}
+		}
+	}
+}
+
+// TestTailSpeculationCutsTail: with a heavy straggler mix in the
+// diversity regime (shallow backlogs, so the tail is straggler service
+// time rather than queueing behind stragglers — the regime speculation
+// can actually fix), the speculative tier must cut p99 substantially
+// while keeping its counters consistent.
+func TestTailSpeculationCutsTail(t *testing.T) {
+	cfg := TailConfig{
+		Classes:        []TailClass{{Copies: 1, Tasks: 20000}},
+		Participants:   10000,
+		SpeedBase:      1.0,
+		SpeedJitter:    0.2,
+		StragglerP:     0.03,
+		StragglerDelay: 50,
+		Seed:           7,
+	}
+	off, err := RunTailTrials(cfg, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Speculate = true
+	cfg.SpeculatePct = 0.9
+	on, err := RunTailTrials(cfg, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.SpecIssued == 0 {
+		t.Fatalf("speculation never triggered")
+	}
+	if on.SpecWins+on.SpecWasted > on.Completions {
+		t.Errorf("inconsistent counters: wins %d + wasted %d > completions %d", on.SpecWins, on.SpecWasted, on.Completions)
+	}
+	if on.SpecWins == 0 {
+		t.Errorf("clones never won a race despite %d issued", on.SpecIssued)
+	}
+	p99off := off.Latency.Quantile(0.99)
+	p99on := on.Latency.Quantile(0.99)
+	if p99on > 0.7*p99off {
+		t.Errorf("speculation did not cut the tail: p99 off=%v on=%v", p99off, p99on)
+	}
+	// The median must not degrade much: clones add load but only for
+	// stragglers.
+	if on.Latency.Quantile(0.5) > 1.5*off.Latency.Quantile(0.5) {
+		t.Errorf("speculation wrecked the median: off=%v on=%v",
+			off.Latency.Quantile(0.5), on.Latency.Quantile(0.5))
+	}
+}
+
+// TestTailRedundancyRaisesLatency: at fixed fleet size, full-quorum
+// certification means more copies cost latency (the price the tail
+// analysis quantifies).
+func TestTailRedundancyRaisesLatency(t *testing.T) {
+	mk := func(copies int) *TailResult {
+		cfg := TailConfig{
+			Classes:      []TailClass{{Copies: copies, Tasks: 10000}},
+			Participants: 100,
+			SpeedBase:    1.0,
+			SpeedJitter:  0.5,
+			Seed:         3,
+		}
+		r, err := RunTailTrials(cfg, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := mk(1), mk(2)
+	if !(r2.Latency.Mean() > r1.Latency.Mean()) {
+		t.Errorf("doubling copies did not raise mean latency: %v vs %v", r1.Latency.Mean(), r2.Latency.Mean())
+	}
+	if r2.Copies != 2*r1.Copies {
+		t.Errorf("redundancy accounting: %d vs %d", r2.Copies, r1.Copies)
+	}
+}
+
+// TestTailRunTrialAllocConstant is the satellite regression guard for the
+// steady-state loop: per-trial allocations must be a small constant —
+// independent of task count — so the per-task hot path allocates nothing.
+func TestTailRunTrialAllocConstant(t *testing.T) {
+	measure := func(tasks int) float64 {
+		cfg := tailCfg(tasks)
+		cfg.Speculate = true
+		cfg.SpeculatePct = 0.9
+		e, err := NewTailEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.RunTrial(0) // reach the steady-state high-water mark
+		trial := 0
+		return testing.AllocsPerRun(3, func() {
+			trial++
+			e.RunTrial(trial)
+		})
+	}
+	small, large := measure(2000), measure(8000)
+	// The fixed overhead is the per-trial RNG stream construction and the
+	// result-sketch clone; 4x the tasks must not move it.
+	if large > small {
+		t.Errorf("per-trial allocations grew with task count: %v at 2k tasks, %v at 8k", small, large)
+	}
+	if small > 32 {
+		t.Errorf("per-trial fixed allocation overhead too high: %v allocs", small)
+	}
+}
+
+func TestRunTailTrialsErrors(t *testing.T) {
+	if _, err := RunTailTrials(tailCfg(100), 0, 1); err == nil {
+		t.Errorf("zero trials must error")
+	}
+	if _, err := RunTailTrials(TailConfig{}, 4, 1); err == nil {
+		t.Errorf("invalid config must error")
+	}
+}
+
+// BenchmarkTailEngine measures single-threaded engine throughput in
+// copy-completions per second (b.N = completions). The event-queue depth
+// is the fleet size, so throughput is reported at two fleet scales: 256
+// workers (the 4KB heap stays L1-resident) and 1000 workers.
+func BenchmarkTailEngine(b *testing.B) {
+	for _, p := range []int{256, 1000} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := TailConfig{
+				Classes:      []TailClass{{Copies: 1, Tasks: 200000}},
+				Participants: p,
+				SpeedBase:    1.0,
+				SpeedJitter:  0.5,
+				SpeedSpread:  0.3,
+				Seed:         11,
+			}
+			e, err := NewTailEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			done := 0
+			for trial := 0; done < b.N; trial++ {
+				tr := e.RunTrial(trial)
+				done += tr.Completions
+			}
+			b.StopTimer()
+			if done > 0 {
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "completions/s")
+			}
+		})
+	}
+}

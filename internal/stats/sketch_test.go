@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"redundancy/internal/rng"
+)
+
+// exactQuantile returns sorted[floor(q*(n-1))], the rank convention the
+// sketch documents.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestSketchQuantileErrorBound is the core property test: against several
+// sample shapes (uniform, heavy-tailed, lognormal, bimodal, constant) the
+// sketch's quantile estimates must stay within the advertised relative
+// error of the exact sorted-sample quantiles at every probed q.
+func TestSketchQuantileErrorBound(t *testing.T) {
+	r := rng.New(0xABCD)
+	shapes := map[string]func() float64{
+		"uniform":   func() float64 { return 1 + 99*r.Float64() },
+		"pareto":    func() float64 { return r.Pareto(1.0, 1.1) },
+		"lognormal": func() float64 { return r.LogNormal(2.0, 1.5) },
+		"bimodal": func() float64 {
+			if r.Bool() {
+				return 1 + r.Float64()
+			}
+			return 1000 + 10*r.Float64()
+		},
+		"constant": func() float64 { return 42.5 },
+	}
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	for name, gen := range shapes {
+		t.Run(name, func(t *testing.T) {
+			s := NewSketch()
+			sample := make([]float64, 50000)
+			for i := range sample {
+				sample[i] = gen()
+				s.Add(sample[i])
+			}
+			sort.Float64s(sample)
+			for _, q := range qs {
+				got := s.Quantile(q)
+				want := exactQuantile(sample, q)
+				// alpha plus a hair of float slack for the bucket-boundary
+				// midpoint rounding.
+				if e := relErr(got, want); e > s.Alpha()*1.0001 {
+					t.Errorf("q=%v: got %v want %v (rel err %.4f > alpha %.4f)", q, got, want, e, s.Alpha())
+				}
+			}
+			if got := s.Max(); got != sample[len(sample)-1] {
+				t.Errorf("Max: got %v want exact %v", got, sample[len(sample)-1])
+			}
+			if got := s.Min(); got != sample[0] {
+				t.Errorf("Min: got %v want exact %v", got, sample[0])
+			}
+			var sum float64
+			for _, x := range sample {
+				sum += x
+			}
+			if e := relErr(s.Mean(), sum/float64(len(sample))); e > 1e-12 {
+				t.Errorf("Mean: got %v want %v", s.Mean(), sum/float64(len(sample)))
+			}
+			if s.Count() != len(sample) {
+				t.Errorf("Count: got %d want %d", s.Count(), len(sample))
+			}
+		})
+	}
+}
+
+// TestSketchMergeCommutesExactly checks the stronger property the parallel
+// sweeps rely on: merging shard sketches yields bit-identical quantiles
+// regardless of merge order or grouping, and identical to a sketch that
+// saw every observation directly.
+func TestSketchMergeCommutesExactly(t *testing.T) {
+	r := rng.New(7)
+	const shards = 7
+	parts := make([]*Sketch, shards)
+	direct := NewSketch()
+	for i := range parts {
+		parts[i] = NewSketch()
+	}
+	for i := 0; i < 30000; i++ {
+		x := r.LogNormal(1, 2)
+		parts[i%shards].Add(x)
+		direct.Add(x)
+	}
+
+	ab := NewSketch()
+	for i := 0; i < shards; i++ {
+		ab.Merge(parts[i])
+	}
+	ba := NewSketch()
+	for i := shards - 1; i >= 0; i-- {
+		ba.Merge(parts[i])
+	}
+	// Nested grouping: merge pairs first, then fold.
+	nested := NewSketch()
+	for i := 0; i+1 < shards; i += 2 {
+		pair := parts[i].Clone()
+		pair.Merge(parts[i+1])
+		nested.Merge(pair)
+	}
+	nested.Merge(parts[shards-1])
+
+	qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, q := range qs {
+		a, b, n, d := ab.Quantile(q), ba.Quantile(q), nested.Quantile(q), direct.Quantile(q)
+		if a != b || a != n || a != d {
+			t.Errorf("q=%v: merge order changed the quantile: A→B=%v B→A=%v nested=%v direct=%v", q, a, b, n, d)
+		}
+	}
+	if ab.Count() != direct.Count() || ba.Count() != direct.Count() {
+		t.Errorf("merged counts diverge: %d %d vs %d", ab.Count(), ba.Count(), direct.Count())
+	}
+	if ab.Max() != direct.Max() || ab.Min() != direct.Min() {
+		t.Errorf("merged min/max diverge")
+	}
+	// The compensated sum is order-sensitive only in its final ulps.
+	if e := relErr(ab.Mean(), direct.Mean()); e > 1e-12 {
+		t.Errorf("merged mean diverges: %v vs %v", ab.Mean(), direct.Mean())
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Fatalf("empty sketch must report zeros")
+	}
+
+	// Zero and negative observations land in the zero bucket.
+	s.Add(0)
+	s.Add(-3)
+	s.Add(10)
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("q0 with zero bucket: got %v", got)
+	}
+	if got := s.Min(); got != -3 {
+		t.Errorf("Min with negatives: got %v", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("q1: got %v want exact max", got)
+	}
+
+	// Out-of-range values clamp but keep exact min/max.
+	s2 := NewSketch()
+	s2.Add(1e-15)
+	s2.Add(1e15)
+	if got := s2.Max(); got != 1e15 {
+		t.Errorf("clamped max: got %v", got)
+	}
+	if got := s2.Quantile(1); got != 1e15 {
+		t.Errorf("q1 over clamped-high: got %v", got)
+	}
+	if got := s2.Quantile(0); got <= 0 || got > math.Ldexp(1, minSketchExp+1) {
+		t.Errorf("q0 over clamped-low: got %v", got)
+	}
+
+	// Reset returns the sketch to empty.
+	s2.Reset()
+	if s2.Count() != 0 || s2.Quantile(0.5) != 0 {
+		t.Errorf("Reset did not empty the sketch")
+	}
+
+	// Quantile args clamp.
+	s.Add(20)
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Errorf("out-of-range q must clamp")
+	}
+
+	// Merging an empty sketch is a no-op.
+	before := s.Quantile(0.5)
+	s.Merge(NewSketch())
+	if s.Quantile(0.5) != before {
+		t.Errorf("merging empty changed state")
+	}
+
+	// Clone is independent.
+	c := s.Clone()
+	c.Add(1e6)
+	if c.Count() == s.Count() {
+		t.Errorf("Clone shares state")
+	}
+}
+
+func TestSketchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nan":         func() { NewSketch().Add(math.NaN()) },
+		"inf":         func() { NewSketch().Add(math.Inf(1)) },
+		"alpha-zero":  func() { NewSketchAlpha(0) },
+		"alpha-big":   func() { NewSketchAlpha(0.5) },
+		"alpha-nan":   func() { NewSketchAlpha(math.NaN()) },
+		"nan-q":       func() { s := NewSketch(); s.Add(1); s.Quantile(math.NaN()) },
+		"mixed-alpha": func() { a := NewSketchAlpha(0.01); b := NewSketchAlpha(0.02); b.Add(1); a.Merge(b) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestSketchAddAllocFree guards the hot path: Add must not allocate.
+func TestSketchAddAllocFree(t *testing.T) {
+	s := NewSketch()
+	r := rng.New(3)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Add(1 + 100*r.Float64())
+	})
+	if allocs != 0 {
+		t.Fatalf("Sketch.Add allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSketchAdd(b *testing.B) {
+	b.ReportAllocs()
+	s := NewSketch()
+	r := rng.New(3)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = 1 + 1000*r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&4095])
+	}
+}

@@ -158,7 +158,7 @@ func TestStatsAndCallback(t *testing.T) {
 	truth := func(int) uint64 { return 0 }
 	c := NewCollector(truth)
 	var seen []Verdict
-	c.OnVerdict(func(v Verdict) { seen = append(seen, v) })
+	c.OnVerdict(func(v *Verdict) { seen = append(seen, *v) })
 
 	c.Expect(1, 2)
 	c.Expect(2, 2)

@@ -110,6 +110,20 @@ func ScenarioByName(name string) (Scenario, bool) { return sim.ScenarioByName(na
 // Violations list is empty when every expected counter bound held.
 func RunScenario(sc Scenario) (*ScenarioReport, error) { return sim.RunScenario(sc) }
 
+// SuiteResult is one scenario's outcome in a parallel suite run.
+type SuiteResult = sim.SuiteResult
+
+// RunScenarios fans the given scenarios out across workers (each template
+// runs single-threaded; reports are byte-identical for any worker count)
+// and returns results in input order.
+func RunScenarios(scs []Scenario, workers int) []SuiteResult { return sim.RunScenarios(scs, workers) }
+
+// RunScenarioSuite runs the full scenario registry at the given scale
+// (tasks <= 0 keeps template defaults) on a pool of workers.
+func RunScenarioSuite(tasks, participants, workers int) []SuiteResult {
+	return sim.RunScenarioSuite(tasks, participants, workers)
+}
+
 // CampaignConfig parameterizes a multi-round campaign (see Campaign).
 type CampaignConfig = sim.CampaignConfig
 
